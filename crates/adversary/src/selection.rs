@@ -1,0 +1,151 @@
+//! Choosing which processors an adversary corrupts.
+
+use sg_sim::{ProcessId, ProcessSet};
+
+/// A policy for picking the corrupted set.
+///
+/// # Examples
+///
+/// ```
+/// use sg_adversary::FaultSelection;
+/// use sg_sim::ProcessId;
+///
+/// // Corrupt the source plus the lowest non-source ids, up to t.
+/// let sel = FaultSelection::with_source();
+/// let set = sel.select(7, 2, ProcessId(0));
+/// assert!(set.contains(ProcessId(0)));
+/// assert_eq!(set.len(), 2);
+///
+/// // Corrupt t non-source processors.
+/// let sel = FaultSelection::without_source();
+/// let set = sel.select(7, 2, ProcessId(0));
+/// assert!(!set.contains(ProcessId(0)));
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultSelection {
+    include_source: bool,
+    count: Option<usize>,
+    explicit: Option<Vec<ProcessId>>,
+}
+
+impl FaultSelection {
+    /// Corrupts the source and then the lowest non-source ids, `t` in
+    /// total (or fewer if limited by [`FaultSelection::limit`]).
+    pub fn with_source() -> Self {
+        FaultSelection {
+            include_source: true,
+            count: None,
+            explicit: None,
+        }
+    }
+
+    /// Corrupts the lowest non-source ids, `t` in total.
+    pub fn without_source() -> Self {
+        FaultSelection {
+            include_source: false,
+            count: None,
+            explicit: None,
+        }
+    }
+
+    /// Corrupts exactly the given processors.
+    pub fn explicit<I: IntoIterator<Item = ProcessId>>(members: I) -> Self {
+        FaultSelection {
+            include_source: false,
+            count: None,
+            explicit: Some(members.into_iter().collect()),
+        }
+    }
+
+    /// Caps the number of corrupted processors at `count` (default: the
+    /// protocol's fault bound `t`).
+    pub fn limit(mut self, count: usize) -> Self {
+        self.count = Some(count);
+        self
+    }
+
+    /// Whether this selection corrupts the source.
+    pub fn corrupts_source(&self, source: ProcessId) -> bool {
+        match &self.explicit {
+            Some(list) => list.contains(&source),
+            None => self.include_source,
+        }
+    }
+
+    /// Materializes the corrupted set for a system of `n` processors with
+    /// fault bound `t`.
+    pub fn select(&self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
+        if let Some(list) = &self.explicit {
+            return ProcessSet::from_members(n, list.iter().copied());
+        }
+        let budget = self.count.unwrap_or(t).min(t).min(n);
+        let mut set = ProcessSet::new(n);
+        if self.include_source && budget > 0 {
+            set.insert(source);
+        }
+        let mut idx = 0usize;
+        while set.len() < budget && idx < n {
+            let p = ProcessId(idx);
+            if p != source {
+                set.insert(p);
+            }
+            idx += 1;
+        }
+        set
+    }
+
+    /// A short suffix describing the selection, used in adversary names.
+    pub fn describe(&self) -> String {
+        match &self.explicit {
+            Some(list) => format!("explicit:{}", list.len()),
+            None => {
+                let src = if self.include_source { "+src" } else { "-src" };
+                match self.count {
+                    Some(c) => format!("{src},f={c}"),
+                    None => src.to_string(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_source_fills_lowest_ids() {
+        let set = FaultSelection::with_source().select(7, 3, ProcessId(2));
+        let got: Vec<usize> = set.iter().map(|p| p.index()).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn without_source_skips_source() {
+        let set = FaultSelection::without_source().select(7, 3, ProcessId(1));
+        let got: Vec<usize> = set.iter().map(|p| p.index()).collect();
+        assert_eq!(got, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn limit_caps_below_t() {
+        let set = FaultSelection::without_source().limit(1).select(7, 3, ProcessId(0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn limit_never_exceeds_t() {
+        let set = FaultSelection::without_source().limit(9).select(7, 2, ProcessId(0));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn explicit_is_verbatim() {
+        let set =
+            FaultSelection::explicit([ProcessId(4), ProcessId(6)]).select(8, 1, ProcessId(0));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(ProcessId(4)));
+        assert!(set.contains(ProcessId(6)));
+    }
+}

@@ -1,0 +1,88 @@
+//! The standard adversary gauntlet.
+//!
+//! A curated collection of strategies covering the qualitatively distinct
+//! Byzantine behaviours: crash/omission, random lies, consistent
+//! equivocation, stealthy sub-threshold corruption, split-brain
+//! coordination, and the slow one-fault-per-block reveal that forces
+//! worst-case round counts. Integration tests and the adversary-gauntlet
+//! example run every algorithm against this suite.
+
+use sg_sim::Adversary;
+
+use crate::selection::FaultSelection;
+use crate::strategies::{
+    ChainRevealer, Collusion, Crash, DoubleTalk, EquivocatingSource, FrontierBreaker, RandomLiar,
+    Replay, Silent, StaggeredSplit, Stealth, TwoFaced,
+};
+
+/// Builds the standard gauntlet, seeded deterministically.
+///
+/// Includes source-faulty and source-correct variants of each strategy
+/// where both make sense. Every adversary corrupts at most `t`
+/// processors, so all algorithm guarantees must hold against all of them.
+pub fn standard_suite(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(Silent::new(FaultSelection::without_source())),
+        Box::new(Silent::new(FaultSelection::with_source())),
+        Box::new(Crash::new(FaultSelection::without_source(), 2)),
+        Box::new(Crash::new(FaultSelection::with_source(), 3)),
+        Box::new(RandomLiar::new(FaultSelection::without_source(), seed)),
+        Box::new(RandomLiar::new(FaultSelection::with_source(), seed ^ 1)),
+        Box::new(TwoFaced::new(FaultSelection::without_source())),
+        Box::new(TwoFaced::new(FaultSelection::with_source())),
+        Box::new(EquivocatingSource::new(FaultSelection::with_source())),
+        Box::new(EquivocatingSource::new(
+            FaultSelection::with_source().limit(1),
+        )),
+        Box::new(Stealth::new(FaultSelection::without_source())),
+        Box::new(Stealth::new(FaultSelection::with_source())),
+        Box::new(DoubleTalk::new(FaultSelection::without_source())),
+        Box::new(DoubleTalk::new(FaultSelection::with_source())),
+        Box::new(ChainRevealer::new(
+            FaultSelection::without_source(),
+            2,
+            3,
+            seed ^ 2,
+        )),
+        Box::new(ChainRevealer::new(
+            FaultSelection::with_source(),
+            2,
+            2,
+            seed ^ 3,
+        )),
+        Box::new(Collusion::new(FaultSelection::without_source())),
+        Box::new(Collusion::new(FaultSelection::with_source())),
+        Box::new(Replay::new(FaultSelection::without_source())),
+        Box::new(Replay::new(FaultSelection::with_source())),
+        Box::new(FrontierBreaker::new(FaultSelection::with_source())),
+        Box::new(FrontierBreaker::new(FaultSelection::without_source())),
+        Box::new(StaggeredSplit::new(FaultSelection::with_source(), 2, 2)),
+        Box::new(StaggeredSplit::new(FaultSelection::with_source(), 3, 3)),
+    ]
+}
+
+/// A smaller, faster suite for exponential-size algorithms and property
+/// tests.
+pub fn quick_suite(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(Crash::new(FaultSelection::without_source(), 2)),
+        Box::new(RandomLiar::new(FaultSelection::with_source(), seed)),
+        Box::new(TwoFaced::new(FaultSelection::without_source())),
+        Box::new(EquivocatingSource::new(FaultSelection::with_source())),
+        Box::new(DoubleTalk::new(FaultSelection::with_source())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_nonempty_and_named() {
+        for adv in standard_suite(1).iter().chain(quick_suite(1).iter()) {
+            assert!(!adv.name().is_empty());
+        }
+        assert!(standard_suite(1).len() >= 12);
+        assert!(quick_suite(1).len() >= 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Tape-driven adversaries and exhaustive behaviour enumeration.
+//!
+//! The paper's fault model allows *arbitrary* faulty behaviour, so no
+//! finite strategy library can be complete. For small instances, though,
+//! the space of *relevant* behaviours is finite and enumerable: the engine
+//! asks the adversary for one payload per (faulty sender, recipient) pair
+//! per round, in a deterministic order, so an execution is fully
+//! determined by the corrupted set plus a finite *tape* of per-call
+//! [`Move`]s. Enumerating all tapes over a move alphabet model-checks an
+//! algorithm against every adversary expressible in that alphabet —
+//! including every combination of equivocation, silence, garbage and
+//! honest play across rounds and recipients.
+//!
+//! Two alphabets matter in practice:
+//!
+//! * For protocols whose honest messages carry a **single value** (round 1
+//!   of every algorithm; every round of Algorithm C's first gather; king
+//!   protocols), [`Move::AllZero`] / [`Move::AllOne`] / [`Move::Silent`]
+//!   together express *every* possible behaviour over the binary domain —
+//!   a sender can only send 0, 1, something unreadable, or nothing, and
+//!   the receivers treat unreadable and nothing identically. Enumeration
+//!   over this alphabet is genuinely exhaustive.
+//! * For multi-value messages the alphabet is a *structured subset*
+//!   (uniform stories, single flips, wrong lengths); enumeration is then a
+//!   bounded model check rather than a proof, and is labelled as such in
+//!   the tests that use it.
+
+use sg_sim::{Adversary, AdversaryView, Payload, ProcessId, ProcessSet, Value};
+
+use crate::util::{flip, map_shadow, shadow_or_missing};
+
+/// One tape cell: how a faulty sender treats one (recipient, round) slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Move {
+    /// Send exactly what an honest processor would (the shadow payload).
+    Honest,
+    /// Send nothing.
+    Silent,
+    /// Send a shadow-length vector of zeros (if the shadow would be
+    /// silent, send a single zero instead — spurious traffic).
+    AllZero,
+    /// Send a shadow-length vector of ones (single one when the shadow
+    /// would be silent).
+    AllOne,
+    /// Send the shadow with its first value flipped within the domain.
+    FlipFirst,
+    /// Send an unreadable payload (wrong length, out-of-domain values).
+    Garbage,
+}
+
+/// All moves, in enumeration order.
+pub const ALL_MOVES: [Move; 6] = [
+    Move::Honest,
+    Move::Silent,
+    Move::AllZero,
+    Move::AllOne,
+    Move::FlipFirst,
+    Move::Garbage,
+];
+
+/// The exhaustive alphabet for single-value binary messages: everything a
+/// Byzantine sender can do to a receiver of one binary value.
+pub const SINGLE_VALUE_MOVES: [Move; 3] = [Move::Silent, Move::AllZero, Move::AllOne];
+
+impl Move {
+    /// Materializes this move for `sender` under `view`.
+    pub fn apply(self, sender: ProcessId, view: &AdversaryView<'_>) -> Payload {
+        let shadow_len = view.expected_len(sender);
+        match self {
+            Move::Honest => shadow_or_missing(view, sender),
+            Move::Silent => Payload::Missing,
+            Move::AllZero => Payload::defaults(shadow_len.max(1)),
+            Move::AllOne => Payload::Values(vec![Value(1); shadow_len.max(1)]),
+            Move::FlipFirst => {
+                if shadow_len == 0 {
+                    Payload::values([Value(1)])
+                } else {
+                    map_shadow(view, sender, |i, v| if i == 0 { flip(view, v) } else { v })
+                }
+            }
+            Move::Garbage => Payload::Values(vec![Value(u16::MAX); shadow_len + 3]),
+        }
+    }
+}
+
+/// An adversary that plays a fixed tape of [`Move`]s against an explicit
+/// corrupted set.
+///
+/// The engine calls [`Adversary::payload`] once per (sender, recipient)
+/// pair per round in deterministic order, so consuming the tape
+/// sequentially assigns each call its own cell; tapes shorter than the
+/// call count repeat from the start.
+///
+/// # Examples
+///
+/// ```
+/// use sg_adversary::{Move, TapeAdversary};
+/// use sg_sim::{Adversary, ProcessId};
+///
+/// let mut a = TapeAdversary::new([ProcessId(1)], vec![Move::AllOne, Move::Silent]);
+/// let faulty = a.corrupt(4, 1, ProcessId(0));
+/// assert!(faulty.contains(ProcessId(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TapeAdversary {
+    members: Vec<ProcessId>,
+    tape: Vec<Move>,
+    next: usize,
+}
+
+impl TapeAdversary {
+    /// An adversary corrupting exactly `members`, playing `tape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape` is empty.
+    pub fn new<I: IntoIterator<Item = ProcessId>>(members: I, tape: Vec<Move>) -> Self {
+        assert!(!tape.is_empty(), "tape must contain at least one move");
+        TapeAdversary {
+            members: members.into_iter().collect(),
+            tape,
+            next: 0,
+        }
+    }
+
+    /// The tape being played.
+    pub fn tape(&self) -> &[Move] {
+        &self.tape
+    }
+}
+
+impl Adversary for TapeAdversary {
+    fn name(&self) -> String {
+        format!("tape(len={})", self.tape.len())
+    }
+
+    fn corrupt(&mut self, n: usize, _t: usize, _source: ProcessId) -> ProcessSet {
+        self.next = 0;
+        ProcessSet::from_members(n, self.members.iter().copied())
+    }
+
+    fn payload(
+        &mut self,
+        sender: ProcessId,
+        _recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> Payload {
+        let mv = self.tape[self.next % self.tape.len()];
+        self.next += 1;
+        mv.apply(sender, view)
+    }
+}
+
+/// Iterates over every tape of length `len` over `alphabet` — the
+/// `|alphabet|^len` behaviours of the exhaustive model check.
+///
+/// The iteration order is lexicographic in alphabet indices, so failures
+/// reproduce deterministically from the reported tape.
+///
+/// # Panics
+///
+/// Panics if the alphabet is empty.
+pub fn enumerate_tapes(alphabet: &[Move], len: usize) -> TapeEnumerator<'_> {
+    assert!(!alphabet.is_empty(), "alphabet must not be empty");
+    TapeEnumerator {
+        alphabet,
+        digits: vec![0; len],
+        done: false,
+    }
+}
+
+/// Iterator returned by [`enumerate_tapes`].
+#[derive(Clone, Debug)]
+pub struct TapeEnumerator<'a> {
+    alphabet: &'a [Move],
+    digits: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for TapeEnumerator<'_> {
+    type Item = Vec<Move>;
+
+    fn next(&mut self) -> Option<Vec<Move>> {
+        if self.done {
+            return None;
+        }
+        let tape: Vec<Move> = self.digits.iter().map(|&d| self.alphabet[d]).collect();
+        // Increment the base-|alphabet| counter.
+        let mut i = 0;
+        loop {
+            if i == self.digits.len() {
+                self.done = true;
+                break;
+            }
+            self.digits[i] += 1;
+            if self.digits[i] < self.alphabet.len() {
+                break;
+            }
+            self.digits[i] = 0;
+            i += 1;
+        }
+        Some(tape)
+    }
+}
+
+/// The number of adversary calls the engine makes in one run: one per
+/// (faulty sender, recipient ≠ sender) pair per round — the natural tape
+/// length for an exhaustive check.
+pub fn calls_per_run(n: usize, num_faulty: usize, rounds: usize) -> usize {
+    num_faulty * (n - 1) * rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerator_counts_alphabet_power() {
+        let tapes: Vec<_> = enumerate_tapes(&SINGLE_VALUE_MOVES, 3).collect();
+        assert_eq!(tapes.len(), 27);
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for t in &tapes {
+            assert!(seen.insert(t.clone()));
+        }
+    }
+
+    #[test]
+    fn enumerator_zero_length_yields_one_empty_tape() {
+        let tapes: Vec<_> = enumerate_tapes(&ALL_MOVES, 0).collect();
+        assert_eq!(tapes, vec![Vec::<Move>::new()]);
+    }
+
+    #[test]
+    fn tape_wraps_when_short() {
+        let mut a = TapeAdversary::new([ProcessId(1)], vec![Move::Silent]);
+        let faulty = a.corrupt(4, 1, ProcessId(0));
+        assert_eq!(faulty.len(), 1);
+        assert_eq!(a.tape().len(), 1);
+    }
+
+    #[test]
+    fn calls_per_run_formula() {
+        assert_eq!(calls_per_run(4, 1, 2), 6);
+        assert_eq!(calls_per_run(7, 2, 3), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one move")]
+    fn empty_tape_rejected() {
+        let _ = TapeAdversary::new([ProcessId(1)], Vec::new());
+    }
+}

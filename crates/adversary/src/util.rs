@@ -1,0 +1,68 @@
+//! Shared helpers for adversary strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sg_sim::{AdversaryView, Payload, ProcessId, Value};
+
+/// A deterministic RNG for one (round, sender, recipient) decision,
+/// independent of call order.
+pub fn call_rng(seed: u64, round: usize, sender: ProcessId, recipient: ProcessId) -> StdRng {
+    let mix = seed
+        ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (sender.index() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (recipient.index() as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(mix)
+}
+
+/// A uniformly random in-domain value.
+pub fn random_value(rng: &mut StdRng, view: &AdversaryView<'_>) -> Value {
+    Value(rng.gen_range(0..view.domain.size()))
+}
+
+/// The sender's honest shadow payload, or [`Payload::Missing`] if it
+/// would be silent this round.
+pub fn shadow_or_missing(view: &AdversaryView<'_>, sender: ProcessId) -> Payload {
+    view.shadow_of(sender).cloned().unwrap_or(Payload::Missing)
+}
+
+/// Applies `f` to every value of the sender's shadow payload; missing
+/// shadows stay missing.
+pub fn map_shadow<F>(view: &AdversaryView<'_>, sender: ProcessId, mut f: F) -> Payload
+where
+    F: FnMut(usize, Value) -> Value,
+{
+    match view.shadow_of(sender) {
+        Some(Payload::Values(vals)) => Payload::Values(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| f(i, v))
+                .collect(),
+        ),
+        Some(other) => other.clone(),
+        None => Payload::Missing,
+    }
+}
+
+/// Flips a value within the domain: `v ↦ (v+1) mod |V|`.
+///
+/// Out-of-domain inputs (protocols may legitimately broadcast sentinel
+/// values, e.g. an encoded `⊥` proposal) are flipped into the domain too —
+/// an adversary is free to turn a `⊥` into a real value.
+pub fn flip(view: &AdversaryView<'_>, v: Value) -> Value {
+    Value(((u32::from(v.raw()) + 1) % u32::from(view.domain.size())) as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_rng_is_deterministic_and_distinct() {
+        let mut a = call_rng(7, 3, ProcessId(1), ProcessId(2));
+        let mut b = call_rng(7, 3, ProcessId(1), ProcessId(2));
+        let mut c = call_rng(7, 3, ProcessId(1), ProcessId(3));
+        let (x, y, z): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+}

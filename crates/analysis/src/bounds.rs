@@ -1,0 +1,101 @@
+//! Closed-form predictions from the paper's theorems.
+//!
+//! Round counts live in `sg_core::schedule`; this module adds the
+//! message-length and local-computation predictions needed to compare
+//! measurements against Proposition 1, Theorems 2–4 and the Main Theorem.
+
+/// Falling factorial `(n−1)(n−2)⋯(n−k)` — the number of nodes at level
+/// `k` of the no-repetition tree — as `u128` to survive large sweeps.
+pub fn level_size(n: usize, k: usize) -> u128 {
+    let mut size: u128 = 1;
+    for j in 1..=k {
+        size *= (n - j) as u128;
+    }
+    size
+}
+
+/// Largest honest message of the Exponential Algorithm, in values: the
+/// round-`(t+1)` broadcast carries level `t−1` of the round-`t` tree.
+pub fn exponential_max_message_values(n: usize, t: usize) -> u128 {
+    level_size(n, t.saturating_sub(1))
+}
+
+/// Largest honest message of a blocked family with block length `b`, in
+/// values: the last gather round of a full block broadcasts level `b−1`.
+/// The paper bounds this by O(n^b) bits (Theorems 2 and 3).
+pub fn blocked_max_message_values(n: usize, b: usize) -> u128 {
+    level_size(n, b.saturating_sub(1))
+}
+
+/// Largest honest message of Algorithm C, in values: the intermediate
+/// vector, `n` values (Theorem 4's O(n) bits).
+pub fn c_max_message_values(n: usize) -> u128 {
+    n as u128
+}
+
+/// Theorem 2's local-computation bound for Algorithm A:
+/// `O(n^{b+1} (t−1)/(b−2))`, evaluated with constant 1.
+pub fn a_local_bound(n: usize, t: usize, b: usize) -> u128 {
+    pow(n, b + 1) * ((t.max(2) - 1) as u128) / ((b - 2).max(1) as u128)
+}
+
+/// Theorem 3's local-computation bound for Algorithm B:
+/// `O(n^{b+1} (t−1)/(b−1))`, evaluated with constant 1.
+pub fn b_local_bound(n: usize, t: usize, b: usize) -> u128 {
+    pow(n, b + 1) * ((t.max(2) - 1) as u128) / ((b - 1) as u128)
+}
+
+/// Theorem 4's local-computation bound for Algorithm C: `O(n^{2.5})`,
+/// evaluated with constant 1 (rounded down).
+pub fn c_local_bound(n: usize) -> u128 {
+    let n2 = (n * n) as u128;
+    n2 * super::isqrt_u128((n) as u128 * 1)
+}
+
+/// Integer power as `u128` (saturating at `u128::MAX`).
+pub fn pow(base: usize, exp: usize) -> u128 {
+    let mut out: u128 = 1;
+    for _ in 0..exp {
+        out = out.saturating_mul(base as u128);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_sizes_are_falling_factorials() {
+        assert_eq!(level_size(5, 0), 1);
+        assert_eq!(level_size(5, 2), 12);
+        assert_eq!(level_size(10, 3), 9 * 8 * 7);
+    }
+
+    #[test]
+    fn exponential_messages_grow_exponentially() {
+        assert_eq!(exponential_max_message_values(7, 2), 6);
+        assert_eq!(exponential_max_message_values(10, 3), 9 * 8);
+        assert!(exponential_max_message_values(13, 4) > exponential_max_message_values(10, 3));
+    }
+
+    #[test]
+    fn blocked_messages_depend_on_b_not_t() {
+        assert_eq!(blocked_max_message_values(21, 3), 20 * 19);
+        assert_eq!(blocked_max_message_values(21, 2), 20);
+    }
+
+    #[test]
+    fn local_bounds_monotone_in_b() {
+        assert!(a_local_bound(16, 5, 4) > a_local_bound(16, 5, 3) / 10);
+        assert!(b_local_bound(21, 5, 3) > 0);
+        assert!(c_local_bound(32) >= 32 * 32 * 5);
+    }
+
+    #[test]
+    fn pow_saturates() {
+        assert_eq!(pow(2, 3), 8);
+        assert_eq!(pow(10, 0), 1);
+        assert_eq!(pow(usize::MAX, 40), u128::MAX);
+    }
+}

@@ -1,0 +1,50 @@
+//! # sg-analysis — bounds, the Coan model, and the experiment harness
+//!
+//! The quantitative half of the reproduction: closed-form predictions for
+//! every bound the paper states (Proposition 1, Theorems 2–4, the Main
+//! Theorem), an analytical model of Coan's families for the §1/§4
+//! trade-off comparison, and the experiment harness that regenerates
+//! every table and figure as *paper-predicted vs. measured* tables (see
+//! EXPERIMENTS.md and `cargo run -p sg-bench --bin repro`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod chart;
+pub mod coan;
+pub mod experiments;
+pub mod montecarlo;
+pub mod stability;
+pub mod table;
+
+pub use experiments::{all_experiments, measure, plan_figures, Measured, Scale};
+pub use montecarlo::{random_liar_sweep, sample_of, summarize, Sample, Summary};
+pub use stability::{lock_in, StabilityReport};
+pub use table::{fmt_count, Table};
+
+/// Integer square root (floor) over `u128`, used by the `O(n^2.5)` bound.
+pub fn isqrt_u128(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = (x as f64).sqrt() as u128;
+    while (r + 1) * (r + 1) <= x {
+        r += 1;
+    }
+    while r * r > x {
+        r -= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn isqrt_u128_exact() {
+        for x in 0..500u128 {
+            let r = super::isqrt_u128(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x);
+        }
+    }
+}

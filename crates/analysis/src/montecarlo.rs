@@ -1,0 +1,175 @@
+//! Monte-Carlo sweeps: distributions over randomized adversaries.
+//!
+//! The paper's bounds are worst-case; this module measures the *typical*
+//! case by running many seeded executions and summarizing the spread.
+//! Round counts are fixed by the schedules, but lock-in rounds, fault
+//! discoveries, and traffic all depend on what the adversary does — their
+//! distributions quantify how far typical executions sit from the
+//! worst-case bounds the paper proves.
+
+use sg_adversary::{FaultSelection, RandomLiar};
+use sg_core::AlgorithmSpec;
+use sg_sim::{Outcome, RunConfig, TraceEvent, Value};
+
+use crate::stability::lock_in;
+
+/// Summary statistics of a sample of non-negative integers.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Summary {
+    /// Number of samples.
+    pub samples: usize,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty — an empty experiment is a bug, not a
+    /// statistic.
+    pub fn of<I: IntoIterator<Item = u64>>(values: I) -> Summary {
+        let values: Vec<u64> = values.into_iter().collect();
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let samples = values.len();
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / samples as f64;
+        let var = values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / samples as f64;
+        Summary {
+            samples,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Renders as `min/mean±stddev/max`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}/{:.1}±{:.1}/{}",
+            self.min, self.mean, self.stddev, self.max
+        )
+    }
+}
+
+/// One execution's sampled quantities.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Sample {
+    /// System-wide decision lock-in round (see [`crate::stability`]).
+    pub lock_in: u64,
+    /// Number of (discoverer, suspect) fault-discovery events among
+    /// correct processors.
+    pub discoveries: u64,
+    /// Total honest traffic in bits.
+    pub total_bits: u64,
+    /// Largest per-processor local-computation charge.
+    pub max_local_ops: u64,
+}
+
+/// Extracts a [`Sample`] from a traced outcome.
+pub fn sample_of(outcome: &Outcome) -> Sample {
+    let discoveries = outcome
+        .trace
+        .entries()
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::Discovered { .. }))
+        .count() as u64;
+    Sample {
+        lock_in: lock_in(outcome).system_lock_in().unwrap_or(0) as u64,
+        discoveries,
+        total_bits: outcome.metrics.total_bits(),
+        max_local_ops: outcome.metrics.max_local_ops(),
+    }
+}
+
+/// Distribution of [`Sample`]s for `spec` over `seeds` random-liar
+/// executions (faulty set includes the source, so validity is stressed
+/// where it is vacuous and agreement everywhere).
+///
+/// # Panics
+///
+/// Panics if any execution violates agreement, or `seeds` is 0.
+pub fn random_liar_sweep(spec: AlgorithmSpec, n: usize, t: usize, seeds: u64) -> Vec<Sample> {
+    assert!(seeds > 0, "need at least one seed");
+    (0..seeds)
+        .map(|seed| {
+            let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+            let mut adversary = RandomLiar::new(FaultSelection::with_source(), seed);
+            let outcome = sg_core::execute(spec, &config, &mut adversary)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert!(
+                outcome.agreement(),
+                "{} violated agreement at seed {seed}",
+                spec.name()
+            );
+            sample_of(&outcome)
+        })
+        .collect()
+}
+
+/// Summaries (lock-in, discoveries, bits, ops) of a sample set.
+pub fn summarize(samples: &[Sample]) -> [Summary; 4] {
+    [
+        Summary::of(samples.iter().map(|s| s.lock_in)),
+        Summary::of(samples.iter().map(|s| s.discoveries)),
+        Summary::of(samples.iter().map(|s| s.total_bits)),
+        Summary::of(samples.iter().map(|s| s.max_local_ops)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics_are_exact() {
+        let s = Summary::of([2u64, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(s.samples, 8);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.stddev - 2.0).abs() < 1e-9);
+        assert_eq!(s.render(), "2/5.0±2.0/9");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(Vec::<u64>::new());
+    }
+
+    #[test]
+    fn random_liar_sweep_is_deterministic_per_seed() {
+        let a = random_liar_sweep(AlgorithmSpec::Exponential, 7, 2, 4);
+        let b = random_liar_sweep(AlgorithmSpec::Exponential, 7, 2, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn hybrid_lock_in_distribution_sits_inside_schedule() {
+        let samples = random_liar_sweep(AlgorithmSpec::Hybrid { b: 3 }, 13, 4, 6);
+        let [lock, disc, bits, ops] = summarize(&samples);
+        let schedule = AlgorithmSpec::Hybrid { b: 3 }.rounds(13, 4) as u64;
+        assert!(lock.max <= schedule);
+        assert!(disc.max >= disc.min);
+        assert!(bits.min > 0);
+        assert!(ops.min > 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Plain-text / markdown tables for experiment reports.
+
+use std::fmt;
+
+/// A rectangular report table with a title and caption.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Table {
+    /// Table identifier (e.g. "EXP-T3 — Theorem 3, Algorithm B").
+    pub title: String,
+    /// One-paragraph caption explaining what the table shows.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells; each row must have `headers.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        caption: impl Into<String>,
+        headers: Vec<&str>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as RFC-4180-style CSV (header row first; cells containing
+    /// commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n{}\n\n", self.title, self.caption);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Fixed-width text rendering for terminals.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", self.caption)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a large count with thousands separators for readability.
+pub fn fmt_count(x: u128) -> String {
+    let digits = x.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_rule_and_rows() {
+        let mut t = Table::new("T", "caption", vec!["a", "b"]);
+        t.push_row(vec!["1".to_string(), "2".to_string()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", "c", vec!["a", "b"]);
+        t.push_row(vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn counts_are_separated() {
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_cells() {
+        let mut t = Table::new("T", "c", vec!["a", "b"]);
+        t.push_row(vec!["1,5".to_string(), "say \"hi\"".to_string()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n");
+        assert_eq!(fmt_count(0), "0");
+    }
+
+    #[test]
+    fn display_renders_fixed_width() {
+        let mut t = Table::new("T", "c", vec!["col", "x"]);
+        t.push_row(vec!["longer".to_string(), "1".to_string()]);
+        let text = t.to_string();
+        assert!(text.contains("longer"));
+        assert!(text.contains("---"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * `masking` — the modified Exponential Algorithm (fault discovery +
+//!   masking on) against the plain PSL-style baseline at identical
+//!   parameters: the wall-clock price of the machinery that makes
+//!   shifting possible.
+//! * `conversion` — `resolve` against `resolve'` plus the Fault Discovery
+//!   Rule During Conversion (Algorithm A's extra pass), the per-shift
+//!   overhead the hybrid pays in its A phase.
+//! * `fault_free_vs_stress` — the same algorithm with and without active
+//!   faults, isolating the adversary-handling cost from protocol cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::AlgorithmSpec;
+use sg_sim::{NoFaults, RunConfig, Value};
+
+fn fault_free_run(spec: AlgorithmSpec, n: usize, t: usize) {
+    let config = RunConfig::new(n, t).with_source_value(Value(1));
+    let outcome = sg_core::execute(spec, &config, &mut NoFaults).expect("valid");
+    outcome.assert_correct();
+}
+
+fn bench_masking_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_masking");
+    group.sample_size(10);
+    for (n, t) in [(7usize, 2usize), (10, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("plain_n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::PlainExponential, n, t, 29));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("modified_n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::Exponential, n, t, 29));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conversion_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_conversion");
+    group.sample_size(10);
+    for (n, t) in [(7usize, 2usize), (10, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("resolve_n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::Exponential, n, t, 31));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("resolve_prime_n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::ExponentialPrime, n, t, 31));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fault_free_vs_stress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fault_load");
+    group.sample_size(10);
+    let (n, t, b) = (16usize, 5usize, 3usize);
+    group.bench_function("hybrid_fault_free", |bencher| {
+        bencher.iter(|| fault_free_run(AlgorithmSpec::Hybrid { b }, n, t));
+    });
+    group.bench_function("hybrid_stress", |bencher| {
+        bencher.iter(|| stress_run(AlgorithmSpec::Hybrid { b }, n, t, 37));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_masking_ablation,
+    bench_conversion_ablation,
+    bench_fault_free_vs_stress
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Wall-clock benchmark for Theorem 2: Algorithm A across block
+//! parameters `b` (messages `O(n^b)`, rounds `t + O(t/b)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::{t_a, AlgorithmSpec};
+
+fn bench_algorithm_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_a");
+    group.sample_size(10);
+    for n in [16usize, 22, 31] {
+        let t = t_a(n);
+        for b in 3..=t.min(4) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_t{t}_b{b}")),
+                &(n, t, b),
+                |bencher, &(n, t, b)| {
+                    bencher.iter(|| stress_run(AlgorithmSpec::AlgorithmA { b }, n, t, 17));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_a);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Wall-clock benchmark for Theorem 3: Algorithm B across block
+//! parameters `b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::{t_b, AlgorithmSpec};
+
+fn bench_algorithm_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_b");
+    group.sample_size(10);
+    for n in [17usize, 21, 29] {
+        let t = t_b(n);
+        for b in 2..=t.min(4) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_t{t}_b{b}")),
+                &(n, t, b),
+                |bencher, &(n, t, b)| {
+                    bencher.iter(|| stress_run(AlgorithmSpec::AlgorithmB { b }, n, t, 13));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_b);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Wall-clock benchmark for Theorem 4: Algorithm C scales to large `n`
+//! because its messages stay O(n) and its tree three levels deep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::{t_c, AlgorithmSpec};
+
+fn bench_algorithm_c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_c");
+    group.sample_size(10);
+    for n in [18usize, 32, 50, 72, 98, 128] {
+        let t = t_c(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::AlgorithmC, n, t, 19));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_c);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Wall-clock benchmark for the baselines: Phase King (constant-size
+//! messages) and authenticated Dolev–Strong (simulated signatures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::{t_b, AlgorithmSpec};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for n in [9usize, 21, 41] {
+        let t = t_b(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("phase_king_n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::PhaseKing, n, t, 37));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dolev_strong_n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::DolevStrong, n, t, 37));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

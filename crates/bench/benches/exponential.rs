@@ -1,0 +1,24 @@
+//! Wall-clock benchmark for Proposition 1: the Exponential Algorithm as
+//! `t` grows (messages and trees grow as `O(n^t)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::AlgorithmSpec;
+
+fn bench_exponential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exponential");
+    group.sample_size(10);
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}")),
+            &(n, t),
+            |bencher, &(n, t)| {
+                bencher.iter(|| stress_run(AlgorithmSpec::Exponential, n, t, 11));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exponential);
+criterion_main!(benches);

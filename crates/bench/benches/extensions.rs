@@ -1,0 +1,64 @@
+//! Wall-clock benchmarks for the §5/§6 extensions: the optimally
+//! resilient Phase King, the A→King shift, and builder-validated shift
+//! compositions, against the paper's hybrid at identical parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_adversary::{ChainRevealer, FaultSelection};
+use sg_bench::stress_run;
+use sg_core::compose::ShiftPlanBuilder;
+use sg_core::{t_a, AlgorithmSpec};
+use sg_sim::{RunConfig, Value};
+
+fn bench_kings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions_kings");
+    group.sample_size(10);
+    for n in [13usize, 16, 25] {
+        let t = t_a(n);
+        for (label, spec) in [
+            ("hybrid", AlgorithmSpec::Hybrid { b: 3 }),
+            ("optimal_king", AlgorithmSpec::OptimalKing),
+            ("king_shift", AlgorithmSpec::KingShift { b: 3 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{label}_n{n}")),
+                &(n, t, spec),
+                |bencher, &(n, t, spec)| {
+                    bencher.iter(|| stress_run(spec, n, t, 41));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions_compositions");
+    group.sample_size(10);
+    let n = 16;
+    let t = t_a(n);
+    let candidates = [
+        (
+            "paper_shape",
+            ShiftPlanBuilder::new(n, t).a_blocks(3, 2).b_blocks(3, 1).c_tail(4),
+        ),
+        ("a_to_c", ShiftPlanBuilder::new(n, t).a_blocks(4, 2).c_tail(2)),
+        ("a_to_king", ShiftPlanBuilder::new(n, t).a_blocks(3, 1).king_tail()),
+    ];
+    for (label, builder) in candidates {
+        let composition = builder.build().expect("benchmark compositions validate");
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                let config = RunConfig::new(n, t).with_source_value(Value(1));
+                let mut adversary =
+                    ChainRevealer::new(FaultSelection::without_source(), 2, 2, 43);
+                let outcome = composition.execute(&config, &mut adversary);
+                outcome.assert_correct();
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kings, bench_compositions);
+criterion_main!(benches);

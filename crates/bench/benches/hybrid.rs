@@ -1,0 +1,34 @@
+//! Wall-clock benchmark for the Main Theorem: the hybrid A→B→C across
+//! `n` and `b`, compared against running Algorithm A alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::stress_run;
+use sg_core::{t_a, AlgorithmSpec};
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid");
+    group.sample_size(10);
+    for n in [13usize, 16, 25, 31] {
+        let t = t_a(n);
+        for b in 3..=t.min(4) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("hybrid_n{n}_b{b}")),
+                &(n, t, b),
+                |bencher, &(n, t, b)| {
+                    bencher.iter(|| stress_run(AlgorithmSpec::Hybrid { b }, n, t, 23));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("algorithm_a_n{n}_b{b}")),
+                &(n, t, b),
+                |bencher, &(n, t, b)| {
+                    bencher.iter(|| stress_run(AlgorithmSpec::AlgorithmA { b }, n, t, 23));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro                 # all experiments, full scale, text tables
+//! repro --quick         # all experiments, small parameters
+//! repro --markdown      # emit GitHub-flavoured markdown (EXPERIMENTS.md)
+//! repro --csv           # emit CSV (one block per experiment)
+//! repro --exp t3        # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|detect|
+//!                       #   stability|early-stopping|king|compose|plans
+//! ```
+
+use std::env;
+
+use sg_analysis::experiments::{
+    experiment_compositions, experiment_detect, experiment_dominance,
+    experiment_early_stopping, experiment_king, experiment_p1, experiment_stability,
+    experiment_t1, experiment_t2, experiment_t3, experiment_t4, experiment_tradeoff,
+    plan_figures, Scale,
+};
+use sg_analysis::Table;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let which: Option<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let print = |table: Table| {
+        if csv {
+            println!("# {}", table.title);
+            println!("{}", table.to_csv());
+        } else if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    };
+
+    let run_one = |id: &str| match id {
+        "p1" => print(experiment_p1(scale)),
+        "t2" => print(experiment_t2(scale)),
+        "t3" => print(experiment_t3(scale)),
+        "t4" => print(experiment_t4(scale)),
+        "t1" => print(experiment_t1(scale)),
+        "tradeoff" => print(experiment_tradeoff(scale)),
+        "dominance" => print(experiment_dominance(scale)),
+        "detect" => print(experiment_detect(scale)),
+        "stability" => print(experiment_stability(scale)),
+        "early-stopping" => print(experiment_early_stopping(scale)),
+        "king" => print(experiment_king(scale)),
+        "compose" => print(experiment_compositions(scale)),
+        "plans" => {
+            if markdown {
+                println!("### EXP-F2/F3 — executable round plans (Figures 2 and 3)\n");
+                println!("```text\n{}```\n", plan_figures());
+            } else {
+                println!("{}", plan_figures());
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "known: p1 t1 t2 t3 t4 tradeoff dominance detect stability \
+                 early-stopping king compose plans"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    match which {
+        Some(id) => run_one(&id),
+        None => {
+            for id in [
+                "p1", "t2", "t3", "t4", "t1", "tradeoff", "dominance", "detect", "stability",
+                "early-stopping", "king", "compose", "plans",
+            ] {
+                run_one(id);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # sg-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * `cargo run --release -p sg-bench --bin repro [-- --exp <id>]` —
+//!   regenerates every table and figure of the paper as
+//!   paper-predicted-vs-measured tables (the source of EXPERIMENTS.md);
+//! * `cargo bench -p sg-bench` — Criterion wall-clock benchmarks, one
+//!   group per theorem (exponential, algorithm-a, algorithm-b,
+//!   algorithm-c, hybrid, baselines).
+//!
+//! This crate re-exports small helpers shared by both.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sg_adversary::{ChainRevealer, FaultSelection};
+use sg_core::AlgorithmSpec;
+use sg_sim::{Outcome, RunConfig, Value};
+
+/// Runs one execution of `spec` under the standard stress adversary —
+/// the workload every wall-clock benchmark times.
+///
+/// # Panics
+///
+/// Panics if the parameters are invalid for `spec` or the execution
+/// violates agreement/validity.
+pub fn stress_run(spec: AlgorithmSpec, n: usize, t: usize, seed: u64) -> Outcome {
+    let config = RunConfig::new(n, t).with_source_value(Value(1));
+    let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, 2, seed);
+    let outcome = sg_core::execute(spec, &config, &mut adversary)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+    outcome.assert_correct();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_run_produces_correct_outcome() {
+        let outcome = stress_run(AlgorithmSpec::Exponential, 7, 2, 5);
+        assert!(outcome.agreement());
+        assert_eq!(outcome.rounds_used, 3);
+    }
+}

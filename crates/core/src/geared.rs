@@ -1,0 +1,438 @@
+//! The plan-driven protocol machine.
+//!
+//! [`GearedProtocol`] interprets a round plan (see [`crate::plan`]) over
+//! the paper's two principal data structures — the no-repetition
+//! [`IgTree`] and Algorithm C's [`RepTree`] — with one shared auxiliary
+//! structure, the fault list `L_p`. Because shifting only converts the
+//! principal structure and leaves the auxiliary ones intact (§4), *every*
+//! algorithm in the paper (and the hybrid that shifts across all three) is
+//! an instance of this one machine with a different plan.
+
+use sg_eigtree::{
+    convert, discover_during_conversion, discover_ig, FaultList, IgTree, RepTree,
+};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, TraceEvent, Value,
+};
+
+use crate::params::Params;
+use crate::plan::RoundAction;
+
+/// One processor's instance of a plan-driven agreement protocol.
+///
+/// Construct through [`crate::AlgorithmSpec::build`] (or the factory on
+/// [`crate::AlgorithmSpec`]) rather than directly; the spec validates
+/// parameters and picks the right plan.
+pub struct GearedProtocol {
+    params: Params,
+    me: ProcessId,
+    /// The source's initial value; `Some` iff `me == source`.
+    input: Option<Value>,
+    name: String,
+    /// Whether fault discovery + masking are active (the paper's
+    /// "modified" Exponential Algorithm; off only for the plain PSL-style
+    /// baseline).
+    modified: bool,
+    plan: Vec<RoundAction>,
+    tree: IgTree,
+    rep: RepTree,
+    faults: FaultList,
+    /// High-water mark of live principal-structure nodes, so the space
+    /// bound reflects the gathered tree even though block conversions
+    /// shrink it before the engine samples.
+    peak_nodes: u64,
+}
+
+impl GearedProtocol {
+    /// Builds an instance for processor `me`.
+    ///
+    /// `input` must be `Some` exactly when `me` is the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.is_some() != (me == params.source)` or the plan is
+    /// empty / does not start with [`RoundAction::Initial`].
+    pub fn new(
+        params: Params,
+        me: ProcessId,
+        input: Option<Value>,
+        name: String,
+        modified: bool,
+        plan: Vec<RoundAction>,
+    ) -> Self {
+        assert_eq!(
+            input.is_some(),
+            me == params.source,
+            "exactly the source carries an input"
+        );
+        assert!(
+            matches!(plan.first(), Some(RoundAction::Initial)),
+            "plans start with the source's broadcast round"
+        );
+        GearedProtocol {
+            tree: IgTree::new(params.n, params.source),
+            rep: RepTree::new(params.n, params.source),
+            faults: FaultList::new(params.n),
+            params,
+            me,
+            input,
+            name,
+            modified,
+            plan,
+            peak_nodes: 0,
+        }
+    }
+
+    /// Records the current structure sizes into the high-water mark.
+    fn note_peak(&mut self) {
+        let live = self.tree.node_count() + self.rep.node_count();
+        self.peak_nodes = self.peak_nodes.max(live);
+    }
+
+    /// The protocol's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This processor's current list `L_p` of discovered faults.
+    pub fn fault_list(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// The no-repetition information-gathering tree (inspection hook for
+    /// executable-lemma tests).
+    pub fn tree(&self) -> &IgTree {
+        &self.tree
+    }
+
+    /// The with-repetitions tree (inspection hook for executable-lemma
+    /// tests).
+    pub fn rep(&self) -> &RepTree {
+        &self.rep
+    }
+
+    /// The round plan being interpreted.
+    pub fn plan(&self) -> &[RoundAction] {
+        &self.plan
+    }
+
+    /// The current preferred value (root of the active principal
+    /// structure).
+    pub fn preferred(&self) -> Value {
+        if self.rep_active() {
+            self.rep.preferred()
+        } else {
+            self.tree.root()
+        }
+    }
+
+    /// Whether the with-repetitions structure is the active one (i.e. the
+    /// execution has reached a rep-gather round).
+    fn rep_active(&self) -> bool {
+        self.rep.has_intermediates()
+    }
+
+    fn action(&self, round: usize) -> RoundAction {
+        self.plan[round - 1]
+    }
+
+    /// Records newly discovered processors: updates `L`, emits trace
+    /// events, returns them as a set (empty if none).
+    fn admit_discoveries(
+        &mut self,
+        discovered: &[ProcessId],
+        during_conversion: bool,
+        ctx: &mut ProcCtx,
+    ) -> ProcessSet {
+        let mut newly = ProcessSet::new(self.params.n);
+        for &r in discovered {
+            if self.faults.insert(r, ctx.round) {
+                newly.insert(r);
+                ctx.emit(TraceEvent::Discovered {
+                    suspect: r,
+                    during_conversion,
+                });
+            }
+        }
+        newly
+    }
+}
+
+impl Protocol for GearedProtocol {
+    fn total_rounds(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
+        match self.action(ctx.round) {
+            RoundAction::Initial => self
+                .input
+                .map(|v| Payload::values([v])),
+            RoundAction::Gather { .. } => {
+                if self.me == self.params.source {
+                    // The no-repetition tree has no slots labelled by the
+                    // source after round 1; it stays silent (§3).
+                    None
+                } else {
+                    let deepest = self.tree.deepest_level();
+                    Some(Payload::Values(self.tree.level(deepest).to_vec()))
+                }
+            }
+            RoundAction::RepFirstGather => Some(Payload::values([self.rep.root()])),
+            RoundAction::RepGather => {
+                Some(Payload::Values(self.rep.intermediates().to_vec()))
+            }
+        }
+    }
+
+    fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
+        let t = self.params.t;
+        let domain = self.params.domain;
+        let me = self.me;
+        match self.action(ctx.round) {
+            RoundAction::Initial => {
+                // The source stores its own value; everyone else stores
+                // what the source sent (default on anything illegitimate).
+                let v = match self.input {
+                    Some(v) => v,
+                    None => domain.sanitize(
+                        inbox
+                            .from(self.params.source)
+                            .value_at(0)
+                            .unwrap_or(Value::DEFAULT),
+                    ),
+                };
+                self.tree.set_root(v);
+                self.rep.set_root(v);
+                ctx.charge(1);
+                ctx.emit(TraceEvent::Preferred { value: v });
+            }
+
+            RoundAction::Gather { convert: conv } => {
+                // 1. Store the new level, masking known faults as we go.
+                let deepest = self.tree.deepest_level();
+                let own_level: Vec<Value> = self.tree.level(deepest).to_vec();
+                {
+                    let faults = &self.faults;
+                    let ops = self.tree.append_level(|parent, sender| {
+                        if sender == me {
+                            own_level[parent]
+                        } else if faults.contains(sender) {
+                            Value::DEFAULT
+                        } else {
+                            domain.sanitize(
+                                inbox
+                                    .from(sender)
+                                    .value_at(parent)
+                                    .unwrap_or(Value::DEFAULT),
+                            )
+                        }
+                    });
+                    ctx.charge(ops);
+                }
+
+                self.note_peak();
+
+                // 2. Fault Discovery Rule on the fresh level, then mask
+                // the newly discovered processors' current messages.
+                if self.modified {
+                    let report = discover_ig(&self.tree, t, &self.faults);
+                    ctx.charge(report.ops);
+                    let newly = self.admit_discoveries(&report.discovered, false, ctx);
+                    if !newly.is_empty() {
+                        let k = self.tree.deepest_level();
+                        ctx.charge(self.tree.mask_level(k, &newly));
+                    }
+                }
+
+                // 3. Block boundary: convert and shrink (the shift).
+                if let Some(spec) = conv {
+                    let converted = convert(&self.tree, spec.conversion);
+                    ctx.charge(converted.ops());
+                    if spec.discovery && self.modified {
+                        let report = discover_during_conversion(
+                            &self.tree,
+                            &converted,
+                            t,
+                            &self.faults,
+                        );
+                        ctx.charge(report.ops);
+                        self.admit_discoveries(&report.discovered, true, ctx);
+                    }
+                    let preferred = converted.root().value_or_default();
+                    self.tree.shrink_to_root(preferred);
+                    // Keep the rep root in sync so a later shift into
+                    // Algorithm C starts from the converted preferred
+                    // value (the hybrid's B→C boundary).
+                    self.rep.set_root(preferred);
+                    ctx.emit(TraceEvent::Shift {
+                        conversion: spec.conversion.name().to_string(),
+                        preferred,
+                    });
+                }
+            }
+
+            RoundAction::RepFirstGather => {
+                let own_root = self.rep.root();
+                {
+                    let faults = &self.faults;
+                    let ops = self.rep.store_intermediates(|q| {
+                        if q == me {
+                            own_root
+                        } else if faults.contains(q) {
+                            Value::DEFAULT
+                        } else {
+                            domain.sanitize(
+                                inbox.from(q).value_at(0).unwrap_or(Value::DEFAULT),
+                            )
+                        }
+                    });
+                    ctx.charge(ops);
+                }
+                if self.modified {
+                    let report = self.rep.discover_root(t, &self.faults);
+                    ctx.charge(report.ops);
+                    let newly = self.admit_discoveries(&report.discovered, false, ctx);
+                    if !newly.is_empty() {
+                        ctx.charge(self.rep.mask_intermediates(&newly));
+                    }
+                }
+                ctx.emit(TraceEvent::Preferred {
+                    value: self.rep.preferred(),
+                });
+            }
+
+            RoundAction::RepGather => {
+                let own: Vec<Value> = self.rep.intermediates().to_vec();
+                {
+                    let faults = &self.faults;
+                    let ops = self.rep.store_leaves(|w, r| {
+                        if r == me {
+                            own[w]
+                        } else if faults.contains(r) {
+                            Value::DEFAULT
+                        } else {
+                            domain.sanitize(
+                                inbox.from(r).value_at(w).unwrap_or(Value::DEFAULT),
+                            )
+                        }
+                    });
+                    ctx.charge(ops);
+                }
+                self.note_peak();
+                if self.modified {
+                    let report = self.rep.discover_intermediates(t, &self.faults);
+                    ctx.charge(report.ops);
+                    let newly = self.admit_discoveries(&report.discovered, false, ctx);
+                    if !newly.is_empty() {
+                        ctx.charge(self.rep.mask_leaves(&newly));
+                    }
+                }
+                ctx.charge(self.rep.reorder());
+                ctx.charge(self.rep.convert_to_intermediates());
+                ctx.emit(TraceEvent::Shift {
+                    conversion: "resolve".to_string(),
+                    preferred: self.rep.preferred(),
+                });
+            }
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
+        // The source decided its own value in round 1 (§3) and never
+        // revisits that decision.
+        let value = match self.input {
+            Some(v) => v,
+            None => match self.plan.last() {
+                Some(a) if a.is_rep() => self.rep.preferred(),
+                _ => self.tree.root(),
+            },
+        };
+        ctx.emit(TraceEvent::Decided { value });
+        value
+    }
+
+    fn space_nodes(&self) -> u64 {
+        self.peak_nodes
+            .max(self.tree.node_count() + self.rep.node_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::exponential_plan;
+    use sg_eigtree::Conversion;
+    use sg_sim::ValueDomain;
+
+    fn params(n: usize, t: usize) -> Params {
+        Params {
+            n,
+            t,
+            source: ProcessId(0),
+            domain: ValueDomain::binary(),
+        }
+    }
+
+    fn proto(n: usize, t: usize, me: usize) -> GearedProtocol {
+        let p = params(n, t);
+        let input = (me == 0).then_some(Value(1));
+        GearedProtocol::new(
+            p,
+            ProcessId(me),
+            input,
+            "test".to_string(),
+            true,
+            exponential_plan(t, Conversion::Resolve),
+        )
+    }
+
+    #[test]
+    fn source_broadcasts_only_in_round_1() {
+        let mut s = proto(4, 1, 0);
+        let mut ctx = ProcCtx::new(ProcessId(0));
+        ctx.round = 1;
+        assert_eq!(s.outgoing(&mut ctx), Some(Payload::values([Value(1)])));
+        let inbox = Inbox::empty(4);
+        s.deliver(&inbox, &mut ctx);
+        ctx.round = 2;
+        assert_eq!(s.outgoing(&mut ctx), None);
+    }
+
+    #[test]
+    fn non_source_stores_and_echoes_root() {
+        let mut p = proto(4, 1, 1);
+        let mut ctx = ProcCtx::new(ProcessId(1));
+        ctx.round = 1;
+        assert_eq!(p.outgoing(&mut ctx), None);
+        let mut inbox = Inbox::empty(4);
+        inbox.set(ProcessId(0), Payload::values([Value(1)]));
+        p.deliver(&inbox, &mut ctx);
+        assert_eq!(p.preferred(), Value(1));
+        ctx.round = 2;
+        assert_eq!(p.outgoing(&mut ctx), Some(Payload::values([Value(1)])));
+    }
+
+    #[test]
+    fn missing_source_message_defaults() {
+        let mut p = proto(4, 1, 2);
+        let mut ctx = ProcCtx::new(ProcessId(2));
+        ctx.round = 1;
+        p.deliver(&Inbox::empty(4), &mut ctx);
+        assert_eq!(p.preferred(), Value::DEFAULT);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the source carries an input")]
+    fn non_source_with_input_rejected() {
+        let p = params(4, 1);
+        let _ = GearedProtocol::new(
+            p,
+            ProcessId(1),
+            Some(Value(1)),
+            "bad".to_string(),
+            true,
+            exponential_plan(1, Conversion::Resolve),
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # sg-core — the Shifting Gears agreement algorithms
+//!
+//! Implementations of every Byzantine-agreement algorithm in Bar-Noy,
+//! Dolev, Dwork & Strong, *"Shifting Gears: Changing Algorithms on the Fly
+//! to Expedite Byzantine Agreement"* (PODC 1987 / Inf. & Comp. 97, 1992):
+//!
+//! * the **Exponential Algorithm** (§3) — Exponential Information
+//!   Gathering with Recursive Majority Voting, plain (PSL-style baseline)
+//!   and modified with fault discovery + masking;
+//! * **Algorithm A** (§4.2, Theorem 2) — the `⌊(n−1)/3⌋`-resilient
+//!   shifted family using `resolve'`;
+//! * **Algorithm B** (§4.1, Theorem 3, Fig. 2) — the `⌊(n−1)/4⌋`-resilient
+//!   shifted family using `resolve`;
+//! * **Algorithm C** (§4.3, Theorem 4) — the `√(n/2)`-resilient
+//!   Dolev–Reischuk–Strong adaptation on trees with repetitions;
+//! * the **Hybrid** (§4.4, Fig. 3, Main Theorem) — starts in A, shifts
+//!   into B, then into C;
+//! * two baselines for context: **Phase King** (constant-size messages)
+//!   and authenticated **Dolev–Strong** with simulated signatures.
+//!
+//! All tree algorithms are instances of one plan-driven machine,
+//! [`GearedProtocol`], because the paper's shift operator only converts
+//! the principal data structure and carries the auxiliary fault lists
+//! across unchanged — which is precisely what makes mid-execution
+//! algorithm changes sound.
+//!
+//! # Examples
+//!
+//! Run the hybrid against a crashing adversary (strategies live in
+//! `sg-adversary`; here, fault-free):
+//!
+//! ```
+//! use sg_core::{execute, AlgorithmSpec};
+//! use sg_sim::{NoFaults, RunConfig, Value};
+//!
+//! let config = RunConfig::new(16, 5).with_source_value(Value(1));
+//! let outcome = execute(AlgorithmSpec::Hybrid { b: 3 }, &config, &mut NoFaults)?;
+//! assert!(outcome.agreement());
+//! assert_eq!(outcome.decision(), Some(Value(1)));
+//! # Ok::<(), sg_core::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compose;
+pub mod dolev_strong;
+mod geared;
+pub mod interactive;
+pub mod king_shift;
+pub mod multiplex;
+pub mod multivalued;
+pub mod optimal_king;
+mod params;
+pub mod phase_king;
+pub mod phase_queen;
+pub mod plan;
+mod runner;
+pub mod schedule;
+mod spec;
+
+pub use compose::{ComposeError, Segment, ShiftComposition, ShiftPlanBuilder};
+pub use geared::GearedProtocol;
+pub use king_shift::KingShift;
+pub use optimal_king::{KingCore, OptimalKing, PhaseStep};
+pub use interactive::{interactive_consistency, run_consensus};
+pub use multiplex::{plurality, Multiplex};
+pub use multivalued::{multivalued_broadcast, run_multivalued};
+pub use params::{isqrt, t_a, t_b, t_c, Params};
+pub use plan::{render_plan, RoundAction};
+pub use runner::execute;
+pub use schedule::{choose_b, BChoice, HybridSchedule};
+pub use spec::{AlgorithmSpec, SpecError};

@@ -1,0 +1,269 @@
+//! Parallel composition of agreement protocols.
+//!
+//! Runs `k` independent sub-protocols in lock-step over the same
+//! communication rounds, concatenating their broadcasts into one framed
+//! payload per round. Because every correct processor runs the same
+//! deterministic schedules, framing is self-describing and a receiver can
+//! split a peer's payload back into per-instance segments; malformed
+//! frames from Byzantine senders degrade to missing messages for the
+//! affected instances, which the inner protocols already tolerate.
+//!
+//! This is the substrate for interactive consistency (`n` parallel
+//! broadcasts, one per source — the problem of Pease, Shostak & Lamport
+//! that §1 of the paper builds on) and for the multivalued-to-binary
+//! reduction of [`crate::multivalued`].
+
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, TraceEvent, Value};
+
+/// Combines the sub-protocols' decisions into the composite decision.
+pub type Combiner = Box<dyn Fn(&[Value]) -> Value>;
+
+/// `k` agreement protocols running in parallel as one.
+pub struct Multiplex {
+    subs: Vec<Box<dyn Protocol>>,
+    combine: Combiner,
+    decided_vector: Option<Vec<Value>>,
+    name: String,
+}
+
+impl Multiplex {
+    /// Composes `subs` (at least one) with a decision `combine`r.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs` is empty or the sub-protocols disagree on the
+    /// number of rounds (lock-step composition needs one schedule).
+    pub fn new(name: String, subs: Vec<Box<dyn Protocol>>, combine: Combiner) -> Self {
+        assert!(!subs.is_empty(), "need at least one sub-protocol");
+        let rounds = subs[0].total_rounds();
+        assert!(
+            subs.iter().all(|s| s.total_rounds() == rounds),
+            "sub-protocols must share one schedule"
+        );
+        Multiplex {
+            subs,
+            combine,
+            decided_vector: None,
+            name,
+        }
+    }
+
+    /// The vector of sub-decisions, available after [`Protocol::decide`].
+    pub fn decided_vector(&self) -> Option<&[Value]> {
+        self.decided_vector.as_deref()
+    }
+
+    /// Number of composed instances.
+    pub fn width(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Splits a framed payload into per-instance segments.
+    ///
+    /// Frame format, repeated `k` times: two length values (lo, hi) then
+    /// `lo + hi·2^16` payload values. Returns `None` if the payload is
+    /// not a well-formed frame sequence — the receiver then treats every
+    /// instance's message from this sender as missing.
+    fn split(&self, payload: &Payload) -> Option<Vec<Payload>> {
+        let Payload::Values(vals) = payload else {
+            return None;
+        };
+        let mut segments = Vec::with_capacity(self.subs.len());
+        let mut pos = 0usize;
+        for _ in 0..self.subs.len() {
+            let lo = vals.get(pos)?.raw() as usize;
+            let hi = vals.get(pos + 1)?.raw() as usize;
+            let len = lo + (hi << 16);
+            pos += 2;
+            if pos + len > vals.len() {
+                return None;
+            }
+            segments.push(Payload::Values(vals[pos..pos + len].to_vec()));
+            pos += len;
+        }
+        (pos == vals.len()).then_some(segments)
+    }
+}
+
+/// Appends one frame to the composite payload.
+fn push_frame(out: &mut Vec<Value>, segment: Option<Payload>) {
+    match segment {
+        Some(Payload::Values(vals)) => {
+            out.push(Value((vals.len() & 0xFFFF) as u16));
+            out.push(Value((vals.len() >> 16) as u16));
+            out.extend(vals);
+        }
+        _ => {
+            out.push(Value(0));
+            out.push(Value(0));
+        }
+    }
+}
+
+impl Protocol for Multiplex {
+    fn total_rounds(&self) -> usize {
+        self.subs[0].total_rounds()
+    }
+
+    fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
+        let mut any = false;
+        let mut out: Vec<Value> = Vec::new();
+        for sub in &mut self.subs {
+            let segment = sub.outgoing(ctx);
+            any |= segment.is_some();
+            push_frame(&mut out, segment);
+        }
+        any.then(|| Payload::Values(out))
+    }
+
+    fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
+        let n = inbox.n();
+        // Pre-split every sender's payload once.
+        let split: Vec<Option<Vec<Payload>>> = (0..n)
+            .map(|j| self.split(inbox.from(ProcessId(j))))
+            .collect();
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            let mut sub_inbox = Inbox::empty(n);
+            for (j, segments) in split.iter().enumerate() {
+                if let Some(segments) = segments {
+                    sub_inbox.set(ProcessId(j), segments[i].clone());
+                }
+            }
+            sub.deliver(&sub_inbox, ctx);
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
+        let vector: Vec<Value> = self.subs.iter_mut().map(|s| s.decide(ctx)).collect();
+        let decision = (self.combine)(&vector);
+        ctx.emit(TraceEvent::Note {
+            text: format!("{} vector {:?}", self.name, vector),
+        });
+        self.decided_vector = Some(vector);
+        ctx.emit(TraceEvent::Decided { value: decision });
+        decision
+    }
+
+    fn space_nodes(&self) -> u64 {
+        self.subs.iter().map(|s| s.space_nodes()).sum()
+    }
+}
+
+/// The plurality value of `vector` (smallest value wins ties) — the usual
+/// consensus combiner over an interactive-consistency vector.
+pub fn plurality(vector: &[Value]) -> Value {
+    let mut counts: Vec<(Value, usize)> = Vec::new();
+    for v in vector {
+        match counts.iter_mut().find(|(u, _)| u == v) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((*v, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts.first().map_or(Value::DEFAULT, |(v, _)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub sub-protocol that broadcasts a fixed vector and decides a
+    /// fixed value.
+    struct Stub {
+        send: Vec<Value>,
+        silent: bool,
+        got: Vec<Option<Value>>,
+        decide: Value,
+    }
+
+    impl Protocol for Stub {
+        fn total_rounds(&self) -> usize {
+            1
+        }
+        fn outgoing(&mut self, _ctx: &mut ProcCtx) -> Option<Payload> {
+            (!self.silent).then(|| Payload::Values(self.send.clone()))
+        }
+        fn deliver(&mut self, inbox: &Inbox, _ctx: &mut ProcCtx) {
+            self.got = (0..inbox.n())
+                .map(|j| inbox.from(ProcessId(j)).value_at(0))
+                .collect();
+        }
+        fn decide(&mut self, _ctx: &mut ProcCtx) -> Value {
+            self.decide
+        }
+    }
+
+    fn stub(send: Vec<Value>, silent: bool, decide: Value) -> Box<dyn Protocol> {
+        Box::new(Stub {
+            send,
+            silent,
+            got: Vec::new(),
+            decide,
+        })
+    }
+
+    #[test]
+    fn frames_roundtrip_through_split() {
+        let mx = Multiplex::new(
+            "test".to_string(),
+            vec![
+                stub(vec![Value(1), Value(2)], false, Value(0)),
+                stub(vec![], false, Value(0)),
+                stub(vec![Value(3)], true, Value(0)),
+            ],
+            Box::new(plurality),
+        );
+        let mut out = Vec::new();
+        push_frame(&mut out, Some(Payload::values([Value(1), Value(2)])));
+        push_frame(&mut out, Some(Payload::values([])));
+        push_frame(&mut out, None);
+        let segments = mx.split(&Payload::Values(out)).expect("well-formed");
+        assert_eq!(segments[0], Payload::values([Value(1), Value(2)]));
+        assert_eq!(segments[1], Payload::values([]));
+        assert_eq!(segments[2], Payload::values([]));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let mx = Multiplex::new(
+            "test".to_string(),
+            vec![stub(vec![], false, Value(0))],
+            Box::new(plurality),
+        );
+        // Length claims more values than present.
+        assert!(mx
+            .split(&Payload::values([Value(5), Value(0), Value(1)]))
+            .is_none());
+        // Trailing garbage.
+        assert!(mx
+            .split(&Payload::values([Value(0), Value(0), Value(9)]))
+            .is_none());
+        assert!(mx.split(&Payload::Missing).is_none());
+    }
+
+    #[test]
+    fn decide_combines_and_records_vector() {
+        let mut mx = Multiplex::new(
+            "test".to_string(),
+            vec![
+                stub(vec![], true, Value(1)),
+                stub(vec![], true, Value(0)),
+                stub(vec![], true, Value(1)),
+            ],
+            Box::new(plurality),
+        );
+        let mut ctx = ProcCtx::new(ProcessId(0));
+        assert_eq!(mx.decide(&mut ctx), Value(1));
+        assert_eq!(
+            mx.decided_vector(),
+            Some(&[Value(1), Value(0), Value(1)][..])
+        );
+    }
+
+    #[test]
+    fn plurality_breaks_ties_downward() {
+        assert_eq!(plurality(&[Value(1), Value(0)]), Value(0));
+        assert_eq!(plurality(&[Value(2), Value(2), Value(1)]), Value(2));
+        assert_eq!(plurality(&[]), Value::DEFAULT);
+    }
+}

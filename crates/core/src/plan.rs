@@ -1,0 +1,310 @@
+//! Executable round plans.
+//!
+//! Every algorithm in the paper — the Exponential Algorithm, Algorithms A
+//! and B, Algorithm C, and the hybrid — compiles to a linear *plan*: one
+//! [`RoundAction`] per communication round. The plan is the executable
+//! counterpart of the paper's Figures 2 and 3; printing it reproduces the
+//! pseudocode structure, and the [`crate::GearedProtocol`] machine
+//! interprets it.
+
+use sg_eigtree::Conversion;
+
+use crate::schedule::{algorithm_a_blocks, algorithm_b_blocks, BlockPlan, HybridSchedule};
+
+/// An end-of-round conversion (`shift_{k→1}` on the principal structure).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConvertSpec {
+    /// Which conversion function to apply (`resolve` or `resolve'`).
+    pub conversion: Conversion,
+    /// Whether Algorithm A's Fault Discovery Rule During Conversion runs.
+    pub discovery: bool,
+}
+
+/// What one communication round does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoundAction {
+    /// Round 1: the source broadcasts its initial value; everyone stores
+    /// it as the root of their tree.
+    Initial,
+    /// A no-repetition information-gathering round: broadcast the deepest
+    /// tree level, store the next, discover and mask; optionally convert
+    /// and shrink at the end (a block boundary / shift).
+    Gather {
+        /// End-of-round conversion, if this round closes a block.
+        convert: Option<ConvertSpec>,
+    },
+    /// Algorithm C's round 2: broadcast the root, store the intermediate
+    /// vertices, apply the discovery rule to the root's children.
+    RepFirstGather,
+    /// Algorithm C's rounds ≥ 3: broadcast intermediates, store leaves,
+    /// discover, mask, reorder, and `shift_{3→2}`-convert back to two
+    /// levels.
+    RepGather,
+}
+
+impl RoundAction {
+    /// Whether this action operates on the with-repetitions tree.
+    pub fn is_rep(&self) -> bool {
+        matches!(self, RoundAction::RepFirstGather | RoundAction::RepGather)
+    }
+}
+
+/// Appends a block-structured gather phase to `plan`: each block is
+/// `len−1` plain gather rounds followed by one gather round ending in the
+/// given conversion.
+fn push_blocks(plan: &mut Vec<RoundAction>, blocks: &BlockPlan, convert: ConvertSpec) {
+    for &len in &blocks.blocks {
+        for _ in 0..len.saturating_sub(1) {
+            plan.push(RoundAction::Gather { convert: None });
+        }
+        plan.push(RoundAction::Gather {
+            convert: Some(convert),
+        });
+    }
+}
+
+/// The Exponential Algorithm's plan (§3): round 1 plus `t` gather rounds,
+/// converting once at the very end.
+pub fn exponential_plan(t: usize, conversion: Conversion) -> Vec<RoundAction> {
+    let mut plan = vec![RoundAction::Initial];
+    for round in 0..t {
+        plan.push(RoundAction::Gather {
+            convert: (round == t - 1).then_some(ConvertSpec {
+                conversion,
+                discovery: matches!(conversion, Conversion::ResolvePrime { .. }),
+            }),
+        });
+    }
+    plan
+}
+
+/// Algorithm B's plan (Fig. 2). For `b ≥ t` this is the Exponential
+/// Algorithm's plan with `resolve`, exactly as the paper specifies.
+pub fn algorithm_b_plan(t: usize, b: usize) -> Vec<RoundAction> {
+    if b >= t {
+        return exponential_plan(t, Conversion::Resolve);
+    }
+    let mut plan = vec![RoundAction::Initial];
+    push_blocks(
+        &mut plan,
+        &algorithm_b_blocks(t, b),
+        ConvertSpec {
+            conversion: Conversion::Resolve,
+            discovery: false,
+        },
+    );
+    plan
+}
+
+/// Algorithm A's plan (§4.2). For `b ≥ t` this is the Exponential
+/// Algorithm's plan with `resolve'`.
+pub fn algorithm_a_plan(t: usize, b: usize) -> Vec<RoundAction> {
+    if b >= t {
+        return exponential_plan(t, Conversion::ResolvePrime { t });
+    }
+    let mut plan = vec![RoundAction::Initial];
+    push_blocks(
+        &mut plan,
+        &algorithm_a_blocks(t, b),
+        ConvertSpec {
+            conversion: Conversion::ResolvePrime { t },
+            discovery: true,
+        },
+    );
+    plan
+}
+
+/// Algorithm C's plan (§4.3): round 1, the first rep-gather round, then
+/// `t−1` shift-cycles, for `t+1` rounds total.
+pub fn algorithm_c_plan(t: usize) -> Vec<RoundAction> {
+    let mut plan = vec![RoundAction::Initial, RoundAction::RepFirstGather];
+    for _ in 0..t.saturating_sub(1) {
+        plan.push(RoundAction::RepGather);
+    }
+    plan
+}
+
+/// The hybrid's plan (Fig. 3): `k_AB` rounds of Algorithm A, `k_BC` rounds
+/// of Algorithm B (from its round 2), then `t − t_AC + 1` rounds of
+/// Algorithm C (from its round 2).
+pub fn hybrid_plan(schedule: &HybridSchedule) -> Vec<RoundAction> {
+    let t = schedule.t;
+    let mut plan = vec![RoundAction::Initial];
+    push_blocks(
+        &mut plan,
+        &BlockPlan {
+            blocks: schedule.a_blocks.clone(),
+        },
+        ConvertSpec {
+            conversion: Conversion::ResolvePrime { t },
+            discovery: true,
+        },
+    );
+    push_blocks(
+        &mut plan,
+        &BlockPlan {
+            blocks: schedule.b_blocks.clone(),
+        },
+        ConvertSpec {
+            conversion: Conversion::Resolve,
+            discovery: false,
+        },
+    );
+    plan.push(RoundAction::RepFirstGather);
+    for _ in 0..schedule.c_rounds.saturating_sub(1) {
+        plan.push(RoundAction::RepGather);
+    }
+    debug_assert_eq!(plan.len(), schedule.total_rounds());
+    plan
+}
+
+/// Renders a plan as indented pseudocode in the style of the paper's
+/// Figures 2 and 3, for the plan-reproduction experiment.
+pub fn render_plan(name: &str, plan: &[RoundAction]) -> String {
+    let mut out = format!("{name}:\n");
+    for (i, action) in plan.iter().enumerate() {
+        let round = i + 1;
+        let line = match action {
+            RoundAction::Initial => {
+                "the source broadcasts its value; store tree(s)".to_string()
+            }
+            RoundAction::Gather { convert: None } => {
+                "gather: broadcast deepest level; store; discover; mask".to_string()
+            }
+            RoundAction::Gather {
+                convert: Some(spec),
+            } => format!(
+                "gather, then shift: tree(s) := {}(s){}",
+                spec.conversion.name(),
+                if spec.discovery {
+                    "  { discovery during conversion }"
+                } else {
+                    ""
+                }
+            ),
+            RoundAction::RepFirstGather => {
+                "C: broadcast tree(s); store intermediate vertices; discover".to_string()
+            }
+            RoundAction::RepGather => {
+                "C: broadcast intermediates; store leaves; discover; mask; reorder; shift 3->2"
+                    .to_string()
+            }
+        };
+        out.push_str(&format!("  round {round:>2}: {line}\n"));
+    }
+    out.push_str("  decide on the converted root\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{algorithm_a_rounds_exact, algorithm_b_rounds_exact};
+
+    #[test]
+    fn exponential_plan_has_one_final_conversion() {
+        let plan = exponential_plan(3, Conversion::Resolve);
+        assert_eq!(plan.len(), 4);
+        assert!(matches!(plan[0], RoundAction::Initial));
+        assert!(matches!(plan[1], RoundAction::Gather { convert: None }));
+        assert!(matches!(
+            plan[3],
+            RoundAction::Gather {
+                convert: Some(ConvertSpec {
+                    conversion: Conversion::Resolve,
+                    discovery: false
+                })
+            }
+        ));
+    }
+
+    #[test]
+    fn plan_lengths_match_schedules() {
+        for t in 3..15 {
+            for b in 2..t {
+                assert_eq!(
+                    algorithm_b_plan(t, b).len(),
+                    algorithm_b_rounds_exact(t, b),
+                    "B t={t} b={b}"
+                );
+                if b >= 3 {
+                    assert_eq!(
+                        algorithm_a_plan(t, b).len(),
+                        algorithm_a_rounds_exact(t, b),
+                        "A t={t} b={b}"
+                    );
+                }
+            }
+            assert_eq!(algorithm_c_plan(t).len(), t + 1);
+        }
+    }
+
+    #[test]
+    fn b_plan_converts_at_block_ends_only() {
+        // t = 5, b = 3: blocks [3, 3]; conversions at rounds 4 and 7.
+        let plan = algorithm_b_plan(5, 3);
+        let convert_rounds: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, RoundAction::Gather { convert: Some(_) }))
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(convert_rounds, vec![4, 7]);
+    }
+
+    #[test]
+    fn a_plan_uses_resolve_prime_with_discovery() {
+        let plan = algorithm_a_plan(7, 4);
+        for action in &plan {
+            if let RoundAction::Gather {
+                convert: Some(spec),
+            } = action
+            {
+                assert!(matches!(
+                    spec.conversion,
+                    Conversion::ResolvePrime { t: 7 }
+                ));
+                assert!(spec.discovery);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_plan_has_three_phases_in_order() {
+        let schedule = HybridSchedule::compute(16, 3);
+        let plan = hybrid_plan(&schedule);
+        assert_eq!(plan.len(), schedule.total_rounds());
+        // After the first rep action, no more no-rep gathers appear.
+        let first_rep = plan.iter().position(RoundAction::is_rep).unwrap();
+        assert_eq!(first_rep, schedule.k_ab + schedule.k_bc);
+        assert!(plan[first_rep..].iter().all(RoundAction::is_rep));
+        assert!(matches!(plan[first_rep], RoundAction::RepFirstGather));
+        // A-phase conversions use resolve', B-phase conversions resolve.
+        let conversions: Vec<ConvertSpec> = plan
+            .iter()
+            .filter_map(|a| match a {
+                RoundAction::Gather { convert: Some(s) } => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            conversions.len(),
+            schedule.a_blocks.len() + schedule.b_blocks.len()
+        );
+        for (i, spec) in conversions.iter().enumerate() {
+            if i < schedule.a_blocks.len() {
+                assert!(matches!(spec.conversion, Conversion::ResolvePrime { .. }));
+            } else {
+                assert!(matches!(spec.conversion, Conversion::Resolve));
+            }
+        }
+    }
+
+    #[test]
+    fn render_plan_mentions_shifts() {
+        let plan = algorithm_b_plan(5, 3);
+        let text = render_plan("Algorithm B(3), t=5", &plan);
+        assert!(text.contains("tree(s) := resolve(s)"));
+        assert!(text.contains("round  1"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Convenience entry point: validate, build, and run one execution.
+
+use sg_sim::{Adversary, Outcome, RunConfig};
+
+use crate::spec::{AlgorithmSpec, SpecError};
+
+/// Runs `spec` under `config` against `adversary` and returns the
+/// engine's [`Outcome`].
+///
+/// Automatically attaches the signature registry for authenticated
+/// baselines.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the algorithm cannot run at `(n, t)`.
+///
+/// # Examples
+///
+/// ```
+/// use sg_core::{execute, AlgorithmSpec};
+/// use sg_sim::{NoFaults, RunConfig, Value};
+///
+/// let config = RunConfig::new(4, 1);
+/// let outcome = execute(AlgorithmSpec::Exponential, &config, &mut NoFaults)?;
+/// assert!(outcome.agreement());
+/// assert_eq!(outcome.decision(), Some(Value(1)));
+/// # Ok::<(), sg_core::SpecError>(())
+/// ```
+pub fn execute(
+    spec: AlgorithmSpec,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+) -> Result<Outcome, SpecError> {
+    spec.validate(config.n, config.t)?;
+    let mut config = *config;
+    if spec.needs_authentication() {
+        config = config.with_authentication();
+    }
+    Ok(sg_sim::run(&config, adversary, spec.factory(&config)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_sim::{NoFaults, Value};
+
+    #[test]
+    fn fault_free_exponential_agrees_on_source_value() {
+        let config = RunConfig::new(4, 1).with_source_value(Value(1));
+        let outcome = execute(AlgorithmSpec::Exponential, &config, &mut NoFaults).unwrap();
+        outcome.assert_correct();
+        assert_eq!(outcome.decision(), Some(Value(1)));
+        assert_eq!(outcome.rounds_used, 2);
+    }
+
+    #[test]
+    fn invalid_parameters_surface_as_errors() {
+        let config = RunConfig::new(4, 2);
+        assert!(execute(AlgorithmSpec::Exponential, &config, &mut NoFaults).is_err());
+    }
+
+    #[test]
+    fn all_algorithms_run_fault_free() {
+        let cases = [
+            (AlgorithmSpec::PlainExponential, 7, 2),
+            (AlgorithmSpec::Exponential, 7, 2),
+            (AlgorithmSpec::ExponentialPrime, 7, 2),
+            (AlgorithmSpec::AlgorithmA { b: 3 }, 16, 5),
+            (AlgorithmSpec::AlgorithmB { b: 3 }, 21, 5),
+            (AlgorithmSpec::AlgorithmC, 18, 3),
+            (AlgorithmSpec::Hybrid { b: 3 }, 16, 5),
+            (AlgorithmSpec::PhaseKing, 9, 2),
+            (AlgorithmSpec::PhaseQueen, 9, 2),
+            (AlgorithmSpec::OptimalKing, 7, 2),
+            (AlgorithmSpec::KingShift { b: 3 }, 10, 3),
+            (AlgorithmSpec::DolevStrong, 5, 3),
+        ];
+        for (spec, n, t) in cases {
+            let config = RunConfig::new(n, t).with_source_value(Value(1));
+            let outcome = execute(spec, &config, &mut NoFaults)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            outcome.assert_correct();
+            assert_eq!(outcome.decision(), Some(Value(1)), "{}", spec.name());
+            assert_eq!(outcome.rounds_used, spec.rounds(n, t), "{}", spec.name());
+        }
+    }
+}

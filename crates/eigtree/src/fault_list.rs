@@ -1,0 +1,110 @@
+//! The list `L_p` of processors a correct processor has discovered to be
+//! faulty (paper §3).
+//!
+//! `L_p` starts empty, only ever grows, and — provided at most `t`
+//! processors fail — contains only genuinely faulty processors (the paper
+//! proves this invariant for the Fault Discovery Rule; our integration
+//! tests check it on every execution).
+
+use sg_sim::{ProcessId, ProcessSet};
+
+/// A processor's knowledge of who is faulty, with discovery rounds.
+///
+/// # Examples
+///
+/// ```
+/// use sg_eigtree::FaultList;
+/// use sg_sim::ProcessId;
+///
+/// let mut l = FaultList::new(5);
+/// assert!(l.insert(ProcessId(3), 2));
+/// assert!(!l.insert(ProcessId(3), 4)); // already known
+/// assert!(l.contains(ProcessId(3)));
+/// assert_eq!(l.len(), 1);
+/// assert_eq!(l.discovered_in(ProcessId(3)), Some(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultList {
+    set: ProcessSet,
+    rounds: Vec<Option<usize>>,
+}
+
+impl FaultList {
+    /// An empty list over a system of `n` processors.
+    pub fn new(n: usize) -> Self {
+        FaultList {
+            set: ProcessSet::new(n),
+            rounds: vec![None; n],
+        }
+    }
+
+    /// Whether `p` has been discovered.
+    #[inline]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.set.contains(p)
+    }
+
+    /// Number of discovered processors, `|L_p|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether nothing has been discovered yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Records that `p` was discovered in `round`. Returns `true` if `p`
+    /// was newly added. A processor already in the list stays with its
+    /// original discovery round (re-detections are no-ops).
+    pub fn insert(&mut self, p: ProcessId, round: usize) -> bool {
+        if self.set.insert(p) {
+            self.rounds[p.index()] = Some(round);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The round in which `p` was first discovered, if it ever was.
+    pub fn discovered_in(&self, p: ProcessId) -> Option<usize> {
+        self.rounds[p.index()]
+    }
+
+    /// The underlying set.
+    pub fn as_set(&self) -> &ProcessSet {
+        &self.set
+    }
+
+    /// Iterates over discovered processors in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.set.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_records_first_round_only() {
+        let mut l = FaultList::new(4);
+        assert!(l.insert(ProcessId(1), 3));
+        assert!(!l.insert(ProcessId(1), 5));
+        assert_eq!(l.discovered_in(ProcessId(1)), Some(3));
+        assert_eq!(l.discovered_in(ProcessId(2)), None);
+    }
+
+    #[test]
+    fn len_tracks_unique_members() {
+        let mut l = FaultList::new(4);
+        l.insert(ProcessId(0), 1);
+        l.insert(ProcessId(2), 2);
+        l.insert(ProcessId(0), 3);
+        assert_eq!(l.len(), 2);
+        let members: Vec<ProcessId> = l.iter().collect();
+        assert_eq!(members, vec![ProcessId(0), ProcessId(2)]);
+    }
+}

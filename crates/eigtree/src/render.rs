@@ -1,0 +1,166 @@
+//! ASCII rendering of information-gathering trees — reproduces the
+//! paper's Figure 1 ("r said q said … the source said").
+
+use sg_sim::ProcessId;
+
+use crate::tree::IgTree;
+
+/// Renders `tree` in the style of the paper's Figure 1.
+///
+/// Each node is shown as "`p_k said … p_1 said the source said v`" at an
+/// indentation matching its depth. Levels beyond `max_level` are elided
+/// (exponential trees get big fast).
+///
+/// # Examples
+///
+/// ```
+/// use sg_eigtree::{render_tree, IgTree};
+/// use sg_sim::{ProcessId, Value};
+///
+/// let mut tree = IgTree::new(4, ProcessId(0));
+/// tree.set_root(Value(1));
+/// tree.append_level(|_, _| Value(1));
+/// let text = render_tree(&tree, 1);
+/// assert!(text.starts_with("the source said 1"));
+/// assert!(text.contains("P1 said the source said 1"));
+/// ```
+pub fn render_tree(tree: &IgTree, max_level: usize) -> String {
+    let mut out = String::new();
+    let deepest = tree.deepest_level().min(max_level);
+    render_rec(tree, &mut Vec::new(), deepest, &mut out);
+    out
+}
+
+fn render_rec(tree: &IgTree, path: &mut Vec<ProcessId>, deepest: usize, out: &mut String) {
+    let value = tree
+        .value_at(path)
+        .expect("path within stored levels");
+    for _ in 0..path.len() {
+        out.push_str("    ");
+    }
+    for &p in path.iter().rev() {
+        out.push_str(&format!("{p} said "));
+    }
+    out.push_str(&format!("the source said {value}\n"));
+    if path.len() == deepest {
+        return;
+    }
+    for label in tree.shape().child_labels(path) {
+        path.push(label);
+        render_rec(tree, path, deepest, out);
+        path.pop();
+    }
+}
+
+/// Renders `tree` as a Graphviz DOT digraph, down to `max_level`.
+///
+/// Node labels show the corresponding processor (or `s` for the root) and
+/// the stored value; edges run parent -> child. Feed the output to
+/// `dot -Tsvg` to visualize an information-gathering tree — the picture
+/// form of the paper's Figure 1.
+///
+/// # Examples
+///
+/// ```
+/// use sg_eigtree::{tree_to_dot, IgTree};
+/// use sg_sim::{ProcessId, Value};
+///
+/// let mut tree = IgTree::new(4, ProcessId(0));
+/// tree.set_root(Value(1));
+/// tree.append_level(|_, _| Value(1));
+/// let dot = tree_to_dot(&tree, 1);
+/// assert!(dot.starts_with("digraph ig_tree {"));
+/// assert!(dot.contains("\"s\" [label=\"s = 1\"];"));
+/// ```
+pub fn tree_to_dot(tree: &IgTree, max_level: usize) -> String {
+    let mut out = String::from("digraph ig_tree {\n  rankdir=TB;\n  node [shape=box];\n");
+    let deepest = tree.deepest_level().min(max_level);
+    dot_rec(tree, &mut Vec::new(), deepest, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// The DOT node id for a path: `s`, `s.P1`, `s.P1.P2`, ...
+fn dot_id(path: &[ProcessId]) -> String {
+    let mut id = String::from("s");
+    for p in path {
+        id.push('.');
+        id.push_str(&p.to_string());
+    }
+    id
+}
+
+fn dot_rec(tree: &IgTree, path: &mut Vec<ProcessId>, deepest: usize, out: &mut String) {
+    let value = tree.value_at(path).expect("path within stored levels");
+    let id = dot_id(path);
+    let label = match path.last() {
+        None => format!("s = {value}"),
+        Some(p) => format!("{p} = {value}"),
+    };
+    out.push_str(&format!("  \"{id}\" [label=\"{label}\"];\n"));
+    if let Some((_, parent)) = path.split_last() {
+        out.push_str(&format!("  \"{}\" -> \"{id}\";\n", dot_id(parent)));
+    }
+    if path.len() == deepest {
+        return;
+    }
+    for label in tree.shape().child_labels(path) {
+        path.push(label);
+        dot_rec(tree, path, deepest, out);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_sim::Value;
+
+    #[test]
+    fn renders_two_levels_with_indentation() {
+        let mut tree = IgTree::new(4, ProcessId(0));
+        tree.set_root(Value(1));
+        tree.append_level(|_, q| Value(q.index() as u16));
+        tree.append_level(|_, _| Value(0));
+        let text = render_tree(&tree, 2);
+        assert!(text.contains("the source said 1\n"));
+        assert!(text.contains("    P2 said the source said 2\n"));
+        assert!(text.contains("        P3 said P1 said the source said 0\n"));
+    }
+
+    #[test]
+    fn dot_output_has_nodes_and_edges() {
+        let mut tree = IgTree::new(4, ProcessId(0));
+        tree.set_root(Value(1));
+        tree.append_level(|_, q| Value(q.index() as u16 % 2));
+        let dot = tree_to_dot(&tree, 1);
+        assert!(dot.starts_with("digraph ig_tree {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("\"s\" [label=\"s = 1\"];"));
+        assert!(dot.contains("\"s.P2\" [label=\"P2 = 0\"];"));
+        assert!(dot.contains("\"s\" -> \"s.P3\";"));
+        // One node line per rendered node: root + 3 children.
+        assert_eq!(dot.matches("label=").count(), 4);
+    }
+
+    #[test]
+    fn dot_respects_max_level() {
+        let mut tree = IgTree::new(5, ProcessId(0));
+        tree.set_root(Value(1));
+        tree.append_level(|_, _| Value(1));
+        tree.append_level(|_, _| Value(1));
+        let shallow = tree_to_dot(&tree, 0);
+        assert_eq!(shallow.matches("label=").count(), 1);
+        assert!(!shallow.contains("->"));
+    }
+
+    #[test]
+    fn max_level_elides_deep_levels() {
+        let mut tree = IgTree::new(5, ProcessId(0));
+        tree.set_root(Value(1));
+        tree.append_level(|_, _| Value(1));
+        tree.append_level(|_, _| Value(1));
+        let shallow = render_tree(&tree, 1);
+        assert_eq!(shallow.lines().count(), 1 + 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! The Information Gathering Tree without repetitions (paper §3, Fig. 1).
+//!
+//! `tree_p(s·q⋯r)` holds "the value that r says q says … the source said".
+//! Levels are stored as flat value vectors in the canonical order defined
+//! by [`crate::Shape`], so appending a level from a round's messages is a
+//! single linear pass and a round-`h` broadcast is just a copy of the
+//! deepest level.
+
+use sg_sim::{ProcessId, ProcessSet, Value};
+
+use crate::shape::Shape;
+
+/// One processor's information-gathering tree.
+///
+/// # Examples
+///
+/// Build the 2-round tree of a 4-processor system by hand:
+///
+/// ```
+/// use sg_eigtree::IgTree;
+/// use sg_sim::{ProcessId, Value};
+///
+/// let mut tree = IgTree::new(4, ProcessId(0));
+/// tree.set_root(Value(1));
+/// // In round 2, every non-source processor echoes the root it stored.
+/// tree.append_level(|_parent, _sender| Value(1));
+/// assert_eq!(tree.root(), Value(1));
+/// assert_eq!(tree.deepest_level(), 1);
+/// assert_eq!(tree.level(1), &[Value(1), Value(1), Value(1)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IgTree {
+    shape: Shape,
+    levels: Vec<Vec<Value>>,
+}
+
+impl IgTree {
+    /// An empty tree (no levels stored yet) for `n` processors and the
+    /// given source.
+    pub fn new(n: usize, source: ProcessId) -> Self {
+        IgTree {
+            shape: Shape::new(n, source),
+            levels: Vec::new(),
+        }
+    }
+
+    /// The tree's shape arithmetic.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Stores the root value (`tree(s)`, the preferred value); resets the
+    /// tree to a single level.
+    pub fn set_root(&mut self, v: Value) {
+        self.levels.clear();
+        self.levels.push(vec![v]);
+    }
+
+    /// The root value (`tree(s)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root has been stored yet.
+    pub fn root(&self) -> Value {
+        self.levels[0][0]
+    }
+
+    /// The deepest stored level number (0 = only the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty.
+    pub fn deepest_level(&self) -> usize {
+        assert!(!self.levels.is_empty(), "tree has no levels");
+        self.levels.len() - 1
+    }
+
+    /// Whether any level has been stored.
+    pub fn is_initialized(&self) -> bool {
+        !self.levels.is_empty()
+    }
+
+    /// The values of level `k` in canonical order.
+    pub fn level(&self, k: usize) -> &[Value] {
+        &self.levels[k]
+    }
+
+    /// Total stored nodes across all levels.
+    pub fn node_count(&self) -> u64 {
+        self.levels.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Appends the next level from a round's messages.
+    ///
+    /// `value_for(parent_index, sender)` must return the (already
+    /// sanitized and fault-masked) value that `sender` claims for the
+    /// node at `(deepest_level, parent_index)`; for `sender == me` the
+    /// caller should return its own stored value for that node, matching
+    /// the convention that a processor relays to itself truthfully.
+    ///
+    /// Returns the number of values stored (the local-work charge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root has been stored yet.
+    pub fn append_level<F>(&mut self, mut value_for: F) -> u64
+    where
+        F: FnMut(usize, ProcessId) -> Value,
+    {
+        let k = self.deepest_level();
+        let new_size = self.shape.level_size(k + 1);
+        let mut level = Vec::with_capacity(new_size);
+        self.shape.visit_level(k, &mut |parent_idx, _path, labels| {
+            for &sender in labels {
+                level.push(value_for(parent_idx, sender));
+            }
+        });
+        debug_assert_eq!(level.len(), new_size);
+        self.levels.push(level);
+        new_size as u64
+    }
+
+    /// Zeroes every entry of level `k` whose node's *last* label is in
+    /// `senders` — the Fault Masking Rule applied to the round in which
+    /// those processors were discovered (their current-round messages are
+    /// replaced by all-default messages; earlier levels are untouched).
+    ///
+    /// Returns the local-work charge.
+    pub fn mask_level(&mut self, k: usize, senders: &ProcessSet) -> u64 {
+        if senders.is_empty() || k == 0 {
+            return 0;
+        }
+        let shape = self.shape;
+        let level = &mut self.levels[k];
+        let mut ops = 0u64;
+        shape.visit_level(k - 1, &mut |parent_idx, _path, labels| {
+            let base = shape.children_range(k - 1, parent_idx).start;
+            for (offset, &label) in labels.iter().enumerate() {
+                ops += 1;
+                if senders.contains(label) {
+                    level[base + offset] = Value::DEFAULT;
+                }
+            }
+        });
+        ops
+    }
+
+    /// The value stored at the node with the given label path, if within
+    /// the stored levels and structurally valid.
+    pub fn value_at(&self, path: &[ProcessId]) -> Option<Value> {
+        if path.len() >= self.levels.len() {
+            return None;
+        }
+        let idx = self.shape.index_of(path)?;
+        Some(self.levels[path.len()][idx])
+    }
+
+    /// Collapses the tree to a single root holding `v` — the data-shrink
+    /// half of the paper's `shift_{k→1}` operator.
+    pub fn shrink_to_root(&mut self, v: Value) {
+        self.set_root(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(n: usize) -> IgTree {
+        let mut t = IgTree::new(n, ProcessId(0));
+        t.set_root(Value(1));
+        t
+    }
+
+    #[test]
+    fn append_level_sizes_follow_shape() {
+        let mut t = fresh(5);
+        assert_eq!(t.append_level(|_, _| Value(1)), 4);
+        assert_eq!(t.append_level(|_, _| Value(0)), 12);
+        assert_eq!(t.deepest_level(), 2);
+        assert_eq!(t.node_count(), 17);
+    }
+
+    #[test]
+    fn append_level_passes_parent_and_sender() {
+        let mut t = fresh(4);
+        // Level 1: parent is the root (index 0), senders 1, 2, 3.
+        let mut seen = Vec::new();
+        t.append_level(|p, q| {
+            seen.push((p, q));
+            Value(q.index() as u16)
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (0, ProcessId(1)),
+                (0, ProcessId(2)),
+                (0, ProcessId(3))
+            ]
+        );
+        assert_eq!(t.value_at(&[ProcessId(2)]), Some(Value(2)));
+    }
+
+    #[test]
+    fn mask_level_zeroes_only_matching_senders() {
+        let mut t = fresh(4);
+        t.append_level(|_, q| Value(q.index() as u16));
+        let masked = ProcessSet::from_members(4, [ProcessId(2)]);
+        t.mask_level(1, &masked);
+        assert_eq!(t.value_at(&[ProcessId(1)]), Some(Value(1)));
+        assert_eq!(t.value_at(&[ProcessId(2)]), Some(Value(0)));
+        assert_eq!(t.value_at(&[ProcessId(3)]), Some(Value(3)));
+    }
+
+    #[test]
+    fn mask_deeper_level_targets_last_label() {
+        let mut t = fresh(4);
+        t.append_level(|_, _| Value(1));
+        t.append_level(|_, _| Value(1));
+        let masked = ProcessSet::from_members(4, [ProcessId(3)]);
+        t.mask_level(2, &masked);
+        // Nodes ending in P3 are zeroed; P3's earlier level-1 entry is not.
+        assert_eq!(t.value_at(&[ProcessId(3)]), Some(Value(1)));
+        assert_eq!(t.value_at(&[ProcessId(1), ProcessId(3)]), Some(Value(0)));
+        assert_eq!(t.value_at(&[ProcessId(1), ProcessId(2)]), Some(Value(1)));
+    }
+
+    #[test]
+    fn shrink_to_root_resets_depth() {
+        let mut t = fresh(5);
+        t.append_level(|_, _| Value(1));
+        t.shrink_to_root(Value(0));
+        assert_eq!(t.deepest_level(), 0);
+        assert_eq!(t.root(), Value(0));
+    }
+
+    #[test]
+    fn value_at_checks_depth_and_validity() {
+        let mut t = fresh(4);
+        t.append_level(|_, _| Value(1));
+        assert_eq!(t.value_at(&[]), Some(Value(1)));
+        assert_eq!(t.value_at(&[ProcessId(1), ProcessId(2)]), None); // too deep
+        assert_eq!(t.value_at(&[ProcessId(0)]), None); // source label invalid
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the tree-shape arithmetic: index/path
+//! round-trips, contiguous children blocks, and visit-order consistency
+//! across random system sizes and sources.
+
+use proptest::prelude::*;
+use sg_eigtree::{convert, strict_majority, Conversion, IgTree, Res, Shape};
+use sg_sim::{ProcessId, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// path(index_of(p)) == p for every node of every level, any n and
+    /// source.
+    #[test]
+    fn path_index_roundtrip(n in 3usize..9, src in 0usize..9, k in 0usize..4) {
+        let src = src % n;
+        prop_assume!(k <= n.saturating_sub(2));
+        let shape = Shape::new(n, ProcessId(src));
+        for i in 0..shape.level_size(k) {
+            let path = shape.path(k, i);
+            prop_assert_eq!(shape.index_of(&path), Some(i));
+            for &p in &path {
+                prop_assert_ne!(p, ProcessId(src));
+            }
+        }
+    }
+
+    /// Children of node (k, i) occupy exactly the contiguous block given
+    /// by `children_range`, with labels matching `child_labels`.
+    #[test]
+    fn children_blocks_are_contiguous(n in 4usize..8, k in 0usize..3) {
+        prop_assume!(k + 1 <= n - 2);
+        let shape = Shape::new(n, ProcessId(0));
+        for i in 0..shape.level_size(k) {
+            let path = shape.path(k, i);
+            let labels = shape.child_labels(&path);
+            let range = shape.children_range(k, i);
+            prop_assert_eq!(labels.len(), range.len());
+            for (offset, &label) in labels.iter().enumerate() {
+                let child = range.start + offset;
+                let mut child_path = path.clone();
+                child_path.push(label);
+                prop_assert_eq!(shape.path(k + 1, child), child_path);
+                prop_assert_eq!(shape.parent(k + 1, child), i);
+            }
+        }
+    }
+
+    /// `visit_level` enumerates exactly `level_size(k)` nodes in index
+    /// order with correct paths.
+    #[test]
+    fn visit_level_is_exact(n in 4usize..8, k in 0usize..3) {
+        prop_assume!(k <= n - 2);
+        let shape = Shape::new(n, ProcessId(n - 1));
+        let mut next = 0usize;
+        shape.visit_level(k, &mut |i, path, labels| {
+            assert_eq!(i, next);
+            assert_eq!(shape.path(k, i), path);
+            assert_eq!(shape.child_labels(path), labels);
+            next += 1;
+        });
+        prop_assert_eq!(next, shape.level_size(k));
+    }
+
+    /// Masking a sender and then resolving never increases the masked
+    /// sender's influence: a tree whose deepest level is all `v` except
+    /// for entries from one sender resolves to `v` once that sender is
+    /// masked.
+    #[test]
+    fn masked_sender_cannot_flip_resolution(n in 5usize..8, v in 0u16..2) {
+        let mut tree = IgTree::new(n, ProcessId(0));
+        tree.set_root(Value(v));
+        tree.append_level(|_, _| Value(v));
+        // The liar (P1) poisoned its entries at level 2.
+        tree.append_level(|_, sender| {
+            if sender == ProcessId(1) { Value(1 - v) } else { Value(v) }
+        });
+        let masked = sg_sim::ProcessSet::from_members(n, [ProcessId(1)]);
+        tree.mask_level(2, &masked);
+        let converted = convert(&tree, Conversion::Resolve);
+        // With P1's level-2 entries defaulted, every level-1 node has at
+        // most one non-v child (the default 0), and n−2 ≥ 3 children, so
+        // the majority stays v.
+        prop_assert_eq!(converted.root(), Res::Val(Value(v)));
+    }
+
+    /// `strict_majority` is permutation-invariant.
+    #[test]
+    fn strict_majority_permutation_invariant(
+        mut vals in proptest::collection::vec(0u16..3, 1..16),
+        rot in 0usize..16,
+    ) {
+        let before = strict_majority(&vals);
+        let r = rot % vals.len();
+        vals.rotate_left(r);
+        prop_assert_eq!(strict_majority(&vals), before);
+    }
+}

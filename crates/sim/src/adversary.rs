@@ -1,0 +1,195 @@
+//! The adversary interface.
+//!
+//! The paper's fault model (§2) places *no restriction* on faulty
+//! behaviour. We model the strongest standard adversary consistent with
+//! that: a **full-information rushing** adversary that, each round, sees
+//! every honest processor's broadcast *before* choosing, per faulty sender
+//! and per recipient, an arbitrary payload. Concrete strategies live in
+//! the `sg-adversary` crate; the trait lives here so the engine can drive
+//! them.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::id::{ProcessId, ProcessSet};
+use crate::payload::Payload;
+use crate::sig::{SigRegistry, SignedRelay};
+use crate::value::{Value, ValueDomain};
+
+/// Everything the adversary may see when choosing a faulty payload.
+///
+/// The view exposes the current round's honest broadcasts (rushing), the
+/// *shadow* broadcasts — what each faulty processor would have sent had it
+/// been honest — and static system parameters. Strategies that want to be
+/// "mostly honest" start from their shadow payload and corrupt it.
+pub struct AdversaryView<'a> {
+    /// Current 1-based round.
+    pub round: usize,
+    /// Total rounds the protocol will run.
+    pub total_rounds: usize,
+    /// System size.
+    pub n: usize,
+    /// Fault bound the protocol was instantiated with.
+    pub t: usize,
+    /// The distinguished source processor.
+    pub source: ProcessId,
+    /// The source's initial value (the adversary knows everything).
+    pub source_value: Value,
+    /// The agreement value domain.
+    pub domain: ValueDomain,
+    /// The set of faulty processors.
+    pub faulty: &'a ProcessSet,
+    /// Honest broadcasts this round, indexed by sender; `None` for faulty
+    /// senders and for silent honest senders. Payloads are shared, not
+    /// cloned per recipient.
+    pub honest_broadcast: &'a [Option<Arc<Payload>>],
+    /// What each faulty sender would broadcast if honest, indexed by
+    /// sender; `None` for honest senders and for silent shadows.
+    pub shadow_broadcast: &'a [Option<Arc<Payload>>],
+    /// Signature registry handle (authenticated baselines only).
+    pub sigs: Option<Arc<Mutex<SigRegistry>>>,
+}
+
+impl AdversaryView<'_> {
+    /// The payload `sender` would broadcast this round if it were honest,
+    /// if any.
+    pub fn shadow_of(&self, sender: ProcessId) -> Option<&Payload> {
+        self.shadow_broadcast[sender.index()].as_deref()
+    }
+
+    /// The number of values an honest broadcast from `sender` would carry
+    /// this round (0 if it would be silent).
+    pub fn expected_len(&self, sender: ProcessId) -> usize {
+        self.shadow_of(sender).map_or(0, Payload::num_values)
+    }
+
+    /// The honest broadcast of `sender` this round, if any.
+    pub fn honest_of(&self, sender: ProcessId) -> Option<&Payload> {
+        self.honest_broadcast[sender.index()].as_deref()
+    }
+
+    /// Signs `value` as the (faulty) processor `signer`.
+    ///
+    /// Faulty processors may sign anything as themselves; they cannot
+    /// forge others' signatures (the registry enforces this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signature registry is attached or if `signer` is not
+    /// faulty — the adversary may not sign on behalf of honest processors.
+    pub fn sign_as(&self, signer: ProcessId, value: Value) -> SignedRelay {
+        assert!(
+            self.faulty.contains(signer),
+            "adversary may only sign as faulty processors"
+        );
+        let sigs = self.sigs.as_ref().expect("signature registry attached");
+        sigs.lock().originate(signer, value)
+    }
+
+    /// Extends a valid relay with a faulty processor's signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signature registry is attached or `signer` is honest.
+    pub fn extend_as(&self, signer: ProcessId, relay: &SignedRelay) -> Option<SignedRelay> {
+        assert!(
+            self.faulty.contains(signer),
+            "adversary may only sign as faulty processors"
+        );
+        let sigs = self.sigs.as_ref().expect("signature registry attached");
+        sigs.lock().extend(relay, signer)
+    }
+}
+
+/// A Byzantine adversary: picks the fault set, then per round and per
+/// (faulty sender, recipient) pair picks an arbitrary payload.
+pub trait Adversary {
+    /// Short human-readable strategy name for reports.
+    fn name(&self) -> String;
+
+    /// Chooses the set of faulty processors for this execution.
+    ///
+    /// Called once, before round 1. Implementations should corrupt at most
+    /// `t` processors if they want the protocol's guarantees to apply —
+    /// the engine records but does not enforce the bound, so experiments
+    /// can also probe over-threshold behaviour.
+    fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet;
+
+    /// The payload faulty `sender` sends to `recipient` in the viewed
+    /// round. Called once per (sender, recipient) pair per round, in
+    /// deterministic order (senders ascending, recipients ascending).
+    fn payload(
+        &mut self,
+        sender: ProcessId,
+        recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> Payload;
+}
+
+/// The trivial adversary: corrupts nobody.
+///
+/// Useful as the fault-free baseline in tests and benches.
+///
+/// # Examples
+///
+/// ```
+/// use sg_sim::{Adversary, NoFaults, ProcessId};
+///
+/// let mut a = NoFaults;
+/// assert!(a.corrupt(7, 2, ProcessId(0)).is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl Adversary for NoFaults {
+    fn name(&self) -> String {
+        "no-faults".to_string()
+    }
+
+    fn corrupt(&mut self, n: usize, _t: usize, _source: ProcessId) -> ProcessSet {
+        ProcessSet::new(n)
+    }
+
+    fn payload(
+        &mut self,
+        _sender: ProcessId,
+        _recipient: ProcessId,
+        _view: &AdversaryView<'_>,
+    ) -> Payload {
+        Payload::Missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_corrupts_nobody() {
+        let mut a = NoFaults;
+        let f = a.corrupt(5, 1, ProcessId(0));
+        assert!(f.is_empty());
+        assert_eq!(a.name(), "no-faults");
+    }
+
+    #[test]
+    #[should_panic(expected = "only sign as faulty")]
+    fn sign_as_honest_rejected() {
+        let faulty = ProcessSet::new(4);
+        let view = AdversaryView {
+            round: 1,
+            total_rounds: 3,
+            n: 4,
+            t: 1,
+            source: ProcessId(0),
+            source_value: Value(1),
+            domain: ValueDomain::binary(),
+            faulty: &faulty,
+            honest_broadcast: &[],
+            shadow_broadcast: &[],
+            sigs: None,
+        };
+        let _ = view.sign_as(ProcessId(1), Value(0));
+    }
+}

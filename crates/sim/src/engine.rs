@@ -1,0 +1,440 @@
+//! The synchronous execution engine.
+//!
+//! Implements the paper's model (§2): `n` processors in lockstep rounds
+//! over a fully reliable complete network, with a distinguished source and
+//! a full-information rushing adversary controlling the faulty set.
+//!
+//! Each round the engine:
+//!
+//! 1. collects every honest processor's broadcast;
+//! 2. runs *shadow* copies of faulty processors to learn what they would
+//!    have sent honestly, and shows both to the adversary;
+//! 3. asks the adversary for a payload per (faulty sender, recipient);
+//! 4. delivers complete inboxes to every processor (real and shadow);
+//! 5. accounts honest traffic, local work and peak space.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::id::{ProcessId, ProcessSet};
+use crate::metrics::{Metrics, RoundStats};
+use crate::payload::Payload;
+use crate::protocol::{Inbox, ProcCtx, Protocol};
+use crate::sig::SigRegistry;
+use crate::trace::Trace;
+use crate::value::{Value, ValueDomain};
+
+/// Static parameters of one execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunConfig {
+    /// System size.
+    pub n: usize,
+    /// Fault bound the protocol is instantiated for.
+    pub t: usize,
+    /// The distinguished source processor.
+    pub source: ProcessId,
+    /// The source's initial value.
+    pub source_value: Value,
+    /// The agreement value domain.
+    pub domain: ValueDomain,
+    /// Whether to collect trace events.
+    pub trace: bool,
+    /// Whether to attach a signature registry (authenticated baselines).
+    pub authenticated: bool,
+}
+
+impl RunConfig {
+    /// A standard configuration: source `P0`, source value 1, binary
+    /// domain, no tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the implied source index is out of range.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(n > 0, "need at least one processor");
+        RunConfig {
+            n,
+            t,
+            source: ProcessId(0),
+            source_value: Value(1),
+            domain: ValueDomain::binary(),
+            trace: false,
+            authenticated: false,
+        }
+    }
+
+    /// Sets the source's initial value.
+    pub fn with_source_value(mut self, v: Value) -> Self {
+        self.source_value = v;
+        self
+    }
+
+    /// Sets the value domain.
+    pub fn with_domain(mut self, domain: ValueDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Enables tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Attaches a signature registry for authenticated baselines.
+    pub fn with_authentication(mut self) -> Self {
+        self.authenticated = true;
+        self
+    }
+}
+
+/// The result of one execution.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The configuration that produced this outcome.
+    pub config: RunConfig,
+    /// The corrupted set the adversary chose.
+    pub faulty: ProcessSet,
+    /// Decision of each processor; `None` for faulty processors.
+    pub decisions: Vec<Option<Value>>,
+    /// Rounds executed.
+    pub rounds_used: usize,
+    /// Traffic / computation / space metrics.
+    pub metrics: Metrics,
+    /// Trace events (empty unless tracing was enabled).
+    pub trace: Trace,
+    /// The adversary's strategy name.
+    pub adversary: String,
+}
+
+impl Outcome {
+    /// Whether all correct processors decided on the same value
+    /// (the paper's agreement condition).
+    pub fn agreement(&self) -> bool {
+        let mut seen: Option<Value> = None;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if self.faulty.contains(ProcessId(i)) {
+                continue;
+            }
+            match (seen, d) {
+                (None, Some(v)) => seen = Some(*v),
+                (Some(prev), Some(v)) if prev != *v => return false,
+                (_, None) => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Whether the validity condition holds: if the source is correct,
+    /// every correct processor decided the source's initial value.
+    /// Returns `None` when the source is faulty (condition is vacuous).
+    pub fn validity(&self) -> Option<bool> {
+        if self.faulty.contains(self.config.source) {
+            return None;
+        }
+        let want = self.config.source_value;
+        Some(self.decisions.iter().enumerate().all(|(i, d)| {
+            self.faulty.contains(ProcessId(i)) || *d == Some(want)
+        }))
+    }
+
+    /// The common decision value if agreement holds.
+    pub fn decision(&self) -> Option<Value> {
+        if !self.agreement() {
+            return None;
+        }
+        self.decisions
+            .iter()
+            .enumerate()
+            .find(|(i, _)| !self.faulty.contains(ProcessId(*i)))
+            .and_then(|(_, d)| *d)
+    }
+
+    /// Asserts agreement and validity, panicking with diagnostics
+    /// otherwise. Convenient in tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if agreement fails, or if the source is correct and some
+    /// correct processor decided a different value.
+    pub fn assert_correct(&self) {
+        assert!(
+            self.agreement(),
+            "agreement violated (adversary {}, faulty {}): decisions {:?}",
+            self.adversary,
+            self.faulty,
+            self.decisions
+        );
+        if let Some(valid) = self.validity() {
+            assert!(
+                valid,
+                "validity violated (adversary {}, faulty {}, source value {}): decisions {:?}",
+                self.adversary,
+                self.faulty,
+                self.config.source_value,
+                self.decisions
+            );
+        }
+    }
+}
+
+/// Runs one execution of `protocol` (instantiated per processor by `mk`)
+/// against `adversary`.
+///
+/// `mk` is called once per processor with its [`ProcessId`]; it must embed
+/// the configuration (including the source's initial value for the source
+/// processor). Shadow instances for faulty processors are created with the
+/// same factory and driven honestly so the adversary can see what an
+/// honest version would send.
+///
+/// # Panics
+///
+/// Panics if protocol instances disagree on `total_rounds` — every
+/// processor must follow the same deterministic schedule.
+pub fn run<F>(config: &RunConfig, adversary: &mut dyn Adversary, mk: F) -> Outcome
+where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
+    let n = config.n;
+    let faulty = adversary.corrupt(n, config.t, config.source);
+    assert_eq!(faulty.universe(), n, "fault set universe must match n");
+
+    let sigs = config
+        .authenticated
+        .then(|| Arc::new(Mutex::new(SigRegistry::new())));
+
+    let mut protocols: Vec<Box<dyn Protocol>> = (0..n).map(|i| mk(ProcessId(i))).collect();
+    let mut ctxs: Vec<ProcCtx> = (0..n)
+        .map(|i| {
+            let mut ctx = ProcCtx::new(ProcessId(i));
+            if config.trace && !faulty.contains(ProcessId(i)) {
+                ctx = ctx.with_trace();
+            }
+            if let Some(s) = &sigs {
+                ctx = ctx.with_sigs(s.clone());
+            }
+            ctx
+        })
+        .collect();
+
+    let total_rounds = protocols[0].total_rounds();
+    for p in &protocols {
+        assert_eq!(
+            p.total_rounds(),
+            total_rounds,
+            "all processors must agree on the round schedule"
+        );
+    }
+
+    let mut metrics = Metrics::new(n);
+    let bits_per_value = config.domain.bits_per_value();
+
+    for round in 1..=total_rounds {
+        for ctx in ctxs.iter_mut() {
+            ctx.round = round;
+        }
+
+        // 1. Honest broadcasts and shadow broadcasts (shared, not cloned
+        // per recipient: EIG payloads are large).
+        let mut honest_broadcast: Vec<Option<Arc<Payload>>> = vec![None; n];
+        let mut shadow_broadcast: Vec<Option<Arc<Payload>>> = vec![None; n];
+        for i in 0..n {
+            let p = ProcessId(i);
+            let out = protocols[i].outgoing(&mut ctxs[i]).map(Arc::new);
+            if faulty.contains(p) {
+                shadow_broadcast[i] = out;
+            } else {
+                honest_broadcast[i] = out;
+            }
+        }
+
+        // 2. Traffic accounting for honest senders (broadcast = n−1 messages).
+        let mut stats = RoundStats {
+            round,
+            ..RoundStats::default()
+        };
+        for payload in honest_broadcast.iter().flatten() {
+            let values = payload.num_values() as u64;
+            let bits = payload.bits(bits_per_value);
+            let fanout = (n - 1) as u64;
+            stats.honest_messages += fanout;
+            stats.honest_values += values * fanout;
+            stats.honest_bits += bits * fanout;
+            stats.max_message_values = stats.max_message_values.max(values);
+            stats.max_message_bits = stats.max_message_bits.max(bits);
+        }
+        metrics.per_round.push(stats);
+
+        // 3. Adversary chooses faulty payloads, seeing all honest traffic.
+        let view = AdversaryView {
+            round,
+            total_rounds,
+            n,
+            t: config.t,
+            source: config.source,
+            source_value: config.source_value,
+            domain: config.domain,
+            faulty: &faulty,
+            honest_broadcast: &honest_broadcast,
+            shadow_broadcast: &shadow_broadcast,
+            sigs: sigs.clone(),
+        };
+        // faulty_payloads[sender][recipient]
+        let mut faulty_payloads: Vec<Vec<Arc<Payload>>> = vec![Vec::new(); n];
+        for f in faulty.iter() {
+            let mut row = vec![Arc::new(Payload::Missing); n];
+            for r in 0..n {
+                if r != f.index() {
+                    row[r] = Arc::new(adversary.payload(f, ProcessId(r), &view));
+                }
+            }
+            faulty_payloads[f.index()] = row;
+        }
+
+        // 4. Deliver complete inboxes to every processor (incl. shadows).
+        for i in 0..n {
+            let mut inbox = Inbox::empty(n);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = ProcessId(j);
+                let payload = if faulty.contains(q) {
+                    faulty_payloads[j][i].clone()
+                } else {
+                    honest_broadcast[j]
+                        .clone()
+                        .unwrap_or_else(|| Arc::new(Payload::Missing))
+                };
+                inbox.set_shared(q, payload);
+            }
+            protocols[i].deliver(&inbox, &mut ctxs[i]);
+        }
+
+        // 5. Peak-space sampling (honest processors only).
+        for i in 0..n {
+            if !faulty.contains(ProcessId(i)) {
+                metrics.peak_tree_nodes = metrics.peak_tree_nodes.max(protocols[i].space_nodes());
+            }
+        }
+    }
+
+    // Decisions.
+    for ctx in ctxs.iter_mut() {
+        ctx.round = 0;
+    }
+    let mut decisions = vec![None; n];
+    for i in 0..n {
+        if !faulty.contains(ProcessId(i)) {
+            decisions[i] = Some(protocols[i].decide(&mut ctxs[i]));
+        }
+    }
+
+    // Collect per-processor accounting.
+    let mut trace = Trace::new();
+    for (i, ctx) in ctxs.iter_mut().enumerate() {
+        metrics.local_ops[i] = ctx.ops();
+        ctx.drain_trace_into(&mut trace);
+    }
+
+    Outcome {
+        config: *config,
+        faulty,
+        decisions,
+        rounds_used: total_rounds,
+        metrics,
+        trace,
+        adversary: adversary.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NoFaults;
+
+    /// A toy 1-round protocol: the source broadcasts its value; everyone
+    /// else decides the received value (no fault tolerance).
+    struct Toy {
+        me: ProcessId,
+        source: ProcessId,
+        value: Value,
+        got: Value,
+    }
+
+    impl Protocol for Toy {
+        fn total_rounds(&self) -> usize {
+            1
+        }
+
+        fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
+            ctx.charge(1);
+            (self.me == self.source).then(|| Payload::values([self.value]))
+        }
+
+        fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
+            ctx.charge(1);
+            if self.me != self.source {
+                self.got = inbox.from(self.source).value_at(0).unwrap_or_default();
+            } else {
+                self.got = self.value;
+            }
+        }
+
+        fn decide(&mut self, _ctx: &mut ProcCtx) -> Value {
+            self.got
+        }
+    }
+
+    fn toy_factory(config: &RunConfig) -> impl Fn(ProcessId) -> Box<dyn Protocol> + '_ {
+        move |me| {
+            Box::new(Toy {
+                me,
+                source: config.source,
+                value: config.source_value,
+                got: Value::DEFAULT,
+            })
+        }
+    }
+
+    #[test]
+    fn fault_free_toy_run_agrees() {
+        let config = RunConfig::new(4, 0).with_source_value(Value(1));
+        let outcome = run(&config, &mut NoFaults, toy_factory(&config));
+        outcome.assert_correct();
+        assert_eq!(outcome.decision(), Some(Value(1)));
+        assert_eq!(outcome.rounds_used, 1);
+    }
+
+    #[test]
+    fn traffic_accounting_counts_broadcast_fanout() {
+        let config = RunConfig::new(5, 0);
+        let outcome = run(&config, &mut NoFaults, toy_factory(&config));
+        // Only the source sends: 1 value to each of 4 peers, 1 bit each.
+        let r1 = &outcome.metrics.per_round[0];
+        assert_eq!(r1.honest_messages, 4);
+        assert_eq!(r1.honest_values, 4);
+        assert_eq!(r1.honest_bits, 4);
+        assert_eq!(r1.max_message_values, 1);
+    }
+
+    #[test]
+    fn local_ops_recorded_per_processor() {
+        let config = RunConfig::new(3, 0);
+        let outcome = run(&config, &mut NoFaults, toy_factory(&config));
+        // Each processor charged 1 in outgoing + 1 in deliver.
+        assert_eq!(outcome.metrics.local_ops, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn agreement_detects_divergence() {
+        let config = RunConfig::new(3, 0);
+        let mut outcome = run(&config, &mut NoFaults, toy_factory(&config));
+        outcome.decisions[2] = Some(Value(0));
+        assert!(!outcome.agreement());
+        assert_eq!(outcome.decision(), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Execution metrics.
+//!
+//! The paper's theorems bound three quantities besides round count:
+//! message length in bits, local computation time, and local space. The
+//! simulator measures all three exactly: honest traffic is counted per
+//! round, protocols charge local work to an operation counter, and peak
+//! tree size is sampled after every delivery.
+
+/// Traffic statistics for one communication round.
+///
+/// Only *honest* traffic is counted: the theorems bound the messages the
+/// algorithm itself sends, while faulty processors may send arbitrary junk
+/// at no cost to the algorithm's complexity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct RoundStats {
+    /// The 1-based round number.
+    pub round: usize,
+    /// Point-to-point messages sent by honest processors (a broadcast to
+    /// `n−1` peers counts `n−1` messages).
+    pub honest_messages: u64,
+    /// Total values carried by honest messages.
+    pub honest_values: u64,
+    /// Total bits carried by honest messages.
+    pub honest_bits: u64,
+    /// Largest single honest message, in values.
+    pub max_message_values: u64,
+    /// Largest single honest message, in bits.
+    pub max_message_bits: u64,
+}
+
+/// Metrics for one full execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Per-round traffic statistics, index 0 = round 1.
+    pub per_round: Vec<RoundStats>,
+    /// Local computation charged by each processor (tree stores, majority
+    /// scans, resolve node visits, discovery checks), indexed by processor.
+    pub local_ops: Vec<u64>,
+    /// Peak number of live tree nodes at any single processor.
+    pub peak_tree_nodes: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics for `n` processors.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_round: Vec::new(),
+            local_ops: vec![0; n],
+            peak_tree_nodes: 0,
+        }
+    }
+
+    /// Number of communication rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.per_round.len()
+    }
+
+    /// Total honest point-to-point messages over the whole execution.
+    pub fn total_messages(&self) -> u64 {
+        self.per_round.iter().map(|r| r.honest_messages).sum()
+    }
+
+    /// Total honest bits over the whole execution.
+    pub fn total_bits(&self) -> u64 {
+        self.per_round.iter().map(|r| r.honest_bits).sum()
+    }
+
+    /// Largest single honest message over the whole execution, in bits.
+    pub fn max_message_bits(&self) -> u64 {
+        self.per_round
+            .iter()
+            .map(|r| r.max_message_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest single honest message over the whole execution, in values.
+    pub fn max_message_values(&self) -> u64 {
+        self.per_round
+            .iter()
+            .map(|r| r.max_message_values)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest per-processor local-computation charge.
+    pub fn max_local_ops(&self) -> u64 {
+        self.local_ops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(round: usize, msgs: u64, bits: u64, max_bits: u64) -> RoundStats {
+        RoundStats {
+            round,
+            honest_messages: msgs,
+            honest_values: bits,
+            honest_bits: bits,
+            max_message_values: max_bits,
+            max_message_bits: max_bits,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_rounds() {
+        let mut m = Metrics::new(4);
+        m.per_round.push(stats(1, 3, 30, 10));
+        m.per_round.push(stats(2, 6, 90, 20));
+        assert_eq!(m.rounds(), 2);
+        assert_eq!(m.total_messages(), 9);
+        assert_eq!(m.total_bits(), 120);
+        assert_eq!(m.max_message_bits(), 20);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(3);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.max_message_bits(), 0);
+        assert_eq!(m.max_local_ops(), 0);
+    }
+
+    #[test]
+    fn max_local_ops_takes_max() {
+        let mut m = Metrics::new(3);
+        m.local_ops = vec![5, 9, 2];
+        assert_eq!(m.max_local_ops(), 9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Message payloads.
+//!
+//! Because every correct processor's information-gathering tree has the
+//! same shape in any given round, a round's broadcast is fully described by
+//! a vector of values in canonical tree order. A Byzantine sender may send
+//! any vector (of any length), a signed-relay bundle for the authenticated
+//! baseline, or nothing at all.
+
+use crate::sig::SignedRelay;
+use crate::value::Value;
+
+/// A message payload as delivered by the network.
+///
+/// Honest processors in the paper's protocols broadcast value vectors in
+/// canonical order; receivers interpret them positionally. Anything a
+/// receiver cannot interpret (wrong length, illegitimate values, absent
+/// message) is replaced by default values per §3 of the paper — receivers
+/// apply that policy, not the network.
+///
+/// # Examples
+///
+/// ```
+/// use sg_sim::{Payload, Value};
+///
+/// let p = Payload::values([Value(1), Value(0)]);
+/// assert_eq!(p.num_values(), 2);
+/// assert_eq!(p.value_at(0), Some(Value(1)));
+/// assert_eq!(p.value_at(5), None);
+/// assert_eq!(Payload::Missing.value_at(0), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Payload {
+    /// A vector of values in canonical tree order.
+    Values(Vec<Value>),
+    /// Signed relay bundle, used only by the authenticated
+    /// Dolev–Strong baseline.
+    Signed(Vec<SignedRelay>),
+    /// No message (or one so garbled the receiver discards it wholesale).
+    Missing,
+}
+
+impl Payload {
+    /// Convenience constructor for a value-vector payload.
+    pub fn values<I: IntoIterator<Item = Value>>(vals: I) -> Self {
+        Payload::Values(vals.into_iter().collect())
+    }
+
+    /// A payload of `len` default values — what a masked faulty processor
+    /// is deemed to have sent under the Fault Masking Rule.
+    pub fn defaults(len: usize) -> Self {
+        Payload::Values(vec![Value::DEFAULT; len])
+    }
+
+    /// Number of values carried (0 for [`Payload::Missing`] and signed bundles).
+    pub fn num_values(&self) -> usize {
+        match self {
+            Payload::Values(v) => v.len(),
+            Payload::Signed(_) | Payload::Missing => 0,
+        }
+    }
+
+    /// The value at position `idx`, if this payload carries one there.
+    ///
+    /// Receivers treat `None` as "inappropriate message" and substitute the
+    /// default value, per §3.
+    pub fn value_at(&self, idx: usize) -> Option<Value> {
+        match self {
+            Payload::Values(v) => v.get(idx).copied(),
+            Payload::Signed(_) | Payload::Missing => None,
+        }
+    }
+
+    /// Cost of this payload in bits given `bits_per_value` for the domain.
+    ///
+    /// Signed relays are costed by the authenticated baseline itself (a
+    /// relay carries a value plus a signature chain); see
+    /// [`SignedRelay::bits`].
+    pub fn bits(&self, bits_per_value: u64) -> u64 {
+        match self {
+            Payload::Values(v) => v.len() as u64 * bits_per_value,
+            Payload::Signed(relays) => relays.iter().map(|r| r.bits(bits_per_value)).sum(),
+            Payload::Missing => 0,
+        }
+    }
+
+    /// Whether this payload is [`Payload::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Payload::Missing)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::Missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_all_zero() {
+        let p = Payload::defaults(3);
+        assert_eq!(p, Payload::values([Value(0), Value(0), Value(0)]));
+    }
+
+    #[test]
+    fn bits_scale_with_length_and_width() {
+        let p = Payload::defaults(10);
+        assert_eq!(p.bits(1), 10);
+        assert_eq!(p.bits(3), 30);
+        assert_eq!(Payload::Missing.bits(8), 0);
+    }
+
+    #[test]
+    fn value_at_out_of_range_is_none() {
+        let p = Payload::values([Value(1)]);
+        assert_eq!(p.value_at(0), Some(Value(1)));
+        assert_eq!(p.value_at(1), None);
+    }
+}

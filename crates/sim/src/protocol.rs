@@ -1,0 +1,254 @@
+//! The protocol interface and per-processor execution context.
+//!
+//! Every algorithm in the paper fits the same synchronous skeleton: each
+//! round, a processor may broadcast one payload; the network then delivers
+//! every peer's payload at once; after the final round the processor
+//! decides. [`Protocol`] captures exactly that skeleton, and the engine in
+//! [`crate::engine`] drives it.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::id::ProcessId;
+use crate::payload::Payload;
+use crate::sig::{SigRegistry, SignedRelay};
+use crate::trace::{Trace, TraceEntry, TraceEvent};
+use crate::value::Value;
+
+/// One round's worth of received messages, indexed by sender.
+///
+/// Payloads are reference-counted so that an honest broadcast — one
+/// payload fanned out to `n−1` recipients — is stored once, not cloned per
+/// recipient; EIG messages grow as `O(n^b)` values and per-recipient
+/// copies would dominate memory.
+///
+/// The slot for the receiver itself is [`Payload::Missing`]; processors in
+/// this model never message themselves (their own contribution is already
+/// in their local state).
+#[derive(Clone, Debug)]
+pub struct Inbox {
+    payloads: Vec<Arc<Payload>>,
+}
+
+impl Inbox {
+    /// An inbox of `n` missing payloads.
+    pub fn empty(n: usize) -> Self {
+        Inbox {
+            payloads: vec![Arc::new(Payload::Missing); n],
+        }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// The payload received from `sender`.
+    pub fn from(&self, sender: ProcessId) -> &Payload {
+        &self.payloads[sender.index()]
+    }
+
+    /// Replaces the payload from `sender` (used by tests and by fault
+    /// masking before interpretation).
+    pub fn set(&mut self, sender: ProcessId, payload: Payload) {
+        self.payloads[sender.index()] = Arc::new(payload);
+    }
+
+    /// Replaces the payload from `sender` with a shared payload.
+    pub fn set_shared(&mut self, sender: ProcessId, payload: Arc<Payload>) {
+        self.payloads[sender.index()] = payload;
+    }
+}
+
+/// Per-processor execution context: identity, round clock, local-work
+/// accounting, tracing, and (for authenticated baselines) signing.
+#[derive(Clone, Debug)]
+pub struct ProcCtx {
+    /// This processor's identity.
+    pub me: ProcessId,
+    /// Current 1-based round (0 before the first round / at decision time).
+    pub round: usize,
+    ops: u64,
+    trace_enabled: bool,
+    trace: Vec<TraceEntry>,
+    sigs: Option<Arc<Mutex<SigRegistry>>>,
+}
+
+impl ProcCtx {
+    /// Creates a context for processor `me`.
+    pub fn new(me: ProcessId) -> Self {
+        ProcCtx {
+            me,
+            round: 0,
+            ops: 0,
+            trace_enabled: false,
+            trace: Vec::new(),
+            sigs: None,
+        }
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace_enabled = true;
+        self
+    }
+
+    /// Attaches the shared signature registry (authenticated baselines).
+    pub fn with_sigs(mut self, sigs: Arc<Mutex<SigRegistry>>) -> Self {
+        self.sigs = Some(sigs);
+        self
+    }
+
+    /// Charges `n` units of local computation (tree stores, majority
+    /// scans, resolve visits, discovery checks…).
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Total local computation charged so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Emits a trace event (no-op when tracing is disabled).
+    pub fn emit(&mut self, event: TraceEvent) {
+        if self.trace_enabled {
+            self.trace.push(TraceEntry {
+                who: self.me,
+                round: self.round,
+                event,
+            });
+        }
+    }
+
+    /// Drains accumulated trace entries into `sink`.
+    pub fn drain_trace_into(&mut self, sink: &mut Trace) {
+        for e in self.trace.drain(..) {
+            sink.push(e);
+        }
+    }
+
+    /// Signs `value` as this processor, starting a fresh chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signature registry is attached (unauthenticated runs).
+    pub fn sign(&mut self, value: Value) -> SignedRelay {
+        let sigs = self.sigs.as_ref().expect("signature registry attached");
+        sigs.lock().originate(self.me, value)
+    }
+
+    /// Extends `relay` with this processor's signature, if `relay` is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signature registry is attached.
+    pub fn extend(&mut self, relay: &SignedRelay) -> Option<SignedRelay> {
+        let sigs = self.sigs.as_ref().expect("signature registry attached");
+        sigs.lock().extend(relay, self.me)
+    }
+
+    /// Verifies a relay against the shared registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signature registry is attached.
+    pub fn verify(&self, relay: &SignedRelay) -> bool {
+        let sigs = self.sigs.as_ref().expect("signature registry attached");
+        sigs.lock().is_valid(relay)
+    }
+}
+
+/// A Byzantine-agreement protocol as run by one processor.
+///
+/// The engine drives the same schedule for every processor:
+///
+/// 1. for `round` in `1..=total_rounds()`: call [`Protocol::outgoing`] on
+///    every processor, deliver the combined [`Inbox`] via
+///    [`Protocol::deliver`];
+/// 2. after the last round, call [`Protocol::decide`] once.
+///
+/// Implementations must be deterministic functions of their inputs — the
+/// paper's model has no randomness — so that shadow copies of faulty
+/// processors (used to show adversaries what an honest processor *would*
+/// send) stay consistent.
+pub trait Protocol {
+    /// Total number of communication rounds this protocol runs.
+    fn total_rounds(&self) -> usize;
+
+    /// The payload this processor broadcasts in round `ctx.round`.
+    ///
+    /// `None` means the processor is silent this round (e.g. the source
+    /// after round 1 in tree-without-repetition algorithms).
+    fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload>;
+
+    /// Delivers the full round's inbox.
+    fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx);
+
+    /// Irreversibly decides after the final round.
+    fn decide(&mut self, ctx: &mut ProcCtx) -> Value;
+
+    /// Current number of live principal-data-structure nodes, for peak
+    /// space accounting. Default 0 for protocols without trees.
+    fn space_nodes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inbox_indexes_by_sender() {
+        let mut inbox = Inbox::empty(3);
+        inbox.set(ProcessId(1), Payload::values([Value(1)]));
+        assert!(inbox.from(ProcessId(0)).is_missing());
+        assert_eq!(inbox.from(ProcessId(1)).num_values(), 1);
+        assert_eq!(inbox.n(), 3);
+    }
+
+    #[test]
+    fn ctx_charges_accumulate() {
+        let mut ctx = ProcCtx::new(ProcessId(0));
+        ctx.charge(3);
+        ctx.charge(4);
+        assert_eq!(ctx.ops(), 7);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut ctx = ProcCtx::new(ProcessId(0));
+        ctx.emit(TraceEvent::Note {
+            text: "x".to_string(),
+        });
+        let mut sink = Trace::new();
+        ctx.drain_trace_into(&mut sink);
+        assert!(sink.entries().is_empty());
+    }
+
+    #[test]
+    fn trace_enabled_records() {
+        let mut ctx = ProcCtx::new(ProcessId(2)).with_trace();
+        ctx.round = 5;
+        ctx.emit(TraceEvent::Decided { value: Value(1) });
+        let mut sink = Trace::new();
+        ctx.drain_trace_into(&mut sink);
+        assert_eq!(sink.entries().len(), 1);
+        assert_eq!(sink.entries()[0].who, ProcessId(2));
+        assert_eq!(sink.entries()[0].round, 5);
+    }
+
+    #[test]
+    fn signing_through_ctx() {
+        let reg = Arc::new(Mutex::new(SigRegistry::new()));
+        let mut ctx = ProcCtx::new(ProcessId(0)).with_sigs(reg.clone());
+        let relay = ctx.sign(Value(1));
+        assert!(ctx.verify(&relay));
+        let mut ctx2 = ProcCtx::new(ProcessId(1)).with_sigs(reg);
+        let extended = ctx2.extend(&relay).unwrap();
+        assert_eq!(extended.chain.len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulated unforgeable signatures.
+//!
+//! The paper's algorithms are *unauthenticated*, but it cites the
+//! authenticated algorithm of Dolev and Strong (1983), which we provide as
+//! a baseline. Rather than pull in real cryptography, the simulator plays
+//! the role of a trusted signature oracle: a signature chain is valid only
+//! if every extension was actually performed through [`SigRegistry`], so a
+//! faulty processor can sign anything *as itself* but can never forge
+//! another processor's signature — exactly the property the authenticated
+//! model needs (see DESIGN.md §5, Substitutions).
+
+use std::collections::HashMap;
+
+use crate::id::ProcessId;
+use crate::value::Value;
+
+/// A value together with a chain of signatures over it.
+///
+/// A relay `(v, [p₁, …, p_k])` means "p₁ signed v, then p₂ signed that,
+/// …". The `token` is the registry's proof that the chain was built
+/// legitimately; it is opaque and meaningless without the registry.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SignedRelay {
+    /// The signed value.
+    pub value: Value,
+    /// Signers, outermost last.
+    pub chain: Vec<ProcessId>,
+    token: u64,
+}
+
+impl SignedRelay {
+    /// The number of signatures on the chain.
+    pub fn depth(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Message-length cost in bits: the value plus one simulated
+    /// fixed-width signature per chain entry.
+    ///
+    /// We charge [`SIG_BITS`] per signature, a conventional constant so
+    /// that authenticated message-length comparisons have a concrete unit.
+    pub fn bits(&self, bits_per_value: u64) -> u64 {
+        bits_per_value + self.chain.len() as u64 * SIG_BITS
+    }
+}
+
+/// Simulated width of one signature in bits.
+pub const SIG_BITS: u64 = 64;
+
+/// The trusted signature oracle.
+///
+/// All signing and verification flows through one registry per execution.
+/// Chains are keyed by `(value, chain)`; a relay is valid iff the registry
+/// issued its token for exactly that key.
+///
+/// # Examples
+///
+/// ```
+/// use sg_sim::{ProcessId, Value};
+/// use sg_sim::sig::SigRegistry;
+///
+/// let mut reg = SigRegistry::new();
+/// let r0 = reg.originate(ProcessId(0), Value(1));
+/// let r1 = reg.extend(&r0, ProcessId(2)).expect("valid parent");
+/// assert!(reg.is_valid(&r1));
+/// assert_eq!(r1.chain, vec![ProcessId(0), ProcessId(2)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SigRegistry {
+    issued: HashMap<(Value, Vec<ProcessId>), u64>,
+    next_token: u64,
+}
+
+impl SigRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SigRegistry::default()
+    }
+
+    /// Signs `value` as `signer`, starting a fresh chain.
+    pub fn originate(&mut self, signer: ProcessId, value: Value) -> SignedRelay {
+        let chain = vec![signer];
+        let token = self.issue(value, chain.clone());
+        SignedRelay { value, chain, token }
+    }
+
+    /// Extends a valid relay with `signer`'s signature.
+    ///
+    /// Returns `None` if `relay` is not valid (a forgery attempt) or if
+    /// `signer` already appears on the chain (re-signing is idempotent in
+    /// Dolev–Strong and disallowed here to keep chains minimal).
+    pub fn extend(&mut self, relay: &SignedRelay, signer: ProcessId) -> Option<SignedRelay> {
+        if !self.is_valid(relay) || relay.chain.contains(&signer) {
+            return None;
+        }
+        let mut chain = relay.chain.clone();
+        chain.push(signer);
+        let token = self.issue(relay.value, chain.clone());
+        Some(SignedRelay {
+            value: relay.value,
+            chain,
+            token,
+        })
+    }
+
+    /// Whether `relay` was built legitimately through this registry.
+    pub fn is_valid(&self, relay: &SignedRelay) -> bool {
+        self.issued
+            .get(&(relay.value, relay.chain.clone()))
+            .is_some_and(|&tok| tok == relay.token)
+    }
+
+    fn issue(&mut self, value: Value, chain: Vec<ProcessId>) -> u64 {
+        // Issuing the same (value, chain) twice returns the same token, so
+        // two honest relays of the same chain compare equal.
+        if let Some(&tok) = self.issued.get(&(value, chain.clone())) {
+            return tok;
+        }
+        let tok = self.next_token;
+        self.next_token += 1;
+        self.issued.insert((value, chain), tok);
+        tok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forged_token_is_invalid() {
+        let mut reg = SigRegistry::new();
+        let real = reg.originate(ProcessId(1), Value(1));
+        let forged = SignedRelay {
+            value: Value(0),
+            chain: vec![ProcessId(0)],
+            token: real.token,
+        };
+        assert!(!reg.is_valid(&forged));
+    }
+
+    #[test]
+    fn extend_requires_valid_parent() {
+        let mut reg = SigRegistry::new();
+        let fake = SignedRelay {
+            value: Value(1),
+            chain: vec![ProcessId(0)],
+            token: 999,
+        };
+        assert!(reg.extend(&fake, ProcessId(1)).is_none());
+    }
+
+    #[test]
+    fn extend_rejects_duplicate_signer() {
+        let mut reg = SigRegistry::new();
+        let r = reg.originate(ProcessId(0), Value(1));
+        assert!(reg.extend(&r, ProcessId(0)).is_none());
+    }
+
+    #[test]
+    fn reissue_is_idempotent() {
+        let mut reg = SigRegistry::new();
+        let a = reg.originate(ProcessId(0), Value(1));
+        let b = reg.originate(ProcessId(0), Value(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bits_account_for_chain() {
+        let mut reg = SigRegistry::new();
+        let r0 = reg.originate(ProcessId(0), Value(1));
+        let r1 = reg.extend(&r0, ProcessId(1)).unwrap();
+        assert_eq!(r0.bits(1), 1 + SIG_BITS);
+        assert_eq!(r1.bits(1), 1 + 2 * SIG_BITS);
+    }
+}

@@ -1,0 +1,167 @@
+//! Agreement values and the finite value domain `V`.
+//!
+//! The paper (§2) draws the source's initial value from a finite set `V`
+//! with `0 ∈ V` and treats `|V|` as a constant. We model `V` as
+//! `{0, 1, …, |V|−1}` and use `0` as the default value everywhere the paper
+//! does (missing messages, failed majorities, masked faults).
+
+use std::fmt;
+
+/// A value from the finite agreement domain `V = {0..|V|−1}`.
+///
+/// `Value::DEFAULT` is the paper's distinguished default `0 ∈ V`: it is
+/// stored when the source fails to send a legitimate value, substituted for
+/// inappropriate message contents, produced when `resolve` finds no
+/// majority, and sent on behalf of masked faulty processors.
+///
+/// # Examples
+///
+/// ```
+/// use sg_sim::Value;
+///
+/// assert_eq!(Value::DEFAULT, Value(0));
+/// assert_eq!(Value(1).to_string(), "1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Value(pub u16);
+
+impl Value {
+    /// The paper's default value `0 ∈ V`.
+    pub const DEFAULT: Value = Value(0);
+
+    /// The raw numeric representation.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Value {
+    fn from(raw: u16) -> Self {
+        Value(raw)
+    }
+}
+
+/// The finite value domain `V = {0..size−1}` (paper §2).
+///
+/// The domain determines which received values are legitimate (illegitimate
+/// ones are replaced by [`Value::DEFAULT`]) and how many bits a single value
+/// costs when accounting message length.
+///
+/// # Examples
+///
+/// ```
+/// use sg_sim::{Value, ValueDomain};
+///
+/// let v = ValueDomain::binary();
+/// assert_eq!(v.size(), 2);
+/// assert_eq!(v.bits_per_value(), 1);
+/// assert!(v.contains(Value(1)));
+/// assert!(!v.contains(Value(2)));
+/// assert_eq!(v.sanitize(Value(7)), Value::DEFAULT);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ValueDomain {
+    size: u16,
+}
+
+impl ValueDomain {
+    /// Creates a domain `{0..size−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 2`: agreement is trivial over a singleton domain
+    /// and the paper assumes at least two values.
+    pub fn new(size: u16) -> Self {
+        assert!(size >= 2, "value domain must contain at least two values");
+        ValueDomain { size }
+    }
+
+    /// The binary domain `V = {0, 1}`, the common case after applying
+    /// Coan's two-value reduction mentioned in §2 of the paper.
+    pub fn binary() -> Self {
+        ValueDomain::new(2)
+    }
+
+    /// Number of values in the domain.
+    #[inline]
+    pub fn size(&self) -> u16 {
+        self.size
+    }
+
+    /// Whether `v` is a legitimate value of the domain.
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        v.0 < self.size
+    }
+
+    /// Replaces an illegitimate value by the default, as the paper requires
+    /// for "inappropriate" message contents.
+    #[inline]
+    pub fn sanitize(&self, v: Value) -> Value {
+        if self.contains(v) {
+            v
+        } else {
+            Value::DEFAULT
+        }
+    }
+
+    /// Bits needed to encode one value: `⌈log₂ |V|⌉`.
+    pub fn bits_per_value(&self) -> u64 {
+        let size = u64::from(self.size);
+        // ceil(log2(size)); size >= 2 so the subtraction is safe.
+        64 - (size - 1).leading_zeros() as u64
+    }
+
+    /// Iterates over all values of the domain in ascending order.
+    pub fn values(&self) -> impl Iterator<Item = Value> {
+        (0..self.size).map(Value)
+    }
+}
+
+impl Default for ValueDomain {
+    fn default() -> Self {
+        ValueDomain::binary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_value_is_ceil_log2() {
+        assert_eq!(ValueDomain::new(2).bits_per_value(), 1);
+        assert_eq!(ValueDomain::new(3).bits_per_value(), 2);
+        assert_eq!(ValueDomain::new(4).bits_per_value(), 2);
+        assert_eq!(ValueDomain::new(5).bits_per_value(), 3);
+        assert_eq!(ValueDomain::new(256).bits_per_value(), 8);
+        assert_eq!(ValueDomain::new(257).bits_per_value(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn singleton_domain_rejected() {
+        let _ = ValueDomain::new(1);
+    }
+
+    #[test]
+    fn sanitize_clamps_to_default() {
+        let d = ValueDomain::new(3);
+        assert_eq!(d.sanitize(Value(2)), Value(2));
+        assert_eq!(d.sanitize(Value(3)), Value::DEFAULT);
+    }
+
+    #[test]
+    fn values_enumerates_domain() {
+        let d = ValueDomain::new(3);
+        let vs: Vec<Value> = d.values().collect();
+        assert_eq!(vs, vec![Value(0), Value(1), Value(2)]);
+    }
+}

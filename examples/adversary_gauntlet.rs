@@ -1,0 +1,71 @@
+//! Run every algorithm against the whole adversary suite at maximum
+//! resilience and print the score matrix — every cell must read "ok".
+//!
+//! ```text
+//! cargo run --release --example adversary_gauntlet
+//! ```
+
+use shifting_gears::adversary::standard_suite;
+use shifting_gears::core::{execute, AlgorithmSpec};
+use shifting_gears::sim::{RunConfig, Value};
+
+fn main() {
+    // (spec, n, t) at each algorithm's maximum resilience for a small n.
+    let algorithms: Vec<(AlgorithmSpec, usize, usize)> = vec![
+        (AlgorithmSpec::Exponential, 7, 2),
+        (AlgorithmSpec::ExponentialPrime, 7, 2),
+        (AlgorithmSpec::AlgorithmA { b: 3 }, 13, 4),
+        (AlgorithmSpec::AlgorithmB { b: 2 }, 13, 3),
+        (AlgorithmSpec::AlgorithmC, 18, 3),
+        (AlgorithmSpec::Hybrid { b: 3 }, 13, 4),
+        (AlgorithmSpec::PhaseKing, 9, 2),
+        (AlgorithmSpec::PhaseQueen, 9, 2),
+        (AlgorithmSpec::DolevStrong, 6, 3),
+    ];
+
+    let adversary_names: Vec<String> = standard_suite(7).iter().map(|a| a.name()).collect();
+    let width = adversary_names.iter().map(String::len).max().unwrap_or(8);
+
+    print!("{:<width$}  ", "adversary");
+    for (spec, _, _) in &algorithms {
+        print!("{:<18}", spec.name());
+    }
+    println!();
+
+    let mut failures = 0usize;
+    for (row, name) in adversary_names.iter().enumerate() {
+        print!("{name:<width$}  ");
+        for &(spec, n, t) in &algorithms {
+            // Fresh adversary per cell (strategies are stateful).
+            let mut adversary = standard_suite(7).remove(row);
+            let config = RunConfig::new(n, t).with_source_value(Value(1));
+            let cell = match execute(spec, &config, adversary.as_mut()) {
+                Ok(outcome) => {
+                    if outcome.agreement() && outcome.validity() != Some(false) {
+                        format!("ok ({}r)", outcome.rounds_used)
+                    } else {
+                        failures += 1;
+                        "VIOLATED".to_string()
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    format!("error: {e}")
+                }
+            };
+            print!("{cell:<18}");
+        }
+        println!();
+    }
+
+    println!();
+    if failures == 0 {
+        println!(
+            "All {} algorithm × adversary cells reached Byzantine agreement. ✓",
+            algorithms.len() * adversary_names.len()
+        );
+    } else {
+        println!("{failures} cells FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Decision lock-in and the early-stopping head-room (DRS 1986 lineage).
+//!
+//! The paper's Algorithm C adapts Dolev, Reischuk & Strong's *Early
+//! Stopping in Byzantine Agreement*. The schedules in this crate are
+//! fixed-length, but the detect-or-persist structure means the decision
+//! value usually locks in long before the schedule ends. This example
+//! traces executions of the hybrid and Algorithm C under increasing fault
+//! loads and prints when each correct processor's decision locked in —
+//! the head-room a DRS-style early-stopping rule would harvest.
+//!
+//! ```text
+//! cargo run --example early_stopping
+//! ```
+
+use shifting_gears::adversary::{DoubleTalk, FaultSelection};
+use shifting_gears::analysis::lock_in;
+use shifting_gears::core::{execute, AlgorithmSpec};
+use shifting_gears::sim::{Adversary, NoFaults, RunConfig, Value};
+
+fn sweep(spec: AlgorithmSpec, n: usize, t: usize) {
+    println!(
+        "{} at n = {n}, t = {t} (schedule: {} rounds)",
+        spec.name(),
+        spec.rounds(n, t)
+    );
+    println!("  f   lock-in   head-room   per-processor lock-ins");
+    for f in 0..=t {
+        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+        let mut none = NoFaults;
+        let mut split;
+        let adversary: &mut dyn Adversary = if f == 0 {
+            &mut none
+        } else {
+            split = DoubleTalk::new(FaultSelection::with_source().limit(f));
+            &mut split
+        };
+        let outcome = execute(spec, &config, adversary).expect("valid parameters");
+        assert!(outcome.agreement());
+        let report = lock_in(&outcome);
+        let per: Vec<String> = report
+            .per_processor
+            .iter()
+            .map(|l| l.map_or("-".to_string(), |r| r.to_string()))
+            .collect();
+        println!(
+            "  {:<3} {:<9} {:<11} [{}]",
+            f,
+            report.system_lock_in().unwrap_or(0),
+            report.headroom().unwrap_or(0),
+            per.join(" ")
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // The hybrid: fault-free runs lock in at round 1 (persistence from
+    // the source round); attacked runs lock in at the first A-block
+    // conversion, still leaving most of the schedule as head-room.
+    sweep(AlgorithmSpec::Hybrid { b: 3 }, 16, 5);
+
+    // Algorithm C locks in at its first rep-gather round even under a
+    // split-brain source — Proposition 4's detect-or-persist step.
+    sweep(AlgorithmSpec::AlgorithmC, 32, 4);
+
+    println!(
+        "The gap between lock-in and schedule length is the early-stopping\n\
+         opportunity Dolev–Reischuk–Strong (1986) formalize as min(f+2, t+1)."
+    );
+}

@@ -1,0 +1,94 @@
+//! Explore the rounds / message-length / local-computation trade-off of
+//! §1 and §4: sweep the block parameter `b` and compare Algorithm A,
+//! Algorithm B, the hybrid, and the analytical Coan model.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_explorer [n]
+//! ```
+
+use shifting_gears::analysis::chart::{bar_chart, Series};
+use shifting_gears::analysis::experiments::{experiment_tradeoff, Scale};
+use shifting_gears::analysis::{fmt_count, Table};
+use shifting_gears::core::schedule::{
+    algorithm_a_rounds_exact, algorithm_b_rounds_exact,
+};
+use shifting_gears::core::{t_a, t_b, HybridSchedule};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+
+    // Closed-form sweep first: wide b range, no simulation needed.
+    let ta = t_a(n);
+    let tb = t_b(n);
+    let mut table = Table::new(
+        format!("Round schedules at n = {n} (closed form)"),
+        format!(
+            "Algorithm A and the hybrid tolerate t = {ta}; Algorithm B \
+             tolerates t = {tb}. Message size grows as n^(b−1) values; \
+             smaller b trades rounds for shorter messages."
+        ),
+        vec![
+            "b",
+            "A rounds",
+            "hybrid rounds",
+            "B rounds",
+            "max msg values (≈ n^(b−1))",
+        ],
+    );
+    for b in 3..ta.max(4) {
+        let a = algorithm_a_rounds_exact(ta, b);
+        let h = if (3..=ta).contains(&b) {
+            HybridSchedule::compute(n, b).total_rounds().to_string()
+        } else {
+            "—".to_string()
+        };
+        let bb = if b < tb {
+            algorithm_b_rounds_exact(tb, b).to_string()
+        } else {
+            format!("{} (exp)", tb + 1)
+        };
+        table.push_row(vec![
+            b.to_string(),
+            a.to_string(),
+            h,
+            bb,
+            fmt_count(shifting_gears::analysis::bounds::blocked_max_message_values(n, b)),
+        ]);
+    }
+    println!("{table}");
+
+    // Visualize the rounds trade-off.
+    let mut a_pts = Vec::new();
+    let mut h_pts = Vec::new();
+    for b in 3..ta.max(4) {
+        a_pts.push((format!("b={b}"), algorithm_a_rounds_exact(ta, b) as f64));
+        if (3..=ta).contains(&b) {
+            h_pts.push((
+                format!("b={b}"),
+                HybridSchedule::compute(n, b).total_rounds() as f64,
+            ));
+        }
+    }
+    println!(
+        "{}",
+        bar_chart(
+            &[
+                Series::new("Algorithm A rounds", a_pts),
+                Series::new("Hybrid rounds", h_pts),
+            ],
+            40,
+            false,
+        )
+    );
+
+    // Then the measured trade-off (runs real executions; Quick keeps the
+    // example fast — use the repro binary for the full sweep).
+    println!("{}", experiment_tradeoff(Scale::Quick));
+    println!(
+        "Run `cargo run --release -p sg-bench --bin repro -- --exp tradeoff` \
+         for the full measured sweep."
+    );
+}

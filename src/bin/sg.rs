@@ -1,0 +1,443 @@
+//! `sg` — command-line driver for the shifting-gears reproduction.
+//!
+//! ```text
+//! sg run --alg hybrid --b 3 --n 16 --adversary two-faced [--t 5]
+//!        [--value 1] [--seed 7] [--source-faulty] [--trace]
+//! sg plan --alg algorithm-b --b 3 --t 5 [--n 21]
+//! sg compose --n 16 --spec a:3x2,b:3x1,c:4 [--t 5] [--run] [--adversary <name>]
+//! sg gauntlet --alg optimal-king --n 10 [--t 3] [--b 3]
+//! sg stability --alg hybrid --n 16 [--b 3] [--seed 7]
+//! sg bounds --n 31
+//! sg list
+//! ```
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use shifting_gears::adversary::{
+    standard_suite, ChainRevealer, Crash, DoubleTalk, EquivocatingSource, FaultSelection,
+    RandomLiar, Silent, StaggeredSplit, Stealth, TwoFaced,
+};
+use shifting_gears::analysis::lock_in;
+use shifting_gears::core::schedule::{
+    algorithm_a_rounds_exact, algorithm_b_rounds_exact,
+};
+use shifting_gears::core::{
+    execute, render_plan, t_a, t_b, t_c, AlgorithmSpec, HybridSchedule, ShiftPlanBuilder,
+};
+use shifting_gears::sim::{Adversary, NoFaults, RunConfig, TraceEvent, Value};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         sg run --alg <name> --n <n> [--t <t>] [--b <b>] [--adversary <name>]\n         \
+         [--value <v>] [--seed <s>] [--source-faulty] [--trace]\n  \
+         sg plan --alg <name> --t <t> [--b <b>] [--n <n>]\n  \
+         sg compose --n <n> --spec a:3x2,b:3x1,c:4 [--t <t>] [--run] [--adversary <name>]\n  \
+         sg gauntlet --alg <name> --n <n> [--t <t>] [--b <b>]\n  \
+         sg stability --alg <name> --n <n> [--t <t>] [--b <b>] [--seed <s>]\n  \
+         sg bounds --n <n>\n  \
+         sg list"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut toggles = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                toggles.push(name.to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument '{a}'");
+            usage();
+        }
+    }
+    (flags, toggles)
+}
+
+fn parse_usize(flags: &HashMap<String, String>, key: &str) -> Option<usize> {
+    flags.get(key).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a number, got '{v}'");
+            usage();
+        })
+    })
+}
+
+fn algorithm(name: &str, b: usize) -> AlgorithmSpec {
+    match name {
+        "plain-exponential" => AlgorithmSpec::PlainExponential,
+        "exponential" => AlgorithmSpec::Exponential,
+        "exponential-prime" => AlgorithmSpec::ExponentialPrime,
+        "algorithm-a" | "a" => AlgorithmSpec::AlgorithmA { b },
+        "algorithm-b" | "b" => AlgorithmSpec::AlgorithmB { b },
+        "algorithm-c" | "c" => AlgorithmSpec::AlgorithmC,
+        "hybrid" => AlgorithmSpec::Hybrid { b },
+        "phase-king" => AlgorithmSpec::PhaseKing,
+        "optimal-king" => AlgorithmSpec::OptimalKing,
+        "king-shift" => AlgorithmSpec::KingShift { b },
+        "phase-queen" => AlgorithmSpec::PhaseQueen,
+        "dolev-strong" => AlgorithmSpec::DolevStrong,
+        other => {
+            eprintln!("unknown algorithm '{other}' (try `sg list`)");
+            exit(2);
+        }
+    }
+}
+
+fn adversary(name: &str, source_faulty: bool, seed: u64) -> Box<dyn Adversary> {
+    let sel = if source_faulty {
+        FaultSelection::with_source()
+    } else {
+        FaultSelection::without_source()
+    };
+    match name {
+        "none" => Box::new(NoFaults),
+        "silent" => Box::new(Silent::new(sel)),
+        "crash" => Box::new(Crash::new(sel, 2)),
+        "random-liar" => Box::new(RandomLiar::new(sel, seed)),
+        "two-faced" => Box::new(TwoFaced::new(sel)),
+        "equivocating-source" => {
+            Box::new(EquivocatingSource::new(FaultSelection::with_source()))
+        }
+        "stealth" => Box::new(Stealth::new(sel)),
+        "chain-revealer" => Box::new(ChainRevealer::new(sel, 2, 2, seed)),
+        "double-talk" => Box::new(DoubleTalk::new(sel)),
+        other => {
+            eprintln!("unknown adversary '{other}' (try `sg list`)");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_list() {
+    println!("algorithms:");
+    for a in [
+        "plain-exponential",
+        "exponential",
+        "exponential-prime",
+        "algorithm-a (needs --b)",
+        "algorithm-b (needs --b)",
+        "algorithm-c",
+        "hybrid (needs --b)",
+        "phase-king",
+        "optimal-king",
+        "king-shift (needs --b)",
+        "phase-queen",
+        "dolev-strong",
+    ] {
+        println!("  {a}");
+    }
+    println!("adversaries:");
+    for a in [
+        "none",
+        "silent",
+        "crash",
+        "random-liar",
+        "two-faced",
+        "equivocating-source",
+        "stealth",
+        "chain-revealer",
+        "double-talk",
+    ] {
+        println!("  {a}");
+    }
+}
+
+fn cmd_bounds(n: usize) {
+    println!("resilience at n = {n}:");
+    println!("  exponential / algorithm A / hybrid : t <= {}", t_a(n));
+    println!("  algorithm B / phase king           : t <= {}", t_b(n));
+    println!("  algorithm C                        : t <= {}", t_c(n));
+    println!("  dolev-strong (authenticated)       : t <= {}", n.saturating_sub(2));
+    let ta = t_a(n);
+    if ta >= 3 {
+        println!("\nround counts (t at each algorithm's maximum):");
+        println!("  b   A(b)   B(b)   hybrid(b)   [exponential/C: t+1]");
+        for b in 3..=ta {
+            let a = algorithm_a_rounds_exact(ta, b);
+            let bb = if b < t_b(n) && t_b(n) >= 2 {
+                algorithm_b_rounds_exact(t_b(n), b).to_string()
+            } else {
+                "-".to_string()
+            };
+            let h = HybridSchedule::compute(n, b).total_rounds();
+            println!("  {b:<3} {a:<6} {bb:<6} {h}");
+        }
+    }
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) {
+    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let b = parse_usize(flags, "b").unwrap_or(3);
+    let t = parse_usize(flags, "t").unwrap_or_else(|| usage());
+    let n = parse_usize(flags, "n").unwrap_or(3 * t + 1);
+    let spec = algorithm(alg, b);
+    match spec.plan(n, t) {
+        Some(plan) => print!(
+            "{}",
+            render_plan(&format!("{} (n={n}, t={t})", spec.name()), &plan)
+        ),
+        None => println!(
+            "{} is not plan-driven; it runs {} rounds",
+            spec.name(),
+            spec.rounds(n, t)
+        ),
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>, toggles: &[String]) {
+    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
+    let b = parse_usize(flags, "b").unwrap_or(3);
+    let spec = algorithm(alg, b);
+    let t = parse_usize(flags, "t").unwrap_or_else(|| spec.max_resilience(n));
+    let seed = parse_usize(flags, "seed").unwrap_or(7) as u64;
+    let value = parse_usize(flags, "value").unwrap_or(1) as u16;
+    let source_faulty = toggles.iter().any(|t| t == "source-faulty");
+    let trace = toggles.iter().any(|t| t == "trace");
+    let adv_name = flags
+        .get("adversary")
+        .map(String::as_str)
+        .unwrap_or("chain-revealer");
+
+    let mut config = RunConfig::new(n, t).with_source_value(Value(value));
+    if trace {
+        config = config.with_trace();
+    }
+    let mut adv = adversary(adv_name, source_faulty, seed);
+    let outcome = match execute(spec, &config, adv.as_mut()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot run: {e}");
+            exit(1);
+        }
+    };
+
+    println!("algorithm : {}", spec.name());
+    println!("system    : n={n} t={t} source=P0 value={value}");
+    println!("adversary : {} corrupting {}", outcome.adversary, outcome.faulty);
+    println!("rounds    : {}", outcome.rounds_used);
+    println!(
+        "messages  : total {} ({} bits), largest {} values",
+        outcome.metrics.total_messages(),
+        outcome.metrics.total_bits(),
+        outcome.metrics.max_message_values()
+    );
+    println!("local ops : max {}", outcome.metrics.max_local_ops());
+    println!("agreement : {}", outcome.agreement());
+    println!("validity  : {:?}", outcome.validity());
+    println!("decision  : {:?}", outcome.decision());
+    if trace {
+        println!("\ntrace (discoveries and shifts):");
+        for e in outcome.trace.entries() {
+            match &e.event {
+                TraceEvent::Discovered {
+                    suspect,
+                    during_conversion,
+                } => println!(
+                    "  round {:>2}  {} discovered {suspect}{}",
+                    e.round,
+                    e.who,
+                    if *during_conversion { " (conversion)" } else { "" }
+                ),
+                TraceEvent::Shift {
+                    conversion,
+                    preferred,
+                } => {
+                    println!(
+                        "  round {:>2}  {} shifted via {conversion}, prefers {preferred}",
+                        e.round, e.who
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    if !outcome.agreement() {
+        exit(1);
+    }
+}
+
+/// Parses a composition DSL like `a:3x2,b:3x1,c:4,king` into a builder.
+///
+/// Segments: `a:<b>x<blocks>`, `b:<b>x<blocks>` (the `x<blocks>` suffix
+/// defaults to 1), `c:<rounds>`, `king`.
+fn parse_composition(n: usize, t: usize, spec: &str) -> ShiftPlanBuilder {
+    let mut builder = ShiftPlanBuilder::new(n, t);
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part == "king" {
+            builder = builder.king_tail();
+            continue;
+        }
+        let Some((kind, rest)) = part.split_once(':') else {
+            eprintln!("bad segment '{part}' (want a:<b>x<blocks>, b:<b>x<blocks>, c:<rounds>, king)");
+            exit(2);
+        };
+        let parse = |s: &str| -> usize {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad number '{s}' in segment '{part}'");
+                exit(2);
+            })
+        };
+        let (b, blocks) = match rest.split_once('x') {
+            Some((b, blocks)) => (parse(b), parse(blocks)),
+            None => (parse(rest), 1),
+        };
+        builder = match kind {
+            "a" => builder.a_blocks(b, blocks),
+            "b" => builder.b_blocks(b, blocks),
+            "c" => builder.c_tail(b),
+            other => {
+                eprintln!("unknown segment kind '{other}'");
+                exit(2);
+            }
+        };
+    }
+    builder
+}
+
+fn cmd_compose(flags: &HashMap<String, String>, toggles: &[String]) {
+    let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
+    let t = parse_usize(flags, "t").unwrap_or_else(|| t_a(n));
+    let spec = flags.get("spec").map(String::as_str).unwrap_or_else(|| usage());
+    let builder = parse_composition(n, t, spec);
+    let composition = match builder.build() {
+        Ok(c) => c,
+        Err(e) => {
+            println!("REJECTED: {e}");
+            exit(1);
+        }
+    };
+    println!("composition : {}", composition.name());
+    println!("system      : n={n} t={t}");
+    println!("rounds      : {}", composition.rounds());
+    println!("verdict     : safe (all §4.4 entry and terminal conditions hold)");
+    if toggles.iter().any(|t| t == "run") {
+        let seed = parse_usize(flags, "seed").unwrap_or(7) as u64;
+        let adv_name = flags
+            .get("adversary")
+            .map(String::as_str)
+            .unwrap_or("chain-revealer");
+        let config = RunConfig::new(n, t).with_source_value(Value(1));
+        let mut adv = adversary(adv_name, false, seed);
+        let outcome = composition.execute(&config, adv.as_mut());
+        println!("adversary   : {} corrupting {}", outcome.adversary, outcome.faulty);
+        println!("agreement   : {}", outcome.agreement());
+        println!("validity    : {:?}", outcome.validity());
+        println!("decision    : {:?}", outcome.decision());
+        if !outcome.agreement() {
+            exit(1);
+        }
+    }
+}
+
+fn cmd_gauntlet(flags: &HashMap<String, String>) {
+    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
+    let b = parse_usize(flags, "b").unwrap_or(3);
+    let spec = algorithm(alg, b);
+    let t = parse_usize(flags, "t").unwrap_or_else(|| spec.max_resilience(n));
+    let seed = parse_usize(flags, "seed").unwrap_or(7) as u64;
+    println!(
+        "gauntlet: {} at n={n}, t={t}, both source values, full adversary suite",
+        spec.name()
+    );
+    let mut failures = 0usize;
+    for mut adv in standard_suite(seed) {
+        for value in [Value(0), Value(1)] {
+            let config = RunConfig::new(n, t).with_source_value(value);
+            match execute(spec, &config, adv.as_mut()) {
+                Ok(outcome) => {
+                    let ok = outcome.agreement() && outcome.validity().unwrap_or(true);
+                    if !ok {
+                        failures += 1;
+                    }
+                    println!(
+                        "  {:<40} value={} rounds={:<3} {}",
+                        outcome.adversary,
+                        value,
+                        outcome.rounds_used,
+                        if ok { "ok" } else { "VIOLATION" }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("cannot run: {e}");
+                    exit(1);
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        println!("{failures} violations");
+        exit(1);
+    }
+    println!("all executions reached agreement with validity");
+}
+
+fn cmd_stability(flags: &HashMap<String, String>) {
+    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
+    let b = parse_usize(flags, "b").unwrap_or(3);
+    let spec = algorithm(alg, b);
+    let t = parse_usize(flags, "t").unwrap_or_else(|| spec.max_resilience(n));
+    let seed = parse_usize(flags, "seed").unwrap_or(7) as u64;
+    println!(
+        "decision lock-in for {} at n={n}, t={t} (staggered split-brain adversary):",
+        spec.name()
+    );
+    println!("  f   rounds  lock-in  head-room");
+    for f in 0..=t {
+        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+        let _ = seed;
+        let mut none = NoFaults;
+        let mut split;
+        let adv: &mut dyn Adversary = if f == 0 {
+            &mut none
+        } else {
+            split = StaggeredSplit::new(FaultSelection::with_source().limit(f), 2, b);
+            &mut split
+        };
+        let outcome = match execute(spec, &config, adv) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cannot run: {e}");
+                exit(1);
+            }
+        };
+        let report = lock_in(&outcome);
+        println!(
+            "  {:<3} {:<7} {:<8} {}",
+            f,
+            outcome.rounds_used,
+            report.system_lock_in().unwrap_or(0),
+            report.headroom().unwrap_or(0)
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (flags, toggles) = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&flags, &toggles),
+        "plan" => cmd_plan(&flags),
+        "compose" => cmd_compose(&flags, &toggles),
+        "gauntlet" => cmd_gauntlet(&flags),
+        "stability" => cmd_stability(&flags),
+        "bounds" => cmd_bounds(parse_usize(&flags, "n").unwrap_or_else(|| usage())),
+        "list" => cmd_list(),
+        _ => usage(),
+    }
+}

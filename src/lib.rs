@@ -1,0 +1,26 @@
+//! # shifting-gears — facade crate
+//!
+//! Re-exports the full public API of the reproduction of Bar-Noy, Dolev,
+//! Dwork & Strong, *"Shifting Gears: Changing Algorithms on the Fly to
+//! Expedite Byzantine Agreement"* (PODC 1987 / Information & Computation
+//! 97:205–233, 1992).
+//!
+//! See the member crates for detail:
+//!
+//! * [`sim`] — synchronous round engine, adversary interface, metrics;
+//! * [`eigtree`] — information-gathering trees, `resolve`/`resolve'`,
+//!   fault discovery and masking;
+//! * [`adversary`] — Byzantine strategy library;
+//! * [`core`] — the protocols (Exponential, Algorithms A/B/C, Hybrid, and
+//!   baselines);
+//! * [`analysis`] — the paper's closed-form bounds and the experiment
+//!   harness used to regenerate every table and figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use sg_adversary as adversary;
+pub use sg_analysis as analysis;
+pub use sg_core as core;
+pub use sg_eigtree as eigtree;
+pub use sg_sim as sim;

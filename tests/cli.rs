@@ -1,0 +1,143 @@
+//! End-to-end tests of the `sg` command-line driver.
+
+use std::process::Command;
+
+fn sg(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sg"))
+        .args(args)
+        .output()
+        .expect("spawn sg");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn run_hybrid_reports_agreement() {
+    let (ok, stdout, _) = sg(&[
+        "run", "--alg", "hybrid", "--b", "3", "--n", "13", "--adversary", "two-faced",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("agreement : true"));
+    assert!(stdout.contains("decision  : Some(Value(1))"));
+}
+
+#[test]
+fn run_with_trace_shows_discoveries() {
+    let (ok, stdout, _) = sg(&[
+        "run",
+        "--alg",
+        "algorithm-a",
+        "--b",
+        "3",
+        "--n",
+        "13",
+        "--adversary",
+        "chain-revealer",
+        "--trace",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("discovered"));
+    assert!(stdout.contains("shifted via resolve'"));
+}
+
+#[test]
+fn plan_prints_figure_2_structure() {
+    let (ok, stdout, _) = sg(&["plan", "--alg", "algorithm-b", "--b", "3", "--t", "5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("tree(s) := resolve(s)"));
+    assert!(stdout.contains("round  1"));
+}
+
+#[test]
+fn bounds_lists_resiliences() {
+    let (ok, stdout, _) = sg(&["bounds", "--n", "31"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("t <= 10"));
+    assert!(stdout.contains("t <= 7"));
+    assert!(stdout.contains("t <= 4"));
+}
+
+#[test]
+fn list_names_all_algorithms() {
+    let (ok, stdout, _) = sg(&["list"]);
+    assert!(ok, "{stdout}");
+    for name in ["hybrid", "algorithm-c", "phase-queen", "dolev-strong", "two-faced"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn invalid_algorithm_fails_with_hint() {
+    let (ok, _, stderr) = sg(&["run", "--alg", "nonsense", "--n", "7"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}
+
+#[test]
+fn over_resilience_run_is_rejected() {
+    let (ok, _, stderr) = sg(&["run", "--alg", "exponential", "--n", "4", "--t", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot run"));
+}
+
+#[test]
+fn compose_validates_and_runs() {
+    let (ok, stdout, _) = sg(&[
+        "compose", "--n", "16", "--spec", "a:3x2,b:3x1,c:4", "--run",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("verdict     : safe"));
+    assert!(stdout.contains("agreement   : true"));
+}
+
+#[test]
+fn compose_rejects_unsafe_shift_with_reason() {
+    let (ok, stdout, _) = sg(&["compose", "--n", "16", "--spec", "b:3x3,c:4"]);
+    assert!(!ok);
+    assert!(stdout.contains("REJECTED"), "{stdout}");
+    assert!(stdout.contains("Corollary 1"), "{stdout}");
+}
+
+#[test]
+fn compose_king_tail_spec_parses() {
+    let (ok, stdout, _) = sg(&["compose", "--n", "10", "--spec", "a:3,king"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("King"));
+}
+
+#[test]
+fn compose_bad_segment_syntax_errors() {
+    let (ok, _, stderr) = sg(&["compose", "--n", "16", "--spec", "q:3"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown segment kind"), "{stderr}");
+}
+
+#[test]
+fn gauntlet_reports_per_adversary_lines() {
+    let (ok, stdout, _) = sg(&["gauntlet", "--alg", "optimal-king", "--n", "7"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("all executions reached agreement"));
+    assert!(stdout.contains("two-faced"));
+}
+
+#[test]
+fn stability_prints_lock_in_sweep() {
+    let (ok, stdout, _) = sg(&["stability", "--alg", "algorithm-c", "--n", "18"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("head-room"));
+    // One row per fault count 0..=t plus the header.
+    let rows = stdout.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+    assert!(rows >= 3, "{stdout}");
+}
+
+#[test]
+fn run_king_shift_from_cli() {
+    let (ok, stdout, _) = sg(&[
+        "run", "--alg", "king-shift", "--b", "3", "--n", "10", "--adversary", "double-talk",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("agreement : true"));
+}

@@ -1,0 +1,224 @@
+//! Exhaustive behaviour-space model checks on small instances.
+//!
+//! The paper's fault model places *no restriction* on faulty behaviour.
+//! For small instances, the space of behaviours that are distinguishable
+//! to the receivers is finite: the engine asks the adversary for one
+//! payload per (faulty sender, recipient) pair per round, and a receiver
+//! of a single binary value can only observe `0`, `1`, or
+//! unreadable/absent. These tests enumerate that space *completely* for
+//! one-fault instances of every algorithm and assert agreement and
+//! validity in every execution — a model-checking complement to the
+//! randomized gauntlet.
+//!
+//! For multi-value messages (deeper gather rounds) the move alphabet is a
+//! structured subset (uniform stories, first-position flips, garbage), so
+//! those checks are *bounded* model checks, labelled accordingly.
+
+use shifting_gears::adversary::{
+    calls_per_run, enumerate_tapes, Move, TapeAdversary, ALL_MOVES, SINGLE_VALUE_MOVES,
+};
+use shifting_gears::core::{execute, AlgorithmSpec};
+use shifting_gears::sim::{ProcessId, RunConfig, Value};
+
+/// Runs `spec` under every tape over `alphabet` with `faulty` corrupted,
+/// asserting agreement + validity each time. Returns the number of
+/// executions checked.
+fn check_all_tapes(
+    spec: AlgorithmSpec,
+    n: usize,
+    t: usize,
+    faulty: ProcessId,
+    alphabet: &[Move],
+    source_value: Value,
+) -> usize {
+    let rounds = spec.rounds(n, t);
+    let len = calls_per_run(n, 1, rounds);
+    let mut checked = 0;
+    for tape in enumerate_tapes(alphabet, len) {
+        let mut adversary = TapeAdversary::new([faulty], tape);
+        let config = RunConfig::new(n, t).with_source_value(source_value);
+        let outcome = execute(spec, &config, &mut adversary).expect("valid spec");
+        assert!(
+            outcome.agreement(),
+            "agreement violated by tape {:?} (spec {})",
+            adversary.tape(),
+            spec.name()
+        );
+        if let Some(valid) = outcome.validity() {
+            assert!(
+                valid,
+                "validity violated by tape {:?} (spec {})",
+                adversary.tape(),
+                spec.name()
+            );
+        }
+        checked += 1;
+    }
+    checked
+}
+
+/// Exponential Algorithm, n = 4, t = 1, faulty *source*: 2 rounds, 6
+/// adversary calls, exhaustive single-value alphabet (the source's round-1
+/// message and its spurious round-2 traffic are both single-value slots).
+/// 3^6 = 729 executions cover every behaviour of a Byzantine source over
+/// the binary domain.
+#[test]
+fn exponential_n4_faulty_source_exhaustive() {
+    let checked = check_all_tapes(
+        AlgorithmSpec::Exponential,
+        4,
+        1,
+        ProcessId(0),
+        &SINGLE_VALUE_MOVES,
+        Value(1),
+    );
+    assert_eq!(checked, 729);
+}
+
+/// Exponential Algorithm, n = 4, t = 1, faulty *relay*: its only
+/// protocol-visible traffic is the round-2 root echo (single value), so
+/// the single-value alphabet is again exhaustive. Checked for both source
+/// values.
+#[test]
+fn exponential_n4_faulty_relay_exhaustive() {
+    for source_value in [Value(0), Value(1)] {
+        let checked = check_all_tapes(
+            AlgorithmSpec::Exponential,
+            4,
+            1,
+            ProcessId(2),
+            &SINGLE_VALUE_MOVES,
+            source_value,
+        );
+        assert_eq!(checked, 729);
+    }
+}
+
+/// The *plain* (unmodified, PSL-style) Exponential Algorithm must survive
+/// the same exhaustive space — discovery and masking are optimizations for
+/// the shifted families, not crutches for t = 1 correctness.
+#[test]
+fn plain_exponential_n4_faulty_source_exhaustive() {
+    let checked = check_all_tapes(
+        AlgorithmSpec::PlainExponential,
+        4,
+        1,
+        ProcessId(0),
+        &SINGLE_VALUE_MOVES,
+        Value(1),
+    );
+    assert_eq!(checked, 729);
+}
+
+/// Algorithm C at n = 5, t = 1 runs two rounds (source round + one
+/// rep-gather). The faulty relay's messages are single values in both
+/// rounds, so the check is exhaustive: 3^8 = 6561 executions.
+#[test]
+fn algorithm_c_n5_faulty_relay_exhaustive() {
+    let checked = check_all_tapes(
+        AlgorithmSpec::AlgorithmC,
+        5,
+        1,
+        ProcessId(3),
+        &SINGLE_VALUE_MOVES,
+        Value(1),
+    );
+    assert_eq!(checked, 6561);
+}
+
+/// Algorithm C with a faulty *source*: the source also participates in
+/// the rep-gather rounds, single values throughout.
+#[test]
+fn algorithm_c_n5_faulty_source_exhaustive() {
+    let checked = check_all_tapes(
+        AlgorithmSpec::AlgorithmC,
+        5,
+        1,
+        ProcessId(0),
+        &SINGLE_VALUE_MOVES,
+        Value(0),
+    );
+    assert_eq!(checked, 6561);
+}
+
+/// Exponential at n = 5, t = 1 with a faulty source — a bigger exhaustive
+/// space (3^8 = 6561) with three correct relays out-voting the lies.
+#[test]
+fn exponential_n5_faulty_source_exhaustive() {
+    let checked = check_all_tapes(
+        AlgorithmSpec::Exponential,
+        5,
+        1,
+        ProcessId(0),
+        &SINGLE_VALUE_MOVES,
+        Value(1),
+    );
+    assert_eq!(checked, 6561);
+}
+
+/// Bounded model check: Exponential at n = 7, t = 2 has 3-round runs with
+/// multi-value messages, so full exhaustion is infeasible; instead both
+/// faulty processors play *every combination over the full 6-move
+/// alphabet within one shared round-robin tape of length 12* (the tape
+/// wraps across the 36 calls, correlating the two faults' behaviour —
+/// worst case for collusion-style attacks). 6^5 tapes of the 6^12 space
+/// are sampled structurally by fixing the tail.
+#[test]
+fn exponential_n7_two_faults_bounded() {
+    // Keep the run count ~7.8k: enumerate the first 5 cells over all six
+    // moves and fill the rest of the tape with Honest.
+    let mut checked = 0usize;
+    for tape_head in enumerate_tapes(&ALL_MOVES, 5) {
+        let mut tape = tape_head;
+        tape.resize(12, Move::Honest);
+        let mut adversary = TapeAdversary::new([ProcessId(2), ProcessId(5)], tape);
+        let config = RunConfig::new(7, 2).with_source_value(Value(1));
+        let outcome = execute(AlgorithmSpec::Exponential, &config, &mut adversary).unwrap();
+        assert!(
+            outcome.agreement() && outcome.validity().unwrap_or(true),
+            "violation by tape {:?}",
+            adversary.tape()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 6usize.pow(5));
+}
+
+/// Bounded model check for the king extensions at n = 4, t = 1: all
+/// messages are single values, but the round count (8 for OptimalKing)
+/// makes 3^24 infeasible; instead enumerate all 3^8 behaviours of the
+/// first 8 calls (rounds 1–3, covering the seeding and the first phase)
+/// and fill the rest with each of the three uniform behaviours.
+#[test]
+fn optimal_king_n4_bounded() {
+    let mut checked = 0usize;
+    for head in enumerate_tapes(&SINGLE_VALUE_MOVES, 8) {
+        for filler in SINGLE_VALUE_MOVES {
+            let mut tape = head.clone();
+            tape.resize(24, filler);
+            let mut adversary = TapeAdversary::new([ProcessId(1)], tape);
+            let config = RunConfig::new(4, 1).with_source_value(Value(1));
+            let outcome = execute(AlgorithmSpec::OptimalKing, &config, &mut adversary).unwrap();
+            assert!(
+                outcome.agreement() && outcome.validity().unwrap_or(true),
+                "violation by tape {:?}",
+                adversary.tape()
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 3 * 3usize.pow(8));
+}
+
+/// The tape mechanism must reproduce known-good behaviour: an all-Honest
+/// tape is indistinguishable from no corruption at all.
+#[test]
+fn honest_tape_equals_fault_free_run() {
+    let config = RunConfig::new(7, 2).with_source_value(Value(1));
+    let spec = AlgorithmSpec::Exponential;
+    let len = calls_per_run(7, 1, spec.rounds(7, 2));
+    let mut adversary = TapeAdversary::new([ProcessId(3)], vec![Move::Honest; len]);
+    let outcome = execute(spec, &config, &mut adversary).unwrap();
+    outcome.assert_correct();
+    assert_eq!(outcome.decision(), Some(Value(1)));
+}

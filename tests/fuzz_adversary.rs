@@ -1,0 +1,150 @@
+//! Property-based adversary fuzzing.
+//!
+//! The exhaustive checks in `exhaustive_adversary.rs` cover small
+//! instances completely; here proptest drives the same tape machinery
+//! over *larger* instances — random fault sets, random tapes over the
+//! full move alphabet, every algorithm — asserting the two paper
+//! invariants (agreement, validity) on every sampled execution.
+
+use proptest::prelude::*;
+
+use shifting_gears::adversary::{Move, TapeAdversary, ALL_MOVES};
+use shifting_gears::core::{execute, AlgorithmSpec};
+use shifting_gears::sim::{ProcessId, RunConfig, Value};
+
+/// A strategy for a tape of length `len` over the full move alphabet.
+fn tape(len: usize) -> impl Strategy<Value = Vec<Move>> {
+    proptest::collection::vec(
+        (0..ALL_MOVES.len()).prop_map(|i| ALL_MOVES[i]),
+        len.max(1),
+    )
+}
+
+/// A strategy choosing `t` distinct faulty processors out of `n`
+/// (possibly including the source).
+fn fault_set(n: usize, t: usize) -> impl Strategy<Value = Vec<ProcessId>> {
+    Just((0..n).map(ProcessId).collect::<Vec<_>>())
+        .prop_shuffle()
+        .prop_map(move |ids| ids.into_iter().take(t).collect())
+}
+
+/// Runs one fuzzed execution and asserts the paper's two conditions.
+fn check(spec: AlgorithmSpec, n: usize, t: usize, faulty: Vec<ProcessId>, tape: Vec<Move>) {
+    for source_value in [Value(0), Value(1)] {
+        let mut adversary = TapeAdversary::new(faulty.iter().copied(), tape.clone());
+        let config = RunConfig::new(n, t).with_source_value(source_value);
+        let outcome = execute(spec, &config, &mut adversary).expect("valid spec");
+        assert!(
+            outcome.agreement(),
+            "agreement violated: spec {}, faulty {:?}, tape {:?}",
+            spec.name(),
+            faulty,
+            adversary.tape()
+        );
+        if let Some(valid) = outcome.validity() {
+            assert!(
+                valid,
+                "validity violated: spec {}, faulty {:?}, tape {:?}",
+                spec.name(),
+                faulty,
+                adversary.tape()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exponential_survives_random_tapes(
+        faulty in fault_set(10, 3),
+        moves in tape(128),
+    ) {
+        check(AlgorithmSpec::Exponential, 10, 3, faulty, moves);
+    }
+
+    #[test]
+    fn algorithm_a_survives_random_tapes(
+        faulty in fault_set(13, 4),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::AlgorithmA { b: 3 }, 13, 4, faulty, moves);
+    }
+
+    #[test]
+    fn algorithm_b_survives_random_tapes(
+        faulty in fault_set(13, 3),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::AlgorithmB { b: 2 }, 13, 3, faulty, moves);
+    }
+
+    #[test]
+    fn algorithm_c_survives_random_tapes(
+        faulty in fault_set(18, 3),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::AlgorithmC, 18, 3, faulty, moves);
+    }
+
+    #[test]
+    fn hybrid_survives_random_tapes(
+        faulty in fault_set(13, 4),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::Hybrid { b: 3 }, 13, 4, faulty, moves);
+    }
+
+    #[test]
+    fn optimal_king_survives_random_tapes(
+        faulty in fault_set(13, 4),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::OptimalKing, 13, 4, faulty, moves);
+    }
+
+    #[test]
+    fn king_shift_survives_random_tapes(
+        faulty in fault_set(13, 4),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::KingShift { b: 3 }, 13, 4, faulty, moves);
+    }
+
+    #[test]
+    fn phase_king_survives_random_tapes(
+        faulty in fault_set(13, 3),
+        moves in tape(256),
+    ) {
+        check(AlgorithmSpec::PhaseKing, 13, 3, faulty, moves);
+    }
+
+    #[test]
+    fn dolev_strong_survives_random_tapes(
+        faulty in fault_set(8, 4),
+        moves in tape(128),
+    ) {
+        // Tape moves forge nothing: value-vector payloads are simply
+        // unverifiable to Dolev–Strong receivers, exercising its
+        // discard-invalid paths.
+        check(AlgorithmSpec::DolevStrong, 8, 4, faulty, moves);
+    }
+}
+
+/// Sanity guards for the strategies themselves.
+#[test]
+fn fault_set_strategy_respects_bounds() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::default();
+    for _ in 0..32 {
+        let set = fault_set(10, 3).new_tree(&mut runner).unwrap().current();
+        assert_eq!(set.len(), 3);
+        let mut sorted: Vec<usize> = set.iter().map(|p| p.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "members must be distinct");
+        assert!(sorted.iter().all(|&i| i < 10));
+    }
+}

@@ -1,0 +1,226 @@
+//! Executable lemmas for the optimally resilient Phase King phases —
+//! the king-family analogues of the paper's Persistence and Frontier
+//! arguments, checked on live `KingCore` state machines driven over
+//! adversarial single phases.
+//!
+//! Lemmas checked (see `core::optimal_king` for the proofs):
+//!
+//! 1. **Proposal exclusivity** — two correct processors never make
+//!    different non-`⊥` proposals in the same exchange round (`n > 3t`).
+//! 2. **Phase persistence** — if all correct processors start a phase
+//!    unanimous, they all lock and end the phase unchanged, for *any*
+//!    faulty behaviour.
+//! 3. **Correct-king unanimity** — a phase whose king is correct ends
+//!    with all correct processors holding the same value, from *any*
+//!    starting configuration and faulty behaviour.
+
+use proptest::prelude::*;
+
+use shifting_gears::core::{KingCore, Params, PhaseStep};
+use shifting_gears::sim::{Inbox, Payload, ProcCtx, ProcessId, Value, ValueDomain};
+
+/// A single-phase harness: `cores[i]` is `None` for faulty processors.
+struct PhaseNet {
+    n: usize,
+    cores: Vec<Option<KingCore>>,
+}
+
+impl PhaseNet {
+    /// Builds cores for the correct processors, seeded with `values`.
+    fn new(n: usize, t: usize, faulty: &[usize], values: &[Value]) -> PhaseNet {
+        let params = Params {
+            n,
+            t,
+            source: ProcessId(0),
+            domain: ValueDomain::binary(),
+        };
+        let cores = (0..n)
+            .map(|i| {
+                (!faulty.contains(&i)).then(|| {
+                    let mut core = KingCore::new(params, ProcessId(i));
+                    core.set_current(values[i]);
+                    core
+                })
+            })
+            .collect();
+        PhaseNet { n, cores }
+    }
+
+    /// Runs one step: honest broadcasts from correct cores, faulty slots
+    /// filled per-recipient by `lie(sender, recipient) -> Option<Value>`
+    /// (`None` = silent/garbage).
+    fn step<F>(&mut self, phase: usize, step: PhaseStep, mut lie: F)
+    where
+        F: FnMut(usize, usize) -> Option<Value>,
+    {
+        let n = self.n;
+        let outgoing: Vec<Option<Payload>> = (0..n)
+            .map(|i| {
+                self.cores[i]
+                    .as_mut()
+                    .and_then(|c| c.outgoing(phase, step))
+            })
+            .collect();
+        let is_correct: Vec<bool> = self.cores.iter().map(Option::is_some).collect();
+        for i in 0..n {
+            let mut inbox = Inbox::empty(n);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let payload = if is_correct[j] {
+                    outgoing[j].clone().unwrap_or(Payload::Missing)
+                } else {
+                    match lie(j, i) {
+                        Some(v) => Payload::values([v]),
+                        None => Payload::Missing,
+                    }
+                };
+                inbox.set(ProcessId(j), payload);
+            }
+            if let Some(core) = self.cores[i].as_mut() {
+                let mut ctx = ProcCtx::new(ProcessId(i));
+                core.deliver(phase, step, &inbox, &mut ctx);
+            }
+        }
+    }
+
+    fn correct_values(&self) -> Vec<Value> {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|c| c.current())
+            .collect()
+    }
+
+    fn king(&self, phase: usize) -> usize {
+        self.cores
+            .iter()
+            .flatten()
+            .next()
+            .expect("at least one correct core")
+            .king(phase)
+            .index()
+    }
+}
+
+/// Faulty-behaviour script: for each of the 3 steps, a per-(sender,
+/// recipient) value choice in {0, 1, ⊥-ish garbage, silent}.
+fn lie_strategy() -> impl Strategy<Value = Vec<Vec<Vec<u8>>>> {
+    // [step][sender][recipient] -> 0..4
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(0u8..4, 13), 13),
+        3,
+    )
+}
+
+fn decode(choice: u8) -> Option<Value> {
+    match choice {
+        0 => Some(Value(0)),
+        1 => Some(Value(1)),
+        2 => Some(Value(999)), // out of domain -> read as ⊥/default
+        _ => None,             // silent
+    }
+}
+
+fn run_phase(
+    net: &mut PhaseNet,
+    phase: usize,
+    script: &[Vec<Vec<u8>>],
+) {
+    for (si, step) in [PhaseStep::Exchange, PhaseStep::Propose, PhaseStep::King]
+        .into_iter()
+        .enumerate()
+    {
+        let table = &script[si];
+        net.step(phase, step, |s, r| decode(table[s][r]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 2 (phase persistence): unanimity in, unanimity out — same
+    /// value — under arbitrary faulty behaviour, even with a faulty king.
+    #[test]
+    fn persistence_survives_any_phase(
+        script in lie_strategy(),
+        v in 0u16..2,
+        phase in 0usize..3,
+    ) {
+        // n = 13, t = 4; faulty set includes the phase-0..2 kings
+        // (P1, P2, P3) so the king is always faulty here.
+        let n = 13;
+        let faulty = [1usize, 2, 3, 7];
+        let values = vec![Value(v); n];
+        let mut net = PhaseNet::new(n, 4, &faulty, &values);
+        run_phase(&mut net, phase, &script);
+        let after = net.correct_values();
+        prop_assert!(after.iter().all(|&x| x == Value(v)), "{after:?}");
+    }
+
+    /// Lemma 3 (correct-king unanimity): any starting values, any faulty
+    /// behaviour — if the phase king is correct, the phase ends unanimous.
+    #[test]
+    fn correct_king_restores_unanimity(
+        script in lie_strategy(),
+        seeds in proptest::collection::vec(0u16..2, 13),
+    ) {
+        let n = 13;
+        // t = 4 faults, none of which is P1 = king of phase 0.
+        let faulty = [2usize, 5, 8, 11];
+        let values: Vec<Value> = seeds.into_iter().map(Value).collect();
+        let mut net = PhaseNet::new(n, 4, &faulty, &values);
+        assert_eq!(net.king(0), 1, "phase-0 king is P1");
+        run_phase(&mut net, 0, &script);
+        let after = net.correct_values();
+        prop_assert!(
+            after.windows(2).all(|w| w[0] == w[1]),
+            "correct king failed to unify: {after:?}"
+        );
+    }
+
+    /// Lemma 1 (proposal exclusivity): after any exchange round, the
+    /// non-⊥ proposals of correct processors all agree.
+    #[test]
+    fn correct_proposals_never_conflict(
+        script in lie_strategy(),
+        seeds in proptest::collection::vec(0u16..2, 13),
+    ) {
+        let n = 13;
+        let faulty = [0usize, 4, 9, 12];
+        let values: Vec<Value> = seeds.into_iter().map(Value).collect();
+        let mut net = PhaseNet::new(n, 4, &faulty, &values);
+        let table = &script[0];
+        net.step(0, PhaseStep::Exchange, |s, r| decode(table[s][r]));
+        // Inspect proposals via the propose-round broadcast.
+        let mut proposals = Vec::new();
+        for core in net.cores.iter_mut().flatten() {
+            if let Some(Payload::Values(vals)) = core.outgoing(0, PhaseStep::Propose) {
+                let v = vals[0];
+                if ValueDomain::binary().contains(v) {
+                    proposals.push(v);
+                }
+            }
+        }
+        prop_assert!(
+            proposals.windows(2).all(|w| w[0] == w[1]),
+            "conflicting correct proposals: {proposals:?}"
+        );
+    }
+}
+
+/// Deterministic sanity: two unanimous phases in sequence stay unanimous
+/// (persistence composes across phases).
+#[test]
+fn persistence_composes_across_phases() {
+    let n = 7;
+    let faulty = [3usize, 6];
+    let values = vec![Value(1); n];
+    let mut net = PhaseNet::new(n, 2, &faulty, &values);
+    for phase in 0..3 {
+        let script = vec![vec![vec![0u8; n]; n]; 3]; // all faults say 0
+        run_phase(&mut net, phase, &script);
+        assert!(net.correct_values().iter().all(|&v| v == Value(1)));
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests for the shift-composition framework (§6's open
+//! question): every composition the builder accepts must actually reach
+//! Byzantine agreement under the adversary gauntlet, at the full fault
+//! bound it was validated for.
+
+use shifting_gears::adversary::{quick_suite, standard_suite};
+use shifting_gears::core::compose::{ComposeError, ShiftPlanBuilder};
+use shifting_gears::core::t_a;
+use shifting_gears::sim::{RunConfig, Value};
+
+fn gauntlet(builder: ShiftPlanBuilder, n: usize, t: usize, quick: bool) {
+    let composition = builder.build().unwrap_or_else(|e| panic!("must validate: {e}"));
+    let suite = if quick {
+        quick_suite(0xFACE)
+    } else {
+        standard_suite(0xFACE)
+    };
+    for mut adversary in suite {
+        for source_value in [Value(0), Value(1)] {
+            let config = RunConfig::new(n, t).with_source_value(source_value);
+            let outcome = composition.execute(&config, adversary.as_mut());
+            outcome.assert_correct();
+            assert_eq!(
+                outcome.rounds_used,
+                composition.rounds(),
+                "{} round count drifted under {}",
+                composition.name(),
+                outcome.adversary
+            );
+        }
+    }
+}
+
+/// The paper's own hybrid shape, assembled by hand through the builder.
+#[test]
+fn paper_shaped_hybrid_n16() {
+    gauntlet(
+        ShiftPlanBuilder::new(16, 5).a_blocks(3, 2).b_blocks(3, 1).c_tail(4),
+        16,
+        5,
+        false,
+    );
+}
+
+/// A→C directly, skipping B — a composition the paper never writes down
+/// but whose safety follows from its own conditions.
+#[test]
+fn a_to_c_without_b_n16() {
+    gauntlet(ShiftPlanBuilder::new(16, 5).a_blocks(4, 2).c_tail(2), 16, 5, false);
+}
+
+/// Mixed block parameters across phases (wide A blocks, narrow B blocks).
+#[test]
+fn mixed_block_parameters_n16() {
+    gauntlet(
+        ShiftPlanBuilder::new(16, 5).a_blocks(4, 1).b_blocks(2, 2).c_tail(3),
+        16,
+        5,
+        true,
+    );
+}
+
+/// A→King: unconditional closure by the optimally resilient Phase King.
+#[test]
+fn a_to_king_n10() {
+    gauntlet(ShiftPlanBuilder::new(10, 3).a_blocks(3, 1).king_tail(), 10, 3, false);
+}
+
+/// A→C→King: a C tail that would be conclusive anyway, then a king tail
+/// on top (allowed as the one terminal chain); the king phases must
+/// preserve the already-agreed value.
+#[test]
+fn a_to_c_to_king_n16() {
+    gauntlet(
+        ShiftPlanBuilder::new(16, 5).a_blocks(4, 2).c_tail(2).king_tail(),
+        16,
+        5,
+        true,
+    );
+}
+
+/// Terminal-A composition: a single block of exactly `t` gather rounds is
+/// the Exponential Algorithm with `resolve'` — conclusive on its own.
+#[test]
+fn terminal_a_n10() {
+    gauntlet(ShiftPlanBuilder::new(10, 3).a_blocks(3, 1), 10, 3, false);
+}
+
+/// A long A prefix of minimal blocks, then a minimal C tail: the ledger
+/// accumulates one detection per block.
+#[test]
+fn minimal_blocks_long_prefix_n13() {
+    let t = t_a(13);
+    gauntlet(ShiftPlanBuilder::new(13, t).a_blocks(3, 4).c_tail(2), 13, t, true);
+}
+
+/// Compositions within Algorithm B's own resilience may start in B
+/// immediately (no ledger needed).
+#[test]
+fn pure_b_within_its_resilience_n21() {
+    gauntlet(ShiftPlanBuilder::new(21, 5).b_blocks(3, 2).c_tail(3), 21, 5, true);
+}
+
+/// The builder's acceptance boundary is tight around the B-entry ledger:
+/// two minimal A blocks earn exactly the required detections at n = 16,
+/// one does not.
+#[test]
+fn b_entry_boundary_is_tight() {
+    // d after one A(3) block: 1 (source) + 1 = 2 — exactly the n = 16
+    // requirement, so one block suffices…
+    assert!(ShiftPlanBuilder::new(16, 5)
+        .a_blocks(3, 1)
+        .b_blocks(3, 2)
+        .c_tail(3)
+        .build()
+        .is_ok());
+    // …while jumping straight into B does not.
+    let err = ShiftPlanBuilder::new(16, 5)
+        .b_blocks(3, 3)
+        .c_tail(3)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ComposeError::UnsafeShift { index: 0, .. }));
+}
+
+/// Rejected compositions stay rejected end-to-end (the error types
+/// round-trip through Display without losing the reason).
+#[test]
+fn rejection_messages_name_the_condition() {
+    let err = ShiftPlanBuilder::new(16, 5).b_blocks(3, 1).king_tail().build().unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("unsafe shift"), "{text}");
+    assert!(text.contains("Corollary 1"), "{text}");
+}
