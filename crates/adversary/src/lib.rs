@@ -54,12 +54,12 @@ mod tape;
 mod util;
 
 pub use selection::FaultSelection;
-pub use tape::{
-    calls_per_run, enumerate_tapes, Move, TapeAdversary, TapeEnumerator, ALL_MOVES,
-    SINGLE_VALUE_MOVES,
-};
 pub use strategies::{
     ChainRevealer, Collusion, Crash, DoubleTalk, EquivocatingSource, FrontierBreaker, RandomLiar,
     Replay, Silent, StaggeredSplit, Stealth, TwoFaced,
 };
 pub use suite::{quick_suite, standard_suite};
+pub use tape::{
+    calls_per_run, enumerate_tapes, Move, TapeAdversary, TapeEnumerator, ALL_MOVES,
+    SINGLE_VALUE_MOVES,
+};

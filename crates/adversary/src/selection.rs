@@ -130,20 +130,23 @@ mod tests {
 
     #[test]
     fn limit_caps_below_t() {
-        let set = FaultSelection::without_source().limit(1).select(7, 3, ProcessId(0));
+        let set = FaultSelection::without_source()
+            .limit(1)
+            .select(7, 3, ProcessId(0));
         assert_eq!(set.len(), 1);
     }
 
     #[test]
     fn limit_never_exceeds_t() {
-        let set = FaultSelection::without_source().limit(9).select(7, 2, ProcessId(0));
+        let set = FaultSelection::without_source()
+            .limit(9)
+            .select(7, 2, ProcessId(0));
         assert_eq!(set.len(), 2);
     }
 
     #[test]
     fn explicit_is_verbatim() {
-        let set =
-            FaultSelection::explicit([ProcessId(4), ProcessId(6)]).select(8, 1, ProcessId(0));
+        let set = FaultSelection::explicit([ProcessId(4), ProcessId(6)]).select(8, 1, ProcessId(0));
         assert_eq!(set.len(), 2);
         assert!(set.contains(ProcessId(4)));
         assert!(set.contains(ProcessId(6)));

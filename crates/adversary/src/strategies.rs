@@ -32,7 +32,11 @@ impl Crash {
 
 impl Adversary for Crash {
     fn name(&self) -> String {
-        format!("crash(r={},{})", self.crash_round, self.selection.describe())
+        format!(
+            "crash(r={},{})",
+            self.crash_round,
+            self.selection.describe()
+        )
     }
 
     fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
@@ -102,7 +106,11 @@ impl RandomLiar {
 
 impl Adversary for RandomLiar {
     fn name(&self) -> String {
-        format!("random-liar(seed={},{})", self.seed, self.selection.describe())
+        format!(
+            "random-liar(seed={},{})",
+            self.seed,
+            self.selection.describe()
+        )
     }
 
     fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
@@ -155,7 +163,7 @@ impl Adversary for TwoFaced {
         recipient: ProcessId,
         view: &AdversaryView<'_>,
     ) -> Payload {
-        if recipient.index() % 2 == 0 {
+        if recipient.index().is_multiple_of(2) {
             shadow_or_missing(view, sender)
         } else {
             map_shadow(view, sender, |_, v| flip(view, v))
@@ -254,7 +262,11 @@ impl Adversary for Stealth {
             return shadow_or_missing(view, sender);
         }
         let target = (view.round + recipient.index()) % len;
-        map_shadow(view, sender, |i, v| if i == target { flip(view, v) } else { v })
+        map_shadow(
+            view,
+            sender,
+            |i, v| if i == target { flip(view, v) } else { v },
+        )
     }
 }
 
@@ -305,11 +317,7 @@ impl Adversary for ChainRevealer {
         view: &AdversaryView<'_>,
     ) -> Payload {
         // Rank of this sender within the corrupted set (stable order).
-        let rank = view
-            .faulty
-            .iter()
-            .position(|p| p == sender)
-            .unwrap_or(0);
+        let rank = view.faulty.iter().position(|p| p == sender).unwrap_or(0);
         let reveal_round = self.reveal_start + rank * self.stride;
         if view.round < reveal_round {
             return shadow_or_missing(view, sender);
@@ -582,7 +590,10 @@ mod tests {
         let mut adv = Replay::new(FaultSelection::without_source());
         let view = view_fixture(&faulty, &shadow);
         // First round seen: nothing stashed yet.
-        assert_eq!(adv.payload(ProcessId(1), ProcessId(0), &view), Payload::Missing);
+        assert_eq!(
+            adv.payload(ProcessId(1), ProcessId(0), &view),
+            Payload::Missing
+        );
         // Next call (new round in a real run): the stash now replays.
         assert_eq!(
             adv.payload(ProcessId(1), ProcessId(0), &view),
@@ -612,7 +623,7 @@ mod tests {
         let shadow = shadow_with(2, vec![Value(1)]);
         let mut adv = StaggeredSplit::new(FaultSelection::with_source(), 4, 2);
         let view = view_fixture(&faulty, &shadow); // round 2
-        // P2 is conspirator rank 0, activates at round 4: honest in round 2.
+                                                   // P2 is conspirator rank 0, activates at round 4: honest in round 2.
         assert_eq!(
             adv.payload(ProcessId(2), ProcessId(1), &view),
             Payload::values([Value(1)])
@@ -788,9 +799,7 @@ impl Adversary for FrontierBreaker {
         // The faulty source equivocates in round 1 — the root of the
         // attacked path.
         if sender == view.source && view.round == 1 {
-            return Payload::values([Value(
-                (recipient.index() as u16) % view.domain.size(),
-            )]);
+            return Payload::values([Value((recipient.index() as u16) % view.domain.size())]);
         }
         // The chain: faulty processors in ascending id order, source
         // first if corrupted.

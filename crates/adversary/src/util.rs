@@ -32,12 +32,9 @@ where
     F: FnMut(usize, Value) -> Value,
 {
     match view.shadow_of(sender) {
-        Some(Payload::Values(vals)) => Payload::Values(
-            vals.iter()
-                .enumerate()
-                .map(|(i, &v)| f(i, v))
-                .collect(),
-        ),
+        Some(Payload::Values(vals)) => {
+            Payload::Values(vals.iter().enumerate().map(|(i, &v)| f(i, v)).collect())
+        }
         Some(other) => other.clone(),
         None => Payload::Missing,
     }

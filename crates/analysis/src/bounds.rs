@@ -49,7 +49,7 @@ pub fn b_local_bound(n: usize, t: usize, b: usize) -> u128 {
 /// evaluated with constant 1 (rounded down).
 pub fn c_local_bound(n: usize) -> u128 {
     let n2 = (n * n) as u128;
-    n2 * super::isqrt_u128((n) as u128 * 1)
+    n2 * super::isqrt_u128((n) as u128)
 }
 
 /// Integer power as `u128` (saturating at `u128::MAX`).

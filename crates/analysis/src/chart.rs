@@ -15,10 +15,7 @@ pub struct Series {
 
 impl Series {
     /// Creates a series from `(tick, value)` pairs.
-    pub fn new(
-        label: impl Into<String>,
-        points: impl IntoIterator<Item = (String, f64)>,
-    ) -> Self {
+    pub fn new(label: impl Into<String>, points: impl IntoIterator<Item = (String, f64)>) -> Self {
         Series {
             label: label.into(),
             points: points.into_iter().collect(),
@@ -96,7 +93,10 @@ pub fn bar_chart(series: &[Series], width: usize, log_scale: bool) -> String {
 /// ```
 pub fn message_profile(outcome: &sg_sim::Outcome, width: usize) -> String {
     let series = Series::new(
-        format!("largest message per round, in values ({})", outcome.adversary),
+        format!(
+            "largest message per round, in values ({})",
+            outcome.adversary
+        ),
         outcome
             .metrics
             .per_round

@@ -58,8 +58,7 @@ pub struct Measured {
 /// double as correctness checks.
 pub fn measure(spec: AlgorithmSpec, n: usize, t: usize, seed: u64) -> Measured {
     let config = RunConfig::new(n, t).with_source_value(Value(1));
-    let mut adversary =
-        ChainRevealer::new(FaultSelection::without_source(), 2, 2, seed);
+    let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, 2, seed);
     let outcome = sg_core::execute(spec, &config, &mut adversary)
         .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
     outcome.assert_correct();
@@ -73,25 +72,19 @@ pub fn measure(spec: AlgorithmSpec, n: usize, t: usize, seed: u64) -> Measured {
     }
 }
 
-/// Runs a set of measurement cells in parallel (one thread per cell).
+/// Runs a set of measurement cells on the sweep engine's pool (input
+/// order preserved, worker count set by `--jobs` /
+/// [`crate::sweep::set_jobs`]).
 fn measure_cells<T, R, F>(cells: Vec<T>, f: F) -> Vec<(T, R)>
 where
-    T: Clone + Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
 {
-    let mut out: Vec<Option<(T, R)>> = Vec::new();
-    out.resize_with(cells.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, cell) in out.iter_mut().zip(cells.iter()) {
-            let f = &f;
-            scope.spawn(move |_| {
-                *slot = Some((cell.clone(), f(cell)));
-            });
-        }
+    crate::sweep::sweep_map(cells, move |cell| {
+        let result = f(&cell);
+        (cell, result)
     })
-    .expect("measurement threads join");
-    out.into_iter().map(|x| x.expect("cell measured")).collect()
 }
 
 /// EXP-P1 — Proposition 1: the Exponential Algorithm reaches agreement in
@@ -115,7 +108,7 @@ pub fn experiment_p1(scale: Scale) -> Table {
             "max local ops",
         ],
     );
-    let results = measure_cells(cases, |&(n, t)| {
+    let results = measure_cells(cases, move |&(n, t)| {
         measure(AlgorithmSpec::Exponential, n, t, 11)
     });
     for ((n, t), m) in results {
@@ -166,7 +159,7 @@ pub fn experiment_t3(scale: Scale) -> Table {
             "max local ops",
         ],
     );
-    let results = measure_cells(cases, |&(n, b)| {
+    let results = measure_cells(cases, move |&(n, b)| {
         measure(AlgorithmSpec::AlgorithmB { b }, n, t_b(n), 13)
     });
     for ((n, b), m) in results {
@@ -217,7 +210,7 @@ pub fn experiment_t2(scale: Scale) -> Table {
             "max local ops",
         ],
     );
-    let results = measure_cells(cases, |&(n, b)| {
+    let results = measure_cells(cases, move |&(n, b)| {
         measure(AlgorithmSpec::AlgorithmA { b }, n, t_a(n), 17)
     });
     for ((n, b), m) in results {
@@ -260,7 +253,7 @@ pub fn experiment_t4(scale: Scale) -> Table {
             "O(n^2.5) bound",
         ],
     );
-    let results = measure_cells(cases, |&n| {
+    let results = measure_cells(cases, move |&n| {
         measure(AlgorithmSpec::AlgorithmC, n, t_c(n), 19)
     });
     for (n, m) in results {
@@ -312,7 +305,7 @@ pub fn experiment_t1(scale: Scale) -> Table {
             "max local ops",
         ],
     );
-    let results = measure_cells(cases, |&(n, b)| {
+    let results = measure_cells(cases, move |&(n, b)| {
         measure(AlgorithmSpec::Hybrid { b }, n, t_a(n), 23)
     });
     for ((n, b), m) in results {
@@ -366,7 +359,7 @@ pub fn experiment_tradeoff(scale: Scale) -> Table {
             "Coan local ops (model)",
         ],
     );
-    let results = measure_cells(bs, |&b| {
+    let results = measure_cells(bs, move |&b| {
         let a = measure(AlgorithmSpec::AlgorithmA { b }, n, ta, 29);
         let h = measure(AlgorithmSpec::Hybrid { b }, n, ta, 29);
         let bb = measure(AlgorithmSpec::AlgorithmB { b }, n, tb, 29);
@@ -437,7 +430,9 @@ pub fn experiment_detect(scale: Scale) -> Table {
         Scale::Full => (16, 3),
     };
     let t = t_a(n);
-    let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
     let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, b, 31);
     let outcome = sg_core::execute(AlgorithmSpec::AlgorithmA { b }, &config, &mut adversary)
         .expect("valid spec");
@@ -445,7 +440,6 @@ pub fn experiment_detect(scale: Scale) -> Table {
 
     let correct: Vec<usize> = (0..n)
         .filter(|&i| !outcome.faulty.contains(sg_sim::ProcessId(i)))
-        .map(|i| i)
         .collect();
     let mut table = Table::new(
         "EXP-DETECT — global fault detection under chain reveal (Algorithm A)",
@@ -479,9 +473,7 @@ pub fn experiment_detect(scale: Scale) -> Table {
             f.to_string(),
             (2 + b * rank).to_string(),
             first.map_or("never".to_string(), |r| r.to_string()),
-            global
-                .flatten()
-                .map_or("—".to_string(), |r| r.to_string()),
+            global.flatten().map_or("—".to_string(), |r| r.to_string()),
             discoverers.to_string(),
         ]);
     }
@@ -517,16 +509,17 @@ pub fn experiment_stability(scale: Scale) -> Table {
         vec!["actual faults f", "rounds (schedule)", "stable from round"],
     );
     let cells: Vec<usize> = (0..=t).collect();
-    let results = measure_cells(cells, |&f| {
-        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let results = measure_cells(cells, move |&f| {
+        let config = RunConfig::new(n, t)
+            .with_source_value(Value(1))
+            .with_trace();
         let mut equivocator;
         let mut fault_free = sg_sim::NoFaults;
         let adversary: &mut dyn sg_sim::Adversary = if f == 0 {
             &mut fault_free
         } else {
-            equivocator = sg_adversary::EquivocatingSource::new(
-                FaultSelection::with_source().limit(f),
-            );
+            equivocator =
+                sg_adversary::EquivocatingSource::new(FaultSelection::with_source().limit(f));
             &mut equivocator
         };
         let outcome = sg_core::execute(spec(f), &config, adversary).expect("valid");
@@ -594,21 +587,24 @@ pub fn experiment_early_stopping(scale: Scale) -> Table {
              detect-or-persist structure that makes DRS-style early stopping \
              possible."
         ),
-        vec!["actual faults f", "rounds (schedule)", "lock-in round", "head-room"],
+        vec![
+            "actual faults f",
+            "rounds (schedule)",
+            "lock-in round",
+            "head-room",
+        ],
     );
     let cells: Vec<usize> = (0..=t).collect();
-    let results = measure_cells(cells, |&f| {
-        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let results = measure_cells(cells, move |&f| {
+        let config = RunConfig::new(n, t)
+            .with_source_value(Value(1))
+            .with_trace();
         let mut none = sg_sim::NoFaults;
         let mut split;
         let adversary: &mut dyn sg_sim::Adversary = if f == 0 {
             &mut none
         } else {
-            split = sg_adversary::StaggeredSplit::new(
-                FaultSelection::with_source().limit(f),
-                2,
-                b,
-            );
+            split = sg_adversary::StaggeredSplit::new(FaultSelection::with_source().limit(f), 2, b);
             &mut split
         };
         let outcome = sg_core::execute(spec, &config, adversary).expect("valid");
@@ -670,7 +666,7 @@ pub fn experiment_king(scale: Scale) -> Table {
         cells.push((n, AlgorithmSpec::KingShift { b: 3 }));
         cells.push((n, AlgorithmSpec::OptimalKing));
     }
-    let results = measure_cells(cells, |&(n, spec)| measure(spec, n, t_a(n), 13));
+    let results = measure_cells(cells, move |&(n, spec)| measure(spec, n, t_a(n), 13));
     for ((n, spec), m) in results {
         table.push_row(vec![
             n.to_string(),
@@ -710,7 +706,10 @@ pub fn experiment_compositions(scale: Scale) -> Table {
     let candidates: Vec<(&str, ShiftPlanBuilder)> = vec![
         (
             "paper hybrid shape",
-            ShiftPlanBuilder::new(n, t).a_blocks(3, 2).b_blocks(3, 1).c_tail(4),
+            ShiftPlanBuilder::new(n, t)
+                .a_blocks(3, 2)
+                .b_blocks(3, 1)
+                .c_tail(4),
         ),
         (
             "A->C (skip B)",
@@ -722,7 +721,10 @@ pub fn experiment_compositions(scale: Scale) -> Table {
         ),
         (
             "mixed-b A(4)->B(2)x2->C",
-            ShiftPlanBuilder::new(n, t).a_blocks(4, 1).b_blocks(2, 2).c_tail(3),
+            ShiftPlanBuilder::new(n, t)
+                .a_blocks(4, 1)
+                .b_blocks(2, 2)
+                .c_tail(3),
         ),
         (
             "terminal exponential-A",
@@ -746,8 +748,7 @@ pub fn experiment_compositions(scale: Scale) -> Table {
         match builder.build() {
             Ok(composition) => {
                 let config = RunConfig::new(n, t).with_source_value(Value(1));
-                let mut adversary =
-                    ChainRevealer::new(FaultSelection::without_source(), 2, 2, 17);
+                let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, 2, 17);
                 let outcome = composition.execute(&config, &mut adversary);
                 let agreement = outcome.agreement() && outcome.validity().unwrap_or(true);
                 assert!(agreement, "accepted composition {label} must agree");
@@ -764,7 +765,12 @@ pub fn experiment_compositions(scale: Scale) -> Table {
                 } else {
                     "rejected".to_string()
                 };
-                table.push_row(vec![label.to_string(), verdict, "—".to_string(), "—".to_string()]);
+                table.push_row(vec![
+                    label.to_string(),
+                    verdict,
+                    "—".to_string(),
+                    "—".to_string(),
+                ]);
             }
         }
     }
@@ -776,7 +782,9 @@ pub fn plan_figures() -> String {
     let mut out = String::new();
     out.push_str(&sg_core::render_plan(
         "Figure 2 — Algorithm B(b=3), t=5 (n=21)",
-        &AlgorithmSpec::AlgorithmB { b: 3 }.plan(21, 5).expect("plan"),
+        &AlgorithmSpec::AlgorithmB { b: 3 }
+            .plan(21, 5)
+            .expect("plan"),
     ));
     out.push('\n');
     out.push_str(&sg_core::render_plan(

@@ -16,11 +16,15 @@ pub mod coan;
 pub mod experiments;
 pub mod montecarlo;
 pub mod stability;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{all_experiments, measure, plan_figures, Measured, Scale};
 pub use montecarlo::{random_liar_sweep, sample_of, summarize, Sample, Summary};
 pub use stability::{lock_in, StabilityReport};
+pub use sweep::{
+    set_jobs, sweep_map, AdversaryFamily, CellReport, SweepConfig, SweepPlan, SweepReport,
+};
 pub use table::{fmt_count, Table};
 
 /// Integer square root (floor) over `u128`, used by the `O(n^2.5)` bound.

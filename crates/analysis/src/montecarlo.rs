@@ -7,11 +7,12 @@
 //! distributions quantify how far typical executions sit from the
 //! worst-case bounds the paper proves.
 
-use sg_adversary::{FaultSelection, RandomLiar};
+use sg_adversary::FaultSelection;
 use sg_core::AlgorithmSpec;
-use sg_sim::{Outcome, RunConfig, TraceEvent, Value};
+use sg_sim::{Outcome, TraceEvent};
 
 use crate::stability::lock_in;
+use crate::sweep::{AdversaryFamily, SweepConfig, SweepPlan};
 
 /// Summary statistics of a sample of non-negative integers.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -29,33 +30,36 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes `values`.
+    /// Summarizes `values` in one streaming pass (Welford's online
+    /// moments), so callers can feed iterators of any size without an
+    /// intermediate buffer.
     ///
     /// # Panics
     ///
     /// Panics if `values` is empty — an empty experiment is a bug, not a
     /// statistic.
     pub fn of<I: IntoIterator<Item = u64>>(values: I) -> Summary {
-        let values: Vec<u64> = values.into_iter().collect();
-        assert!(!values.is_empty(), "cannot summarize an empty sample");
-        let samples = values.len();
-        let min = *values.iter().min().expect("non-empty");
-        let max = *values.iter().max().expect("non-empty");
-        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / samples as f64;
-        let var = values
-            .iter()
-            .map(|&v| {
-                let d = v as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / samples as f64;
+        let mut samples = 0usize;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for v in values {
+            samples += 1;
+            min = min.min(v);
+            max = max.max(v);
+            let x = v as f64;
+            let delta = x - mean;
+            mean += delta / samples as f64;
+            m2 += delta * (x - mean);
+        }
+        assert!(samples > 0, "cannot summarize an empty sample");
         Summary {
             samples,
             min,
             max,
             mean,
-            stddev: var.sqrt(),
+            stddev: (m2 / samples as f64).sqrt(),
         }
     }
 
@@ -102,25 +106,23 @@ pub fn sample_of(outcome: &Outcome) -> Sample {
 /// executions (faulty set includes the source, so validity is stressed
 /// where it is vacuous and agreement everywhere).
 ///
+/// Runs on the parallel sweep engine ([`crate::sweep`]); the single-cell
+/// plan's seed stream starts at 0, so run `i` sees adversary seed `i` —
+/// the exact seeds the original sequential loop used — and the returned
+/// samples are in seed order regardless of worker count.
+///
 /// # Panics
 ///
 /// Panics if any execution violates agreement, or `seeds` is 0.
 pub fn random_liar_sweep(spec: AlgorithmSpec, n: usize, t: usize, seeds: u64) -> Vec<Sample> {
     assert!(seeds > 0, "need at least one seed");
-    (0..seeds)
-        .map(|seed| {
-            let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
-            let mut adversary = RandomLiar::new(FaultSelection::with_source(), seed);
-            let outcome = sg_core::execute(spec, &config, &mut adversary)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
-            assert!(
-                outcome.agreement(),
-                "{} violated agreement at seed {seed}",
-                spec.name()
-            );
-            sample_of(&outcome)
-        })
-        .collect()
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(spec, n, t)],
+        vec![AdversaryFamily::random_liar(FaultSelection::with_source())],
+        seeds,
+    );
+    let mut report = plan.run();
+    report.cells.swap_remove(0).samples
 }
 
 /// Summaries (lock-in, discoveries, bits, ops) of a sample set.

@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn fault_free_run_locks_in_at_round_one() {
-        let config = RunConfig::new(10, 3).with_source_value(Value(1)).with_trace();
+        let config = RunConfig::new(10, 3)
+            .with_source_value(Value(1))
+            .with_trace();
         let outcome = execute(AlgorithmSpec::Exponential, &config, &mut NoFaults).unwrap();
         let report = lock_in(&outcome);
         // Every correct processor's first and only preferred value is the

@@ -1,0 +1,415 @@
+//! The parallel sweep engine: `configs × adversaries × seeds` fan-out.
+//!
+//! Every empirical result in this reproduction is a *sweep* — many
+//! independent executions of `(algorithm, n, t)` cells against adversary
+//! strategies over seed ranges, reduced to summary statistics. This
+//! module is the one place that fan-out happens: a [`SweepPlan`]
+//! describes the grid, [`SweepPlan::run`] executes it on a rayon pool
+//! sized by [`set_jobs`] (the CLI's `--jobs` flag), and the resulting
+//! [`SweepReport`] is **bit-identical regardless of thread count** (see
+//! `tests/sweep_determinism.rs`).
+//!
+//! # Deterministic seeding scheme
+//!
+//! Parallel determinism requires that the seed a run sees depends only on
+//! its *grid coordinates*, never on scheduling order. Each `(config,
+//! adversary)` cell owns an independent seed stream:
+//!
+//! ```text
+//! stream(ci, ai) = base_seed ⊕ (ci · 0x9E3779B97F4A7C15) ⊕ (ai · 0xBF58476D1CE4E5B9)
+//! seed(ci, ai, si) = stream(ci, ai) + si          (wrapping)
+//! ```
+//!
+//! where `ci`/`ai` are the config/adversary indices and `si` the run
+//! index within the cell. With the default `base_seed = 0` and a
+//! single-cell plan, run `si` sees seed `si` exactly — preserving the
+//! seed semantics of the original sequential `random_liar_sweep`.
+//! Results are collected in `(ci, ai, si)` order whatever the worker
+//! interleaving, and all statistics are reduced sequentially from that
+//! ordered vector, so serial and parallel sweeps produce the same bytes.
+//!
+//! The executor is also exposed raw as [`sweep_map`] — an input-ordered
+//! parallel map — for sweep-shaped work that does not fit the seeded
+//! grid (the experiment harness's measurement cells, the exhaustive
+//! model-checking enumerations in `tests/exhaustive_*.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use sg_adversary::{ChainRevealer, FaultSelection, RandomLiar};
+use sg_core::AlgorithmSpec;
+use sg_sim::{Adversary, NoFaults, RunConfig, Value};
+
+use crate::montecarlo::{sample_of, Sample, Summary};
+
+/// Worker-thread count used by [`SweepPlan::run`] and [`sweep_map`];
+/// 0 = hardware default.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the sweep worker count (the CLI's `--jobs`); 0 restores the
+/// hardware default.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::SeqCst);
+}
+
+/// The effective sweep worker count.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        j => j,
+    }
+}
+
+/// Runs `f` over `cells` on the configured pool, returning results in
+/// input order (the scheduling-independence that makes sweep output
+/// deterministic).
+pub fn sweep_map<T, R, F>(cells: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    sweep_map_with_jobs(cells, jobs(), f)
+}
+
+/// [`sweep_map`] with an explicit worker count (1 = in-place sequential).
+pub fn sweep_map_with_jobs<T, R, F>(cells: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs.max(1))
+        .build()
+        .expect("sweep thread pool")
+        .install(|| cells.into_par_iter().map(f).collect())
+}
+
+/// One protocol instantiation in a sweep grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SweepConfig {
+    /// The algorithm under test.
+    pub spec: AlgorithmSpec,
+    /// System size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// The source's initial value.
+    pub source_value: Value,
+    /// Whether runs trace (required for lock-in / discovery sampling).
+    pub trace: bool,
+}
+
+impl SweepConfig {
+    /// A traced cell of `spec` at `(n, t)` with source value 1 — the
+    /// shape every Monte-Carlo sweep in this crate uses.
+    pub fn traced(spec: AlgorithmSpec, n: usize, t: usize) -> Self {
+        SweepConfig {
+            spec,
+            n,
+            t,
+            source_value: Value(1),
+            trace: true,
+        }
+    }
+
+    fn run_config(&self) -> RunConfig {
+        let config = RunConfig::new(self.n, self.t).with_source_value(self.source_value);
+        if self.trace {
+            config.with_trace()
+        } else {
+            config
+        }
+    }
+}
+
+/// A named, seed-keyed adversary factory: `seed ↦ strategy instance`.
+///
+/// Cloning is cheap (the factory is shared), which is what lets the
+/// executor move families into worker closures.
+#[derive(Clone)]
+pub struct AdversaryFamily {
+    name: String,
+    make: Arc<dyn Fn(u64) -> Box<dyn Adversary> + Send + Sync>,
+}
+
+impl AdversaryFamily {
+    /// A family from an arbitrary factory.
+    pub fn new(
+        name: impl Into<String>,
+        make: impl Fn(u64) -> Box<dyn Adversary> + Send + Sync + 'static,
+    ) -> Self {
+        AdversaryFamily {
+            name: name.into(),
+            make: Arc::new(make),
+        }
+    }
+
+    /// The fault-free baseline (ignores the seed).
+    pub fn no_faults() -> Self {
+        AdversaryFamily::new("no-faults", |_| Box::new(NoFaults))
+    }
+
+    /// Seeded uniform random lies over `selection`.
+    pub fn random_liar(selection: FaultSelection) -> Self {
+        AdversaryFamily::new("random-liar", move |seed| {
+            Box::new(RandomLiar::new(selection.clone(), seed))
+        })
+    }
+
+    /// The chain-revealing stress adversary over `selection`.
+    pub fn chain_revealer(selection: FaultSelection, start: usize, block: usize) -> Self {
+        AdversaryFamily::new("chain-revealer", move |seed| {
+            Box::new(ChainRevealer::new(selection.clone(), start, block, seed))
+        })
+    }
+
+    /// The family's strategy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the strategy instance for one seed.
+    pub fn instantiate(&self, seed: u64) -> Box<dyn Adversary> {
+        (self.make)(seed)
+    }
+}
+
+impl std::fmt::Debug for AdversaryFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdversaryFamily")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sweep grid: `configs × adversaries × seeds_per_cell` executions.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    /// Protocol instantiations (grid axis 1).
+    pub configs: Vec<SweepConfig>,
+    /// Adversary families (grid axis 2).
+    pub adversaries: Vec<AdversaryFamily>,
+    /// Runs per `(config, adversary)` cell (grid axis 3).
+    pub seeds_per_cell: u64,
+    /// Base of the per-cell seed streams (see the module docs).
+    pub base_seed: u64,
+}
+
+impl SweepPlan {
+    /// A plan over the full grid with `base_seed = 0`.
+    pub fn new(
+        configs: Vec<SweepConfig>,
+        adversaries: Vec<AdversaryFamily>,
+        seeds_per_cell: u64,
+    ) -> Self {
+        SweepPlan {
+            configs,
+            adversaries,
+            seeds_per_cell,
+            base_seed: 0,
+        }
+    }
+
+    /// Sets the base seed (shifts every cell's stream).
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// The adversary seed of run `si` in cell `(ci, ai)` — the module
+    /// docs' scheme, a pure function of grid coordinates.
+    pub fn seed_for(&self, ci: usize, ai: usize, si: u64) -> u64 {
+        let stream = self.base_seed
+            ^ (ci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (ai as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        stream.wrapping_add(si)
+    }
+
+    /// Total executions the plan describes.
+    pub fn total_runs(&self) -> u64 {
+        self.configs.len() as u64 * self.adversaries.len() as u64 * self.seeds_per_cell
+    }
+
+    /// Executes the plan on [`jobs`] workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is empty, a spec rejects its `(n, t)`, or any
+    /// execution violates agreement — sweeps double as correctness
+    /// checks, exactly like the sequential harness they replaced.
+    pub fn run(&self) -> SweepReport {
+        self.run_with_jobs(jobs())
+    }
+
+    /// Executes the plan on an explicit worker count (1 = sequential).
+    /// Output is bit-identical across worker counts.
+    pub fn run_with_jobs(&self, jobs: usize) -> SweepReport {
+        assert!(
+            !self.configs.is_empty() && !self.adversaries.is_empty() && self.seeds_per_cell > 0,
+            "empty sweep plan"
+        );
+        let shared = Arc::new(self.clone());
+        let units: Vec<(usize, usize, u64)> = self
+            .configs
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, _)| {
+                let seeds = self.seeds_per_cell;
+                (0..self.adversaries.len())
+                    .flat_map(move |ai| (0..seeds).map(move |si| (ci, ai, si)))
+            })
+            .collect();
+        let samples =
+            sweep_map_with_jobs(units, jobs, move |(ci, ai, si)| shared.run_one(ci, ai, si));
+
+        let mut cells = Vec::with_capacity(self.configs.len() * self.adversaries.len());
+        let mut chunks = samples.chunks_exact(self.seeds_per_cell as usize);
+        for (ci, config) in self.configs.iter().enumerate() {
+            for (ai, family) in self.adversaries.iter().enumerate() {
+                let cell_samples = chunks.next().expect("one chunk per cell").to_vec();
+                let summaries = crate::montecarlo::summarize(&cell_samples);
+                cells.push(CellReport {
+                    spec_name: config.spec.name(),
+                    n: config.n,
+                    t: config.t,
+                    adversary: family.name.clone(),
+                    first_seed: self.seed_for(ci, ai, 0),
+                    samples: cell_samples,
+                    summaries,
+                });
+            }
+        }
+        SweepReport {
+            total_runs: self.total_runs(),
+            cells,
+        }
+    }
+
+    /// One execution: cell `(ci, ai)`, run `si`.
+    fn run_one(&self, ci: usize, ai: usize, si: u64) -> Sample {
+        let config = &self.configs[ci];
+        let family = &self.adversaries[ai];
+        let seed = self.seed_for(ci, ai, si);
+        let run_config = config.run_config();
+        let mut adversary = family.instantiate(seed);
+        let outcome = sg_core::execute(config.spec, &run_config, adversary.as_mut())
+            .unwrap_or_else(|e| panic!("{}: {e}", config.spec.name()));
+        assert!(
+            outcome.agreement(),
+            "{} violated agreement under {} at seed {seed}",
+            config.spec.name(),
+            family.name,
+        );
+        sample_of(&outcome)
+    }
+}
+
+/// Results of one `(config, adversary)` cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CellReport {
+    /// Algorithm name.
+    pub spec_name: String,
+    /// System size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Adversary family name.
+    pub adversary: String,
+    /// The seed of the cell's first run (run `si` used `first_seed + si`).
+    pub first_seed: u64,
+    /// Per-run samples, in run order.
+    pub samples: Vec<Sample>,
+    /// `[lock-in, discoveries, total bits, max local ops]` summaries.
+    pub summaries: [Summary; 4],
+}
+
+/// The full sweep output: one [`CellReport`] per `(config, adversary)`
+/// pair, in grid order. `PartialEq` compares every sample and statistic,
+/// which is how the determinism tests assert bit-identical serial vs.
+/// parallel execution.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepReport {
+    /// Executions performed.
+    pub total_runs: u64,
+    /// Per-cell results in `(config, adversary)` grid order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Renders one line per cell: `spec n t adversary lock-in disc bits ops`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            let [lock, disc, bits, ops] = &cell.summaries;
+            out.push_str(&format!(
+                "{:<24} n={:<3} t={:<2} {:<16} lock-in {:<14} discoveries {:<14} bits {:<20} ops {}\n",
+                cell.spec_name,
+                cell.n,
+                cell.t,
+                cell.adversary,
+                lock.render(),
+                disc.render(),
+                bits.render(),
+                ops.render(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plan() -> SweepPlan {
+        SweepPlan::new(
+            vec![
+                SweepConfig::traced(AlgorithmSpec::Exponential, 7, 2),
+                SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+            ],
+            vec![
+                AdversaryFamily::random_liar(FaultSelection::with_source()),
+                AdversaryFamily::no_faults(),
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn seeding_is_coordinate_pure() {
+        let plan = small_plan();
+        assert_eq!(plan.seed_for(0, 0, 0), 0);
+        assert_eq!(plan.seed_for(0, 0, 5), 5);
+        assert_ne!(plan.seed_for(1, 0, 0), plan.seed_for(0, 1, 0));
+        let shifted = small_plan().with_base_seed(99);
+        assert_eq!(shifted.seed_for(0, 0, 0), 99);
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_identical() {
+        let plan = small_plan();
+        let serial = plan.run_with_jobs(1);
+        let parallel = plan.run_with_jobs(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.total_runs, 12);
+        assert_eq!(serial.cells.len(), 4);
+        assert!(serial.render().contains("hybrid"));
+    }
+
+    #[test]
+    fn sweep_map_preserves_order() {
+        let out = sweep_map_with_jobs((0..32usize).collect(), 4, |i| i * 3);
+        assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_setting_round_trips() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

@@ -17,11 +17,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        caption: impl Into<String>,
-        headers: Vec<&str>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, headers: Vec<&str>) -> Self {
         Table {
             title: title.into(),
             caption: caption.into(),
@@ -114,7 +110,7 @@ pub fn fmt_count(x: u128) -> String {
     let digits = x.to_string();
     let mut out = String::new();
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

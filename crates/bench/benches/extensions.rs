@@ -39,18 +39,26 @@ fn bench_compositions(c: &mut Criterion) {
     let candidates = [
         (
             "paper_shape",
-            ShiftPlanBuilder::new(n, t).a_blocks(3, 2).b_blocks(3, 1).c_tail(4),
+            ShiftPlanBuilder::new(n, t)
+                .a_blocks(3, 2)
+                .b_blocks(3, 1)
+                .c_tail(4),
         ),
-        ("a_to_c", ShiftPlanBuilder::new(n, t).a_blocks(4, 2).c_tail(2)),
-        ("a_to_king", ShiftPlanBuilder::new(n, t).a_blocks(3, 1).king_tail()),
+        (
+            "a_to_c",
+            ShiftPlanBuilder::new(n, t).a_blocks(4, 2).c_tail(2),
+        ),
+        (
+            "a_to_king",
+            ShiftPlanBuilder::new(n, t).a_blocks(3, 1).king_tail(),
+        ),
     ];
     for (label, builder) in candidates {
         let composition = builder.build().expect("benchmark compositions validate");
         group.bench_function(label, |bencher| {
             bencher.iter(|| {
                 let config = RunConfig::new(n, t).with_source_value(Value(1));
-                let mut adversary =
-                    ChainRevealer::new(FaultSelection::without_source(), 2, 2, 43);
+                let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, 2, 43);
                 let outcome = composition.execute(&config, &mut adversary);
                 outcome.assert_correct();
                 outcome

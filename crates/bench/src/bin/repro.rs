@@ -5,19 +5,110 @@
 //! repro --quick         # all experiments, small parameters
 //! repro --markdown      # emit GitHub-flavoured markdown (EXPERIMENTS.md)
 //! repro --csv           # emit CSV (one block per experiment)
+//! repro --jobs 8        # size the sweep engine's worker pool
 //! repro --exp t3        # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|detect|
-//!                       #   stability|early-stopping|king|compose|plans
+//!                       #   stability|early-stopping|king|compose|plans|sweep
+//! repro --exp sweep     # the benchmark sweep: phase-king n=16 t=5 Monte-Carlo,
+//!                       # timed, machine-readable trajectory in BENCH_sweep.json
 //! ```
 
 use std::env;
+use std::time::Instant;
 
+use sg_adversary::FaultSelection;
 use sg_analysis::experiments::{
-    experiment_compositions, experiment_detect, experiment_dominance,
-    experiment_early_stopping, experiment_king, experiment_p1, experiment_stability,
-    experiment_t1, experiment_t2, experiment_t3, experiment_t4, experiment_tradeoff,
-    plan_figures, Scale,
+    experiment_compositions, experiment_detect, experiment_dominance, experiment_early_stopping,
+    experiment_king, experiment_p1, experiment_stability, experiment_t1, experiment_t2,
+    experiment_t3, experiment_t4, experiment_tradeoff, plan_figures, Scale,
 };
-use sg_analysis::Table;
+use sg_analysis::{AdversaryFamily, SweepConfig, SweepPlan, SweepReport, Table};
+use sg_core::AlgorithmSpec;
+
+/// Peak resident-set proxy: `VmHWM` from `/proc/self/status`, in kB
+/// (0 where unavailable — the field is Linux-specific).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches(" kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Order-sensitive FNV-1a fingerprint of every sample in the report, so
+/// bit-identity across `--jobs` settings can be checked from the JSON
+/// alone.
+fn report_fingerprint(report: &SweepReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for cell in &report.cells {
+        for s in &cell.samples {
+            mix(s.lock_in);
+            mix(s.discoveries);
+            mix(s.total_bits);
+            mix(s.max_local_ops);
+        }
+    }
+    h
+}
+
+/// The benchmark sweep behind `--exp sweep` and `BENCH_sweep.json`: the
+/// phase-king n=16, t=5 Monte-Carlo grid under seeded random liars.
+fn experiment_sweep(scale: Scale, jobs: usize) {
+    let (n, t) = (16, 5);
+    let seeds: u64 = match scale {
+        Scale::Quick => 100,
+        Scale::Full => 1_000,
+    };
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, n, t)],
+        vec![AdversaryFamily::random_liar(
+            FaultSelection::without_source(),
+        )],
+        seeds,
+    );
+    let started = Instant::now();
+    let report = plan.run_with_jobs(jobs);
+    let wall = started.elapsed();
+    let runs_per_sec = report.total_runs as f64 / wall.as_secs_f64().max(1e-9);
+
+    print!("{}", report.render());
+    println!(
+        "BENCH-SWEEP — optimal-king n={n} t={t}: {} runs in {:.1} ms on {jobs} worker(s) — {:.0} runs/sec",
+        report.total_runs,
+        wall.as_secs_f64() * 1e3,
+        runs_per_sec,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"sg-bench-sweep/1\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
+         \"spec\": \"optimal-king\",\n  \"n\": {n},\n  \"t\": {t},\n  \
+         \"adversary\": \"random-liar\",\n  \"runs\": {},\n  \"jobs\": {jobs},\n  \
+         \"wall_ms\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"peak_rss_kb\": {},\n  \
+         \"report_fingerprint\": \"{:016x}\"\n}}\n",
+        report.total_runs,
+        wall.as_secs_f64() * 1e3,
+        runs_per_sec,
+        peak_rss_kb(),
+        report_fingerprint(&report),
+    );
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => println!("wrote BENCH_sweep.json"),
+        Err(e) => eprintln!("cannot write BENCH_sweep.json: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -25,6 +116,21 @@ fn main() {
     let markdown = args.iter().any(|a| a == "--markdown");
     let csv = args.iter().any(|a| a == "--csv");
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    let jobs: usize = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--jobs expects a number");
+                std::process::exit(2);
+            };
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs expects a number, got '{v}'");
+                std::process::exit(2);
+            })
+        }
+        None => 0,
+    };
+    sg_analysis::set_jobs(jobs);
+    let effective_jobs = sg_analysis::sweep::jobs();
     let which: Option<String> = args
         .iter()
         .position(|a| a == "--exp")
@@ -54,6 +160,7 @@ fn main() {
         "early-stopping" => print(experiment_early_stopping(scale)),
         "king" => print(experiment_king(scale)),
         "compose" => print(experiment_compositions(scale)),
+        "sweep" => experiment_sweep(scale, effective_jobs),
         "plans" => {
             if markdown {
                 println!("### EXP-F2/F3 — executable round plans (Figures 2 and 3)\n");
@@ -66,7 +173,7 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "known: p1 t1 t2 t3 t4 tradeoff dominance detect stability \
-                 early-stopping king compose plans"
+                 early-stopping king compose plans sweep"
             );
             std::process::exit(2);
         }
@@ -76,8 +183,19 @@ fn main() {
         Some(id) => run_one(&id),
         None => {
             for id in [
-                "p1", "t2", "t3", "t4", "t1", "tradeoff", "dominance", "detect", "stability",
-                "early-stopping", "king", "compose", "plans",
+                "p1",
+                "t2",
+                "t3",
+                "t4",
+                "t1",
+                "tradeoff",
+                "dominance",
+                "detect",
+                "stability",
+                "early-stopping",
+                "king",
+                "compose",
+                "plans",
             ] {
                 run_one(id);
             }

@@ -267,14 +267,7 @@ impl ShiftComposition {
     pub fn build(&self, params: Params, me: ProcessId, input: Option<Value>) -> ComposedProtocol {
         ComposedProtocol {
             input,
-            geared: GearedProtocol::new(
-                params,
-                me,
-                input,
-                self.name(),
-                true,
-                self.plan.clone(),
-            ),
+            geared: GearedProtocol::new(params, me, input, self.name(), true, self.plan.clone()),
             king: self.king_tail.then(|| KingCore::new(params, me)),
             prefix_rounds: self.plan.len(),
             phases: self.t + 1,
@@ -602,7 +595,7 @@ impl ShiftPlanBuilder {
                     }
                     // One round per remaining undetected fault plus the
                     // source-rediscovery round (§4.4).
-                    conclusive = rounds >= (t - d) + 1;
+                    conclusive = rounds > (t - d);
                     d = t.min(d + rounds.saturating_sub(1));
                     terminal = Some(index);
                 }
@@ -682,7 +675,12 @@ impl ComposedProtocol {
 
 impl Protocol for ComposedProtocol {
     fn total_rounds(&self) -> usize {
-        self.prefix_rounds + if self.king.is_some() { 3 * self.phases } else { 0 }
+        self.prefix_rounds
+            + if self.king.is_some() {
+                3 * self.phases
+            } else {
+                0
+            }
     }
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
@@ -700,10 +698,12 @@ impl Protocol for ComposedProtocol {
     fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
         if ctx.round <= self.prefix_rounds {
             self.geared.deliver(inbox, ctx);
-            if ctx.round == self.prefix_rounds && self.king.is_some() && !self.seeded {
+            if ctx.round == self.prefix_rounds && !self.seeded {
+                let Some(king) = self.king.as_mut() else {
+                    return;
+                };
                 let preferred = self.geared.preferred();
                 let faults: Vec<ProcessId> = self.geared.fault_list().iter().collect();
-                let king = self.king.as_mut().expect("checked above");
                 king.set_current(preferred);
                 for p in faults {
                     king.mask(p);
@@ -755,7 +755,10 @@ mod tests {
             let t = t_a(n);
             let req = b_entry_requirement(n, t);
             assert!(n - 2 * t + req > (n - 1) / 2, "n={n}");
-            assert!(req == 0 || n - 2 * t + req - 1 <= (n - 1) / 2, "minimal, n={n}");
+            assert!(
+                req == 0 || n - 2 * t + req - 1 <= (n - 1) / 2,
+                "minimal, n={n}"
+            );
         }
     }
 
@@ -793,7 +796,10 @@ mod tests {
             .c_tail(5)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ComposeError::UnsafeShift { index: 0, .. }), "{err}");
+        assert!(
+            matches!(err, ComposeError::UnsafeShift { index: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -807,7 +813,10 @@ mod tests {
             .c_tail(5)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ComposeError::UnsafeShift { index: 1, .. }), "{err}");
+        assert!(
+            matches!(err, ComposeError::UnsafeShift { index: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -841,7 +850,10 @@ mod tests {
             .a_blocks(3, 1)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ComposeError::TrailingSegments { .. }), "{err}");
+        assert!(
+            matches!(err, ComposeError::TrailingSegments { .. }),
+            "{err}"
+        );
         // C followed by King is the one allowed terminal chain.
         assert!(ShiftPlanBuilder::new(16, 5)
             .a_blocks(4, 3)
@@ -858,11 +870,17 @@ mod tests {
             ComposeError::Empty
         ));
         assert!(matches!(
-            ShiftPlanBuilder::new(16, 0).a_blocks(3, 1).king_tail().build(),
+            ShiftPlanBuilder::new(16, 0)
+                .a_blocks(3, 1)
+                .king_tail()
+                .build(),
             Err(ComposeError::Spec(SpecError::FaultBoundZero))
         ));
         assert!(matches!(
-            ShiftPlanBuilder::new(16, 6).a_blocks(3, 1).king_tail().build(),
+            ShiftPlanBuilder::new(16, 6)
+                .a_blocks(3, 1)
+                .king_tail()
+                .build(),
             Err(ComposeError::Spec(SpecError::ResilienceExceeded { .. }))
         ));
     }
@@ -882,7 +900,10 @@ mod tests {
             Err(ComposeError::BadSegment { index: 0, .. })
         ));
         assert!(matches!(
-            ShiftPlanBuilder::new(21, 5).b_blocks(6, 1).c_tail(6).build(),
+            ShiftPlanBuilder::new(21, 5)
+                .b_blocks(6, 1)
+                .c_tail(6)
+                .build(),
             Err(ComposeError::BadSegment { index: 0, .. })
         ));
     }
@@ -916,19 +937,31 @@ mod tests {
     #[test]
     fn bad_block_parameters_rejected() {
         assert!(matches!(
-            ShiftPlanBuilder::new(16, 5).a_blocks(2, 1).king_tail().build(),
+            ShiftPlanBuilder::new(16, 5)
+                .a_blocks(2, 1)
+                .king_tail()
+                .build(),
             Err(ComposeError::BadSegment { index: 0, .. })
         ));
         assert!(matches!(
-            ShiftPlanBuilder::new(21, 5).b_blocks(1, 1).king_tail().build(),
+            ShiftPlanBuilder::new(21, 5)
+                .b_blocks(1, 1)
+                .king_tail()
+                .build(),
             Err(ComposeError::BadSegment { .. })
         ));
         assert!(matches!(
-            ShiftPlanBuilder::new(16, 5).a_blocks(3, 0).king_tail().build(),
+            ShiftPlanBuilder::new(16, 5)
+                .a_blocks(3, 0)
+                .king_tail()
+                .build(),
             Err(ComposeError::BadSegment { .. })
         ));
         assert!(matches!(
-            ShiftPlanBuilder::new(16, 5).a_blocks(4, 2).c_tail(0).build(),
+            ShiftPlanBuilder::new(16, 5)
+                .a_blocks(4, 2)
+                .c_tail(0)
+                .build(),
             Err(ComposeError::BadSegment { .. })
         ));
     }

@@ -116,9 +116,7 @@ impl Protocol for DolevStrong {
             if let Payload::Signed(relays) = inbox.from(sender) {
                 for relay in relays {
                     ctx.charge(1 + relay.chain.len() as u64);
-                    if self.acceptable(relay, round, ctx)
-                        && !self.accepted.contains(&relay.value)
-                    {
+                    if self.acceptable(relay, round, ctx) && !self.accepted.contains(&relay.value) {
                         self.accepted.insert(relay.value);
                         ctx.emit(TraceEvent::Note {
                             text: format!("accepted value {} in round {round}", relay.value),

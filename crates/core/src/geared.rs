@@ -8,12 +8,8 @@
 //! algorithm in the paper (and the hybrid that shifts across all three) is
 //! an instance of this one machine with a different plan.
 
-use sg_eigtree::{
-    convert, discover_during_conversion, discover_ig, FaultList, IgTree, RepTree,
-};
-use sg_sim::{
-    Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, TraceEvent, Value,
-};
+use sg_eigtree::{convert, discover_during_conversion, discover_ig, FaultList, IgTree, RepTree};
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, TraceEvent, Value};
 
 use crate::params::Params;
 use crate::plan::RoundAction;
@@ -165,9 +161,7 @@ impl Protocol for GearedProtocol {
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
         match self.action(ctx.round) {
-            RoundAction::Initial => self
-                .input
-                .map(|v| Payload::values([v])),
+            RoundAction::Initial => self.input.map(|v| Payload::values([v])),
             RoundAction::Gather { .. } => {
                 if self.me == self.params.source {
                     // The no-repetition tree has no slots labelled by the
@@ -179,9 +173,7 @@ impl Protocol for GearedProtocol {
                 }
             }
             RoundAction::RepFirstGather => Some(Payload::values([self.rep.root()])),
-            RoundAction::RepGather => {
-                Some(Payload::Values(self.rep.intermediates().to_vec()))
-            }
+            RoundAction::RepGather => Some(Payload::Values(self.rep.intermediates().to_vec())),
         }
     }
 
@@ -250,12 +242,8 @@ impl Protocol for GearedProtocol {
                     let converted = convert(&self.tree, spec.conversion);
                     ctx.charge(converted.ops());
                     if spec.discovery && self.modified {
-                        let report = discover_during_conversion(
-                            &self.tree,
-                            &converted,
-                            t,
-                            &self.faults,
-                        );
+                        let report =
+                            discover_during_conversion(&self.tree, &converted, t, &self.faults);
                         ctx.charge(report.ops);
                         self.admit_discoveries(&report.discovered, true, ctx);
                     }
@@ -282,9 +270,7 @@ impl Protocol for GearedProtocol {
                         } else if faults.contains(q) {
                             Value::DEFAULT
                         } else {
-                            domain.sanitize(
-                                inbox.from(q).value_at(0).unwrap_or(Value::DEFAULT),
-                            )
+                            domain.sanitize(inbox.from(q).value_at(0).unwrap_or(Value::DEFAULT))
                         }
                     });
                     ctx.charge(ops);
@@ -312,9 +298,7 @@ impl Protocol for GearedProtocol {
                         } else if faults.contains(r) {
                             Value::DEFAULT
                         } else {
-                            domain.sanitize(
-                                inbox.from(r).value_at(w).unwrap_or(Value::DEFAULT),
-                            )
+                            domain.sanitize(inbox.from(r).value_at(w).unwrap_or(Value::DEFAULT))
                         }
                     });
                     ctx.charge(ops);

@@ -115,9 +115,8 @@ mod tests {
             for ctx in &mut ctxs {
                 ctx.round = round;
             }
-            let broadcasts: Vec<Option<Payload>> = (0..n)
-                .map(|i| protos[i].outgoing(&mut ctxs[i]))
-                .collect();
+            let broadcasts: Vec<Option<Payload>> =
+                (0..n).map(|i| protos[i].outgoing(&mut ctxs[i])).collect();
             for i in 0..n {
                 let mut inbox = Inbox::empty(n);
                 for j in 0..n {
@@ -177,12 +176,7 @@ mod tests {
     fn consensus_on_unanimous_inputs_is_that_value() {
         let config = RunConfig::new(4, 1);
         let inputs = vec![Value(1); 4];
-        let outcome = run_consensus(
-            AlgorithmSpec::Exponential,
-            &config,
-            inputs,
-            &mut NoFaults,
-        );
+        let outcome = run_consensus(AlgorithmSpec::Exponential, &config, inputs, &mut NoFaults);
         assert!(outcome.agreement());
         assert_eq!(outcome.decision(), Some(Value(1)));
     }
@@ -199,10 +193,8 @@ mod tests {
             Value(1),
             Value(0),
         ];
-        let mut adversary = sg_adversary::RandomLiar::new(
-            sg_adversary::FaultSelection::without_source(),
-            77,
-        );
+        let mut adversary =
+            sg_adversary::RandomLiar::new(sg_adversary::FaultSelection::without_source(), 77);
         let outcome = run_consensus(AlgorithmSpec::Exponential, &config, inputs, &mut adversary);
         assert!(outcome.agreement(), "consensus decisions diverged");
     }

@@ -61,11 +61,11 @@ mod spec;
 
 pub use compose::{ComposeError, Segment, ShiftComposition, ShiftPlanBuilder};
 pub use geared::GearedProtocol;
-pub use king_shift::KingShift;
-pub use optimal_king::{KingCore, OptimalKing, PhaseStep};
 pub use interactive::{interactive_consistency, run_consensus};
+pub use king_shift::KingShift;
 pub use multiplex::{plurality, Multiplex};
 pub use multivalued::{multivalued_broadcast, run_multivalued};
+pub use optimal_king::{KingCore, OptimalKing, PhaseStep};
 pub use params::{isqrt, t_a, t_b, t_c, Params};
 pub use plan::{render_plan, RoundAction};
 pub use runner::execute;

@@ -113,7 +113,7 @@ impl Protocol for Multiplex {
             any |= segment.is_some();
             push_frame(&mut out, segment);
         }
-        any.then(|| Payload::Values(out))
+        any.then_some(Payload::Values(out))
     }
 
     fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {

@@ -171,9 +171,7 @@ impl KingCore {
     pub fn outgoing(&mut self, phase: usize, step: PhaseStep) -> Option<Payload> {
         match step {
             PhaseStep::Exchange => Some(Payload::values([self.current])),
-            PhaseStep::Propose => {
-                Some(Payload::values([self.proposal.unwrap_or(BOT_WIRE)]))
-            }
+            PhaseStep::Propose => Some(Payload::values([self.proposal.unwrap_or(BOT_WIRE)])),
             PhaseStep::King => {
                 (self.king(phase) == self.me).then(|| Payload::values([self.current]))
             }
@@ -237,7 +235,7 @@ impl KingCore {
                 if c >= n - t {
                     self.current = top;
                     self.locked = true;
-                } else if c >= t + 1 {
+                } else if c > t {
                     self.current = top;
                     self.locked = false;
                 } else {

@@ -73,7 +73,7 @@ impl PhaseKing {
     fn role(&self, round: usize) -> Role {
         if round == 1 {
             Role::SourceRound
-        } else if round % 2 == 0 {
+        } else if round.is_multiple_of(2) {
             Role::Exchange
         } else {
             Role::KingRound {
@@ -120,7 +120,9 @@ impl Protocol for PhaseKing {
                     ),
                 };
                 ctx.charge(1);
-                ctx.emit(TraceEvent::Preferred { value: self.current });
+                ctx.emit(TraceEvent::Preferred {
+                    value: self.current,
+                });
             }
             Role::Exchange => {
                 // Tally everyone's value (own included); plurality with
@@ -152,9 +154,7 @@ impl Protocol for PhaseKing {
                 let king_value = if king == self.me {
                     maj
                 } else {
-                    domain.sanitize(
-                        inbox.from(king).value_at(0).unwrap_or(Value::DEFAULT),
-                    )
+                    domain.sanitize(inbox.from(king).value_at(0).unwrap_or(Value::DEFAULT))
                 };
                 // Keep the plurality only with super-majority support.
                 self.current = if count > n / 2 + self.params.t {
@@ -163,7 +163,9 @@ impl Protocol for PhaseKing {
                     king_value
                 };
                 ctx.charge(1);
-                ctx.emit(TraceEvent::Preferred { value: self.current });
+                ctx.emit(TraceEvent::Preferred {
+                    value: self.current,
+                });
             }
         }
     }

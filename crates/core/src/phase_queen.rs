@@ -81,7 +81,7 @@ impl Protocol for PhaseQueen {
         if round == 1 {
             return self.input.map(|v| Payload::values([v]));
         }
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Exchange round.
             Some(Payload::values([self.current]))
         } else {
@@ -112,10 +112,12 @@ impl Protocol for PhaseQueen {
                 ),
             };
             ctx.charge(1);
-            ctx.emit(TraceEvent::Preferred { value: self.current });
+            ctx.emit(TraceEvent::Preferred {
+                value: self.current,
+            });
             return;
         }
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Tally ones (own value included).
             self.ones = 0;
             for i in 0..n {
@@ -140,9 +142,7 @@ impl Protocol for PhaseQueen {
             let queen_value = if queen == self.me {
                 Value(u16::from(2 * self.ones > n))
             } else {
-                domain.sanitize(
-                    inbox.from(queen).value_at(0).unwrap_or(Value::DEFAULT),
-                )
+                domain.sanitize(inbox.from(queen).value_at(0).unwrap_or(Value::DEFAULT))
             };
             // Threshold rule: a super-majority for either bit overrides
             // the queen; otherwise her value wins the phase. Exact
@@ -155,7 +155,9 @@ impl Protocol for PhaseQueen {
                 queen_value
             };
             ctx.charge(1);
-            ctx.emit(TraceEvent::Preferred { value: self.current });
+            ctx.emit(TraceEvent::Preferred {
+                value: self.current,
+            });
         }
     }
 

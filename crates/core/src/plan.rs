@@ -165,9 +165,7 @@ pub fn render_plan(name: &str, plan: &[RoundAction]) -> String {
     for (i, action) in plan.iter().enumerate() {
         let round = i + 1;
         let line = match action {
-            RoundAction::Initial => {
-                "the source broadcasts its value; store tree(s)".to_string()
-            }
+            RoundAction::Initial => "the source broadcasts its value; store tree(s)".to_string(),
             RoundAction::Gather { convert: None } => {
                 "gather: broadcast deepest level; store; discover; mask".to_string()
             }
@@ -260,10 +258,7 @@ mod tests {
                 convert: Some(spec),
             } = action
             {
-                assert!(matches!(
-                    spec.conversion,
-                    Conversion::ResolvePrime { t: 7 }
-                ));
+                assert!(matches!(spec.conversion, Conversion::ResolvePrime { t: 7 }));
                 assert!(spec.discovery);
             }
         }

@@ -53,7 +53,10 @@ pub fn algorithm_b_blocks(t: usize, b: usize) -> BlockPlan {
 /// `b = 2` gives no progress guarantee — the paper's time bound is
 /// infinite there).
 pub fn algorithm_a_blocks(t: usize, b: usize) -> BlockPlan {
-    assert!(b >= 3, "Algorithm A requires b >= 3 for guaranteed progress");
+    assert!(
+        b >= 3,
+        "Algorithm A requires b >= 3 for guaranteed progress"
+    );
     assert!(b < t, "for b >= t run the Exponential Algorithm instead");
     let x = (t - 1) / (b - 2);
     let y = (t - 1) % (b - 2);
@@ -152,9 +155,7 @@ impl HybridSchedule {
 
         // Least t_AB with n − 2t + t_AB > ⌊(n−1)/2⌋; at least 1.
         let need = (n - 1) / 2;
-        let t_ab = (need + 1 + 2 * t)
-            .saturating_sub(n)
-            .clamp(1, t);
+        let t_ab = (need + 1 + 2 * t).saturating_sub(n).clamp(1, t);
 
         // Least t_AC satisfying both Lemma-6 preconditions; at least t_AB.
         let mut t_ac = t;
@@ -287,10 +288,7 @@ mod tests {
                 // Phase lengths match their closed forms.
                 assert_eq!(s.k_ab, 2 + s.t_ab + 2 * ((s.t_ab - 1) / (b - 2)));
                 assert_eq!(s.k_bc, 1 + s.t_bc + s.t_bc / (b - 1));
-                assert_eq!(
-                    s.total_rounds(),
-                    s.k_ab + s.k_bc + s.t - s.t_ac + 1
-                );
+                assert_eq!(s.total_rounds(), s.k_ab + s.k_bc + s.t - s.t_ac + 1);
                 // Main Theorem closed form agrees with the sum.
                 assert_eq!(s.total_rounds(), s.main_theorem_rounds());
                 // t_AB makes Corollary 1 usable after the A→B shift.

@@ -272,9 +272,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::AlgorithmA { b } => Some(algorithm_a_plan(t, b)),
             AlgorithmSpec::AlgorithmB { b } => Some(algorithm_b_plan(t, b)),
             AlgorithmSpec::AlgorithmC => Some(algorithm_c_plan(t)),
-            AlgorithmSpec::Hybrid { b } => {
-                Some(hybrid_plan(&HybridSchedule::compute(n, b)))
-            }
+            AlgorithmSpec::Hybrid { b } => Some(hybrid_plan(&HybridSchedule::compute(n, b))),
             AlgorithmSpec::PhaseKing
             | AlgorithmSpec::PhaseQueen
             | AlgorithmSpec::OptimalKing
@@ -295,20 +293,13 @@ impl AlgorithmSpec {
     /// # Panics
     ///
     /// Panics if the parameters fail [`AlgorithmSpec::validate`].
-    pub fn build(
-        &self,
-        params: Params,
-        me: ProcessId,
-        input: Option<Value>,
-    ) -> Box<dyn Protocol> {
+    pub fn build(&self, params: Params, me: ProcessId, input: Option<Value>) -> Box<dyn Protocol> {
         self.validate(params.n, params.t)
             .unwrap_or_else(|e| panic!("invalid algorithm parameters: {e}"));
         match self {
             AlgorithmSpec::PhaseKing => Box::new(PhaseKing::new(params, me, input)),
             AlgorithmSpec::OptimalKing => Box::new(OptimalKing::new(params, me, input)),
-            AlgorithmSpec::KingShift { b } => {
-                Box::new(KingShift::new(params, me, input, *b))
-            }
+            AlgorithmSpec::KingShift { b } => Box::new(KingShift::new(params, me, input, *b)),
             AlgorithmSpec::PhaseQueen => Box::new(PhaseQueen::new(params, me, input)),
             AlgorithmSpec::DolevStrong => Box::new(DolevStrong::new(params, me, input)),
             _ => {
@@ -413,7 +404,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(AlgorithmSpec::AlgorithmA { b: 4 }.name(), "algorithm-a(b=4)");
+        assert_eq!(
+            AlgorithmSpec::AlgorithmA { b: 4 }.name(),
+            "algorithm-a(b=4)"
+        );
         assert_eq!(AlgorithmSpec::Hybrid { b: 3 }.name(), "hybrid(b=3)");
     }
 }

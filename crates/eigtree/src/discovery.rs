@@ -185,7 +185,7 @@ mod tests {
         let t = tree_with_level1([1, 1, 1, 0]);
         let mut l = FaultList::new(5);
         l.insert(ProcessId(2), 1); // P2 already discovered
-        // The dissenting child is the 4th (P4): not in L, so dissent 1 > 0.
+                                   // The dissenting child is the 4th (P4): not in L, so dissent 1 > 0.
         let report = discover_ig(&t, 1, &l);
         assert_eq!(report.discovered, vec![ProcessId(0)]);
     }

@@ -32,9 +32,7 @@ pub fn render_tree(tree: &IgTree, max_level: usize) -> String {
 }
 
 fn render_rec(tree: &IgTree, path: &mut Vec<ProcessId>, deepest: usize, out: &mut String) {
-    let value = tree
-        .value_at(path)
-        .expect("path within stored levels");
+    let value = tree.value_at(path).expect("path within stored levels");
     for _ in 0..path.len() {
         out.push_str("    ");
     }

@@ -199,7 +199,7 @@ fn unique_supported(children: &[Res], t: usize) -> Res {
     }
     let mut winner: Option<Value> = None;
     for (v, c) in counts {
-        if c >= t + 1 {
+        if c > t {
             if winner.is_some() {
                 return Res::Bottom; // not unique
             }
@@ -268,7 +268,10 @@ mod tests {
             v
         });
         let c = convert(&t, Conversion::Resolve);
-        assert_eq!(c.level(1), &[Res::Val(Value(0)), Res::Val(Value(1)), Res::Val(Value(1))]);
+        assert_eq!(
+            c.level(1),
+            &[Res::Val(Value(0)), Res::Val(Value(1)), Res::Val(Value(1))]
+        );
         // Root majority over [0, 1, 1] = 1.
         assert_eq!(c.root(), Res::Val(Value(1)));
     }

@@ -151,10 +151,7 @@ impl Shape {
         for &p in path {
             used[p.index()] = true;
         }
-        (0..self.n)
-            .filter(|&i| !used[i])
-            .map(ProcessId)
-            .collect()
+        (0..self.n).filter(|&i| !used[i]).map(ProcessId).collect()
     }
 
     /// The last label of the path of node `i` at level `k`; for the root
@@ -198,10 +195,7 @@ impl Shape {
         F: FnMut(usize, &[ProcessId], &[ProcessId]),
     {
         if path.len() == k {
-            let labels: Vec<ProcessId> = (0..self.n)
-                .filter(|&i| !used[i])
-                .map(ProcessId)
-                .collect();
+            let labels: Vec<ProcessId> = (0..self.n).filter(|&i| !used[i]).map(ProcessId).collect();
             f(*next_index, path, &labels);
             *next_index += 1;
             return;

@@ -192,11 +192,7 @@ mod tests {
         });
         assert_eq!(
             seen,
-            vec![
-                (0, ProcessId(1)),
-                (0, ProcessId(2)),
-                (0, ProcessId(3))
-            ]
+            vec![(0, ProcessId(1)), (0, ProcessId(2)), (0, ProcessId(3))]
         );
         assert_eq!(t.value_at(&[ProcessId(2)]), Some(Value(2)));
     }

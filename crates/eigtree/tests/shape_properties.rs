@@ -29,7 +29,7 @@ proptest! {
     /// by `children_range`, with labels matching `child_labels`.
     #[test]
     fn children_blocks_are_contiguous(n in 4usize..8, k in 0usize..3) {
-        prop_assume!(k + 1 <= n - 2);
+        prop_assume!(k < n - 2);
         let shape = Shape::new(n, ProcessId(0));
         for i in 0..shape.level_size(k) {
             let path = shape.path(k, i);

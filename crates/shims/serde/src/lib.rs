@@ -1,0 +1,17 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op derive macros from the sibling `serde_derive`
+//! shim and declares empty marker traits so that `T: serde::Serialize`
+//! bounds would still compile if a future change introduces them. See
+//! the `serde_derive` shim for why this is sound in this workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// generates no impls, so write explicit impls if a bound ever appears).
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize` (see [`SerializeMarker`]).
+pub trait DeserializeMarker {}

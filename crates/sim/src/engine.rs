@@ -12,7 +12,18 @@
 //! 3. asks the adversary for a payload per (faulty sender, recipient);
 //! 4. delivers complete inboxes to every processor (real and shadow);
 //! 5. accounts honest traffic, local work and peak space.
+//!
+//! # Allocation discipline
+//!
+//! Large sweeps execute millions of rounds, so the round loop is
+//! allocation-lean: all per-round buffers (broadcast tables, the faulty
+//! payload matrix, the delivery inbox) live in a [`RunArena`] that is
+//! recycled across rounds *and* across runs through a thread-local pool.
+//! Combined with [`Payload::into_shared`]'s interning of missing and
+//! single-bit payloads, a steady-state Phase-King round allocates nothing
+//! on the engine side.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -110,9 +121,12 @@ pub struct Outcome {
 }
 
 impl Outcome {
-    /// Whether all correct processors decided on the same value
-    /// (the paper's agreement condition).
-    pub fn agreement(&self) -> bool {
+    /// Single pass over the decisions: whether all correct processors
+    /// decided the same value, and — when they did — that value (the
+    /// first correct processor's decision; `None` when no processor is
+    /// correct). [`Outcome::agreement`], [`Outcome::decision`] and
+    /// [`Outcome::assert_correct`] are all views of this one scan.
+    fn consensus(&self) -> (bool, Option<Value>) {
         let mut seen: Option<Value> = None;
         for (i, d) in self.decisions.iter().enumerate() {
             if self.faulty.contains(ProcessId(i)) {
@@ -120,12 +134,18 @@ impl Outcome {
             }
             match (seen, d) {
                 (None, Some(v)) => seen = Some(*v),
-                (Some(prev), Some(v)) if prev != *v => return false,
-                (_, None) => return false,
+                (Some(prev), Some(v)) if prev != *v => return (false, None),
+                (_, None) => return (false, None),
                 _ => {}
             }
         }
-        true
+        (true, seen)
+    }
+
+    /// Whether all correct processors decided on the same value
+    /// (the paper's agreement condition).
+    pub fn agreement(&self) -> bool {
+        self.consensus().0
     }
 
     /// Whether the validity condition holds: if the source is correct,
@@ -136,21 +156,17 @@ impl Outcome {
             return None;
         }
         let want = self.config.source_value;
-        Some(self.decisions.iter().enumerate().all(|(i, d)| {
-            self.faulty.contains(ProcessId(i)) || *d == Some(want)
-        }))
+        Some(
+            self.decisions
+                .iter()
+                .enumerate()
+                .all(|(i, d)| self.faulty.contains(ProcessId(i)) || *d == Some(want)),
+        )
     }
 
     /// The common decision value if agreement holds.
     pub fn decision(&self) -> Option<Value> {
-        if !self.agreement() {
-            return None;
-        }
-        self.decisions
-            .iter()
-            .enumerate()
-            .find(|(i, _)| !self.faulty.contains(ProcessId(*i)))
-            .and_then(|(_, d)| *d)
+        self.consensus().1
     }
 
     /// Asserts agreement and validity, panicking with diagnostics
@@ -161,25 +177,76 @@ impl Outcome {
     /// Panics if agreement fails, or if the source is correct and some
     /// correct processor decided a different value.
     pub fn assert_correct(&self) {
+        let (agreement, _) = self.consensus();
         assert!(
-            self.agreement(),
+            agreement,
             "agreement violated (adversary {}, faulty {}): decisions {:?}",
-            self.adversary,
-            self.faulty,
-            self.decisions
+            self.adversary, self.faulty, self.decisions
         );
         if let Some(valid) = self.validity() {
             assert!(
                 valid,
                 "validity violated (adversary {}, faulty {}, source value {}): decisions {:?}",
-                self.adversary,
-                self.faulty,
-                self.config.source_value,
-                self.decisions
+                self.adversary, self.faulty, self.config.source_value, self.decisions
             );
         }
     }
 }
+
+/// Reusable execution buffers: broadcast tables, the faulty payload
+/// matrix, and the delivery inbox.
+///
+/// One arena serves one execution at a time; [`run`] recycles arenas
+/// through a thread-local pool so back-to-back runs (the sweep engine's
+/// steady state) reuse the same heap blocks. All buffers are fully
+/// overwritten at the start of each use, so no state flows between
+/// consecutive runs — `tests/sweep_determinism.rs` pins this down.
+#[derive(Default)]
+pub struct RunArena {
+    honest: Vec<Option<Arc<Payload>>>,
+    shadow: Vec<Option<Arc<Payload>>>,
+    /// `rows[sender][recipient]`, used only for faulty senders.
+    rows: Vec<Vec<Arc<Payload>>>,
+    inbox: Option<Inbox>,
+}
+
+impl RunArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        RunArena::default()
+    }
+
+    /// Sizes every buffer for an `n`-processor run and clears payloads
+    /// retained from any previous run (dropping stale `Arc`s).
+    fn reset(&mut self, n: usize) {
+        self.honest.clear();
+        self.honest.resize(n, None);
+        self.shadow.clear();
+        self.shadow.resize(n, None);
+        self.rows.resize_with(n, Vec::new);
+        for row in &mut self.rows {
+            row.clear();
+            row.resize_with(n, Payload::shared_missing);
+        }
+        match &mut self.inbox {
+            Some(inbox) if inbox.n() == n => {
+                for j in 0..n {
+                    inbox.set_shared(ProcessId(j), Payload::shared_missing());
+                }
+            }
+            slot => *slot = Some(Inbox::empty(n)),
+        }
+    }
+}
+
+thread_local! {
+    /// Pool of arenas recycled across runs on this thread.
+    static ARENA_POOL: RefCell<Vec<RunArena>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How many idle arenas each thread keeps (runs never nest deeper than
+/// protocol-in-protocol compositions, so a handful is plenty).
+const ARENA_POOL_CAP: usize = 4;
 
 /// Runs one execution of `protocol` (instantiated per processor by `mk`)
 /// against `adversary`.
@@ -190,6 +257,8 @@ impl Outcome {
 /// same factory and driven honestly so the adversary can see what an
 /// honest version would send.
 ///
+/// Buffers come from this thread's arena pool; see [`RunArena`].
+///
 /// # Panics
 ///
 /// Panics if protocol instances disagree on `total_rounds` — every
@@ -198,7 +267,33 @@ pub fn run<F>(config: &RunConfig, adversary: &mut dyn Adversary, mk: F) -> Outco
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
+    let mut arena = ARENA_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    let outcome = run_in(&mut arena, config, adversary, mk);
+    ARENA_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < ARENA_POOL_CAP {
+            pool.push(arena);
+        }
+    });
+    outcome
+}
+
+/// Like [`run`], but with caller-supplied buffers — the allocation-free
+/// path for callers that loop over many executions and want to hold one
+/// arena across all of them.
+pub fn run_in<F>(
+    arena: &mut RunArena,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    mk: F,
+) -> Outcome
+where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
     let n = config.n;
+    arena.reset(n);
     let faulty = adversary.corrupt(n, config.t, config.source);
     assert_eq!(faulty.universe(), n, "fault set universe must match n");
 
@@ -238,16 +333,19 @@ where
         }
 
         // 1. Honest broadcasts and shadow broadcasts (shared, not cloned
-        // per recipient: EIG payloads are large).
-        let mut honest_broadcast: Vec<Option<Arc<Payload>>> = vec![None; n];
-        let mut shadow_broadcast: Vec<Option<Arc<Payload>>> = vec![None; n];
+        // per recipient: EIG payloads are large). Both tables are fully
+        // overwritten every round, so arena reuse leaks nothing.
         for i in 0..n {
             let p = ProcessId(i);
-            let out = protocols[i].outgoing(&mut ctxs[i]).map(Arc::new);
+            let out = protocols[i]
+                .outgoing(&mut ctxs[i])
+                .map(Payload::into_shared);
             if faulty.contains(p) {
-                shadow_broadcast[i] = out;
+                arena.shadow[i] = out;
+                arena.honest[i] = None;
             } else {
-                honest_broadcast[i] = out;
+                arena.honest[i] = out;
+                arena.shadow[i] = None;
             }
         }
 
@@ -256,7 +354,7 @@ where
             round,
             ..RoundStats::default()
         };
-        for payload in honest_broadcast.iter().flatten() {
+        for payload in arena.honest.iter().flatten() {
             let values = payload.num_values() as u64;
             let bits = payload.bits(bits_per_value);
             let fanout = (n - 1) as u64;
@@ -278,40 +376,47 @@ where
             source_value: config.source_value,
             domain: config.domain,
             faulty: &faulty,
-            honest_broadcast: &honest_broadcast,
-            shadow_broadcast: &shadow_broadcast,
+            honest_broadcast: &arena.honest,
+            shadow_broadcast: &arena.shadow,
             sigs: sigs.clone(),
         };
-        // faulty_payloads[sender][recipient]
-        let mut faulty_payloads: Vec<Vec<Arc<Payload>>> = vec![Vec::new(); n];
+        // Faulty payload matrix, `rows[sender][recipient]`: every slot of
+        // each faulty row is overwritten every round (the self slot with
+        // the interned missing payload), so row reuse leaks nothing.
+        // Honest rows are never read.
         for f in faulty.iter() {
-            let mut row = vec![Arc::new(Payload::Missing); n];
             for r in 0..n {
-                if r != f.index() {
-                    row[r] = Arc::new(adversary.payload(f, ProcessId(r), &view));
-                }
-            }
-            faulty_payloads[f.index()] = row;
-        }
-
-        // 4. Deliver complete inboxes to every processor (incl. shadows).
-        for i in 0..n {
-            let mut inbox = Inbox::empty(n);
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let q = ProcessId(j);
-                let payload = if faulty.contains(q) {
-                    faulty_payloads[j][i].clone()
+                arena.rows[f.index()][r] = if r == f.index() {
+                    Payload::shared_missing()
                 } else {
-                    honest_broadcast[j]
-                        .clone()
-                        .unwrap_or_else(|| Arc::new(Payload::Missing))
+                    adversary.payload(f, ProcessId(r), &view).into_shared()
+                };
+            }
+        }
+        let RunArena {
+            honest,
+            rows,
+            inbox,
+            ..
+        } = &mut *arena;
+        let inbox = inbox.as_mut().expect("arena reset installed an inbox");
+
+        // 4. Deliver complete inboxes to every processor (incl. shadows),
+        // reusing one inbox: every sender slot is overwritten for every
+        // recipient (the self slot with the interned missing payload).
+        for i in 0..n {
+            for j in 0..n {
+                let q = ProcessId(j);
+                let payload = if i == j {
+                    Payload::shared_missing()
+                } else if faulty.contains(q) {
+                    rows[j][i].clone()
+                } else {
+                    honest[j].clone().unwrap_or_else(Payload::shared_missing)
                 };
                 inbox.set_shared(q, payload);
             }
-            protocols[i].deliver(&inbox, &mut ctxs[i]);
+            protocols[i].deliver(inbox, &mut ctxs[i]);
         }
 
         // 5. Peak-space sampling (honest processors only).

@@ -21,7 +21,19 @@ use std::fmt;
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(format!("{p}"), "P3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct ProcessId(pub usize);
 
 impl ProcessId {

@@ -64,7 +64,7 @@ pub mod trace;
 mod value;
 
 pub use adversary::{Adversary, AdversaryView, NoFaults};
-pub use engine::{run, Outcome, RunConfig};
+pub use engine::{run, run_in, Outcome, RunArena, RunConfig};
 pub use id::{ProcessId, ProcessSet};
 pub use metrics::{Metrics, RoundStats};
 pub use payload::Payload;

@@ -6,6 +6,8 @@
 //! any vector (of any length), a signed-relay bundle for the authenticated
 //! baseline, or nothing at all.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::sig::SignedRelay;
 use crate::value::Value;
 
@@ -28,7 +30,7 @@ use crate::value::Value;
 /// assert_eq!(p.value_at(5), None);
 /// assert_eq!(Payload::Missing.value_at(0), None);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize, Default)]
 pub enum Payload {
     /// A vector of values in canonical tree order.
     Values(Vec<Value>),
@@ -36,6 +38,7 @@ pub enum Payload {
     /// Dolev–Strong baseline.
     Signed(Vec<SignedRelay>),
     /// No message (or one so garbled the receiver discards it wholesale).
+    #[default]
     Missing,
 }
 
@@ -87,12 +90,44 @@ impl Payload {
     pub fn is_missing(&self) -> bool {
         matches!(self, Payload::Missing)
     }
+
+    /// The shared [`Payload::Missing`] singleton.
+    ///
+    /// Fanning a missing payload out to `n−1` recipients clones this
+    /// `Arc` instead of allocating — part of the engine's zero-allocation
+    /// round loop.
+    pub fn shared_missing() -> Arc<Payload> {
+        interned()[0].clone()
+    }
+
+    /// Wraps `self` in an `Arc`, with a small-value fast path.
+    ///
+    /// The binary-domain protocols (Phase King, the king phases of the
+    /// shifted families, Algorithm C's proposal rounds) broadcast mostly
+    /// single-value payloads over `{0, 1}`; those and [`Payload::Missing`]
+    /// are interned, so sharing them allocates nothing. Everything else
+    /// takes one `Arc` allocation, exactly as before.
+    pub fn into_shared(self) -> Arc<Payload> {
+        match &self {
+            Payload::Missing => interned()[0].clone(),
+            Payload::Values(v) if v.len() == 1 && v[0].raw() <= 1 => {
+                interned()[1 + v[0].raw() as usize].clone()
+            }
+            _ => Arc::new(self),
+        }
+    }
 }
 
-impl Default for Payload {
-    fn default() -> Self {
-        Payload::Missing
-    }
+/// Interned payloads: `[Missing, Values([0]), Values([1])]`.
+fn interned() -> &'static [Arc<Payload>; 3] {
+    static INTERNED: OnceLock<[Arc<Payload>; 3]> = OnceLock::new();
+    INTERNED.get_or_init(|| {
+        [
+            Arc::new(Payload::Missing),
+            Arc::new(Payload::Values(vec![Value(0)])),
+            Arc::new(Payload::Values(vec![Value(1)])),
+        ]
+    })
 }
 
 #[cfg(test)]
@@ -118,5 +153,23 @@ mod tests {
         let p = Payload::values([Value(1)]);
         assert_eq!(p.value_at(0), Some(Value(1)));
         assert_eq!(p.value_at(1), None);
+    }
+
+    #[test]
+    fn interned_payloads_share_storage_and_compare_equal() {
+        let a = Payload::values([Value(1)]).into_shared();
+        let b = Payload::values([Value(1)]).into_shared();
+        assert!(Arc::ptr_eq(&a, &b), "binary single values are interned");
+        assert!(Arc::ptr_eq(
+            &Payload::shared_missing(),
+            &Payload::Missing.into_shared()
+        ));
+        // Everything else allocates fresh but compares structurally.
+        let c = Payload::values([Value(2)]).into_shared();
+        let d = Payload::values([Value(2)]).into_shared();
+        assert!(!Arc::ptr_eq(&c, &d));
+        assert_eq!(*c, *d);
+        let long = Payload::values([Value(1), Value(1)]).into_shared();
+        assert_eq!(long.num_values(), 2);
     }
 }

@@ -32,10 +32,11 @@ pub struct Inbox {
 }
 
 impl Inbox {
-    /// An inbox of `n` missing payloads.
+    /// An inbox of `n` missing payloads (all sharing the interned
+    /// missing singleton — no per-slot allocation).
     pub fn empty(n: usize) -> Self {
         Inbox {
-            payloads: vec![Arc::new(Payload::Missing); n],
+            payloads: vec![Payload::shared_missing(); n],
         }
     }
 

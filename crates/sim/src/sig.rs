@@ -81,7 +81,11 @@ impl SigRegistry {
     pub fn originate(&mut self, signer: ProcessId, value: Value) -> SignedRelay {
         let chain = vec![signer];
         let token = self.issue(value, chain.clone());
-        SignedRelay { value, chain, token }
+        SignedRelay {
+            value,
+            chain,
+            token,
+        }
     }
 
     /// Extends a valid relay with `signer`'s signature.

@@ -97,7 +97,7 @@ impl Trace {
 
     /// Whether any entry matches the predicate.
     pub fn any<F: Fn(&TraceEntry) -> bool>(&self, pred: F) -> bool {
-        self.entries.iter().any(|e| pred(e))
+        self.entries.iter().any(pred)
     }
 }
 

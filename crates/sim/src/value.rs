@@ -22,7 +22,19 @@ use std::fmt;
 /// assert_eq!(Value::DEFAULT, Value(0));
 /// assert_eq!(Value(1).to_string(), "1");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Value(pub u16);
 
 impl Value {

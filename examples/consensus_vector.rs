@@ -16,7 +16,10 @@ fn main() {
     let t = 2;
     // Inputs: P0..P3 vote 1, P4..P6 vote 0.
     let inputs: Vec<Value> = (0..n).map(|i| Value(u16::from(i < 4))).collect();
-    println!("inputs    : {:?}", inputs.iter().map(|v| v.raw()).collect::<Vec<_>>());
+    println!(
+        "inputs    : {:?}",
+        inputs.iter().map(|v| v.raw()).collect::<Vec<_>>()
+    );
 
     let mut adversary = TwoFaced::new(FaultSelection::without_source());
     let config = RunConfig::new(n, t).with_trace();

@@ -25,7 +25,9 @@ fn sweep(spec: AlgorithmSpec, n: usize, t: usize) {
     );
     println!("  f   lock-in   head-room   per-processor lock-ins");
     for f in 0..=t {
-        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+        let config = RunConfig::new(n, t)
+            .with_source_value(Value(1))
+            .with_trace();
         let mut none = NoFaults;
         let mut split;
         let adversary: &mut dyn Adversary = if f == 0 {

@@ -28,14 +28,19 @@ fn main() {
 
     // One fault starts equivocating every b rounds.
     let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, b, 0xFEED);
-    let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
     let outcome = execute(spec, &config, &mut adversary).expect("valid parameters");
 
     let witness = (0..n)
         .map(ProcessId)
         .find(|p| !outcome.faulty.contains(*p))
         .expect("some correct processor");
-    println!("faulty: {}; tracing correct processor {witness}\n", outcome.faulty);
+    println!(
+        "faulty: {}; tracing correct processor {witness}\n",
+        outcome.faulty
+    );
 
     for round in 1..=outcome.rounds_used {
         let phase = if round <= schedule.k_ab {

@@ -22,13 +22,15 @@ fn main() {
     tree.set_root(Value(1));
 
     // Round 2: everyone relays the root; the liar flips it.
-    tree.append_level(|_parent, sender| {
-        if sender == liar {
-            Value(0)
-        } else {
-            Value(1)
-        }
-    });
+    tree.append_level(
+        |_parent, sender| {
+            if sender == liar {
+                Value(0)
+            } else {
+                Value(1)
+            }
+        },
+    );
 
     // Round 3: everyone relays level 1; the liar again flips everything.
     let level1: Vec<Value> = tree.level(1).to_vec();

@@ -23,7 +23,10 @@ fn main() {
     let candidates: Vec<(&str, ShiftPlanBuilder)> = vec![
         (
             "the paper's hybrid shape: A(3)x2 -> B(3) -> C(4)",
-            ShiftPlanBuilder::new(n, t).a_blocks(3, 2).b_blocks(3, 1).c_tail(4),
+            ShiftPlanBuilder::new(n, t)
+                .a_blocks(3, 2)
+                .b_blocks(3, 1)
+                .c_tail(4),
         ),
         (
             "skip B entirely:          A(4)x2 -> C(2)",

@@ -9,9 +9,7 @@
 use shifting_gears::analysis::chart::{bar_chart, Series};
 use shifting_gears::analysis::experiments::{experiment_tradeoff, Scale};
 use shifting_gears::analysis::{fmt_count, Table};
-use shifting_gears::core::schedule::{
-    algorithm_a_rounds_exact, algorithm_b_rounds_exact,
-};
+use shifting_gears::core::schedule::{algorithm_a_rounds_exact, algorithm_b_rounds_exact};
 use shifting_gears::core::{t_a, t_b, HybridSchedule};
 
 fn main() {

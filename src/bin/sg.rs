@@ -7,9 +7,13 @@
 //! sg compose --n 16 --spec a:3x2,b:3x1,c:4 [--t 5] [--run] [--adversary <name>]
 //! sg gauntlet --alg optimal-king --n 10 [--t 3] [--b 3]
 //! sg stability --alg hybrid --n 16 [--b 3] [--seed 7]
+//! sg sweep --alg phase-king --n 16 [--t 5] [--seeds 100] [--adversary random-liar]
 //! sg bounds --n 31
 //! sg list
 //! ```
+//!
+//! Every subcommand accepts `--jobs N` to size the sweep engine's worker
+//! pool (default: all hardware threads).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -19,9 +23,7 @@ use shifting_gears::adversary::{
     RandomLiar, Silent, StaggeredSplit, Stealth, TwoFaced,
 };
 use shifting_gears::analysis::lock_in;
-use shifting_gears::core::schedule::{
-    algorithm_a_rounds_exact, algorithm_b_rounds_exact,
-};
+use shifting_gears::core::schedule::{algorithm_a_rounds_exact, algorithm_b_rounds_exact};
 use shifting_gears::core::{
     execute, render_plan, t_a, t_b, t_c, AlgorithmSpec, HybridSchedule, ShiftPlanBuilder,
 };
@@ -36,8 +38,11 @@ fn usage() -> ! {
          sg compose --n <n> --spec a:3x2,b:3x1,c:4 [--t <t>] [--run] [--adversary <name>]\n  \
          sg gauntlet --alg <name> --n <n> [--t <t>] [--b <b>]\n  \
          sg stability --alg <name> --n <n> [--t <t>] [--b <b>] [--seed <s>]\n  \
+         sg sweep --alg <name> --n <n> [--t <t>] [--b <b>] [--seeds <k>]\n           \
+         [--adversary random-liar|chain-revealer|none] [--source-faulty]\n  \
          sg bounds --n <n>\n  \
-         sg list"
+         sg list\n\
+         global: --jobs <N> sizes the sweep worker pool"
     );
     exit(2);
 }
@@ -106,9 +111,7 @@ fn adversary(name: &str, source_faulty: bool, seed: u64) -> Box<dyn Adversary> {
         "crash" => Box::new(Crash::new(sel, 2)),
         "random-liar" => Box::new(RandomLiar::new(sel, seed)),
         "two-faced" => Box::new(TwoFaced::new(sel)),
-        "equivocating-source" => {
-            Box::new(EquivocatingSource::new(FaultSelection::with_source()))
-        }
+        "equivocating-source" => Box::new(EquivocatingSource::new(FaultSelection::with_source())),
         "stealth" => Box::new(Stealth::new(sel)),
         "chain-revealer" => Box::new(ChainRevealer::new(sel, 2, 2, seed)),
         "double-talk" => Box::new(DoubleTalk::new(sel)),
@@ -158,7 +161,10 @@ fn cmd_bounds(n: usize) {
     println!("  exponential / algorithm A / hybrid : t <= {}", t_a(n));
     println!("  algorithm B / phase king           : t <= {}", t_b(n));
     println!("  algorithm C                        : t <= {}", t_c(n));
-    println!("  dolev-strong (authenticated)       : t <= {}", n.saturating_sub(2));
+    println!(
+        "  dolev-strong (authenticated)       : t <= {}",
+        n.saturating_sub(2)
+    );
     let ta = t_a(n);
     if ta >= 3 {
         println!("\nround counts (t at each algorithm's maximum):");
@@ -177,7 +183,10 @@ fn cmd_bounds(n: usize) {
 }
 
 fn cmd_plan(flags: &HashMap<String, String>) {
-    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let alg = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let b = parse_usize(flags, "b").unwrap_or(3);
     let t = parse_usize(flags, "t").unwrap_or_else(|| usage());
     let n = parse_usize(flags, "n").unwrap_or(3 * t + 1);
@@ -196,7 +205,10 @@ fn cmd_plan(flags: &HashMap<String, String>) {
 }
 
 fn cmd_run(flags: &HashMap<String, String>, toggles: &[String]) {
-    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let alg = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
     let b = parse_usize(flags, "b").unwrap_or(3);
     let spec = algorithm(alg, b);
@@ -225,7 +237,10 @@ fn cmd_run(flags: &HashMap<String, String>, toggles: &[String]) {
 
     println!("algorithm : {}", spec.name());
     println!("system    : n={n} t={t} source=P0 value={value}");
-    println!("adversary : {} corrupting {}", outcome.adversary, outcome.faulty);
+    println!(
+        "adversary : {} corrupting {}",
+        outcome.adversary, outcome.faulty
+    );
     println!("rounds    : {}", outcome.rounds_used);
     println!(
         "messages  : total {} ({} bits), largest {} values",
@@ -248,7 +263,11 @@ fn cmd_run(flags: &HashMap<String, String>, toggles: &[String]) {
                     "  round {:>2}  {} discovered {suspect}{}",
                     e.round,
                     e.who,
-                    if *during_conversion { " (conversion)" } else { "" }
+                    if *during_conversion {
+                        " (conversion)"
+                    } else {
+                        ""
+                    }
                 ),
                 TraceEvent::Shift {
                     conversion,
@@ -281,7 +300,9 @@ fn parse_composition(n: usize, t: usize, spec: &str) -> ShiftPlanBuilder {
             continue;
         }
         let Some((kind, rest)) = part.split_once(':') else {
-            eprintln!("bad segment '{part}' (want a:<b>x<blocks>, b:<b>x<blocks>, c:<rounds>, king)");
+            eprintln!(
+                "bad segment '{part}' (want a:<b>x<blocks>, b:<b>x<blocks>, c:<rounds>, king)"
+            );
             exit(2);
         };
         let parse = |s: &str| -> usize {
@@ -310,7 +331,10 @@ fn parse_composition(n: usize, t: usize, spec: &str) -> ShiftPlanBuilder {
 fn cmd_compose(flags: &HashMap<String, String>, toggles: &[String]) {
     let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
     let t = parse_usize(flags, "t").unwrap_or_else(|| t_a(n));
-    let spec = flags.get("spec").map(String::as_str).unwrap_or_else(|| usage());
+    let spec = flags
+        .get("spec")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let builder = parse_composition(n, t, spec);
     let composition = match builder.build() {
         Ok(c) => c,
@@ -332,7 +356,10 @@ fn cmd_compose(flags: &HashMap<String, String>, toggles: &[String]) {
         let config = RunConfig::new(n, t).with_source_value(Value(1));
         let mut adv = adversary(adv_name, false, seed);
         let outcome = composition.execute(&config, adv.as_mut());
-        println!("adversary   : {} corrupting {}", outcome.adversary, outcome.faulty);
+        println!(
+            "adversary   : {} corrupting {}",
+            outcome.adversary, outcome.faulty
+        );
         println!("agreement   : {}", outcome.agreement());
         println!("validity    : {:?}", outcome.validity());
         println!("decision    : {:?}", outcome.decision());
@@ -343,7 +370,10 @@ fn cmd_compose(flags: &HashMap<String, String>, toggles: &[String]) {
 }
 
 fn cmd_gauntlet(flags: &HashMap<String, String>) {
-    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let alg = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
     let b = parse_usize(flags, "b").unwrap_or(3);
     let spec = algorithm(alg, b);
@@ -386,7 +416,10 @@ fn cmd_gauntlet(flags: &HashMap<String, String>) {
 }
 
 fn cmd_stability(flags: &HashMap<String, String>) {
-    let alg = flags.get("alg").map(String::as_str).unwrap_or_else(|| usage());
+    let alg = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
     let b = parse_usize(flags, "b").unwrap_or(3);
     let spec = algorithm(alg, b);
@@ -398,7 +431,9 @@ fn cmd_stability(flags: &HashMap<String, String>) {
     );
     println!("  f   rounds  lock-in  head-room");
     for f in 0..=t {
-        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+        let config = RunConfig::new(n, t)
+            .with_source_value(Value(1))
+            .with_trace();
         let _ = seed;
         let mut none = NoFaults;
         let mut split;
@@ -426,16 +461,69 @@ fn cmd_stability(flags: &HashMap<String, String>) {
     }
 }
 
+fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
+    use shifting_gears::analysis::{AdversaryFamily, SweepConfig, SweepPlan};
+
+    let alg = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
+    let b = parse_usize(flags, "b").unwrap_or(3);
+    let spec = algorithm(alg, b);
+    let t = parse_usize(flags, "t").unwrap_or_else(|| spec.max_resilience(n));
+    let seeds = parse_usize(flags, "seeds").unwrap_or(100) as u64;
+    if seeds == 0 {
+        eprintln!("--seeds must be at least 1");
+        exit(2);
+    }
+    let source_faulty = toggles.iter().any(|t| t == "source-faulty");
+    let sel = if source_faulty {
+        FaultSelection::with_source()
+    } else {
+        FaultSelection::without_source()
+    };
+    let adv_name = flags
+        .get("adversary")
+        .map(String::as_str)
+        .unwrap_or("random-liar");
+    let family = match adv_name {
+        "none" => AdversaryFamily::no_faults(),
+        "random-liar" => AdversaryFamily::random_liar(sel),
+        "chain-revealer" => AdversaryFamily::chain_revealer(sel, 2, 2),
+        other => {
+            eprintln!("sweep supports adversaries none|random-liar|chain-revealer, got '{other}'");
+            exit(2);
+        }
+    };
+    let plan = SweepPlan::new(vec![SweepConfig::traced(spec, n, t)], vec![family], seeds);
+    let started = std::time::Instant::now();
+    let report = plan.run();
+    let wall = started.elapsed();
+    print!("{}", report.render());
+    println!(
+        "{} runs in {:.1} ms on {} worker(s) — {:.0} runs/sec",
+        report.total_runs,
+        wall.as_secs_f64() * 1e3,
+        shifting_gears::analysis::sweep::jobs(),
+        report.total_runs as f64 / wall.as_secs_f64().max(1e-9),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     let (flags, toggles) = parse_flags(&args[1..]);
+    if let Some(jobs) = parse_usize(&flags, "jobs") {
+        shifting_gears::analysis::set_jobs(jobs);
+    }
     match cmd.as_str() {
         "run" => cmd_run(&flags, &toggles),
         "plan" => cmd_plan(&flags),
         "compose" => cmd_compose(&flags, &toggles),
         "gauntlet" => cmd_gauntlet(&flags),
         "stability" => cmd_stability(&flags),
+        "sweep" => cmd_sweep(&flags, &toggles),
         "bounds" => cmd_bounds(parse_usize(&flags, "n").unwrap_or_else(|| usage())),
         "list" => cmd_list(),
         _ => usage(),

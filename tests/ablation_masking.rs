@@ -47,9 +47,7 @@ fn run_b_variant(n: usize, t: usize, b: usize, masked: bool, seed: u64) -> Vec<V
         for c in ctxs.iter_mut() {
             c.round = round;
         }
-        let bx: Vec<Option<Payload>> = (0..n)
-            .map(|i| protos[i].outgoing(&mut ctxs[i]))
-            .collect();
+        let bx: Vec<Option<Payload>> = (0..n).map(|i| protos[i].outgoing(&mut ctxs[i])).collect();
         for i in 0..n {
             let mut inbox = Inbox::empty(n);
             for j in 0..n {

@@ -1,9 +1,7 @@
 //! Baseline-specific adversarial tests: authenticated Dolev–Strong (with
 //! signature-forgery attempts) and Phase King.
 
-use shifting_gears::adversary::{
-    standard_suite, EquivocatingSource, FaultSelection, RandomLiar,
-};
+use shifting_gears::adversary::{standard_suite, EquivocatingSource, FaultSelection, RandomLiar};
 use shifting_gears::core::{execute, AlgorithmSpec};
 use shifting_gears::sim::{
     Adversary, AdversaryView, Payload, ProcessId, ProcessSet, RunConfig, Value,
@@ -41,13 +39,7 @@ impl Adversary for Forger {
 
     fn corrupt(&mut self, n: usize, _t: usize, source: ProcessId) -> ProcessSet {
         // Corrupt two non-source processors.
-        ProcessSet::from_members(
-            n,
-            (0..n)
-                .map(ProcessId)
-                .filter(|p| *p != source)
-                .take(2),
-        )
+        ProcessSet::from_members(n, (0..n).map(ProcessId).filter(|p| *p != source).take(2))
     }
 
     fn payload(
@@ -78,7 +70,11 @@ fn dolev_strong_rejects_forged_chains() {
     let mut adversary = Forger;
     let outcome = execute(AlgorithmSpec::DolevStrong, &config, &mut adversary).unwrap();
     outcome.assert_correct();
-    assert_eq!(outcome.decision(), Some(Value(1)), "forgery influenced the decision");
+    assert_eq!(
+        outcome.decision(),
+        Some(Value(1)),
+        "forgery influenced the decision"
+    );
 }
 
 #[test]
@@ -123,8 +119,7 @@ fn phase_king_messages_are_constant_size() {
 fn dolev_strong_full_gauntlet() {
     for mut adversary in standard_suite(0xF00D) {
         let config = RunConfig::new(7, 3).with_source_value(Value(1));
-        let outcome =
-            execute(AlgorithmSpec::DolevStrong, &config, adversary.as_mut()).unwrap();
+        let outcome = execute(AlgorithmSpec::DolevStrong, &config, adversary.as_mut()).unwrap();
         outcome.assert_correct();
     }
 }

@@ -5,9 +5,7 @@ use shifting_gears::adversary::{ChainRevealer, FaultSelection, RandomLiar};
 use shifting_gears::analysis::bounds::{
     blocked_max_message_values, c_max_message_values, exponential_max_message_values,
 };
-use shifting_gears::core::schedule::{
-    algorithm_a_rounds_bound, algorithm_b_rounds_bound,
-};
+use shifting_gears::core::schedule::{algorithm_a_rounds_bound, algorithm_b_rounds_bound};
 use shifting_gears::core::{execute, t_a, t_b, t_c, AlgorithmSpec, HybridSchedule};
 use shifting_gears::sim::{Outcome, RunConfig, Value};
 
@@ -138,8 +136,11 @@ fn over_threshold_runs_do_not_panic() {
         ]),
         4,
     );
-    let outcome =
-        shifting_gears::sim::run(&config, &mut adversary, AlgorithmSpec::Exponential.factory(&config));
+    let outcome = shifting_gears::sim::run(
+        &config,
+        &mut adversary,
+        AlgorithmSpec::Exponential.factory(&config),
+    );
     assert_eq!(outcome.rounds_used, 3);
     assert_eq!(outcome.faulty.len(), 3);
 }

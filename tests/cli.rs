@@ -17,7 +17,15 @@ fn sg(args: &[&str]) -> (bool, String, String) {
 #[test]
 fn run_hybrid_reports_agreement() {
     let (ok, stdout, _) = sg(&[
-        "run", "--alg", "hybrid", "--b", "3", "--n", "13", "--adversary", "two-faced",
+        "run",
+        "--alg",
+        "hybrid",
+        "--b",
+        "3",
+        "--n",
+        "13",
+        "--adversary",
+        "two-faced",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("agreement : true"));
@@ -64,7 +72,13 @@ fn bounds_lists_resiliences() {
 fn list_names_all_algorithms() {
     let (ok, stdout, _) = sg(&["list"]);
     assert!(ok, "{stdout}");
-    for name in ["hybrid", "algorithm-c", "phase-queen", "dolev-strong", "two-faced"] {
+    for name in [
+        "hybrid",
+        "algorithm-c",
+        "phase-queen",
+        "dolev-strong",
+        "two-faced",
+    ] {
         assert!(stdout.contains(name), "missing {name}");
     }
 }
@@ -85,9 +99,7 @@ fn over_resilience_run_is_rejected() {
 
 #[test]
 fn compose_validates_and_runs() {
-    let (ok, stdout, _) = sg(&[
-        "compose", "--n", "16", "--spec", "a:3x2,b:3x1,c:4", "--run",
-    ]);
+    let (ok, stdout, _) = sg(&["compose", "--n", "16", "--spec", "a:3x2,b:3x1,c:4", "--run"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("verdict     : safe"));
     assert!(stdout.contains("agreement   : true"));
@@ -129,14 +141,25 @@ fn stability_prints_lock_in_sweep() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("head-room"));
     // One row per fault count 0..=t plus the header.
-    let rows = stdout.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+    let rows = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        .count();
     assert!(rows >= 3, "{stdout}");
 }
 
 #[test]
 fn run_king_shift_from_cli() {
     let (ok, stdout, _) = sg(&[
-        "run", "--alg", "king-shift", "--b", "3", "--n", "10", "--adversary", "double-talk",
+        "run",
+        "--alg",
+        "king-shift",
+        "--b",
+        "3",
+        "--n",
+        "10",
+        "--adversary",
+        "double-talk",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("agreement : true"));

@@ -180,7 +180,6 @@ impl TestNet {
 /// An adversary closure that behaves perfectly honestly (useful as a base
 /// case and for composing).
 #[allow(dead_code)]
-pub fn honest_adversary(
-) -> impl FnMut(usize, ProcessId, ProcessId, Option<&Payload>) -> Payload {
+pub fn honest_adversary() -> impl FnMut(usize, ProcessId, ProcessId, Option<&Payload>) -> Payload {
     |_round, _sender, _recipient, shadow| shadow.cloned().unwrap_or(Payload::Missing)
 }

@@ -142,10 +142,7 @@ fn b_entry_requirement_is_minimal() {
 fn c_entry_requirement_is_minimal() {
     let satisfies = |n: usize, t: usize, d: usize| {
         let u = t - d;
-        n > t + u * u
-            && 2 * (n - t - u * u) > n
-            && n + d > 2 * t
-            && 2 * (n + d - 2 * t) > n
+        n > t + u * u && 2 * (n - t - u * u) > n && n + d > 2 * t && 2 * (n + d - 2 * t) > n
     };
     for n in 7..=64 {
         let t = t_a(n);

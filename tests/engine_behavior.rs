@@ -36,7 +36,8 @@ impl Adversary for ViewInspector {
             self.saw_source_broadcast = true;
         }
         if recipient == ProcessId(2) {
-            self.shadow_lens.push((view.round, view.expected_len(sender)));
+            self.shadow_lens
+                .push((view.round, view.expected_len(sender)));
         }
         view.shadow_of(sender).cloned().unwrap_or(Payload::Missing)
     }
@@ -63,7 +64,9 @@ fn adversary_sees_rushed_broadcasts_and_shadows() {
 
 #[test]
 fn trace_events_only_from_correct_processors() {
-    let config = RunConfig::new(7, 2).with_source_value(Value(1)).with_trace();
+    let config = RunConfig::new(7, 2)
+        .with_source_value(Value(1))
+        .with_trace();
     let mut adversary = shifting_gears::adversary::TwoFaced::new(
         shifting_gears::adversary::FaultSelection::without_source(),
     );

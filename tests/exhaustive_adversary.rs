@@ -20,9 +20,38 @@ use shifting_gears::adversary::{
 use shifting_gears::core::{execute, AlgorithmSpec};
 use shifting_gears::sim::{ProcessId, RunConfig, Value};
 
+/// Runs `spec` under one explicit behaviour tape with `faulty` corrupted,
+/// asserting agreement + validity.
+fn check_tape(
+    spec: AlgorithmSpec,
+    n: usize,
+    t: usize,
+    faulty: ProcessId,
+    tape: Vec<Move>,
+    source_value: Value,
+) {
+    let mut adversary = TapeAdversary::new([faulty], tape);
+    let config = RunConfig::new(n, t).with_source_value(source_value);
+    let outcome = execute(spec, &config, &mut adversary).expect("valid spec");
+    assert!(
+        outcome.agreement(),
+        "agreement violated by tape {:?} (spec {})",
+        adversary.tape(),
+        spec.name()
+    );
+    if let Some(valid) = outcome.validity() {
+        assert!(
+            valid,
+            "validity violated by tape {:?} (spec {})",
+            adversary.tape(),
+            spec.name()
+        );
+    }
+}
+
 /// Runs `spec` under every tape over `alphabet` with `faulty` corrupted,
-/// asserting agreement + validity each time. Returns the number of
-/// executions checked.
+/// fanning chunks of the enumeration out over the sweep engine. Returns
+/// the number of executions checked.
 fn check_all_tapes(
     spec: AlgorithmSpec,
     n: usize,
@@ -33,27 +62,15 @@ fn check_all_tapes(
 ) -> usize {
     let rounds = spec.rounds(n, t);
     let len = calls_per_run(n, 1, rounds);
-    let mut checked = 0;
-    for tape in enumerate_tapes(alphabet, len) {
-        let mut adversary = TapeAdversary::new([faulty], tape);
-        let config = RunConfig::new(n, t).with_source_value(source_value);
-        let outcome = execute(spec, &config, &mut adversary).expect("valid spec");
-        assert!(
-            outcome.agreement(),
-            "agreement violated by tape {:?} (spec {})",
-            adversary.tape(),
-            spec.name()
-        );
-        if let Some(valid) = outcome.validity() {
-            assert!(
-                valid,
-                "validity violated by tape {:?} (spec {})",
-                adversary.tape(),
-                spec.name()
-            );
+    let tapes: Vec<Vec<Move>> = enumerate_tapes(alphabet, len).collect();
+    let checked = tapes.len();
+    let chunk = checked.div_ceil(32).max(1);
+    let cells: Vec<Vec<Vec<Move>>> = tapes.chunks(chunk).map(<[_]>::to_vec).collect();
+    shifting_gears::analysis::sweep_map(cells, move |chunk| {
+        for tape in chunk {
+            check_tape(spec, n, t, faulty, tape, source_value);
         }
-        checked += 1;
-    }
+    });
     checked
 }
 
@@ -167,20 +184,23 @@ fn exponential_n5_faulty_source_exhaustive() {
 fn exponential_n7_two_faults_bounded() {
     // Keep the run count ~7.8k: enumerate the first 5 cells over all six
     // moves and fill the rest of the tape with Honest.
-    let mut checked = 0usize;
-    for tape_head in enumerate_tapes(&ALL_MOVES, 5) {
-        let mut tape = tape_head;
-        tape.resize(12, Move::Honest);
-        let mut adversary = TapeAdversary::new([ProcessId(2), ProcessId(5)], tape);
-        let config = RunConfig::new(7, 2).with_source_value(Value(1));
-        let outcome = execute(AlgorithmSpec::Exponential, &config, &mut adversary).unwrap();
-        assert!(
-            outcome.agreement() && outcome.validity().unwrap_or(true),
-            "violation by tape {:?}",
-            adversary.tape()
-        );
-        checked += 1;
-    }
+    let heads: Vec<Vec<Move>> = enumerate_tapes(&ALL_MOVES, 5).collect();
+    let checked = heads.len();
+    let chunk = checked.div_ceil(32).max(1);
+    let cells: Vec<Vec<Vec<Move>>> = heads.chunks(chunk).map(<[_]>::to_vec).collect();
+    shifting_gears::analysis::sweep_map(cells, |chunk| {
+        for mut tape in chunk {
+            tape.resize(12, Move::Honest);
+            let mut adversary = TapeAdversary::new([ProcessId(2), ProcessId(5)], tape);
+            let config = RunConfig::new(7, 2).with_source_value(Value(1));
+            let outcome = execute(AlgorithmSpec::Exponential, &config, &mut adversary).unwrap();
+            assert!(
+                outcome.agreement() && outcome.validity().unwrap_or(true),
+                "violation by tape {:?}",
+                adversary.tape()
+            );
+        }
+    });
     assert_eq!(checked, 6usize.pow(5));
 }
 
@@ -191,22 +211,26 @@ fn exponential_n7_two_faults_bounded() {
 /// and fill the rest with each of the three uniform behaviours.
 #[test]
 fn optimal_king_n4_bounded() {
-    let mut checked = 0usize;
-    for head in enumerate_tapes(&SINGLE_VALUE_MOVES, 8) {
-        for filler in SINGLE_VALUE_MOVES {
-            let mut tape = head.clone();
-            tape.resize(24, filler);
-            let mut adversary = TapeAdversary::new([ProcessId(1)], tape);
-            let config = RunConfig::new(4, 1).with_source_value(Value(1));
-            let outcome = execute(AlgorithmSpec::OptimalKing, &config, &mut adversary).unwrap();
-            assert!(
-                outcome.agreement() && outcome.validity().unwrap_or(true),
-                "violation by tape {:?}",
-                adversary.tape()
-            );
-            checked += 1;
+    let heads: Vec<Vec<Move>> = enumerate_tapes(&SINGLE_VALUE_MOVES, 8).collect();
+    let checked = heads.len() * SINGLE_VALUE_MOVES.len();
+    let chunk = heads.len().div_ceil(32).max(1);
+    let cells: Vec<Vec<Vec<Move>>> = heads.chunks(chunk).map(<[_]>::to_vec).collect();
+    shifting_gears::analysis::sweep_map(cells, |chunk| {
+        for head in chunk {
+            for filler in SINGLE_VALUE_MOVES {
+                let mut tape = head.clone();
+                tape.resize(24, filler);
+                let mut adversary = TapeAdversary::new([ProcessId(1)], tape);
+                let config = RunConfig::new(4, 1).with_source_value(Value(1));
+                let outcome = execute(AlgorithmSpec::OptimalKing, &config, &mut adversary).unwrap();
+                assert!(
+                    outcome.agreement() && outcome.validity().unwrap_or(true),
+                    "violation by tape {:?}",
+                    adversary.tape()
+                );
+            }
         }
-    }
+    });
     assert_eq!(checked, 3 * 3usize.pow(8));
 }
 

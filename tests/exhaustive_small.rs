@@ -41,16 +41,21 @@ fn apply(c: usize, shadow: Option<&Payload>, round1_source: bool) -> Payload {
     }
 }
 
-/// Enumerates all behaviour vectors for one (spec, faulty, source value).
-fn sweep(spec: AlgorithmSpec, faulty_id: usize, source_value: Value) {
+/// Enumerates the behaviour vectors in `codes` for one (spec, faulty,
+/// source value) — one work unit of the exhaustive sweep.
+fn sweep_chunk(
+    spec: AlgorithmSpec,
+    faulty_id: usize,
+    source_value: Value,
+    codes: std::ops::Range<usize>,
+) {
     let n = 4;
     let t = 1;
     let rounds = spec.rounds(n, t);
     assert_eq!(rounds, 2, "n=4, t=1 exponential variants run 2 rounds");
     // Choice index per (round, recipient≠faulty): 2 rounds × 3 recipients.
     let slots = rounds * (n - 1);
-    let total = CHOICES.pow(slots as u32);
-    for code in 0..total {
+    for code in codes {
         let faulty = ProcessSet::from_members(n, [ProcessId(faulty_id)]);
         let mut net = TestNet::new(spec, n, t, source_value, faulty);
         let mut digits = code;
@@ -66,11 +71,7 @@ fn sweep(spec: AlgorithmSpec, faulty_id: usize, source_value: Value) {
                 r_idx -= 1;
             }
             let slot = (round - 1) * (n - 1) + r_idx;
-            apply(
-                choice[slot],
-                shadow,
-                round == 1 && sender == ProcessId(0),
-            )
+            apply(choice[slot], shadow, round == 1 && sender == ProcessId(0))
         });
         let decisions = net.decide();
         let got: Vec<Value> = decisions.iter().flatten().copied().collect();
@@ -89,22 +90,34 @@ fn sweep(spec: AlgorithmSpec, faulty_id: usize, source_value: Value) {
     }
 }
 
-#[test]
-fn exhaustive_exponential_n4_t1() {
+/// Fans the full `(faulty, source value, behaviour code)` space of `spec`
+/// out over the sweep engine: every fault position, both source values,
+/// all 5^6 behaviour vectors, in chunks sized for the worker pool.
+fn sweep_exhaustive(spec: AlgorithmSpec) {
+    const SLOTS: u32 = 2 * 3; // rounds × recipients at n = 4, t = 1
+    let total = CHOICES.pow(SLOTS);
+    let chunk = total.div_ceil(32).max(1);
+    let mut cells: Vec<(usize, Value, std::ops::Range<usize>)> = Vec::new();
     for faulty in 0..4 {
         for v in [Value(0), Value(1)] {
-            sweep(AlgorithmSpec::Exponential, faulty, v);
+            for start in (0..total).step_by(chunk) {
+                cells.push((faulty, v, start..(start + chunk).min(total)));
+            }
         }
     }
+    shifting_gears::analysis::sweep_map(cells, move |(faulty, v, codes)| {
+        sweep_chunk(spec, faulty, v, codes)
+    });
+}
+
+#[test]
+fn exhaustive_exponential_n4_t1() {
+    sweep_exhaustive(AlgorithmSpec::Exponential);
 }
 
 #[test]
 fn exhaustive_exponential_prime_n4_t1() {
-    for faulty in 0..4 {
-        for v in [Value(0), Value(1)] {
-            sweep(AlgorithmSpec::ExponentialPrime, faulty, v);
-        }
-    }
+    sweep_exhaustive(AlgorithmSpec::ExponentialPrime);
 }
 
 #[test]
@@ -112,9 +125,5 @@ fn exhaustive_plain_exponential_n4_t1() {
     // The unmodified PSL-style algorithm is also correct at full
     // resilience — discovery/masking matter for the *shifted* families'
     // progress, not for the one-shot exponential run.
-    for faulty in 0..4 {
-        for v in [Value(0), Value(1)] {
-            sweep(AlgorithmSpec::PlainExponential, faulty, v);
-        }
-    }
+    sweep_exhaustive(AlgorithmSpec::PlainExponential);
 }

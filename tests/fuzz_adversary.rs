@@ -14,10 +14,7 @@ use shifting_gears::sim::{ProcessId, RunConfig, Value};
 
 /// A strategy for a tape of length `len` over the full move alphabet.
 fn tape(len: usize) -> impl Strategy<Value = Vec<Move>> {
-    proptest::collection::vec(
-        (0..ALL_MOVES.len()).prop_map(|i| ALL_MOVES[i]),
-        len.max(1),
-    )
+    proptest::collection::vec((0..ALL_MOVES.len()).prop_map(|i| ALL_MOVES[i]), len.max(1))
 }
 
 /// A strategy choosing `t` distinct faulty processors out of `n`

@@ -55,11 +55,7 @@ impl PhaseNet {
     {
         let n = self.n;
         let outgoing: Vec<Option<Payload>> = (0..n)
-            .map(|i| {
-                self.cores[i]
-                    .as_mut()
-                    .and_then(|c| c.outgoing(phase, step))
-            })
+            .map(|i| self.cores[i].as_mut().and_then(|c| c.outgoing(phase, step)))
             .collect();
         let is_correct: Vec<bool> = self.cores.iter().map(Option::is_some).collect();
         for i in 0..n {
@@ -86,11 +82,7 @@ impl PhaseNet {
     }
 
     fn correct_values(&self) -> Vec<Value> {
-        self.cores
-            .iter()
-            .flatten()
-            .map(|c| c.current())
-            .collect()
+        self.cores.iter().flatten().map(|c| c.current()).collect()
     }
 
     fn king(&self, phase: usize) -> usize {
@@ -123,11 +115,7 @@ fn decode(choice: u8) -> Option<Value> {
     }
 }
 
-fn run_phase(
-    net: &mut PhaseNet,
-    phase: usize,
-    script: &[Vec<Vec<u8>>],
-) {
+fn run_phase(net: &mut PhaseNet, phase: usize, script: &[Vec<Vec<u8>>]) {
     for (si, step) in [PhaseStep::Exchange, PhaseStep::Propose, PhaseStep::King]
         .into_iter()
         .enumerate()

@@ -20,7 +20,9 @@ fn converted_trees(net: &TestNet, conversion: Conversion) -> Vec<(ProcessId, Con
 /// the same converted value for it.
 fn is_common(converted: &[(ProcessId, Converted)], level: usize, index: usize) -> bool {
     let first = converted[0].1.level(level)[index];
-    converted.iter().all(|(_, c)| c.level(level)[index] == first)
+    converted
+        .iter()
+        .all(|(_, c)| c.level(level)[index] == first)
 }
 
 /// Correctness Lemma (§3): for any node `α = βq` with `q` correct, `α` is
@@ -33,15 +35,15 @@ fn correctness_lemma_on_exponential_tree() {
     let mut net = TestNet::new_inspectable(AlgorithmSpec::Exponential, n, t, Value(1), faulty);
     // Faulty processors two-face: honest story to even recipients,
     // flipped to odd ones.
-    net.run_all(&mut |_round, _sender, recipient, shadow: Option<&Payload>| {
-        match shadow {
+    net.run_all(
+        &mut |_round, _sender, recipient, shadow: Option<&Payload>| match shadow {
             Some(Payload::Values(vals)) if recipient.index() % 2 == 1 => {
                 Payload::Values(vals.iter().map(|v| Value(1 - v.raw())).collect())
             }
             Some(p) => p.clone(),
             None => Payload::Missing,
-        }
-    });
+        },
+    );
 
     let converted = converted_trees(&net, Conversion::Resolve);
     let shape = *net.protocols[3].tree().shape();
@@ -132,7 +134,9 @@ fn persistence_lemma_across_shifts() {
         }
         // Deterministic pseudo-random lies afterwards.
         let len = shadow.map_or(0, Payload::num_values);
-        flip = flip.wrapping_mul(6364136223846793005).wrapping_add(round as u64);
+        flip = flip
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(round as u64);
         Payload::Values(
             (0..len)
                 .map(|i| Value(((flip >> (i % 17)) & 1) as u16))
@@ -188,7 +192,9 @@ fn fault_lists_contain_only_faulty_processors() {
         while net.round < net.total_rounds() {
             net.step(&mut |round, _s, _r, shadow: Option<&Payload>| {
                 let len = shadow.map_or(0, Payload::num_values);
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(round as u64);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(round as u64);
                 Payload::Values(
                     (0..len)
                         .map(|i| Value(((state >> (i % 13)) & 1) as u16))
@@ -224,8 +230,8 @@ fn hidden_fault_lemma_on_stealthy_faults() {
         TestNet::new_inspectable(AlgorithmSpec::Exponential, n, t, Value(1), faulty.clone());
     // Stealthy: flip exactly one value per message — under the discovery
     // threshold, so the faults stay hidden.
-    net.run_all(&mut |round, _sender, recipient, shadow: Option<&Payload>| {
-        match shadow {
+    net.run_all(
+        &mut |round, _sender, recipient, shadow: Option<&Payload>| match shadow {
             Some(Payload::Values(vals)) if !vals.is_empty() => {
                 let target = (round + recipient.index()) % vals.len();
                 Payload::Values(
@@ -237,8 +243,8 @@ fn hidden_fault_lemma_on_stealthy_faults() {
             }
             Some(p) => p.clone(),
             None => Payload::Missing,
-        }
-    });
+        },
+    );
 
     let mut checked = 0usize;
     for p in net.correct() {
@@ -313,8 +319,7 @@ fn remark_2_correct_nodes_never_resolve_to_bottom() {
     let n = 7;
     let t = 2;
     let faulty = ProcessSet::from_members(n, [ProcessId(0), ProcessId(4)]);
-    let mut net =
-        TestNet::new_inspectable(AlgorithmSpec::ExponentialPrime, n, t, Value(1), faulty);
+    let mut net = TestNet::new_inspectable(AlgorithmSpec::ExponentialPrime, n, t, Value(1), faulty);
     net.run_all(&mut |round, sender, recipient, shadow: Option<&Payload>| {
         if round == 1 && sender == ProcessId(0) {
             return Payload::values([Value((recipient.index() % 2) as u16)]);
@@ -357,8 +362,13 @@ fn corollary_2_divergent_nodes_imply_mutual_discovery() {
     // The sequence αr starts with the source, so the corollary's premise
     // "all processors in αr are faulty" requires a faulty source too.
     let faulty = ProcessSet::from_members(n, [ProcessId(0), ProcessId(2)]);
-    let mut net =
-        TestNet::new_inspectable(AlgorithmSpec::ExponentialPrime, n, t, Value(1), faulty.clone());
+    let mut net = TestNet::new_inspectable(
+        AlgorithmSpec::ExponentialPrime,
+        n,
+        t,
+        Value(1),
+        faulty.clone(),
+    );
     // Blatant per-recipient randomness to force divergence somewhere.
     let mut state = 99u64;
     net.run_all(&mut |round, sender, recipient, shadow: Option<&Payload>| {

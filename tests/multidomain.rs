@@ -19,8 +19,12 @@ fn config(n: usize, t: usize, domain_size: u16, v: u16) -> RunConfig {
 fn exponential_agrees_over_four_valued_domain() {
     for v in [0u16, 1, 2, 3] {
         let mut adversary = TwoFaced::new(FaultSelection::without_source());
-        let outcome =
-            execute(AlgorithmSpec::Exponential, &config(7, 2, 4, v), &mut adversary).unwrap();
+        let outcome = execute(
+            AlgorithmSpec::Exponential,
+            &config(7, 2, 4, v),
+            &mut adversary,
+        )
+        .unwrap();
         outcome.assert_correct();
         assert_eq!(outcome.decision(), Some(Value(v)));
     }
@@ -37,17 +41,24 @@ fn shifted_families_agree_over_five_valued_domain() {
         outcome.assert_correct();
     }
     let mut adversary = RandomLiar::new(FaultSelection::with_source(), 6);
-    let outcome =
-        execute(AlgorithmSpec::AlgorithmB { b: 2 }, &config(13, 3, 5, 4), &mut adversary)
-            .unwrap();
+    let outcome = execute(
+        AlgorithmSpec::AlgorithmB { b: 2 },
+        &config(13, 3, 5, 4),
+        &mut adversary,
+    )
+    .unwrap();
     outcome.assert_correct();
 }
 
 #[test]
 fn algorithm_c_agrees_over_three_valued_domain() {
     let mut adversary = TwoFaced::new(FaultSelection::with_source());
-    let outcome =
-        execute(AlgorithmSpec::AlgorithmC, &config(18, 3, 3, 2), &mut adversary).unwrap();
+    let outcome = execute(
+        AlgorithmSpec::AlgorithmC,
+        &config(18, 3, 3, 2),
+        &mut adversary,
+    )
+    .unwrap();
     outcome.assert_correct();
 }
 
@@ -83,8 +94,12 @@ impl Adversary for OutOfDomain {
 #[test]
 fn out_of_domain_values_sanitize_to_default() {
     let mut adversary = OutOfDomain;
-    let outcome =
-        execute(AlgorithmSpec::Exponential, &config(7, 2, 4, 3), &mut adversary).unwrap();
+    let outcome = execute(
+        AlgorithmSpec::Exponential,
+        &config(7, 2, 4, 3),
+        &mut adversary,
+    )
+    .unwrap();
     outcome.assert_correct();
     assert_eq!(outcome.decision(), Some(Value(3)));
 }
@@ -103,10 +118,7 @@ fn bits_accounting_scales_with_domain_width() {
     };
     let narrow = run(2); // 1 bit per value
     let wide = run(9); // 4 bits per value
-    assert_eq!(
-        narrow.metrics.total_bits() * 4,
-        wide.metrics.total_bits()
-    );
+    assert_eq!(narrow.metrics.total_bits() * 4, wide.metrics.total_bits());
     assert_eq!(
         narrow.metrics.max_message_values(),
         wide.metrics.max_message_values()
@@ -116,8 +128,12 @@ fn bits_accounting_scales_with_domain_width() {
 #[test]
 fn phase_king_handles_multivalued_domain() {
     let mut adversary = RandomLiar::new(FaultSelection::without_source(), 12);
-    let outcome =
-        execute(AlgorithmSpec::PhaseKing, &config(9, 2, 4, 3), &mut adversary).unwrap();
+    let outcome = execute(
+        AlgorithmSpec::PhaseKing,
+        &config(9, 2, 4, 3),
+        &mut adversary,
+    )
+    .unwrap();
     outcome.assert_correct();
     assert_eq!(outcome.decision(), Some(Value(3)));
 }
@@ -125,8 +141,12 @@ fn phase_king_handles_multivalued_domain() {
 #[test]
 fn dolev_strong_handles_multivalued_domain() {
     let mut adversary = RandomLiar::new(FaultSelection::without_source(), 15);
-    let outcome =
-        execute(AlgorithmSpec::DolevStrong, &config(6, 3, 10, 7), &mut adversary).unwrap();
+    let outcome = execute(
+        AlgorithmSpec::DolevStrong,
+        &config(6, 3, 10, 7),
+        &mut adversary,
+    )
+    .unwrap();
     outcome.assert_correct();
     assert_eq!(outcome.decision(), Some(Value(7)));
 }
@@ -135,8 +155,12 @@ fn dolev_strong_handles_multivalued_domain() {
 fn optimal_king_agrees_over_four_valued_domain() {
     for v in [0u16, 1, 2, 3] {
         let mut adversary = TwoFaced::new(FaultSelection::without_source());
-        let outcome =
-            execute(AlgorithmSpec::OptimalKing, &config(10, 3, 4, v), &mut adversary).unwrap();
+        let outcome = execute(
+            AlgorithmSpec::OptimalKing,
+            &config(10, 3, 4, v),
+            &mut adversary,
+        )
+        .unwrap();
         outcome.assert_correct();
         assert_eq!(outcome.decision(), Some(Value(v)));
     }
@@ -145,8 +169,12 @@ fn optimal_king_agrees_over_four_valued_domain() {
 #[test]
 fn optimal_king_agrees_with_faulty_source_over_wide_domain() {
     let mut adversary = RandomLiar::new(FaultSelection::with_source(), 15);
-    let outcome =
-        execute(AlgorithmSpec::OptimalKing, &config(13, 4, 7, 6), &mut adversary).unwrap();
+    let outcome = execute(
+        AlgorithmSpec::OptimalKing,
+        &config(13, 4, 7, 6),
+        &mut adversary,
+    )
+    .unwrap();
     outcome.assert_correct();
 }
 

@@ -39,26 +39,28 @@ fn random_run(
     let faulty = ProcessSet::from_members(n, faulty_ids.iter().map(|&i| ProcessId(i)));
     let mut net = TestNet::new(spec, n, t, source_value, faulty);
     let mut state = seed;
-    net.run_all(&mut |_round, _sender, _recipient, shadow: Option<&Payload>| {
-        let base_len = shadow.map_or(1, Payload::num_values);
-        match splitmix(&mut state) % 5 {
-            0 => Payload::Missing,
-            1 => {
-                // Wrong length: truncate or pad.
-                let len = (splitmix(&mut state) as usize) % (base_len + 3);
-                Payload::Values(
-                    (0..len)
-                        .map(|_| Value((splitmix(&mut state) % 4) as u16)) // may be out of domain
+    net.run_all(
+        &mut |_round, _sender, _recipient, shadow: Option<&Payload>| {
+            let base_len = shadow.map_or(1, Payload::num_values);
+            match splitmix(&mut state) % 5 {
+                0 => Payload::Missing,
+                1 => {
+                    // Wrong length: truncate or pad.
+                    let len = (splitmix(&mut state) as usize) % (base_len + 3);
+                    Payload::Values(
+                        (0..len)
+                            .map(|_| Value((splitmix(&mut state) % 4) as u16)) // may be out of domain
+                            .collect(),
+                    )
+                }
+                _ => Payload::Values(
+                    (0..base_len)
+                        .map(|_| Value((splitmix(&mut state) % 2) as u16))
                         .collect(),
-                )
+                ),
             }
-            _ => Payload::Values(
-                (0..base_len)
-                    .map(|_| Value((splitmix(&mut state) % 2) as u16))
-                    .collect(),
-            ),
-        }
-    });
+        },
+    );
     net.assert_correct(source_value);
 }
 

@@ -9,7 +9,9 @@ use shifting_gears::core::t_a;
 use shifting_gears::sim::{RunConfig, Value};
 
 fn gauntlet(builder: ShiftPlanBuilder, n: usize, t: usize, quick: bool) {
-    let composition = builder.build().unwrap_or_else(|e| panic!("must validate: {e}"));
+    let composition = builder
+        .build()
+        .unwrap_or_else(|e| panic!("must validate: {e}"));
     let suite = if quick {
         quick_suite(0xFACE)
     } else {
@@ -35,7 +37,10 @@ fn gauntlet(builder: ShiftPlanBuilder, n: usize, t: usize, quick: bool) {
 #[test]
 fn paper_shaped_hybrid_n16() {
     gauntlet(
-        ShiftPlanBuilder::new(16, 5).a_blocks(3, 2).b_blocks(3, 1).c_tail(4),
+        ShiftPlanBuilder::new(16, 5)
+            .a_blocks(3, 2)
+            .b_blocks(3, 1)
+            .c_tail(4),
         16,
         5,
         false,
@@ -46,14 +51,22 @@ fn paper_shaped_hybrid_n16() {
 /// but whose safety follows from its own conditions.
 #[test]
 fn a_to_c_without_b_n16() {
-    gauntlet(ShiftPlanBuilder::new(16, 5).a_blocks(4, 2).c_tail(2), 16, 5, false);
+    gauntlet(
+        ShiftPlanBuilder::new(16, 5).a_blocks(4, 2).c_tail(2),
+        16,
+        5,
+        false,
+    );
 }
 
 /// Mixed block parameters across phases (wide A blocks, narrow B blocks).
 #[test]
 fn mixed_block_parameters_n16() {
     gauntlet(
-        ShiftPlanBuilder::new(16, 5).a_blocks(4, 1).b_blocks(2, 2).c_tail(3),
+        ShiftPlanBuilder::new(16, 5)
+            .a_blocks(4, 1)
+            .b_blocks(2, 2)
+            .c_tail(3),
         16,
         5,
         true,
@@ -63,7 +76,12 @@ fn mixed_block_parameters_n16() {
 /// A→King: unconditional closure by the optimally resilient Phase King.
 #[test]
 fn a_to_king_n10() {
-    gauntlet(ShiftPlanBuilder::new(10, 3).a_blocks(3, 1).king_tail(), 10, 3, false);
+    gauntlet(
+        ShiftPlanBuilder::new(10, 3).a_blocks(3, 1).king_tail(),
+        10,
+        3,
+        false,
+    );
 }
 
 /// A→C→King: a C tail that would be conclusive anyway, then a king tail
@@ -72,7 +90,10 @@ fn a_to_king_n10() {
 #[test]
 fn a_to_c_to_king_n16() {
     gauntlet(
-        ShiftPlanBuilder::new(16, 5).a_blocks(4, 2).c_tail(2).king_tail(),
+        ShiftPlanBuilder::new(16, 5)
+            .a_blocks(4, 2)
+            .c_tail(2)
+            .king_tail(),
         16,
         5,
         true,
@@ -91,14 +112,24 @@ fn terminal_a_n10() {
 #[test]
 fn minimal_blocks_long_prefix_n13() {
     let t = t_a(13);
-    gauntlet(ShiftPlanBuilder::new(13, t).a_blocks(3, 4).c_tail(2), 13, t, true);
+    gauntlet(
+        ShiftPlanBuilder::new(13, t).a_blocks(3, 4).c_tail(2),
+        13,
+        t,
+        true,
+    );
 }
 
 /// Compositions within Algorithm B's own resilience may start in B
 /// immediately (no ledger needed).
 #[test]
 fn pure_b_within_its_resilience_n21() {
-    gauntlet(ShiftPlanBuilder::new(21, 5).b_blocks(3, 2).c_tail(3), 21, 5, true);
+    gauntlet(
+        ShiftPlanBuilder::new(21, 5).b_blocks(3, 2).c_tail(3),
+        21,
+        5,
+        true,
+    );
 }
 
 /// The builder's acceptance boundary is tight around the B-entry ledger:
@@ -127,7 +158,11 @@ fn b_entry_boundary_is_tight() {
 /// round-trip through Display without losing the reason).
 #[test]
 fn rejection_messages_name_the_condition() {
-    let err = ShiftPlanBuilder::new(16, 5).b_blocks(3, 1).king_tail().build().unwrap_err();
+    let err = ShiftPlanBuilder::new(16, 5)
+        .b_blocks(3, 1)
+        .king_tail()
+        .build()
+        .unwrap_err();
     let text = err.to_string();
     assert!(text.contains("unsafe shift"), "{text}");
     assert!(text.contains("Corollary 1"), "{text}");

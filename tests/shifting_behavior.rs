@@ -28,7 +28,9 @@ fn first_correct(outcome: &shifting_gears::sim::Outcome) -> ProcessId {
 #[test]
 fn algorithm_b_shifts_exactly_at_block_ends() {
     let (n, t, b) = (13, 3, 2);
-    let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
     let mut adversary = DoubleTalk::new(FaultSelection::without_source());
     let outcome = execute(AlgorithmSpec::AlgorithmB { b }, &config, &mut adversary).unwrap();
     outcome.assert_correct();
@@ -47,7 +49,9 @@ fn hybrid_conversion_sequence_follows_figure_3() {
     let (n, b) = (13, 3);
     let t = 4;
     let schedule = HybridSchedule::compute(n, b);
-    let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
     let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, 3, 5);
     let outcome = execute(AlgorithmSpec::Hybrid { b }, &config, &mut adversary).unwrap();
     outcome.assert_correct();
@@ -73,7 +77,10 @@ fn hybrid_conversion_sequence_follows_figure_3() {
     // The last A-phase shift lands exactly on k_AB (the A→B boundary).
     assert_eq!(shifts[expected_a - 1].0, schedule.k_ab);
     // The last B-phase shift lands exactly on k_AB + k_BC (B→C boundary).
-    assert_eq!(shifts[expected_a + expected_b - 1].0, schedule.k_ab + schedule.k_bc);
+    assert_eq!(
+        shifts[expected_a + expected_b - 1].0,
+        schedule.k_ab + schedule.k_bc
+    );
 }
 
 #[test]
@@ -97,7 +104,9 @@ fn preferred_value_survives_every_shift_when_source_correct() {
     // Strong Persistence in action: with a correct source, the traced
     // preferred value after every shift equals the source's value.
     let (n, t, b) = (13, 4, 3);
-    let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+    let config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
     let mut adversary = ChainRevealer::new(FaultSelection::without_source(), 2, 2, 13);
     let outcome = execute(AlgorithmSpec::Hybrid { b }, &config, &mut adversary).unwrap();
     outcome.assert_correct();
@@ -128,7 +137,9 @@ fn masked_faults_stop_influencing_preferred_values() {
     // *after* everyone has discovered it — outcomes must coincide.
     let (n, t, b) = (13, 3, 2);
     let run_with_late_noise = |late_value: u16| {
-        let config = RunConfig::new(n, t).with_source_value(Value(1)).with_trace();
+        let config = RunConfig::new(n, t)
+            .with_source_value(Value(1))
+            .with_trace();
         struct LateNoise {
             late_value: u16,
         }
@@ -153,9 +164,7 @@ fn masked_faults_stop_influencing_preferred_values() {
                 let len = view.expected_len(_sender).max(1);
                 if view.round == 2 {
                     // Blatant equivocation: get globally detected.
-                    shifting_gears::sim::Payload::values([Value(
-                        (recipient.index() % 2) as u16,
-                    )])
+                    shifting_gears::sim::Payload::values([Value((recipient.index() % 2) as u16)])
                 } else if view.round > 2 {
                     // Post-detection noise that must be masked away.
                     shifting_gears::sim::Payload::Values(vec![Value(self.late_value); len])
@@ -167,8 +176,7 @@ fn masked_faults_stop_influencing_preferred_values() {
             }
         }
         let mut adversary = LateNoise { late_value };
-        let outcome =
-            execute(AlgorithmSpec::AlgorithmB { b }, &config, &mut adversary).unwrap();
+        let outcome = execute(AlgorithmSpec::AlgorithmB { b }, &config, &mut adversary).unwrap();
         outcome.assert_correct();
         outcome
     };
