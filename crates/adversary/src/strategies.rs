@@ -9,7 +9,7 @@
 use sg_sim::{Adversary, AdversaryView, Payload, ProcessId, ProcessSet, Value};
 
 use crate::selection::FaultSelection;
-use crate::util::{call_rng, flip, map_shadow, random_value, shadow_or_missing};
+use crate::util::{call_rng, flip, map_shadow, random_value, repeated, shadow_or_missing};
 
 /// Faulty processors behave perfectly honestly until `crash_round`, then
 /// go permanently silent — the classic crash-failure pattern, which
@@ -128,6 +128,10 @@ impl Adversary for RandomLiar {
             return Payload::Missing;
         }
         let mut rng = call_rng(self.seed, view.round, sender, recipient);
+        if len == 1 {
+            // The king-family case: one random value, no vector.
+            return Payload::single(random_value(&mut rng, view));
+        }
         Payload::Values((0..len).map(|_| random_value(&mut rng, view)).collect())
     }
 }
@@ -219,7 +223,7 @@ impl Adversary for EquivocatingSource {
             if len == 0 {
                 return Payload::Missing;
             }
-            return Payload::Values(vec![claimed; len]);
+            return repeated(claimed, len);
         }
         shadow_or_missing(view, sender)
     }
@@ -327,6 +331,9 @@ impl Adversary for ChainRevealer {
             return Payload::Missing;
         }
         let mut rng = call_rng(self.seed, view.round, sender, recipient);
+        if len == 1 {
+            return Payload::single(random_value(&mut rng, view));
+        }
         Payload::Values((0..len).map(|_| random_value(&mut rng, view)).collect())
     }
 }
@@ -376,7 +383,7 @@ impl Adversary for DoubleTalk {
         if len == 0 {
             return Payload::Missing;
         }
-        Payload::Values(vec![story; len])
+        repeated(story, len)
     }
 }
 
@@ -458,7 +465,7 @@ impl Adversary for StaggeredSplit {
         if len == 0 {
             return Payload::Missing;
         }
-        Payload::Values(vec![story; len])
+        repeated(story, len)
     }
 }
 
@@ -699,7 +706,7 @@ impl Adversary for Collusion {
         if len == 0 {
             return Payload::Missing;
         }
-        Payload::Values(vec![lie; len])
+        repeated(lie, len)
     }
 }
 
@@ -818,23 +825,29 @@ impl Adversary for FrontierBreaker {
             .copied()
             .filter(|p| *p != view.source)
             .collect();
-        let Some(Payload::Values(vals)) = view.shadow_of(sender) else {
+        let Some(shadow) = view.shadow_of(sender) else {
             return Payload::Missing;
         };
+        if !matches!(shadow, Payload::Values(_) | Payload::Bits { .. }) {
+            return Payload::Missing;
+        }
+        let len = shadow.num_values();
         // Locate the target node's index in the level being broadcast.
         let shape = sg_eigtree::Shape::new(view.n, view.source);
         let mut level = 0usize;
-        while shape.level_size(level) < vals.len() {
+        while shape.level_size(level) < len {
             level += 1;
         }
-        if shape.level_size(level) != vals.len() || target.len() != level {
+        if shape.level_size(level) != len || target.len() != level {
             // Not the level containing the target: behave honestly.
-            return Payload::Values(vals.clone());
+            return shadow.clone();
         }
         let Some(idx) = shape.index_of(&target) else {
-            return Payload::Values(vals.clone());
+            return shadow.clone();
         };
-        let mut out = vals.clone();
+        let mut out: Vec<Value> = (0..len)
+            .map(|i| shadow.value_at(i).expect("index in range"))
+            .collect();
         if recipient.index() % 2 == 1 {
             out[idx] = flip(view, out[idx]);
         }

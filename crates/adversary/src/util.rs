@@ -25,16 +25,30 @@ pub fn shadow_or_missing(view: &AdversaryView<'_>, sender: ProcessId) -> Payload
     view.shadow_of(sender).cloned().unwrap_or(Payload::Missing)
 }
 
+/// `len` copies of `v` as a payload: a zero-allocation [`Payload::single`]
+/// for the one-value broadcasts of the king-family protocols, the usual
+/// value vector otherwise.
+pub fn repeated(v: Value, len: usize) -> Payload {
+    if len == 1 {
+        Payload::single(v)
+    } else {
+        Payload::Values(vec![v; len])
+    }
+}
+
 /// Applies `f` to every value of the sender's shadow payload; missing
-/// shadows stay missing.
+/// shadows stay missing. Representation-agnostic: bit-packed and
+/// vector shadows corrupt identically.
 pub fn map_shadow<F>(view: &AdversaryView<'_>, sender: ProcessId, mut f: F) -> Payload
 where
     F: FnMut(usize, Value) -> Value,
 {
     match view.shadow_of(sender) {
-        Some(Payload::Values(vals)) => {
-            Payload::Values(vals.iter().enumerate().map(|(i, &v)| f(i, v)).collect())
-        }
+        Some(p @ (Payload::Values(_) | Payload::Bits { .. })) => Payload::Values(
+            (0..p.num_values())
+                .map(|i| f(i, p.value_at(i).expect("index in range")))
+                .collect(),
+        ),
         Some(other) => other.clone(),
         None => Payload::Missing,
     }

@@ -49,18 +49,17 @@ impl StabilityReport {
     }
 }
 
-/// Extracts the preferred-value snapshots a processor emitted, in round
-/// order: `Preferred` events and the post-shift values of `Shift` events.
-fn preferred_snapshots(outcome: &Outcome, who: ProcessId) -> Vec<(usize, Value)> {
-    outcome
-        .trace
-        .by(who)
-        .filter_map(|e| match &e.event {
-            TraceEvent::Preferred { value } => Some((e.round, *value)),
-            TraceEvent::Shift { preferred, .. } => Some((e.round, *preferred)),
-            _ => None,
-        })
-        .collect()
+/// The preferred-value snapshots a processor emitted, in round order:
+/// `Preferred` events and the post-shift values of `Shift` events.
+fn preferred_snapshots<'a>(
+    outcome: &'a Outcome,
+    who: ProcessId,
+) -> impl Iterator<Item = (usize, Value)> + 'a {
+    outcome.trace.by(who).filter_map(|e| match &e.event {
+        TraceEvent::Preferred { value } => Some((e.round, *value)),
+        TraceEvent::Shift { preferred, .. } => Some((e.round, *preferred)),
+        _ => None,
+    })
 }
 
 /// Computes the lock-in report for a traced execution.
@@ -77,26 +76,27 @@ pub fn lock_in(outcome: &Outcome) -> StabilityReport {
         let Some(decision) = outcome.decisions[i] else {
             continue;
         };
-        let snapshots = preferred_snapshots(outcome, ProcessId(i));
-        if snapshots.is_empty() {
-            continue;
-        }
         // A preferred value persists until the *next* snapshot (tree
         // roots only change at conversions), so the lock-in round is the
-        // round of the first snapshot after the last divergent one.
-        let last_unstable_idx = snapshots
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, v))| *v != decision)
-            .map(|(i, _)| i)
-            .max();
-        per_processor[i] = Some(match last_unstable_idx {
-            Some(i) => snapshots
-                .get(i + 1)
-                .map_or(outcome.rounds_used, |(r, _)| *r),
-            // Stable from its first snapshot onward.
-            None => snapshots[0].0,
-        });
+        // round of the first snapshot after the last divergent one —
+        // computed in one allocation-free pass: a divergent snapshot
+        // clears the candidate, the first agreeing snapshot after it
+        // becomes the new candidate.
+        let mut any = false;
+        let mut candidate: Option<usize> = None;
+        for (round, value) in preferred_snapshots(outcome, ProcessId(i)) {
+            any = true;
+            if value != decision {
+                candidate = None;
+            } else if candidate.is_none() {
+                candidate = Some(round);
+            }
+        }
+        if any {
+            // No agreeing snapshot after the last divergence: the value
+            // only settles when the schedule ends.
+            per_processor[i] = Some(candidate.unwrap_or(outcome.rounds_used));
+        }
     }
     StabilityReport {
         per_processor,

@@ -1,0 +1,85 @@
+//! Single-run hot-loop throughput, isolating the two layers of the
+//! instance-pooled, bit-packed run loop:
+//!
+//! * `instances/*` — fresh-instance (`run_in`) vs pooled-instance
+//!   (`run_pooled_in`) executions of the benchmark sweep's cell, so the
+//!   cost of boxing `n` protocol instances per run is visible on its own;
+//! * `payload/*` — packed-ballot deliveries vs the per-payload fallback
+//!   (`set_packed_broadcast`), so the popcount-tally layer is measured
+//!   separately from pooling.
+//!
+//! All four variants execute identical work — `tests/instance_pool.rs`
+//! pins down that their outcomes are bit-identical — so the ratios are
+//! pure hot-loop overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sg_adversary::{FaultSelection, RandomLiar};
+use sg_core::AlgorithmSpec;
+use sg_sim::{run_in, run_pooled_in, set_packed_broadcast, RunArena, RunConfig, Value};
+
+const SEED: u64 = 7;
+
+fn bench_config() -> (AlgorithmSpec, RunConfig) {
+    // The BENCH_sweep.json cell: optimal-king n=16 t=5 under random liars.
+    let spec = AlgorithmSpec::OptimalKing;
+    let config = RunConfig::new(16, 5)
+        .with_source_value(Value(1))
+        .with_trace();
+    (spec, config)
+}
+
+fn bench_instance_pool(c: &mut Criterion) {
+    let (spec, config) = bench_config();
+    let key = spec.pool_key(&config);
+    let factory = spec.factory(&config);
+    let mut group = c.benchmark_group("run_loop_optimal_king_n16_t5");
+    group.sample_size(20);
+
+    let mut arena = RunArena::new();
+    group.bench_function("instances/fresh", |b| {
+        b.iter(|| {
+            let mut adversary = RandomLiar::new(FaultSelection::without_source(), SEED);
+            run_in(&mut arena, &config, &mut adversary, &factory)
+        });
+    });
+
+    let mut arena = RunArena::new();
+    group.bench_function("instances/pooled", |b| {
+        b.iter(|| {
+            let mut adversary = RandomLiar::new(FaultSelection::without_source(), SEED);
+            run_pooled_in(&mut arena, &config, &mut adversary, key, &factory)
+        });
+    });
+    group.finish();
+}
+
+fn bench_packed_payloads(c: &mut Criterion) {
+    let (spec, config) = bench_config();
+    let key = spec.pool_key(&config);
+    let factory = spec.factory(&config);
+    let mut group = c.benchmark_group("run_loop_optimal_king_n16_t5");
+    group.sample_size(20);
+
+    // Both variants run pooled, so the packed-ballot layer is isolated.
+    let mut arena = RunArena::new();
+    set_packed_broadcast(false);
+    group.bench_function("payload/vec-fallback", |b| {
+        b.iter(|| {
+            let mut adversary = RandomLiar::new(FaultSelection::without_source(), SEED);
+            run_pooled_in(&mut arena, &config, &mut adversary, key, &factory)
+        });
+    });
+    set_packed_broadcast(true);
+
+    let mut arena = RunArena::new();
+    group.bench_function("payload/bit-packed", |b| {
+        b.iter(|| {
+            let mut adversary = RandomLiar::new(FaultSelection::without_source(), SEED);
+            run_pooled_in(&mut arena, &config, &mut adversary, key, &factory)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instance_pool, bench_packed_payloads);
+criterion_main!(benches);

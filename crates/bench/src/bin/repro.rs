@@ -1,15 +1,19 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro                 # all experiments, full scale, text tables
-//! repro --quick         # all experiments, small parameters
-//! repro --markdown      # emit GitHub-flavoured markdown (EXPERIMENTS.md)
-//! repro --csv           # emit CSV (one block per experiment)
-//! repro --jobs 8        # size the sweep engine's worker pool
-//! repro --exp t3        # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|detect|
-//!                       #   stability|early-stopping|king|compose|plans|sweep
-//! repro --exp sweep     # the benchmark sweep: phase-king n=16 t=5 Monte-Carlo,
-//!                       # timed, machine-readable trajectory in BENCH_sweep.json
+//! repro                    # all experiments, full scale, text tables
+//! repro --quick            # all experiments, small parameters
+//! repro --markdown         # emit GitHub-flavoured markdown (EXPERIMENTS.md)
+//! repro --csv              # emit CSV (one block per experiment)
+//! repro --jobs 8           # size the sweep engine's worker pool
+//! repro --no-instance-pool # rebuild protocol instances every run (the
+//!                          # escape hatch CI cross-checks fingerprints with)
+//! repro --exp t3           # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|
+//!                          #   detect|stability|early-stopping|king|compose|
+//!                          #   plans|sweep
+//! repro --exp sweep        # the benchmark sweep: phase-king n=16 t=5
+//!                          # Monte-Carlo, timed, machine-readable trajectory
+//!                          # in BENCH_sweep.json (schema sg-bench-sweep/2)
 //! ```
 
 use std::env;
@@ -24,10 +28,53 @@ use sg_analysis::experiments::{
 use sg_analysis::{AdversaryFamily, SweepConfig, SweepPlan, SweepReport, Table};
 use sg_core::AlgorithmSpec;
 
-/// Peak resident-set proxy: `VmHWM` from `/proc/self/status`, in kB
-/// (0 where unavailable — the field is Linux-specific).
+/// Counting global allocator behind `--features count-allocs`: the
+/// `allocs_per_run` field of BENCH_sweep.json is the measured per-run
+/// allocation count of a steady-state sequential sweep pass, `null`
+/// without the feature.
+#[cfg(feature = "count-allocs")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// The system allocator with an allocation counter bolted on
+    /// (reallocations count as one allocation; frees are not counted).
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates every operation verbatim to `System`; the only
+    // addition is a relaxed counter increment on the allocating paths.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAllocator = CountingAllocator;
+
+    /// Allocations performed so far by this process.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Peak resident-set proxy in kB: `VmHWM` from `/proc/self/status` where
+/// available (Linux), otherwise `getrusage(RUSAGE_SELF).ru_maxrss` via
+/// the libc shim below, otherwise 0.
 fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
+    let vm_hwm = std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|status| {
             status.lines().find_map(|line| {
@@ -39,7 +86,46 @@ fn peak_rss_kb() -> u64 {
                     .ok()
             })
         })
-        .unwrap_or(0)
+        .unwrap_or(0);
+    if vm_hwm > 0 {
+        vm_hwm
+    } else {
+        rusage_max_rss_kb()
+    }
+}
+
+/// `getrusage`-based max-RSS fallback for Unix systems without
+/// `/proc/self/status` (macOS, BSDs). Returns 0 off Unix or on error.
+#[cfg(unix)]
+fn rusage_max_rss_kb() -> u64 {
+    // struct rusage: two timevals (4 longs) then ru_maxrss and 13 more
+    // longs; glibc pads to 18 longs total. A generous zeroed buffer
+    // keeps this safe across libc layouts that append fields.
+    const RUSAGE_LONGS: usize = 36;
+    const RU_MAXRSS_INDEX: usize = 4;
+    const RUSAGE_SELF: i32 = 0;
+    extern "C" {
+        fn getrusage(who: i32, usage: *mut i64) -> i32;
+    }
+    let mut usage = [0i64; RUSAGE_LONGS];
+    // SAFETY: RUSAGE_SELF with a buffer at least as large as any libc's
+    // struct rusage; getrusage only writes within the struct.
+    let rc = unsafe { getrusage(RUSAGE_SELF, usage.as_mut_ptr()) };
+    if rc != 0 {
+        return 0;
+    }
+    let max_rss = usage[RU_MAXRSS_INDEX].max(0) as u64;
+    // Linux reports kilobytes; macOS reports bytes.
+    if cfg!(target_os = "macos") {
+        max_rss / 1024
+    } else {
+        max_rss
+    }
+}
+
+#[cfg(not(unix))]
+fn rusage_max_rss_kb() -> u64 {
+    0
 }
 
 /// Order-sensitive FNV-1a fingerprint of every sample in the report, so
@@ -62,6 +148,22 @@ fn report_fingerprint(report: &SweepReport) -> u64 {
         }
     }
     h
+}
+
+/// Per-run allocation count of a steady-state sequential pass over
+/// `plan` (the timed pass above already warmed every pool), as a JSON
+/// value: a number with `--features count-allocs`, `null` without.
+#[cfg(feature = "count-allocs")]
+fn allocs_per_run_json(plan: &SweepPlan) -> String {
+    let before = alloc_count::allocations();
+    let report = plan.run_with_jobs(1);
+    let delta = alloc_count::allocations() - before;
+    format!("{:.1}", delta as f64 / report.total_runs as f64)
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn allocs_per_run_json(_plan: &SweepPlan) -> String {
+    "null".to_string()
 }
 
 /// The benchmark sweep behind `--exp sweep` and `BENCH_sweep.json`: the
@@ -92,11 +194,15 @@ fn experiment_sweep(scale: Scale, jobs: usize) {
         runs_per_sec,
     );
 
+    let instance_pool = sg_sim::instance_pooling_enabled();
+    let allocs_per_run = allocs_per_run_json(&plan);
     let json = format!(
-        "{{\n  \"schema\": \"sg-bench-sweep/1\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
+        "{{\n  \"schema\": \"sg-bench-sweep/2\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
          \"spec\": \"optimal-king\",\n  \"n\": {n},\n  \"t\": {t},\n  \
          \"adversary\": \"random-liar\",\n  \"runs\": {},\n  \"jobs\": {jobs},\n  \
+         \"instance_pool\": {instance_pool},\n  \
          \"wall_ms\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"peak_rss_kb\": {},\n  \
+         \"allocs_per_run\": {allocs_per_run},\n  \
          \"report_fingerprint\": \"{:016x}\"\n}}\n",
         report.total_runs,
         wall.as_secs_f64() * 1e3,
@@ -129,6 +235,9 @@ fn main() {
         }
         None => 0,
     };
+    if args.iter().any(|a| a == "--no-instance-pool") {
+        sg_sim::set_instance_pooling(false);
+    }
     sg_analysis::set_jobs(jobs);
     let effective_jobs = sg_analysis::sweep::jobs();
     let which: Option<String> = args

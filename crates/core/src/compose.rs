@@ -59,7 +59,7 @@
 use std::fmt;
 
 use sg_eigtree::Conversion;
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{Inbox, Payload, PoolKey, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
 
 use crate::geared::GearedProtocol;
 use crate::optimal_king::{KingCore, PhaseStep};
@@ -275,7 +275,33 @@ impl ShiftComposition {
         }
     }
 
-    /// Runs the composition on the engine against `adversary`.
+    /// The instance-pool key for this composition under `config`: the
+    /// segment sequence (which fixes the compiled plan and king tail)
+    /// plus every configuration field instances are seeded from.
+    pub fn pool_key(&self, config: &RunConfig) -> PoolKey {
+        let mut words: Vec<u64> = Vec::with_capacity(3 * self.segments.len() + 6);
+        words.push(0xC035_035E); // composition namespace
+        for seg in &self.segments {
+            let (tag, a, b): (u64, usize, usize) = match *seg {
+                Segment::A { b, blocks } => (1, b, blocks),
+                Segment::B { b, blocks } => (2, b, blocks),
+                Segment::C { rounds } => (3, rounds, 0),
+                Segment::King => (4, 0, 0),
+            };
+            words.extend([tag, a as u64, b as u64]);
+        }
+        words.extend([
+            config.n as u64,
+            config.t as u64,
+            u64::from(config.domain.size()),
+            config.source.index() as u64,
+            u64::from(config.source_value.raw()),
+        ]);
+        PoolKey::of(&words)
+    }
+
+    /// Runs the composition on the engine against `adversary`, recycling
+    /// protocol instances across runs of the same composition.
     ///
     /// # Panics
     ///
@@ -293,7 +319,7 @@ impl ShiftComposition {
         let params = Params::from_config(config);
         let source = config.source;
         let source_value = config.source_value;
-        sg_sim::run(config, adversary, |me| {
+        sg_sim::run_pooled(config, adversary, self.pool_key(config), |me| {
             let input = (me == source).then_some(source_value);
             Box::new(self.build(params, me, input)) as Box<dyn Protocol>
         })
@@ -737,6 +763,22 @@ impl Protocol for ComposedProtocol {
 
     fn space_nodes(&self) -> u64 {
         self.geared.space_nodes()
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        // The compiled plan and phase count are fixed by the pool key
+        // (segment sequence + t); the prefix machine and king core reset
+        // in place.
+        let params = Params::from_config(config);
+        if !self.geared.reset(id, config) {
+            return false;
+        }
+        self.input = (id == config.source).then_some(config.source_value);
+        if let Some(king) = self.king.as_mut() {
+            king.reset(params, id);
+        }
+        self.seeded = false;
+        true
     }
 }
 

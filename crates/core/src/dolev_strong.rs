@@ -17,7 +17,7 @@
 use std::collections::BTreeSet;
 
 use sg_sim::sig::SignedRelay;
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, TraceEvent, Value};
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
 
 use crate::params::Params;
 
@@ -151,6 +151,15 @@ impl Protocol for DolevStrong {
         };
         ctx.emit(TraceEvent::Decided { value });
         value
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        self.params = Params::from_config(config);
+        self.me = id;
+        self.input = (id == config.source).then_some(config.source_value);
+        self.accepted.clear();
+        self.outbox.clear();
+        true
     }
 }
 

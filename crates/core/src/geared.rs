@@ -9,7 +9,9 @@
 //! an instance of this one machine with a different plan.
 
 use sg_eigtree::{convert, discover_during_conversion, discover_ig, FaultList, IgTree, RepTree};
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, RunConfig, TraceEvent, Value,
+};
 
 use crate::params::Params;
 use crate::plan::RoundAction;
@@ -132,6 +134,17 @@ impl GearedProtocol {
         self.plan[round - 1]
     }
 
+    /// A tree level as a broadcast payload: bit-packed one-bit-per-slot
+    /// for binary domains (the common case — allocation-free up to 256
+    /// slots, 16× denser beyond), a plain value vector otherwise.
+    fn level_payload(&self, level: &[Value]) -> Payload {
+        if self.params.domain.size() == 2 {
+            Payload::packed(level.iter().copied())
+        } else {
+            Payload::Values(level.to_vec())
+        }
+    }
+
     /// Records newly discovered processors: updates `L`, emits trace
     /// events, returns them as a set (empty if none).
     fn admit_discoveries(
@@ -161,7 +174,7 @@ impl Protocol for GearedProtocol {
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
         match self.action(ctx.round) {
-            RoundAction::Initial => self.input.map(|v| Payload::values([v])),
+            RoundAction::Initial => self.input.map(Payload::single),
             RoundAction::Gather { .. } => {
                 if self.me == self.params.source {
                     // The no-repetition tree has no slots labelled by the
@@ -169,11 +182,11 @@ impl Protocol for GearedProtocol {
                     None
                 } else {
                     let deepest = self.tree.deepest_level();
-                    Some(Payload::Values(self.tree.level(deepest).to_vec()))
+                    Some(self.level_payload(self.tree.level(deepest)))
                 }
             }
-            RoundAction::RepFirstGather => Some(Payload::values([self.rep.root()])),
-            RoundAction::RepGather => Some(Payload::Values(self.rep.intermediates().to_vec())),
+            RoundAction::RepFirstGather => Some(Payload::single(self.rep.root())),
+            RoundAction::RepGather => Some(self.level_payload(self.rep.intermediates())),
         }
     }
 
@@ -339,6 +352,20 @@ impl Protocol for GearedProtocol {
     fn space_nodes(&self) -> u64 {
         self.peak_nodes
             .max(self.tree.node_count() + self.rep.node_count())
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        // The plan (and hence `t` and the block structure) is keyed by
+        // the instance pool; everything else re-derives from `config`.
+        let params = Params::from_config(config);
+        self.params = params;
+        self.me = id;
+        self.input = (id == config.source).then_some(config.source_value);
+        self.tree.reset(params.n, params.source);
+        self.rep.reset(params.n, params.source);
+        self.faults.reset(params.n);
+        self.peak_nodes = 0;
+        true
     }
 }
 

@@ -10,7 +10,7 @@
 //! per source, using the [`crate::multiplex`] substrate; consensus is the
 //! plurality of the agreed vector.
 
-use sg_sim::{Adversary, Outcome, ProcessId, Protocol, RunConfig, Value};
+use sg_sim::{Adversary, Outcome, PoolKey, ProcessId, Protocol, RunConfig, Value};
 
 use crate::multiplex::{plurality, Multiplex};
 use crate::params::Params;
@@ -36,19 +36,35 @@ pub fn interactive_consistency(
     assert_eq!(inputs.len(), params.n, "one input per processor");
     base.validate(params.n, params.t)
         .unwrap_or_else(|e| panic!("invalid base algorithm: {e}"));
-    let subs: Vec<Box<dyn Protocol>> = (0..params.n)
-        .map(|i| {
-            let source = ProcessId(i);
-            let sub_params = Params { source, ..params };
-            let input = (me == source).then_some(inputs[i]);
-            base.build(sub_params, me, input)
-        })
-        .collect();
+    let mut subs: Vec<Box<dyn Protocol>> = Vec::with_capacity(params.n);
+    let mut sub_configs: Vec<RunConfig> = Vec::with_capacity(params.n);
+    for i in 0..params.n {
+        let source = ProcessId(i);
+        let sub_params = Params { source, ..params };
+        let input = (me == source).then_some(inputs[i]);
+        subs.push(base.build(sub_params, me, input));
+        let mut cfg = RunConfig::new(params.n, params.t)
+            .with_source_value(inputs[i])
+            .with_domain(params.domain);
+        cfg.source = source;
+        sub_configs.push(cfg);
+    }
     Multiplex::new(
         format!("interactive-consistency[{}]", base.name()),
         subs,
         Box::new(plurality),
     )
+    .with_sub_configs(sub_configs)
+}
+
+/// The instance-pool key for [`run_consensus`]: the base algorithm's key
+/// plus the full input vector (sub-instance inputs depend on every slot).
+fn consensus_pool_key(base: AlgorithmSpec, config: &RunConfig, inputs: &[Value]) -> PoolKey {
+    let mut words: Vec<u64> = Vec::with_capacity(inputs.len() + 2);
+    words.push(0x1C0A_11E1); // interactive-consistency namespace
+    words.push(base.pool_key(config).raw());
+    words.extend(inputs.iter().map(|v| u64::from(v.raw())));
+    PoolKey::of(&words)
 }
 
 /// Runs interactive consistency (and thereby consensus) over `inputs`
@@ -71,7 +87,8 @@ pub fn run_consensus(
 ) -> Outcome {
     assert_eq!(inputs.len(), config.n, "one input per processor");
     let params = Params::from_config(config);
-    sg_sim::run(config, adversary, move |me| {
+    let key = consensus_pool_key(base, config, &inputs);
+    sg_sim::run_pooled(config, adversary, key, move |me| {
         Box::new(interactive_consistency(base, params, me, &inputs))
     })
 }

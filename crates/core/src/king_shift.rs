@@ -32,7 +32,7 @@
 //! message blow-up for rounds while keeping full `⌊(n−1)/3⌋` resilience
 //! and keeping the A block's large-message phase to a single block.
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, TraceEvent, Value};
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
 
 use sg_eigtree::Conversion;
 
@@ -190,6 +190,21 @@ impl Protocol for KingShift {
 
     fn space_nodes(&self) -> u64 {
         self.geared.space_nodes()
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        // The A-block plan and phase count depend only on (t, b), which
+        // the pool key fixes; the prefix machine and king core reset in
+        // place.
+        let params = Params::from_config(config);
+        if !self.geared.reset(id, config) {
+            return false;
+        }
+        self.input = (id == config.source).then_some(config.source_value);
+        self.core.reset(params, id);
+        self.phases = params.t + 1;
+        self.seeded = false;
+        true
     }
 }
 

@@ -13,7 +13,7 @@
 //! that §1 of the paper builds on) and for the multivalued-to-binary
 //! reduction of [`crate::multivalued`].
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, TraceEvent, Value};
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
 
 /// Combines the sub-protocols' decisions into the composite decision.
 pub type Combiner = Box<dyn Fn(&[Value]) -> Value>;
@@ -24,6 +24,9 @@ pub struct Multiplex {
     combine: Combiner,
     decided_vector: Option<Vec<Value>>,
     name: String,
+    /// Per-instance run configurations enabling pooled resets; `None`
+    /// leaves [`Protocol::reset`] unsupported (always a pool miss).
+    sub_configs: Option<Vec<RunConfig>>,
 }
 
 impl Multiplex {
@@ -45,7 +48,27 @@ impl Multiplex {
             combine,
             decided_vector: None,
             name,
+            sub_configs: None,
         }
+    }
+
+    /// Attaches one [`RunConfig`] per sub-protocol, enabling pooled
+    /// [`Protocol::reset`]: each sub resets against its own config (its
+    /// own source and source value), while the composite's pool key must
+    /// capture everything these configs were derived from — for
+    /// interactive consistency that includes the full input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count differs from the number of sub-protocols.
+    pub fn with_sub_configs(mut self, sub_configs: Vec<RunConfig>) -> Self {
+        assert_eq!(
+            sub_configs.len(),
+            self.subs.len(),
+            "one config per sub-protocol"
+        );
+        self.sub_configs = Some(sub_configs);
+        self
     }
 
     /// The vector of sub-decisions, available after [`Protocol::decide`].
@@ -85,13 +108,15 @@ impl Multiplex {
     }
 }
 
-/// Appends one frame to the composite payload.
+/// Appends one frame to the composite payload (vector and bit-packed
+/// segments frame identically — the frame is always a value vector).
 fn push_frame(out: &mut Vec<Value>, segment: Option<Payload>) {
     match segment {
-        Some(Payload::Values(vals)) => {
-            out.push(Value((vals.len() & 0xFFFF) as u16));
-            out.push(Value((vals.len() >> 16) as u16));
-            out.extend(vals);
+        Some(ref p @ (Payload::Values(_) | Payload::Bits { .. })) => {
+            let len = p.num_values();
+            out.push(Value((len & 0xFFFF) as u16));
+            out.push(Value((len >> 16) as u16));
+            out.extend((0..len).map(|i| p.value_at(i).expect("index in range")));
         }
         _ => {
             out.push(Value(0));
@@ -146,6 +171,21 @@ impl Protocol for Multiplex {
 
     fn space_nodes(&self) -> u64 {
         self.subs.iter().map(|s| s.space_nodes()).sum()
+    }
+
+    fn reset(&mut self, id: ProcessId, _config: &RunConfig) -> bool {
+        // Without per-instance configs the composite cannot re-derive its
+        // subs' sources and inputs: report a pool miss.
+        let Some(sub_configs) = &self.sub_configs else {
+            return false;
+        };
+        for (sub, cfg) in self.subs.iter_mut().zip(sub_configs) {
+            if !sub.reset(id, cfg) {
+                return false;
+            }
+        }
+        self.decided_vector = None;
+        true
     }
 }
 

@@ -10,7 +10,7 @@
 //! validity lift bit-wise: every instance agrees, so the reassembled
 //! values agree; a correct source's bits are each decided faithfully.
 
-use sg_sim::{Adversary, Outcome, ProcessId, Protocol, RunConfig, Value, ValueDomain};
+use sg_sim::{Adversary, Outcome, PoolKey, ProcessId, Protocol, RunConfig, Value, ValueDomain};
 
 use crate::multiplex::Multiplex;
 use crate::params::Params;
@@ -49,12 +49,20 @@ pub fn multivalued_broadcast(
         domain: ValueDomain::binary(),
         ..params
     };
-    let subs: Vec<Box<dyn Protocol>> = (0..bits)
-        .map(|k| {
-            let bit_input = input.map(|v| Value((v.raw() >> k) & 1));
-            base.build(sub_params, me, bit_input)
-        })
-        .collect();
+    // The source's per-bit inputs: reset re-derives them from these
+    // configs, so pooled instances recycle across runs of one source
+    // value (the pool key covers it).
+    let source_value = input.unwrap_or(Value::DEFAULT);
+    let mut subs: Vec<Box<dyn Protocol>> = Vec::with_capacity(bits);
+    let mut sub_configs: Vec<RunConfig> = Vec::with_capacity(bits);
+    for k in 0..bits {
+        let bit = Value((source_value.raw() >> k) & 1);
+        let bit_input = input.map(|_| bit);
+        subs.push(base.build(sub_params, me, bit_input));
+        let mut cfg = RunConfig::new(params.n, params.t).with_source_value(bit);
+        cfg.source = params.source;
+        sub_configs.push(cfg);
+    }
     Multiplex::new(
         format!("multivalued[{}×{}]", base.name(), bits),
         subs,
@@ -69,6 +77,7 @@ pub fn multivalued_broadcast(
             outer_domain.sanitize(Value(raw))
         }),
     )
+    .with_sub_configs(sub_configs)
 }
 
 /// Runs multivalued broadcast: the source's `config.source_value` is
@@ -85,7 +94,11 @@ pub fn run_multivalued(
     let params = Params::from_config(config);
     let source = config.source;
     let source_value = config.source_value;
-    sg_sim::run(config, adversary, move |me| {
+    // The base key already covers (n, t, domain, source, source value),
+    // which determine every per-bit sub-instance; the namespace word
+    // keeps multivalued composites apart from plain base instances.
+    let key = PoolKey::of(&[0x3B17_5EED, base.pool_key(config).raw()]);
+    sg_sim::run_pooled(config, adversary, key, move |me| {
         let input = (me == source).then_some(source_value);
         Box::new(multivalued_broadcast(base, params, me, input))
     })

@@ -42,7 +42,10 @@
 //! broadcast — the paper's §6 open question about shifting into foreign
 //! algorithms, answered affirmatively for this family.
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, TraceEvent, Value};
+use sg_sim::{
+    Inbox, PackedBallots, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, RunConfig, TraceEvent,
+    Value,
+};
 
 use crate::params::Params;
 
@@ -113,6 +116,22 @@ impl KingCore {
         }
     }
 
+    /// Restores the core to its just-constructed state for processor
+    /// `me`, reusing the masked-set storage when `n` is unchanged (the
+    /// instance-pool path).
+    pub fn reset(&mut self, params: Params, me: ProcessId) {
+        self.params = params;
+        self.me = me;
+        self.current = Value::DEFAULT;
+        self.proposal = None;
+        self.locked = false;
+        if self.masked.universe() == params.n {
+            self.masked.clear();
+        } else {
+            self.masked = ProcessSet::new(params.n);
+        }
+    }
+
     /// Sets the current value (seeding at a shift boundary or after the
     /// source round).
     pub fn set_current(&mut self, v: Value) {
@@ -168,13 +187,15 @@ impl KingCore {
     }
 
     /// The payload to broadcast for `step` of `phase` (`None` = silent).
+    ///
+    /// Built with [`Payload::single`], so binary values and the `⊥`
+    /// sentinel allocate nothing on their way to the interned shared
+    /// payloads.
     pub fn outgoing(&mut self, phase: usize, step: PhaseStep) -> Option<Payload> {
         match step {
-            PhaseStep::Exchange => Some(Payload::values([self.current])),
-            PhaseStep::Propose => Some(Payload::values([self.proposal.unwrap_or(BOT_WIRE)])),
-            PhaseStep::King => {
-                (self.king(phase) == self.me).then(|| Payload::values([self.current]))
-            }
+            PhaseStep::Exchange => Some(Payload::single(self.current)),
+            PhaseStep::Propose => Some(Payload::single(self.proposal.unwrap_or(BOT_WIRE))),
+            PhaseStep::King => (self.king(phase) == self.me).then(|| Payload::single(self.current)),
         }
     }
 
@@ -188,6 +209,25 @@ impl KingCore {
         self.params.domain.contains(v).then_some(v)
     }
 
+    /// The engine's packed-ballot view with this core's own fault masks
+    /// and self slot applied — `None` when the view is absent or the
+    /// domain is not binary (fall back to per-payload reads). Masked
+    /// senders are cleared from both masks, exactly mirroring
+    /// [`KingCore::read`] returning `None` for them.
+    fn masked_ballots(&self, inbox: &Inbox) -> Option<PackedBallots> {
+        if self.params.domain.size() != 2 {
+            return None;
+        }
+        let mut ballots = inbox.ballots()?;
+        if !self.masked.is_empty() {
+            for p in self.masked.iter() {
+                ballots.clear(p);
+            }
+        }
+        ballots.clear(self.me);
+        Some(ballots)
+    }
+
     /// Consumes one round's inbox for `step` of `phase`.
     pub fn deliver(&mut self, phase: usize, step: PhaseStep, inbox: &Inbox, ctx: &mut ProcCtx) {
         let n = self.params.n;
@@ -196,42 +236,73 @@ impl KingCore {
             PhaseStep::Exchange => {
                 // Count every processor's value; absent/garbled messages
                 // count as the default value per the paper's convention.
-                let mut counts = vec![0usize; self.params.domain.size() as usize];
-                for i in 0..n {
-                    let v = if ProcessId(i) == self.me {
-                        self.current
+                if let Some(mut ballots) = self.masked_ballots(inbox) {
+                    // Binary popcount fast path: ones via `count_ones`;
+                    // everything else (zeros, ⊥, masked, garbled) lands
+                    // on the default, so zeros = n − ones.
+                    ballots.record(self.me, self.current);
+                    ctx.charge(n as u64);
+                    let ones = ballots.ones.count_ones() as usize;
+                    self.proposal = if n - ones >= n - t {
+                        Some(Value(0))
+                    } else if ones >= n - t {
+                        Some(Value(1))
                     } else {
-                        self.read(inbox, ProcessId(i)).unwrap_or(Value::DEFAULT)
+                        None
                     };
-                    counts[v.raw() as usize] += 1;
-                    ctx.charge(1);
+                } else {
+                    let mut counts = vec![0usize; self.params.domain.size() as usize];
+                    for i in 0..n {
+                        let v = if ProcessId(i) == self.me {
+                            self.current
+                        } else {
+                            self.read(inbox, ProcessId(i)).unwrap_or(Value::DEFAULT)
+                        };
+                        counts[v.raw() as usize] += 1;
+                        ctx.charge(1);
+                    }
+                    self.proposal = counts
+                        .iter()
+                        .position(|&c| c >= n - t)
+                        .map(|i| Value(i as u16));
                 }
-                self.proposal = counts
-                    .iter()
-                    .position(|&c| c >= n - t)
-                    .map(|i| Value(i as u16));
             }
             PhaseStep::Propose => {
                 // Count non-⊥ proposals; anything unreadable is ⊥ and
-                // counts for no value.
-                let mut counts = vec![0usize; self.params.domain.size() as usize];
-                for i in 0..n {
-                    let prop = if ProcessId(i) == self.me {
-                        self.proposal
-                    } else {
-                        self.read(inbox, ProcessId(i))
-                    };
-                    if let Some(v) = prop {
-                        counts[v.raw() as usize] += 1;
+                // counts for no value. Plurality with the smaller value
+                // winning ties.
+                let (top, c) = if let Some(mut ballots) = self.masked_ballots(inbox) {
+                    if let Some(p) = self.proposal {
+                        ballots.record(self.me, p);
                     }
-                    ctx.charge(1);
-                }
-                let (top_raw, &c) = counts
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-                    .expect("domain has at least two values");
-                let top = Value(top_raw as u16);
+                    ctx.charge(n as u64);
+                    let count_1 = ballots.ones.count_ones() as usize;
+                    let count_0 = ballots.zeros.count_ones() as usize;
+                    if count_1 > count_0 {
+                        (Value(1), count_1)
+                    } else {
+                        (Value(0), count_0)
+                    }
+                } else {
+                    let mut counts = vec![0usize; self.params.domain.size() as usize];
+                    for i in 0..n {
+                        let prop = if ProcessId(i) == self.me {
+                            self.proposal
+                        } else {
+                            self.read(inbox, ProcessId(i))
+                        };
+                        if let Some(v) = prop {
+                            counts[v.raw() as usize] += 1;
+                        }
+                        ctx.charge(1);
+                    }
+                    let (top_raw, &c) = counts
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                        .expect("domain has at least two values");
+                    (Value(top_raw as u16), c)
+                };
                 if c >= n - t {
                     self.current = top;
                     self.locked = true;
@@ -327,7 +398,7 @@ impl Protocol for OptimalKing {
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
         match self.locate(ctx.round) {
-            None => self.input.map(|v| Payload::values([v])),
+            None => self.input.map(Payload::single),
             Some((phase, step)) => self.core.outgoing(phase, step),
         }
     }
@@ -359,6 +430,14 @@ impl Protocol for OptimalKing {
         };
         ctx.emit(TraceEvent::Decided { value });
         value
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        let params = Params::from_config(config);
+        self.params = params;
+        self.input = (id == config.source).then_some(config.source_value);
+        self.core.reset(params, id);
+        true
     }
 }
 

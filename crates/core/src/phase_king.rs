@@ -12,7 +12,7 @@
 //! consensus input, and validity follows from persistence (a unanimous
 //! correct majority survives every phase).
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, TraceEvent, Value};
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
 
 use crate::params::Params;
 
@@ -96,11 +96,11 @@ impl Protocol for PhaseKing {
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
         match self.role(ctx.round) {
-            Role::SourceRound => self.input.map(|v| Payload::values([v])),
-            Role::Exchange => Some(Payload::values([self.current])),
+            Role::SourceRound => self.input.map(Payload::single),
+            Role::Exchange => Some(Payload::single(self.current)),
             Role::KingRound { phase } => {
                 let (maj, _) = self.tally.unwrap_or((Value::DEFAULT, 0));
-                (self.king(phase) == self.me).then(|| Payload::values([maj]))
+                (self.king(phase) == self.me).then(|| Payload::single(maj))
             }
         }
     }
@@ -127,26 +127,41 @@ impl Protocol for PhaseKing {
             Role::Exchange => {
                 // Tally everyone's value (own included); plurality with
                 // smallest-value tie-break.
-                let mut counts: Vec<(Value, usize)> = Vec::new();
-                for i in 0..n {
-                    let v = if ProcessId(i) == self.me {
-                        self.current
+                if let Some(mut ballots) = inbox.ballots().filter(|_| domain.size() == 2) {
+                    // Binary popcount fast path: everything that is not a
+                    // readable 1 sanitizes to the default, so the zero
+                    // count is n − ones and the smaller value wins ties.
+                    ballots.clear(self.me);
+                    ballots.record(self.me, self.current);
+                    ctx.charge(n as u64);
+                    let ones = ballots.ones.count_ones() as usize;
+                    self.tally = Some(if ones > n - ones {
+                        (Value(1), ones)
                     } else {
-                        domain.sanitize(
-                            inbox
-                                .from(ProcessId(i))
-                                .value_at(0)
-                                .unwrap_or(Value::DEFAULT),
-                        )
-                    };
-                    match counts.iter_mut().find(|(u, _)| *u == v) {
-                        Some((_, c)) => *c += 1,
-                        None => counts.push((v, 1)),
+                        (Value(0), n - ones)
+                    });
+                } else {
+                    let mut counts: Vec<(Value, usize)> = Vec::new();
+                    for i in 0..n {
+                        let v = if ProcessId(i) == self.me {
+                            self.current
+                        } else {
+                            domain.sanitize(
+                                inbox
+                                    .from(ProcessId(i))
+                                    .value_at(0)
+                                    .unwrap_or(Value::DEFAULT),
+                            )
+                        };
+                        match counts.iter_mut().find(|(u, _)| *u == v) {
+                            Some((_, c)) => *c += 1,
+                            None => counts.push((v, 1)),
+                        }
+                        ctx.charge(1);
                     }
-                    ctx.charge(1);
+                    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    self.tally = counts.first().copied();
                 }
-                counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                self.tally = counts.first().copied();
             }
             Role::KingRound { phase } => {
                 let king = self.king(phase);
@@ -177,6 +192,15 @@ impl Protocol for PhaseKing {
         };
         ctx.emit(TraceEvent::Decided { value });
         value
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        self.params = Params::from_config(config);
+        self.me = id;
+        self.input = (id == config.source).then_some(config.source_value);
+        self.current = Value::DEFAULT;
+        self.tally = None;
+        true
     }
 }
 

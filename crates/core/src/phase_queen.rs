@@ -12,7 +12,7 @@
 //! algorithms. The queen protocol is binary-valued by construction; the
 //! [`crate::multivalued`] reduction lifts it to larger domains.
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, TraceEvent, Value};
+use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
 
 use crate::params::Params;
 
@@ -79,11 +79,11 @@ impl Protocol for PhaseQueen {
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
         let round = ctx.round;
         if round == 1 {
-            return self.input.map(|v| Payload::values([v]));
+            return self.input.map(Payload::single);
         }
         if round.is_multiple_of(2) {
             // Exchange round.
-            Some(Payload::values([self.current]))
+            Some(Payload::single(self.current))
         } else {
             // Queen round: only the queen speaks, sending the majority
             // bit of her exchange tally. (Sending a stale value instead
@@ -92,7 +92,7 @@ impl Protocol for PhaseQueen {
             // the super-majority it saw.)
             let phase = (round - 3) / 2;
             let majority = Value(u16::from(2 * self.ones > self.params.n));
-            (self.queen(phase) == self.me).then(|| Payload::values([majority]))
+            (self.queen(phase) == self.me).then(|| Payload::single(majority))
         }
     }
 
@@ -119,22 +119,32 @@ impl Protocol for PhaseQueen {
         }
         if round.is_multiple_of(2) {
             // Tally ones (own value included).
-            self.ones = 0;
-            for i in 0..n {
-                let v = if ProcessId(i) == self.me {
-                    self.current
-                } else {
-                    domain.sanitize(
-                        inbox
-                            .from(ProcessId(i))
-                            .value_at(0)
-                            .unwrap_or(Value::DEFAULT),
-                    )
-                };
-                if v == Value(1) {
-                    self.ones += 1;
+            if let Some(mut ballots) = inbox.ballots() {
+                // Binary popcount fast path (the queen domain is always
+                // binary): anything unreadable sanitizes to the default
+                // and never counts as a one.
+                ballots.clear(self.me);
+                ballots.record(self.me, self.current);
+                ctx.charge(n as u64);
+                self.ones = ballots.ones.count_ones() as usize;
+            } else {
+                self.ones = 0;
+                for i in 0..n {
+                    let v = if ProcessId(i) == self.me {
+                        self.current
+                    } else {
+                        domain.sanitize(
+                            inbox
+                                .from(ProcessId(i))
+                                .value_at(0)
+                                .unwrap_or(Value::DEFAULT),
+                        )
+                    };
+                    if v == Value(1) {
+                        self.ones += 1;
+                    }
+                    ctx.charge(1);
                 }
-                ctx.charge(1);
             }
         } else {
             let phase = (round - 3) / 2;
@@ -168,6 +178,20 @@ impl Protocol for PhaseQueen {
         };
         ctx.emit(TraceEvent::Decided { value });
         value
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        if config.domain.size() != 2 {
+            // Phase Queen is binary-only; let the factory surface the
+            // constructor's domain assertion instead of resetting.
+            return false;
+        }
+        self.params = Params::from_config(config);
+        self.me = id;
+        self.input = (id == config.source).then_some(config.source_value);
+        self.current = Value::DEFAULT;
+        self.ones = 0;
+        true
     }
 }
 

@@ -36,7 +36,16 @@ pub fn execute(
     if spec.needs_authentication() {
         config = config.with_authentication();
     }
-    Ok(sg_sim::run(&config, adversary, spec.factory(&config)))
+    // Keyed by spec + configuration shape, so sweeps recycle protocol
+    // instances across runs instead of boxing `n` fresh ones per run;
+    // `sg_sim::set_instance_pooling(false)` restores fresh instances.
+    let key = spec.pool_key(&config);
+    Ok(sg_sim::run_pooled(
+        &config,
+        adversary,
+        key,
+        spec.factory(&config),
+    ))
 }
 
 #[cfg(test)]

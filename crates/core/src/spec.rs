@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use sg_sim::{ProcessId, Protocol, RunConfig, Value};
+use sg_sim::{PoolKey, ProcessId, Protocol, RunConfig, Value};
 
 use crate::dolev_strong::DolevStrong;
 use crate::geared::GearedProtocol;
@@ -328,6 +328,37 @@ impl AlgorithmSpec {
             let input = (me == source).then_some(source_value);
             self.build(params, me, input)
         }
+    }
+
+    /// The instance-pool key for this spec under `config`: a stable,
+    /// allocation-free hash of the algorithm (with its block parameters)
+    /// and every configuration field that shapes or seeds an instance.
+    /// Runs with equal keys may recycle each other's protocol instances
+    /// through [`sg_sim::run_pooled`].
+    pub fn pool_key(&self, config: &RunConfig) -> PoolKey {
+        let (tag, b): (u64, usize) = match *self {
+            AlgorithmSpec::PlainExponential => (0, 0),
+            AlgorithmSpec::Exponential => (1, 0),
+            AlgorithmSpec::ExponentialPrime => (2, 0),
+            AlgorithmSpec::AlgorithmA { b } => (3, b),
+            AlgorithmSpec::AlgorithmB { b } => (4, b),
+            AlgorithmSpec::AlgorithmC => (5, 0),
+            AlgorithmSpec::Hybrid { b } => (6, b),
+            AlgorithmSpec::PhaseKing => (7, 0),
+            AlgorithmSpec::OptimalKing => (8, 0),
+            AlgorithmSpec::KingShift { b } => (9, b),
+            AlgorithmSpec::PhaseQueen => (10, 0),
+            AlgorithmSpec::DolevStrong => (11, 0),
+        };
+        PoolKey::of(&[
+            tag,
+            b as u64,
+            config.n as u64,
+            config.t as u64,
+            u64::from(config.domain.size()),
+            config.source.index() as u64,
+            u64::from(config.source_value.raw()),
+        ])
     }
 }
 

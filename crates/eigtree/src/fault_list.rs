@@ -38,6 +38,19 @@ impl FaultList {
         }
     }
 
+    /// Empties the list in place for a system of `n` processors, reusing
+    /// the storage when the size is unchanged (pooled instances).
+    pub fn reset(&mut self, n: usize) {
+        if self.set.universe() == n {
+            self.set.clear();
+            self.rounds.fill(None);
+        } else {
+            self.set = ProcessSet::new(n);
+            self.rounds.clear();
+            self.rounds.resize(n, None);
+        }
+    }
+
     /// Whether `p` has been discovered.
     #[inline]
     pub fn contains(&self, p: ProcessId) -> bool {

@@ -68,6 +68,22 @@ impl RepTree {
         self.n
     }
 
+    /// Restores the tree to its just-constructed state for `n` processors
+    /// and `source` (used by pooled protocol instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RepTree::new`].
+    pub fn reset(&mut self, n: usize, source: ProcessId) {
+        assert!(n >= 2, "need at least two processors");
+        assert!(source.index() < n, "source out of range");
+        self.n = n;
+        self.source = source;
+        self.root = Value::DEFAULT;
+        self.intermediates = None;
+        self.leaves = None;
+    }
+
     /// Stores the root (`tree(s)`), clearing deeper levels — also the
     /// entry point when the hybrid shifts into Algorithm C's round 1.
     pub fn set_root(&mut self, v: Value) {

@@ -49,6 +49,18 @@ impl IgTree {
         &self.shape
     }
 
+    /// Restores the tree to its just-constructed (empty) state for `n`
+    /// processors and `source`, retaining the level storage so pooled
+    /// protocol instances do not re-allocate it.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`IgTree::new`].
+    pub fn reset(&mut self, n: usize, source: ProcessId) {
+        self.shape = Shape::new(n, source);
+        self.levels.clear();
+    }
+
     /// Stores the root value (`tree(s)`, the preferred value); resets the
     /// tree to a single level.
     pub fn set_root(&mut self, v: Value) {

@@ -17,13 +17,28 @@
 //!
 //! Large sweeps execute millions of rounds, so the round loop is
 //! allocation-lean: all per-round buffers (broadcast tables, the faulty
-//! payload matrix, the delivery inbox) live in a [`RunArena`] that is
-//! recycled across rounds *and* across runs through a thread-local pool.
-//! Combined with [`Payload::into_shared`]'s interning of missing and
-//! single-bit payloads, a steady-state Phase-King round allocates nothing
-//! on the engine side.
+//! payload matrix, the delivery inbox, the per-processor contexts) live
+//! in a [`RunArena`] that is recycled across rounds *and* across runs
+//! through a thread-local pool, and protocol *instances* are recycled
+//! through the arena's keyed [instance pool](PoolKey) via
+//! [`Protocol::reset`] — the factory is only consulted on a pool miss.
+//! Combined with [`Payload::into_shared`]'s interning of missing,
+//! single-bit and `⊥`-sentinel payloads, a steady-state binary-domain
+//! king round allocates nothing on the engine side.
+//!
+//! # Bit-packed binary fast path
+//!
+//! For binary-domain runs at `n ≤ 64` the engine additionally attaches a
+//! [`PackedBallots`] view to each delivered inbox: one bit per sender for
+//! single-value broadcasts, letting receivers tally majorities and
+//! thresholds with `count_ones()` word operations instead of touching
+//! `n` reference-counted payloads. The view is derived from the inbox
+//! contents after every slot is filled, so the packed and unpacked read
+//! paths are bit-identical by construction; [`set_packed_broadcast`]
+//! turns it off for A/B benchmarking.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -32,10 +47,76 @@ use crate::adversary::{Adversary, AdversaryView};
 use crate::id::{ProcessId, ProcessSet};
 use crate::metrics::{Metrics, RoundStats};
 use crate::payload::Payload;
-use crate::protocol::{Inbox, ProcCtx, Protocol};
+use crate::protocol::{Inbox, PackedBallots, ProcCtx, Protocol};
 use crate::sig::SigRegistry;
 use crate::trace::Trace;
 use crate::value::{Value, ValueDomain};
+
+/// Whether [`run_pooled`]/[`run_pooled_in`] recycle protocol instances
+/// (`true` by default). The CLI's `--no-instance-pool` escape hatch
+/// clears it; CI runs the benchmark sweep both ways and cross-checks the
+/// report fingerprints.
+static INSTANCE_POOLING: AtomicBool = AtomicBool::new(true);
+
+/// Whether the engine attaches [`PackedBallots`] views to delivered
+/// inboxes (`true` by default). Off, receivers take their per-payload
+/// fallback paths — the knob the criterion benches use to measure the
+/// bit-packed layer in isolation.
+static PACKED_BROADCAST: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables protocol-instance pooling (default on).
+pub fn set_instance_pooling(enabled: bool) {
+    INSTANCE_POOLING.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether protocol-instance pooling is active.
+pub fn instance_pooling_enabled() -> bool {
+    INSTANCE_POOLING.load(Ordering::SeqCst)
+}
+
+/// Enables or disables the bit-packed broadcast view (default on).
+pub fn set_packed_broadcast(enabled: bool) {
+    PACKED_BROADCAST.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether the bit-packed broadcast view is active.
+pub fn packed_broadcast_enabled() -> bool {
+    PACKED_BROADCAST.load(Ordering::SeqCst)
+}
+
+/// Identifies one protocol family + configuration *shape* for instance
+/// pooling: two runs may share pooled instances only if their keys are
+/// equal. The key must capture everything [`Protocol::reset`] cannot
+/// re-derive from its arguments — the algorithm (including block
+/// parameters), `n`, `t`, and anything else that shapes the instance's
+/// round plan or internal structures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PoolKey(u64);
+
+impl PoolKey {
+    /// A key from a pre-mixed hash.
+    pub const fn from_raw(raw: u64) -> Self {
+        PoolKey(raw)
+    }
+
+    /// The mixed hash, for composing keys of composite protocols.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// FNV-1a over the given words — allocation-free, so computing a key
+    /// per run costs nothing.
+    pub fn of(words: &[u64]) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        PoolKey(h)
+    }
+}
 
 /// Static parameters of one execution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -193,14 +274,28 @@ impl Outcome {
     }
 }
 
+/// One pooled set of protocol instances, keyed by the configuration
+/// shape that produced them.
+struct PooledInstances {
+    key: PoolKey,
+    protocols: Vec<Box<dyn Protocol>>,
+}
+
+/// How many keyed instance sets an arena retains. Sweeps interleave at
+/// most a handful of `(spec, n, t)` cells per worker; a tiny MRU cache
+/// keeps them all warm without hoarding memory.
+const INSTANCE_CACHE_CAP: usize = 4;
+
 /// Reusable execution buffers: broadcast tables, the faulty payload
-/// matrix, and the delivery inbox.
+/// matrix, the delivery inbox, per-processor contexts, and the keyed
+/// protocol-instance pool.
 ///
 /// One arena serves one execution at a time; [`run`] recycles arenas
 /// through a thread-local pool so back-to-back runs (the sweep engine's
 /// steady state) reuse the same heap blocks. All buffers are fully
 /// overwritten at the start of each use, so no state flows between
-/// consecutive runs — `tests/sweep_determinism.rs` pins this down.
+/// consecutive runs — `tests/sweep_determinism.rs` and
+/// `tests/instance_pool.rs` pin this down.
 #[derive(Default)]
 pub struct RunArena {
     honest: Vec<Option<Arc<Payload>>>,
@@ -208,6 +303,14 @@ pub struct RunArena {
     /// `rows[sender][recipient]`, used only for faulty senders.
     rows: Vec<Vec<Arc<Payload>>>,
     inbox: Option<Inbox>,
+    /// Per-processor contexts, re-initialized every run (trace buffers
+    /// keep their capacity).
+    ctxs: Vec<ProcCtx>,
+    /// Indices of the run's faulty processors, for the packed-ballot
+    /// per-recipient fix-ups.
+    faulty_idx: Vec<usize>,
+    /// MRU cache of pooled instance sets, most recently used first.
+    instances: Vec<PooledInstances>,
 }
 
 impl RunArena {
@@ -233,9 +336,27 @@ impl RunArena {
                 for j in 0..n {
                     inbox.set_shared(ProcessId(j), Payload::shared_missing());
                 }
+                inbox.set_ballots(None);
             }
             slot => *slot = Some(Inbox::empty(n)),
         }
+        self.faulty_idx.clear();
+    }
+
+    /// Removes and returns the pooled instance set for `key`, if any
+    /// (the caller returns it with [`RunArena::put_instances`]).
+    fn take_instances(&mut self, key: PoolKey) -> Vec<Box<dyn Protocol>> {
+        match self.instances.iter().position(|set| set.key == key) {
+            Some(idx) => self.instances.remove(idx).protocols,
+            None => Vec::new(),
+        }
+    }
+
+    /// Stores `protocols` under `key`, most-recently-used first, evicting
+    /// the stalest set beyond [`INSTANCE_CACHE_CAP`].
+    fn put_instances(&mut self, key: PoolKey, protocols: Vec<Box<dyn Protocol>>) {
+        self.instances.insert(0, PooledInstances { key, protocols });
+        self.instances.truncate(INSTANCE_CACHE_CAP);
     }
 }
 
@@ -248,6 +369,21 @@ thread_local! {
 /// protocol-in-protocol compositions, so a handful is plenty).
 const ARENA_POOL_CAP: usize = 4;
 
+/// Runs `body` with an arena checked out of this thread's pool.
+fn with_pooled_arena<R>(body: impl FnOnce(&mut RunArena) -> R) -> R {
+    let mut arena = ARENA_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = body(&mut arena);
+    ARENA_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < ARENA_POOL_CAP {
+            pool.push(arena);
+        }
+    });
+    out
+}
+
 /// Runs one execution of `protocol` (instantiated per processor by `mk`)
 /// against `adversary`.
 ///
@@ -257,7 +393,9 @@ const ARENA_POOL_CAP: usize = 4;
 /// same factory and driven honestly so the adversary can see what an
 /// honest version would send.
 ///
-/// Buffers come from this thread's arena pool; see [`RunArena`].
+/// Buffers come from this thread's arena pool; see [`RunArena`]. Protocol
+/// instances are built fresh — use [`run_pooled`] with a [`PoolKey`] to
+/// recycle instances across runs too.
 ///
 /// # Panics
 ///
@@ -267,22 +405,31 @@ pub fn run<F>(config: &RunConfig, adversary: &mut dyn Adversary, mk: F) -> Outco
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
-    let mut arena = ARENA_POOL
-        .with(|pool| pool.borrow_mut().pop())
-        .unwrap_or_default();
-    let outcome = run_in(&mut arena, config, adversary, mk);
-    ARENA_POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
-        if pool.len() < ARENA_POOL_CAP {
-            pool.push(arena);
-        }
-    });
-    outcome
+    with_pooled_arena(|arena| run_with(arena, config, adversary, None, mk))
+}
+
+/// Like [`run`], but recycling protocol instances across runs through the
+/// arena's keyed instance pool: on a pool hit every instance is
+/// [`Protocol::reset`] instead of rebuilt, and `mk` is only consulted for
+/// instances that miss (or refuse the reset). `key` must uniquely
+/// identify the protocol family and configuration shape — see
+/// [`PoolKey`]. With [`set_instance_pooling`]`(false)` this degrades to
+/// [`run`] exactly.
+pub fn run_pooled<F>(
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    key: PoolKey,
+    mk: F,
+) -> Outcome
+where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
+    with_pooled_arena(|arena| run_with(arena, config, adversary, Some(key), mk))
 }
 
 /// Like [`run`], but with caller-supplied buffers — the allocation-free
 /// path for callers that loop over many executions and want to hold one
-/// arena across all of them.
+/// arena across all of them. Instances are built fresh every run.
 pub fn run_in<F>(
     arena: &mut RunArena,
     config: &RunConfig,
@@ -292,28 +439,75 @@ pub fn run_in<F>(
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
+    run_with(arena, config, adversary, None, mk)
+}
+
+/// [`run_pooled`] with caller-supplied buffers: arena *and* instance pool
+/// live in `arena`, so a caller looping over runs of one spec performs no
+/// steady-state allocations for buffers or instances.
+pub fn run_pooled_in<F>(
+    arena: &mut RunArena,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    key: PoolKey,
+    mk: F,
+) -> Outcome
+where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
+    run_with(arena, config, adversary, Some(key), mk)
+}
+
+/// The engine core behind every `run*` entry point.
+fn run_with<F>(
+    arena: &mut RunArena,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    key: Option<PoolKey>,
+    mk: F,
+) -> Outcome
+where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
     let n = config.n;
     arena.reset(n);
     let faulty = adversary.corrupt(n, config.t, config.source);
     assert_eq!(faulty.universe(), n, "fault set universe must match n");
+    arena.faulty_idx.extend(faulty.iter().map(ProcessId::index));
 
     let sigs = config
         .authenticated
         .then(|| Arc::new(Mutex::new(SigRegistry::new())));
 
-    let mut protocols: Vec<Box<dyn Protocol>> = (0..n).map(|i| mk(ProcessId(i))).collect();
-    let mut ctxs: Vec<ProcCtx> = (0..n)
-        .map(|i| {
-            let mut ctx = ProcCtx::new(ProcessId(i));
-            if config.trace && !faulty.contains(ProcessId(i)) {
-                ctx = ctx.with_trace();
+    // Protocol instances: recycled through the keyed pool when a key is
+    // given and pooling is on, rebuilt by the factory otherwise (or when
+    // an instance refuses its reset).
+    let key = key.filter(|_| instance_pooling_enabled());
+    let mut protocols = match key {
+        Some(key) => arena.take_instances(key),
+        None => Vec::new(),
+    };
+    if protocols.len() == n {
+        for (i, p) in protocols.iter_mut().enumerate() {
+            if !p.reset(ProcessId(i), config) {
+                *p = mk(ProcessId(i));
             }
-            if let Some(s) = &sigs {
-                ctx = ctx.with_sigs(s.clone());
-            }
-            ctx
-        })
-        .collect();
+        }
+    } else {
+        protocols.clear();
+        protocols.extend((0..n).map(|i| mk(ProcessId(i))));
+    }
+
+    // Per-processor contexts, recycled from the arena (trace buffers
+    // keep their capacity across runs).
+    arena.ctxs.truncate(n);
+    for i in arena.ctxs.len()..n {
+        arena.ctxs.push(ProcCtx::new(ProcessId(i)));
+    }
+    for (i, ctx) in arena.ctxs.iter_mut().enumerate() {
+        let p = ProcessId(i);
+        ctx.reset(p, config.trace && !faulty.contains(p), sigs.clone());
+    }
 
     let total_rounds = protocols[0].total_rounds();
     for p in &protocols {
@@ -325,7 +519,22 @@ where
     }
 
     let mut metrics = Metrics::new(n);
+    metrics.per_round.reserve_exact(total_rounds);
     let bits_per_value = config.domain.bits_per_value();
+    // The bit-packed fast path applies to binary-domain runs that fit
+    // one mask word; see the module docs.
+    let pack = packed_broadcast_enabled() && n <= 64 && config.domain.size() == 2;
+
+    let RunArena {
+        honest,
+        shadow,
+        rows,
+        inbox,
+        ctxs,
+        faulty_idx,
+        ..
+    } = &mut *arena;
+    let inbox = inbox.as_mut().expect("arena reset installed an inbox");
 
     for round in 1..=total_rounds {
         for ctx in ctxs.iter_mut() {
@@ -341,11 +550,11 @@ where
                 .outgoing(&mut ctxs[i])
                 .map(Payload::into_shared);
             if faulty.contains(p) {
-                arena.shadow[i] = out;
-                arena.honest[i] = None;
+                shadow[i] = out;
+                honest[i] = None;
             } else {
-                arena.honest[i] = out;
-                arena.shadow[i] = None;
+                honest[i] = out;
+                shadow[i] = None;
             }
         }
 
@@ -354,7 +563,7 @@ where
             round,
             ..RoundStats::default()
         };
-        for payload in arena.honest.iter().flatten() {
+        for payload in honest.iter().flatten() {
             let values = payload.num_values() as u64;
             let bits = payload.bits(bits_per_value);
             let fanout = (n - 1) as u64;
@@ -376,8 +585,8 @@ where
             source_value: config.source_value,
             domain: config.domain,
             faulty: &faulty,
-            honest_broadcast: &arena.honest,
-            shadow_broadcast: &arena.shadow,
+            honest_broadcast: &honest[..],
+            shadow_broadcast: &shadow[..],
             sigs: sigs.clone(),
         };
         // Faulty payload matrix, `rows[sender][recipient]`: every slot of
@@ -386,35 +595,77 @@ where
         // Honest rows are never read.
         for f in faulty.iter() {
             for r in 0..n {
-                arena.rows[f.index()][r] = if r == f.index() {
+                rows[f.index()][r] = if r == f.index() {
                     Payload::shared_missing()
                 } else {
                     adversary.payload(f, ProcessId(r), &view).into_shared()
                 };
             }
         }
-        let RunArena {
-            honest,
-            rows,
-            inbox,
-            ..
-        } = &mut *arena;
-        let inbox = inbox.as_mut().expect("arena reset installed an inbox");
+
+        // Base ballot masks over the honest table, shared by every
+        // recipient; faulty senders differ per recipient and are fixed
+        // up below.
+        let mut base = PackedBallots::default();
+        if pack {
+            for (j, payload) in honest.iter().enumerate() {
+                if let Some(v) = payload.as_ref().and_then(|p| p.value_at(0)) {
+                    if v.raw() <= 1 {
+                        base.record(ProcessId(j), v);
+                    }
+                }
+            }
+        }
 
         // 4. Deliver complete inboxes to every processor (incl. shadows),
-        // reusing one inbox: every sender slot is overwritten for every
-        // recipient (the self slot with the interned missing payload).
+        // reusing one inbox. Honest slots are identical for every
+        // recipient, so the inbox is filled completely only for the
+        // first recipient; each later recipient updates just the slots
+        // that differ — the previous recipient's self slot, its own self
+        // slot, and the per-recipient faulty rows.
         for i in 0..n {
-            for j in 0..n {
-                let q = ProcessId(j);
-                let payload = if i == j {
-                    Payload::shared_missing()
-                } else if faulty.contains(q) {
-                    rows[j][i].clone()
-                } else {
-                    honest[j].clone().unwrap_or_else(Payload::shared_missing)
-                };
-                inbox.set_shared(q, payload);
+            if i == 0 {
+                for j in 0..n {
+                    let q = ProcessId(j);
+                    let payload = if i == j {
+                        Payload::shared_missing()
+                    } else if faulty.contains(q) {
+                        rows[j][i].clone()
+                    } else {
+                        honest[j].clone().unwrap_or_else(Payload::shared_missing)
+                    };
+                    inbox.set_shared(q, payload);
+                }
+            } else {
+                let prev = ProcessId(i - 1);
+                if !faulty.contains(prev) {
+                    inbox.set_shared(
+                        prev,
+                        honest[i - 1]
+                            .clone()
+                            .unwrap_or_else(Payload::shared_missing),
+                    );
+                }
+                inbox.set_shared(ProcessId(i), Payload::shared_missing());
+                for &j in faulty_idx.iter() {
+                    if j != i {
+                        inbox.set_shared(ProcessId(j), rows[j][i].clone());
+                    }
+                }
+            }
+            if pack {
+                let mut ballots = base;
+                for &j in faulty_idx.iter() {
+                    if i != j {
+                        if let Some(v) = rows[j][i].value_at(0) {
+                            if v.raw() <= 1 {
+                                ballots.record(ProcessId(j), v);
+                            }
+                        }
+                    }
+                }
+                ballots.clear(ProcessId(i));
+                inbox.set_ballots(Some(ballots));
             }
             protocols[i].deliver(inbox, &mut ctxs[i]);
         }
@@ -438,11 +689,17 @@ where
         }
     }
 
-    // Collect per-processor accounting.
+    // Collect per-processor accounting (trace sized in one allocation).
     let mut trace = Trace::new();
+    trace.reserve(ctxs.iter().map(ProcCtx::trace_len).sum());
     for (i, ctx) in ctxs.iter_mut().enumerate() {
         metrics.local_ops[i] = ctx.ops();
         ctx.drain_trace_into(&mut trace);
+    }
+
+    // Return the instances to the pool for the next run of this spec.
+    if let Some(key) = key {
+        arena.put_instances(key, protocols);
     }
 
     Outcome {

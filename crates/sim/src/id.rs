@@ -145,6 +145,14 @@ impl ProcessSet {
         }
     }
 
+    /// Empties the set in place, keeping its universe and storage —
+    /// the allocation-free counterpart of rebuilding with
+    /// [`ProcessSet::new`], used by pooled protocol instances.
+    pub fn clear(&mut self) {
+        self.bits.fill(false);
+        self.count = 0;
+    }
+
     /// Removes `p`; returns `true` if it was present.
     pub fn remove(&mut self, p: ProcessId) -> bool {
         let slot = &mut self.bits[p.index()];

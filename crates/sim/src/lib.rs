@@ -64,10 +64,13 @@ pub mod trace;
 mod value;
 
 pub use adversary::{Adversary, AdversaryView, NoFaults};
-pub use engine::{run, run_in, Outcome, RunArena, RunConfig};
+pub use engine::{
+    instance_pooling_enabled, packed_broadcast_enabled, run, run_in, run_pooled, run_pooled_in,
+    set_instance_pooling, set_packed_broadcast, Outcome, PoolKey, RunArena, RunConfig,
+};
 pub use id::{ProcessId, ProcessSet};
 pub use metrics::{Metrics, RoundStats};
-pub use payload::Payload;
-pub use protocol::{Inbox, ProcCtx, Protocol};
+pub use payload::{Payload, SmallWords};
+pub use protocol::{Inbox, PackedBallots, ProcCtx, Protocol};
 pub use trace::{Trace, TraceEntry, TraceEvent};
 pub use value::{Value, ValueDomain};

@@ -11,6 +11,49 @@ use std::sync::{Arc, OnceLock};
 use crate::sig::SignedRelay;
 use crate::value::Value;
 
+/// Words kept inline by [`SmallWords`] before spilling to the heap:
+/// `4 × 64 = 256` bit slots, which covers every king-family payload and
+/// the first few levels of the no-repetition tree at realistic `n`.
+const INLINE_WORDS: usize = 4;
+
+/// Bit storage for [`Payload::Bits`]: a short inline word array with a
+/// heap spill for vectors longer than 256 slots.
+///
+/// Building a payload of at most [`SmallWords`]' inline capacity performs
+/// **no heap allocation** — the property the engine's zero-allocation
+/// round loop relies on for binary-domain broadcasts.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum SmallWords {
+    /// Up to 256 bits stored inline.
+    Inline([u64; INLINE_WORDS]),
+    /// Longer bit vectors, one `u64` per 64 slots.
+    Heap(Vec<u64>),
+}
+
+impl SmallWords {
+    /// The backing words.
+    fn words(&self) -> &[u64] {
+        match self {
+            SmallWords::Inline(w) => w,
+            SmallWords::Heap(w) => w,
+        }
+    }
+
+    /// Sets bit `idx`.
+    fn set(&mut self, idx: usize) {
+        let words = match self {
+            SmallWords::Inline(w) => &mut w[..],
+            SmallWords::Heap(w) => &mut w[..],
+        };
+        words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Reads bit `idx` (callers bound-check against the payload length).
+    fn get(&self, idx: usize) -> bool {
+        self.words()[idx / 64] >> (idx % 64) & 1 == 1
+    }
+}
+
 /// A message payload as delivered by the network.
 ///
 /// Honest processors in the paper's protocols broadcast value vectors in
@@ -30,10 +73,25 @@ use crate::value::Value;
 /// assert_eq!(p.value_at(5), None);
 /// assert_eq!(Payload::Missing.value_at(0), None);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize, Default)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize, Default)]
 pub enum Payload {
     /// A vector of values in canonical tree order.
     Values(Vec<Value>),
+    /// A bit-packed vector of *binary* values in canonical tree order:
+    /// slot `i` carries `Value(1)` iff bit `i` is set. Semantically
+    /// identical to the equivalent [`Payload::Values`] under every
+    /// accessor, but stores one bit per tree slot and — below
+    /// [`SmallWords`]' inline capacity — allocates nothing to build.
+    ///
+    /// [`Payload::into_shared`] interns single-bit payloads to the same
+    /// shared `Arc`s as their `Values` twins, so bit-packed and
+    /// vector-built broadcasts are indistinguishable on the wire.
+    Bits {
+        /// The packed bits, one per slot.
+        words: SmallWords,
+        /// Number of slots carried.
+        len: u32,
+    },
     /// Signed relay bundle, used only by the authenticated
     /// Dolev–Strong baseline.
     Signed(Vec<SignedRelay>),
@@ -42,10 +100,72 @@ pub enum Payload {
     Missing,
 }
 
+/// The out-of-domain sentinel `u16::MAX`, used on the wire by the king
+/// protocols to encode a `⊥` proposal. Interned alongside the binary
+/// single values so a `⊥` broadcast shares storage too.
+const BOT_SENTINEL: u16 = u16::MAX;
+
 impl Payload {
     /// Convenience constructor for a value-vector payload.
     pub fn values<I: IntoIterator<Item = Value>>(vals: I) -> Self {
         Payload::Values(vals.into_iter().collect())
+    }
+
+    /// A single-value payload without the one-element `Vec` for binary
+    /// values, which pack into an inline [`Payload::Bits`]; anything
+    /// else (the `⊥` sentinel, wide-domain values) falls back to a
+    /// one-element [`Payload::Values`], whose transient `Vec` lives only
+    /// until [`Payload::into_shared`] interns it. Net effect: binary
+    /// broadcasts allocate nothing; `⊥` broadcasts cost one short-lived
+    /// allocation but still share the interned `Arc` on the wire.
+    pub fn single(v: Value) -> Self {
+        if v.raw() <= 1 {
+            let mut words = SmallWords::Inline([0; INLINE_WORDS]);
+            if v.raw() == 1 {
+                words.set(0);
+            }
+            Payload::Bits { words, len: 1 }
+        } else {
+            Payload::Values(vec![v])
+        }
+    }
+
+    /// Packs a vector of binary values into a [`Payload::Bits`]: inline
+    /// (allocation-free) up to 256 slots, heap words beyond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `{0, 1}` — bit packing is the
+    /// binary-domain fast path only.
+    pub fn packed<I: IntoIterator<Item = Value>>(vals: I) -> Self {
+        let mut inline = [0u64; INLINE_WORDS];
+        let mut heap: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        for v in vals {
+            assert!(v.raw() <= 1, "bit packing holds binary values only");
+            if heap.is_empty() && len == INLINE_WORDS * 64 {
+                heap.extend_from_slice(&inline);
+            }
+            if heap.is_empty() {
+                inline[len / 64] |= u64::from(v.raw()) << (len % 64);
+            } else {
+                if len.is_multiple_of(64) {
+                    heap.push(0);
+                }
+                let last = heap.len() - 1;
+                heap[last] |= u64::from(v.raw()) << (len % 64);
+            }
+            len += 1;
+        }
+        let words = if heap.is_empty() {
+            SmallWords::Inline(inline)
+        } else {
+            SmallWords::Heap(heap)
+        };
+        Payload::Bits {
+            words,
+            len: len as u32,
+        }
     }
 
     /// A payload of `len` default values — what a masked faulty processor
@@ -58,6 +178,7 @@ impl Payload {
     pub fn num_values(&self) -> usize {
         match self {
             Payload::Values(v) => v.len(),
+            Payload::Bits { len, .. } => *len as usize,
             Payload::Signed(_) | Payload::Missing => 0,
         }
     }
@@ -69,6 +190,9 @@ impl Payload {
     pub fn value_at(&self, idx: usize) -> Option<Value> {
         match self {
             Payload::Values(v) => v.get(idx).copied(),
+            Payload::Bits { words, len } => {
+                (idx < *len as usize).then(|| Value(u16::from(words.get(idx))))
+            }
             Payload::Signed(_) | Payload::Missing => None,
         }
     }
@@ -81,6 +205,7 @@ impl Payload {
     pub fn bits(&self, bits_per_value: u64) -> u64 {
         match self {
             Payload::Values(v) => v.len() as u64 * bits_per_value,
+            Payload::Bits { len, .. } => u64::from(*len) * bits_per_value,
             Payload::Signed(relays) => relays.iter().map(|r| r.bits(bits_per_value)).sum(),
             Payload::Missing => 0,
         }
@@ -104,8 +229,11 @@ impl Payload {
     ///
     /// The binary-domain protocols (Phase King, the king phases of the
     /// shifted families, Algorithm C's proposal rounds) broadcast mostly
-    /// single-value payloads over `{0, 1}`; those and [`Payload::Missing`]
-    /// are interned, so sharing them allocates nothing. Everything else
+    /// single-value payloads over `{0, 1}` plus the `⊥` sentinel; those
+    /// and [`Payload::Missing`] are interned, so sharing them allocates
+    /// nothing — single-bit [`Payload::Bits`] payloads land on the *same*
+    /// interned `Values` `Arc`s, keeping the wire representation
+    /// identical however the sender built the payload. Everything else
     /// takes one `Arc` allocation, exactly as before.
     pub fn into_shared(self) -> Arc<Payload> {
         match &self {
@@ -113,19 +241,46 @@ impl Payload {
             Payload::Values(v) if v.len() == 1 && v[0].raw() <= 1 => {
                 interned()[1 + v[0].raw() as usize].clone()
             }
+            Payload::Values(v) if v.len() == 1 && v[0].raw() == BOT_SENTINEL => {
+                interned()[3].clone()
+            }
+            Payload::Bits { words, len: 1 } => interned()[1 + usize::from(words.get(0))].clone(),
             _ => Arc::new(self),
         }
     }
 }
 
-/// Interned payloads: `[Missing, Values([0]), Values([1])]`.
-fn interned() -> &'static [Arc<Payload>; 3] {
-    static INTERNED: OnceLock<[Arc<Payload>; 3]> = OnceLock::new();
+/// Payload equality is *semantic*: a [`Payload::Bits`] equals the
+/// [`Payload::Values`] carrying the same value sequence (receivers cannot
+/// tell them apart through any accessor), and bit vectors compare by
+/// content whether stored inline or on the heap.
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Payload::Values(a), Payload::Values(b)) => a == b,
+            (Payload::Signed(a), Payload::Signed(b)) => a == b,
+            (Payload::Missing, Payload::Missing) => true,
+            (a @ (Payload::Values(_) | Payload::Bits { .. }), b) => {
+                matches!(b, Payload::Values(_) | Payload::Bits { .. })
+                    && a.num_values() == b.num_values()
+                    && (0..a.num_values()).all(|i| a.value_at(i) == b.value_at(i))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Payload {}
+
+/// Interned payloads: `[Missing, Values([0]), Values([1]), Values([⊥])]`.
+fn interned() -> &'static [Arc<Payload>; 4] {
+    static INTERNED: OnceLock<[Arc<Payload>; 4]> = OnceLock::new();
     INTERNED.get_or_init(|| {
         [
             Arc::new(Payload::Missing),
             Arc::new(Payload::Values(vec![Value(0)])),
             Arc::new(Payload::Values(vec![Value(1)])),
+            Arc::new(Payload::Values(vec![Value(BOT_SENTINEL)])),
         ]
     })
 }
@@ -171,5 +326,78 @@ mod tests {
         assert_eq!(*c, *d);
         let long = Payload::values([Value(1), Value(1)]).into_shared();
         assert_eq!(long.num_values(), 2);
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        assert_eq!(Payload::single(Value(1)), Payload::values([Value(1)]));
+        assert_eq!(
+            Payload::packed([Value(0), Value(1)]),
+            Payload::values([Value(0), Value(1)])
+        );
+        assert_ne!(Payload::single(Value(0)), Payload::values([Value(1)]));
+        assert_ne!(Payload::single(Value(0)), Payload::Missing);
+        assert_ne!(
+            Payload::packed([Value(1)]),
+            Payload::values([Value(1), Value(1)])
+        );
+    }
+
+    #[test]
+    fn single_matches_values_semantics() {
+        for raw in [0u16, 1, 7, BOT_SENTINEL] {
+            let single = Payload::single(Value(raw));
+            let vector = Payload::values([Value(raw)]);
+            assert_eq!(single.num_values(), 1);
+            assert_eq!(single.value_at(0), vector.value_at(0), "raw={raw}");
+            assert_eq!(single.value_at(1), None);
+            assert_eq!(single.bits(3), vector.bits(3));
+        }
+    }
+
+    #[test]
+    fn single_bit_payloads_intern_to_the_values_twins() {
+        for raw in [0u16, 1] {
+            let from_bits = Payload::single(Value(raw)).into_shared();
+            let from_vec = Payload::values([Value(raw)]).into_shared();
+            assert!(Arc::ptr_eq(&from_bits, &from_vec), "raw={raw}");
+            assert!(matches!(&*from_bits, Payload::Values(_)));
+        }
+        // The ⊥ sentinel is interned too, sharing one Arc.
+        let bot_a = Payload::single(Value(BOT_SENTINEL)).into_shared();
+        let bot_b = Payload::values([Value(BOT_SENTINEL)]).into_shared();
+        assert!(Arc::ptr_eq(&bot_a, &bot_b));
+    }
+
+    #[test]
+    fn packed_roundtrips_positionally() {
+        let pattern: Vec<Value> = (0..200).map(|i| Value(u16::from(i % 3 == 0))).collect();
+        let packed = Payload::packed(pattern.clone());
+        assert_eq!(packed.num_values(), 200);
+        for (i, v) in pattern.iter().enumerate() {
+            assert_eq!(packed.value_at(i), Some(*v), "slot {i}");
+        }
+        assert_eq!(packed.value_at(200), None);
+        assert_eq!(packed.bits(1), 200);
+    }
+
+    #[test]
+    fn packed_spills_to_heap_past_inline_capacity() {
+        let long: Vec<Value> = (0..300).map(|i| Value(u16::from(i % 2 == 1))).collect();
+        let packed = Payload::packed(long.clone());
+        let Payload::Bits { words, len } = &packed else {
+            panic!("expected bits");
+        };
+        assert_eq!(*len, 300);
+        assert!(matches!(words, SmallWords::Heap(_)));
+        for (i, v) in long.iter().enumerate() {
+            assert_eq!(packed.value_at(i), Some(*v), "slot {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary values only")]
+    fn packed_rejects_non_binary_values() {
+        let _ = Payload::packed([Value(2)]);
     }
 }

@@ -10,11 +10,59 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::engine::RunConfig;
 use crate::id::ProcessId;
 use crate::payload::Payload;
 use crate::sig::{SigRegistry, SignedRelay};
 use crate::trace::{Trace, TraceEntry, TraceEvent};
 use crate::value::Value;
+
+/// Bit-packed view of one round's single-value binary broadcasts, one bit
+/// per sender: `ones` has sender `j`'s bit set iff `j`'s payload reads
+/// `Value(1)` at position 0, `zeros` likewise for `Value(0)`. A sender in
+/// neither mask sent nothing readable (missing, out-of-domain, or a `⊥`
+/// sentinel) — exactly the cases receivers treat as `⊥`/default.
+///
+/// The engine attaches this to the [`Inbox`] for binary-domain rounds at
+/// `n ≤ 64`; receivers tally majorities and thresholds with
+/// `count_ones()` word operations instead of touching `n` payloads. The
+/// masks are a *view* of the inbox contents, never an extra source of
+/// truth: every protocol falls back to the payload slots when they are
+/// absent, and the two paths are bit-identical (pinned by
+/// `tests/instance_pool.rs`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PackedBallots {
+    /// Senders whose payload reads `Value(1)` at position 0.
+    pub ones: u64,
+    /// Senders whose payload reads `Value(0)` at position 0.
+    pub zeros: u64,
+}
+
+impl PackedBallots {
+    /// Removes `sender` from both masks.
+    #[inline]
+    pub fn clear(&mut self, sender: ProcessId) {
+        let m = !(1u64 << sender.index());
+        self.ones &= m;
+        self.zeros &= m;
+    }
+
+    /// Records `sender` as having sent the binary value `v`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `v ∈ {0, 1}`.
+    #[inline]
+    pub fn record(&mut self, sender: ProcessId, v: Value) {
+        debug_assert!(v.raw() <= 1, "ballots are binary");
+        let m = 1u64 << sender.index();
+        if v.raw() == 1 {
+            self.ones |= m;
+        } else {
+            self.zeros |= m;
+        }
+    }
+}
 
 /// One round's worth of received messages, indexed by sender.
 ///
@@ -29,6 +77,7 @@ use crate::value::Value;
 #[derive(Clone, Debug)]
 pub struct Inbox {
     payloads: Vec<Arc<Payload>>,
+    ballots: Option<PackedBallots>,
 }
 
 impl Inbox {
@@ -37,6 +86,7 @@ impl Inbox {
     pub fn empty(n: usize) -> Self {
         Inbox {
             payloads: vec![Payload::shared_missing(); n],
+            ballots: None,
         }
     }
 
@@ -51,14 +101,33 @@ impl Inbox {
     }
 
     /// Replaces the payload from `sender` (used by tests and by fault
-    /// masking before interpretation).
+    /// masking before interpretation). Drops any packed-ballot view,
+    /// which would otherwise go stale.
     pub fn set(&mut self, sender: ProcessId, payload: Payload) {
         self.payloads[sender.index()] = Arc::new(payload);
+        self.ballots = None;
     }
 
-    /// Replaces the payload from `sender` with a shared payload.
+    /// Replaces the payload from `sender` with a shared payload (see
+    /// [`Inbox::set`] for the ballot-invalidating contract).
     pub fn set_shared(&mut self, sender: ProcessId, payload: Arc<Payload>) {
         self.payloads[sender.index()] = payload;
+        self.ballots = None;
+    }
+
+    /// The bit-packed single-value view of this round, when the engine
+    /// attached one (binary domain, `n ≤ 64`). `None` means receivers
+    /// must read the payload slots.
+    #[inline]
+    pub fn ballots(&self) -> Option<PackedBallots> {
+        self.ballots
+    }
+
+    /// Attaches the packed-ballot view. The engine calls this *after*
+    /// filling every payload slot; the masks must describe exactly what
+    /// [`Inbox::from`]`(j).value_at(0)` reads for every sender `j`.
+    pub fn set_ballots(&mut self, ballots: Option<PackedBallots>) {
+        self.ballots = ballots;
     }
 }
 
@@ -101,6 +170,23 @@ impl ProcCtx {
         self
     }
 
+    /// Re-initializes this context for a new run, keeping the trace
+    /// buffer's capacity. Used by the engine's arena so back-to-back runs
+    /// reuse context storage instead of allocating `n` fresh contexts.
+    pub(crate) fn reset(
+        &mut self,
+        me: ProcessId,
+        trace_enabled: bool,
+        sigs: Option<Arc<Mutex<SigRegistry>>>,
+    ) {
+        self.me = me;
+        self.round = 0;
+        self.ops = 0;
+        self.trace_enabled = trace_enabled;
+        self.trace.clear();
+        self.sigs = sigs;
+    }
+
     /// Charges `n` units of local computation (tree stores, majority
     /// scans, resolve visits, discovery checks…).
     #[inline]
@@ -122,6 +208,11 @@ impl ProcCtx {
                 event,
             });
         }
+    }
+
+    /// Number of trace entries currently buffered.
+    pub(crate) fn trace_len(&self) -> usize {
+        self.trace.len()
     }
 
     /// Drains accumulated trace entries into `sink`.
@@ -195,6 +286,23 @@ pub trait Protocol {
     /// space accounting. Default 0 for protocols without trees.
     fn space_nodes(&self) -> u64 {
         0
+    }
+
+    /// Restores this instance to the state a freshly constructed instance
+    /// for processor `id` under `config` would have, returning `true` on
+    /// success. The engine's instance pool calls this to recycle protocol
+    /// instances across runs instead of consulting the factory; a `false`
+    /// return (the default, so external implementations keep working
+    /// unchanged) is a pool miss and the factory builds a replacement.
+    ///
+    /// Implementations may assume the *shape* of the instance matches the
+    /// new run — same algorithm, same `(n, t)` — because the pool is
+    /// keyed by [`crate::PoolKey`]; everything else (identity, source,
+    /// source value, domain) must be re-derived from the arguments.
+    /// `tests/instance_pool.rs` pins down that pooled-reset runs are
+    /// bit-identical to fresh-instance runs.
+    fn reset(&mut self, _id: ProcessId, _config: &RunConfig) -> bool {
+        false
     }
 }
 

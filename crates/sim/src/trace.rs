@@ -80,6 +80,13 @@ impl Trace {
         self.entries.push(entry);
     }
 
+    /// Reserves capacity for at least `additional` more entries (the
+    /// engine sizes the run trace in one allocation when draining
+    /// per-processor buffers).
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// All entries in emission order.
     pub fn entries(&self) -> &[TraceEntry] {
         &self.entries

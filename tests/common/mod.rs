@@ -9,6 +9,33 @@ use shifting_gears::sim::{
     Inbox, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, Value, ValueDomain,
 };
 
+/// Whether `p` carries a positional value vector ([`Payload::Values`] or
+/// the bit-packed [`Payload::Bits`] — test adversaries must treat the two
+/// identically, like real receivers do).
+#[allow(dead_code)]
+pub fn is_vector(p: &Payload) -> bool {
+    matches!(p, Payload::Values(_) | Payload::Bits { .. })
+}
+
+/// Materializes a payload's positional values, representation-agnostic.
+#[allow(dead_code)]
+pub fn payload_values(p: &Payload) -> Vec<Value> {
+    (0..p.num_values())
+        .map(|i| p.value_at(i).expect("index in range"))
+        .collect()
+}
+
+/// The domain-flipped copy of a binary vector payload.
+#[allow(dead_code)]
+pub fn flip_values(p: &Payload) -> Payload {
+    Payload::Values(
+        payload_values(p)
+            .into_iter()
+            .map(|v| Value(1 - v.raw()))
+            .collect(),
+    )
+}
+
 /// The faulty payload chosen by a test adversary closure, given the round,
 /// sender, recipient and the sender's honest shadow payload.
 pub type TestAdversary<'a> =

@@ -32,9 +32,7 @@ fn apply(c: usize, shadow: Option<&Payload>, round1_source: bool) -> Payload {
         2 => Payload::Values(vec![Value(1); len]),
         3 => shadow.cloned().unwrap_or(Payload::Missing),
         4 => match shadow {
-            Some(Payload::Values(vals)) => {
-                Payload::Values(vals.iter().map(|v| Value(1 - v.raw())).collect())
-            }
+            Some(p) if common::is_vector(p) => common::flip_values(p),
             _ => Payload::Values(vec![Value(1); len]),
         },
         _ => unreachable!(),

@@ -1,0 +1,251 @@
+//! Instance-pool correctness: pooled-reset runs are bit-identical to
+//! fresh-instance runs.
+//!
+//! The engine's instance pool recycles protocol instances across runs via
+//! `Protocol::reset` instead of consulting the factory. The contract is
+//! that pooling is *unobservable* in the output: every `Outcome` field —
+//! decisions, fault sets, metrics, traces, round counts — matches a
+//! fresh-instance execution exactly, for every protocol family and under
+//! every adversary. The property test below drives all nine resettable
+//! families (Phase King, Phase Queen, Optimal King, King-Shift, the
+//! plan-driven tree machine, Dolev–Strong, interactive consistency,
+//! multivalued broadcast, and shift compositions) through a cold pooled
+//! run and a warm (reset) pooled run, and additionally asserts the warm
+//! run never touched the factory.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the tests in this file: both drive process-global engine
+/// toggles (`set_instance_pooling`, `set_packed_broadcast`), so running
+/// them concurrently would race the flags mid-run.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+use proptest::prelude::*;
+use shifting_gears::adversary::{ChainRevealer, FaultSelection, RandomLiar, TwoFaced};
+use shifting_gears::core::{
+    interactive_consistency, multivalued_broadcast, AlgorithmSpec, Params, ShiftPlanBuilder,
+};
+use shifting_gears::sim::{
+    run_in, run_pooled_in, set_packed_broadcast, Adversary, Outcome, PoolKey, ProcessId, Protocol,
+    RunArena, RunConfig, Value, ValueDomain,
+};
+
+/// Outcome equality over every observable field.
+fn assert_same_outcome(label: &str, fresh: &Outcome, pooled: &Outcome) {
+    assert_eq!(fresh.decisions, pooled.decisions, "{label}: decisions");
+    assert_eq!(fresh.faulty, pooled.faulty, "{label}: fault set");
+    assert_eq!(fresh.metrics, pooled.metrics, "{label}: metrics");
+    assert_eq!(fresh.trace, pooled.trace, "{label}: trace");
+    assert_eq!(fresh.rounds_used, pooled.rounds_used, "{label}: rounds");
+}
+
+/// One comparison: a fresh-instance run vs a cold pooled run vs a warm
+/// (instance-reset) pooled run of the same configuration, with the
+/// factory-call count of the warm run pinned to zero.
+fn check_pool_identity(
+    label: &str,
+    config: &RunConfig,
+    key: PoolKey,
+    mk_adversary: &dyn Fn() -> Box<dyn Adversary>,
+    factory: &dyn Fn(ProcessId) -> Box<dyn Protocol>,
+) {
+    let mut fresh_arena = RunArena::new();
+    let fresh = run_in(&mut fresh_arena, config, mk_adversary().as_mut(), factory);
+
+    let calls = AtomicUsize::new(0);
+    let counting = |me: ProcessId| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        factory(me)
+    };
+    let mut arena = RunArena::new();
+    let cold = run_pooled_in(&mut arena, config, mk_adversary().as_mut(), key, counting);
+    assert_eq!(
+        calls.swap(0, Ordering::SeqCst),
+        config.n,
+        "{label}: cold pooled run builds every instance"
+    );
+    let warm = run_pooled_in(&mut arena, config, mk_adversary().as_mut(), key, counting);
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        0,
+        "{label}: warm pooled run must reset, not rebuild"
+    );
+
+    // The bit-packed broadcast view must be unobservable too: re-run
+    // with the packed masks disabled (per-payload fallback tallies) and
+    // expect the same bytes.
+    set_packed_broadcast(false);
+    let unpacked = run_pooled_in(&mut arena, config, mk_adversary().as_mut(), key, counting);
+    set_packed_broadcast(true);
+
+    assert_same_outcome(label, &fresh, &cold);
+    assert_same_outcome(label, &fresh, &warm);
+    assert_same_outcome(label, &fresh, &unpacked);
+}
+
+/// The adversary sample: stateless, seeded-random, and staged-reveal
+/// strategies, with and without a corrupted source.
+fn adversary(idx: usize, seed: u64) -> Box<dyn Adversary> {
+    match idx {
+        0 => Box::new(shifting_gears::sim::NoFaults),
+        1 => Box::new(RandomLiar::new(FaultSelection::with_source(), seed)),
+        2 => Box::new(TwoFaced::new(FaultSelection::without_source())),
+        _ => Box::new(ChainRevealer::new(
+            FaultSelection::without_source(),
+            2,
+            2,
+            seed,
+        )),
+    }
+}
+
+/// Drives one spec-shaped case through [`check_pool_identity`].
+fn check_spec(spec: AlgorithmSpec, n: usize, t: usize, adv_idx: usize, seed: u64) {
+    let mut config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
+    if spec.needs_authentication() {
+        config = config.with_authentication();
+    }
+    let key = spec.pool_key(&config);
+    let factory = spec.factory(&config);
+    check_pool_identity(
+        &spec.name(),
+        &config,
+        key,
+        &|| adversary(adv_idx, seed),
+        &factory,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// All nine resettable protocol families, a sample of adversaries and
+    /// seeds: pooled-reset outcomes are bit-identical to fresh-instance
+    /// outcomes and the warm run never consults the factory.
+    #[test]
+    fn pooled_reset_runs_match_fresh_runs(seed in 0u64..1_000, adv_idx in 0usize..4) {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // The six spec-built families.
+        check_spec(AlgorithmSpec::PhaseKing, 9, 2, adv_idx, seed);
+        check_spec(AlgorithmSpec::PhaseQueen, 9, 2, adv_idx, seed);
+        check_spec(AlgorithmSpec::OptimalKing, 7, 2, adv_idx, seed);
+        check_spec(AlgorithmSpec::KingShift { b: 3 }, 10, 3, adv_idx, seed);
+        check_spec(AlgorithmSpec::Exponential, 7, 2, adv_idx, seed);
+        check_spec(AlgorithmSpec::DolevStrong, 5, 3, adv_idx, seed);
+
+        // Interactive consistency: n parallel broadcasts over a Multiplex.
+        let ic_config = RunConfig::new(4, 1).with_source_value(Value(1)).with_trace();
+        let ic_params = Params::from_config(&ic_config);
+        let inputs = [Value(1), Value(0), Value(1), Value(0)];
+        check_pool_identity(
+            "interactive-consistency",
+            &ic_config,
+            PoolKey::of(&[0xA11CE, seed ^ 1]),
+            &|| adversary(adv_idx, seed),
+            &|me| {
+                Box::new(interactive_consistency(
+                    AlgorithmSpec::Exponential,
+                    ic_params,
+                    me,
+                    &inputs,
+                ))
+            },
+        );
+
+        // Multivalued broadcast: bit-parallel binary instances.
+        let mv_config = RunConfig::new(7, 2)
+            .with_domain(ValueDomain::new(5))
+            .with_source_value(Value(3))
+            .with_trace();
+        let mv_params = Params::from_config(&mv_config);
+        check_pool_identity(
+            "multivalued",
+            &mv_config,
+            PoolKey::of(&[0xB175, seed ^ 2]),
+            &|| adversary(adv_idx, seed),
+            &|me| {
+                let input = (me == mv_config.source).then_some(mv_config.source_value);
+                Box::new(multivalued_broadcast(
+                    AlgorithmSpec::Exponential,
+                    mv_params,
+                    me,
+                    input,
+                ))
+            },
+        );
+
+        // A shift composition with a king tail.
+        let composition = ShiftPlanBuilder::new(10, 3)
+            .a_blocks(3, 1)
+            .king_tail()
+            .build()
+            .expect("king tail closes any prefix");
+        let co_config = RunConfig::new(10, 3).with_source_value(Value(1)).with_trace();
+        let co_params = Params::from_config(&co_config);
+        check_pool_identity(
+            "compose",
+            &co_config,
+            composition.pool_key(&co_config),
+            &|| adversary(adv_idx, seed),
+            &|me| {
+                let input = (me == co_config.source).then_some(co_config.source_value);
+                Box::new(composition.build(co_params, me, input))
+            },
+        );
+    }
+}
+
+/// Pooling responds to the global escape hatch: with
+/// `set_instance_pooling(false)` every run rebuilds its instances, and
+/// outcomes still match pooled runs exactly (the CI perf-smoke invariant).
+#[test]
+fn disabling_the_pool_rebuilds_instances_without_changing_outcomes() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = RunConfig::new(7, 2)
+        .with_source_value(Value(1))
+        .with_trace();
+    let spec = AlgorithmSpec::OptimalKing;
+    let key = spec.pool_key(&config);
+    let factory = spec.factory(&config);
+    let mut arena = RunArena::new();
+
+    let pooled_a = run_pooled_in(
+        &mut arena,
+        &config,
+        &mut RandomLiar::new(FaultSelection::with_source(), 11),
+        key,
+        &factory,
+    );
+    let pooled_b = run_pooled_in(
+        &mut arena,
+        &config,
+        &mut RandomLiar::new(FaultSelection::with_source(), 11),
+        key,
+        &factory,
+    );
+
+    shifting_gears::sim::set_instance_pooling(false);
+    let calls = AtomicUsize::new(0);
+    let unpooled = run_pooled_in(
+        &mut arena,
+        &config,
+        &mut RandomLiar::new(FaultSelection::with_source(), 11),
+        key,
+        |me| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            factory(me)
+        },
+    );
+    shifting_gears::sim::set_instance_pooling(true);
+
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        config.n,
+        "disabled pool must rebuild every instance"
+    );
+    assert_same_outcome("escape hatch", &pooled_a, &pooled_b);
+    assert_same_outcome("escape hatch", &pooled_a, &unpooled);
+}

@@ -184,8 +184,13 @@ proptest! {
         // Inspect proposals via the propose-round broadcast.
         let mut proposals = Vec::new();
         for core in net.cores.iter_mut().flatten() {
-            if let Some(Payload::Values(vals)) = core.outgoing(0, PhaseStep::Propose) {
-                let v = vals[0];
+            // value_at is representation-agnostic: the propose broadcast
+            // is a bit-packed single value for 0/1 proposals and an
+            // out-of-domain sentinel vector for bot.
+            let sent = core
+                .outgoing(0, PhaseStep::Propose)
+                .and_then(|p| p.value_at(0));
+            if let Some(v) = sent {
                 if ValueDomain::binary().contains(v) {
                     proposals.push(v);
                 }

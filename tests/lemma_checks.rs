@@ -37,9 +37,7 @@ fn correctness_lemma_on_exponential_tree() {
     // flipped to odd ones.
     net.run_all(
         &mut |_round, _sender, recipient, shadow: Option<&Payload>| match shadow {
-            Some(Payload::Values(vals)) if recipient.index() % 2 == 1 => {
-                Payload::Values(vals.iter().map(|v| Value(1 - v.raw())).collect())
-            }
+            Some(p) if common::is_vector(p) && recipient.index() % 2 == 1 => common::flip_values(p),
             Some(p) => p.clone(),
             None => Payload::Missing,
         },
@@ -89,9 +87,7 @@ fn frontier_lemma_on_exponential_tree() {
             return Payload::values([Value((recipient.index() % 2) as u16)]);
         }
         match shadow {
-            Some(Payload::Values(vals)) => {
-                Payload::Values(vals.iter().map(|v| Value(1 - v.raw())).collect())
-            }
+            Some(p) if common::is_vector(p) => common::flip_values(p),
             _ => Payload::Missing,
         }
     });
@@ -232,7 +228,8 @@ fn hidden_fault_lemma_on_stealthy_faults() {
     // threshold, so the faults stay hidden.
     net.run_all(
         &mut |round, _sender, recipient, shadow: Option<&Payload>| match shadow {
-            Some(Payload::Values(vals)) if !vals.is_empty() => {
+            Some(p) if common::is_vector(p) && p.num_values() > 0 => {
+                let vals = common::payload_values(p);
                 let target = (round + recipient.index()) % vals.len();
                 Payload::Values(
                     vals.iter()
@@ -295,9 +292,7 @@ fn claim_source_correct_resolve_equals_root() {
     net.run_all(&mut |_round, _s, _r, shadow: Option<&Payload>| {
         // Worst consistent lie: flip everything.
         match shadow {
-            Some(Payload::Values(vals)) => {
-                Payload::Values(vals.iter().map(|v| Value(1 - v.raw())).collect())
-            }
+            Some(p) if common::is_vector(p) => common::flip_values(p),
             _ => Payload::Missing,
         }
     });
@@ -325,9 +320,7 @@ fn remark_2_correct_nodes_never_resolve_to_bottom() {
             return Payload::values([Value((recipient.index() % 2) as u16)]);
         }
         match shadow {
-            Some(Payload::Values(vals)) if recipient.index() % 2 == 0 => {
-                Payload::Values(vals.iter().map(|v| Value(1 - v.raw())).collect())
-            }
+            Some(p) if common::is_vector(p) && recipient.index() % 2 == 0 => common::flip_values(p),
             Some(p) => p.clone(),
             None => Payload::Missing,
         }
