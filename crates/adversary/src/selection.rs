@@ -1,5 +1,7 @@
 //! Choosing which processors an adversary corrupts.
 
+use serde::json::{JsonError, Value as Json};
+use serde::{FromJson, ToJson};
 use sg_sim::{ProcessId, ProcessSet};
 
 /// A policy for picking the corrupted set.
@@ -110,6 +112,69 @@ impl FaultSelection {
     }
 }
 
+impl ToJson for FaultSelection {
+    /// Wire form (`sg-serve/1`): `{"include_source":bool}` with optional
+    /// `"limit":k` and `"explicit":[ids…]` fields; an explicit member
+    /// list overrides the other two on decode, mirroring
+    /// [`FaultSelection::select`].
+    fn to_json(&self) -> Json {
+        let mut fields = vec![(
+            "include_source".to_string(),
+            Json::Bool(self.include_source),
+        )];
+        if let Some(count) = self.count {
+            fields.push(("limit".to_string(), Json::from(count)));
+        }
+        if let Some(list) = &self.explicit {
+            fields.push((
+                "explicit".to_string(),
+                Json::Arr(list.iter().map(|p| Json::from(p.0)).collect()),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for FaultSelection {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let include_source = v
+            .need("include_source")?
+            .as_bool()
+            .ok_or_else(|| JsonError::msg("include_source must be a boolean"))?;
+        let count = match v.get("limit") {
+            None => None,
+            Some(limit) => Some(
+                limit
+                    .as_usize()
+                    .ok_or_else(|| JsonError::msg("limit must be a non-negative integer"))?,
+            ),
+        };
+        let explicit = match v.get("explicit") {
+            None => None,
+            Some(list) => {
+                let items = list
+                    .as_arr()
+                    .ok_or_else(|| JsonError::msg("explicit must be an array of processor ids"))?;
+                Some(
+                    items
+                        .iter()
+                        .map(|item| {
+                            item.as_usize().map(ProcessId).ok_or_else(|| {
+                                JsonError::msg("explicit members must be non-negative integers")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
+        Ok(FaultSelection {
+            include_source,
+            count,
+            explicit,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +215,23 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert!(set.contains(ProcessId(4)));
         assert!(set.contains(ProcessId(6)));
+    }
+
+    #[test]
+    fn json_round_trips_every_shape() {
+        for sel in [
+            FaultSelection::with_source(),
+            FaultSelection::without_source(),
+            FaultSelection::with_source().limit(2),
+            FaultSelection::explicit([ProcessId(4), ProcessId(6)]),
+        ] {
+            let encoded = sel.to_json().to_string();
+            let decoded = FaultSelection::from_json(&Json::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(decoded, sel, "through {encoded}");
+        }
+        assert!(FaultSelection::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(
+            FaultSelection::from_json(&Json::parse("{\"include_source\":3}").unwrap()).is_err()
+        );
     }
 }

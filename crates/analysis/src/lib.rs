@@ -18,12 +18,14 @@ pub mod montecarlo;
 pub mod stability;
 pub mod sweep;
 pub mod table;
+pub mod wire;
 
 pub use experiments::{all_experiments, measure, plan_figures, Measured, Scale};
 pub use montecarlo::{random_liar_sweep, sample_of, summarize, Sample, Summary};
 pub use stability::{lock_in, StabilityReport};
 pub use sweep::{
-    set_jobs, sweep_map, AdversaryFamily, CellReport, SweepConfig, SweepPlan, SweepReport,
+    set_jobs, sweep_map, AdversaryFamily, CellCursor, CellReport, Fingerprint, SweepConfig,
+    SweepPlan, SweepReport,
 };
 pub use table::{fmt_count, Table};
 

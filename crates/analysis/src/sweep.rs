@@ -39,7 +39,7 @@ use std::sync::Arc;
 use rayon::prelude::*;
 use sg_adversary::{ChainRevealer, FaultSelection, RandomLiar};
 use sg_core::AlgorithmSpec;
-use sg_sim::{Adversary, NoFaults, RunConfig, Value};
+use sg_sim::{Adversary, NoFaults, Outcome, RunArena, RunConfig, Value};
 
 use crate::montecarlo::{sample_of, Sample, Summary};
 
@@ -125,6 +125,23 @@ impl SweepConfig {
     }
 }
 
+/// The wire-expressible construction of a built-in family, kept so
+/// grids can travel over the `sg-serve/1` protocol (see [`crate::wire`]).
+/// Families built from arbitrary closures have no wire form.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum FamilyWire {
+    /// [`AdversaryFamily::no_faults`].
+    NoFaults,
+    /// [`AdversaryFamily::random_liar`] over the selection.
+    RandomLiar(FaultSelection),
+    /// [`AdversaryFamily::chain_revealer`] with its start/block shape.
+    ChainRevealer {
+        selection: FaultSelection,
+        start: usize,
+        block: usize,
+    },
+}
+
 /// A named, seed-keyed adversary factory: `seed ↦ strategy instance`.
 ///
 /// Cloning is cheap (the factory is shared), which is what lets the
@@ -133,10 +150,14 @@ impl SweepConfig {
 pub struct AdversaryFamily {
     name: String,
     make: Arc<dyn Fn(u64) -> Box<dyn Adversary> + Send + Sync>,
+    /// Wire form for serialization; `None` for closure-built families.
+    wire: Option<FamilyWire>,
 }
 
 impl AdversaryFamily {
-    /// A family from an arbitrary factory.
+    /// A family from an arbitrary factory. Such a family cannot travel
+    /// over the wire (`sg-serve` submissions use the named constructors,
+    /// which can) — see [`crate::wire`].
     pub fn new(
         name: impl Into<String>,
         make: impl Fn(u64) -> Box<dyn Adversary> + Send + Sync + 'static,
@@ -144,26 +165,39 @@ impl AdversaryFamily {
         AdversaryFamily {
             name: name.into(),
             make: Arc::new(make),
+            wire: None,
         }
     }
 
     /// The fault-free baseline (ignores the seed).
     pub fn no_faults() -> Self {
-        AdversaryFamily::new("no-faults", |_| Box::new(NoFaults))
+        let mut family = AdversaryFamily::new("no-faults", |_| Box::new(NoFaults));
+        family.wire = Some(FamilyWire::NoFaults);
+        family
     }
 
     /// Seeded uniform random lies over `selection`.
     pub fn random_liar(selection: FaultSelection) -> Self {
-        AdversaryFamily::new("random-liar", move |seed| {
+        let wire = FamilyWire::RandomLiar(selection.clone());
+        let mut family = AdversaryFamily::new("random-liar", move |seed| {
             Box::new(RandomLiar::new(selection.clone(), seed))
-        })
+        });
+        family.wire = Some(wire);
+        family
     }
 
     /// The chain-revealing stress adversary over `selection`.
     pub fn chain_revealer(selection: FaultSelection, start: usize, block: usize) -> Self {
-        AdversaryFamily::new("chain-revealer", move |seed| {
+        let wire = FamilyWire::ChainRevealer {
+            selection: selection.clone(),
+            start,
+            block,
+        };
+        let mut family = AdversaryFamily::new("chain-revealer", move |seed| {
             Box::new(ChainRevealer::new(selection.clone(), start, block, seed))
-        })
+        });
+        family.wire = Some(wire);
+        family
     }
 
     /// The family's strategy name.
@@ -174,6 +208,11 @@ impl AdversaryFamily {
     /// Builds the strategy instance for one seed.
     pub fn instantiate(&self, seed: u64) -> Box<dyn Adversary> {
         (self.make)(seed)
+    }
+
+    /// The wire form, if this family was built by a named constructor.
+    pub(crate) fn wire(&self) -> Option<&FamilyWire> {
+        self.wire.as_ref()
     }
 }
 
@@ -265,21 +304,12 @@ impl SweepPlan {
         let samples =
             sweep_map_with_jobs(units, jobs, move |(ci, ai, si)| shared.run_one(ci, ai, si));
 
-        let mut cells = Vec::with_capacity(self.configs.len() * self.adversaries.len());
+        let mut cells = Vec::with_capacity(self.cell_count());
         let mut chunks = samples.chunks_exact(self.seeds_per_cell as usize);
-        for (ci, config) in self.configs.iter().enumerate() {
-            for (ai, family) in self.adversaries.iter().enumerate() {
+        for ci in 0..self.configs.len() {
+            for ai in 0..self.adversaries.len() {
                 let cell_samples = chunks.next().expect("one chunk per cell").to_vec();
-                let summaries = crate::montecarlo::summarize(&cell_samples);
-                cells.push(CellReport {
-                    spec_name: config.spec.name(),
-                    n: config.n,
-                    t: config.t,
-                    adversary: family.name.clone(),
-                    first_seed: self.seed_for(ci, ai, 0),
-                    samples: cell_samples,
-                    summaries,
-                });
+                cells.push(self.cell_report(ci, ai, cell_samples));
             }
         }
         SweepReport {
@@ -288,14 +318,90 @@ impl SweepPlan {
         }
     }
 
-    /// One execution: cell `(ci, ai)`, run `si`.
+    /// Number of `(config, adversary)` cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.configs.len() * self.adversaries.len()
+    }
+
+    /// Grid coordinates `(ci, ai)` of flat cell index `cell`, row-major
+    /// over `configs × adversaries` — the order [`SweepPlan::run`] emits
+    /// cells in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= cell_count()`.
+    pub fn cell_coords(&self, cell: usize) -> (usize, usize) {
+        assert!(cell < self.cell_count(), "cell index out of range");
+        (cell / self.adversaries.len(), cell % self.adversaries.len())
+    }
+
+    /// A resumable sequential executor for cell `cell` — the unit the
+    /// `sg-serve` scheduler interleaves jobs at. See [`CellCursor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= cell_count()`.
+    pub fn cell_cursor(&self, cell: usize) -> CellCursor<'_> {
+        let (ci, ai) = self.cell_coords(cell);
+        CellCursor {
+            plan: self,
+            ci,
+            ai,
+            next_si: 0,
+            samples: Vec::with_capacity(self.seeds_per_cell as usize),
+        }
+    }
+
+    /// Assembles the [`CellReport`] of cell `(ci, ai)` from its run-order
+    /// samples — shared by the batch path and [`CellCursor::finish`], so
+    /// both produce identical bytes.
+    fn cell_report(&self, ci: usize, ai: usize, samples: Vec<Sample>) -> CellReport {
+        let config = &self.configs[ci];
+        let summaries = crate::montecarlo::summarize(&samples);
+        CellReport {
+            spec_name: config.spec.name(),
+            n: config.n,
+            t: config.t,
+            adversary: self.adversaries[ai].name.clone(),
+            first_seed: self.seed_for(ci, ai, 0),
+            samples,
+            summaries,
+        }
+    }
+
+    /// One execution: cell `(ci, ai)`, run `si`, on the thread-local
+    /// arena pool.
     fn run_one(&self, ci: usize, ai: usize, si: u64) -> Sample {
+        self.run_one_with(ci, ai, si, |spec, config, adversary| {
+            sg_core::execute(spec, config, adversary)
+        })
+    }
+
+    /// [`SweepPlan::run_one`] with a caller-held arena — the executor
+    /// behind [`CellCursor`]; bit-identical to the pooled path.
+    fn run_one_in(&self, arena: &mut RunArena, ci: usize, ai: usize, si: u64) -> Sample {
+        self.run_one_with(ci, ai, si, |spec, config, adversary| {
+            sg_core::execute_in(arena, spec, config, adversary)
+        })
+    }
+
+    fn run_one_with(
+        &self,
+        ci: usize,
+        ai: usize,
+        si: u64,
+        exec: impl FnOnce(
+            AlgorithmSpec,
+            &RunConfig,
+            &mut dyn Adversary,
+        ) -> Result<Outcome, sg_core::SpecError>,
+    ) -> Sample {
         let config = &self.configs[ci];
         let family = &self.adversaries[ai];
         let seed = self.seed_for(ci, ai, si);
         let run_config = config.run_config();
         let mut adversary = family.instantiate(seed);
-        let outcome = sg_core::execute(config.spec, &run_config, adversary.as_mut())
+        let outcome = exec(config.spec, &run_config, adversary.as_mut())
             .unwrap_or_else(|e| panic!("{}: {e}", config.spec.name()));
         assert!(
             outcome.agreement(),
@@ -304,6 +410,71 @@ impl SweepPlan {
             family.name,
         );
         sample_of(&outcome)
+    }
+}
+
+/// A resumable, preemptible executor for one `(config, adversary)` cell.
+///
+/// The batch path ([`SweepPlan::run`]) fans every run of every cell onto
+/// a rayon pool and joins; a long-lived service cannot afford that shape
+/// — it needs to *interleave* cells of concurrent jobs on a fixed worker
+/// pool and abandon a cell mid-flight when its job is cancelled. A
+/// cursor is that unit of scheduling: created per cell, advanced in
+/// batches of whatever quantum the scheduler likes (checking its cancel
+/// flag in between), and [`CellCursor::finish`]ed into a [`CellReport`]
+/// that is bit-identical to the corresponding cell of [`SweepPlan::run`]
+/// (seeding is coordinate-pure, and the pooled executor is pinned
+/// pooled-vs-fresh identical by `tests/instance_pool.rs`).
+///
+/// Runs execute in the caller's [`RunArena`], so a worker that holds one
+/// arena for its whole life performs no steady-state allocations and
+/// keeps protocol instances warm across cells — and across jobs.
+#[derive(Debug)]
+pub struct CellCursor<'p> {
+    plan: &'p SweepPlan,
+    ci: usize,
+    ai: usize,
+    next_si: u64,
+    samples: Vec<Sample>,
+}
+
+impl CellCursor<'_> {
+    /// Grid coordinates `(ci, ai)` of the cell this cursor executes.
+    pub fn coords(&self) -> (usize, usize) {
+        (self.ci, self.ai)
+    }
+
+    /// Runs not yet executed.
+    pub fn remaining(&self) -> u64 {
+        self.plan.seeds_per_cell - self.next_si
+    }
+
+    /// Whether every run of the cell has executed.
+    pub fn is_done(&self) -> bool {
+        self.next_si == self.plan.seeds_per_cell
+    }
+
+    /// Executes up to `max_runs` further runs in `arena`, returning how
+    /// many actually ran (0 when already done).
+    pub fn run_batch_in(&mut self, arena: &mut RunArena, max_runs: u64) -> u64 {
+        let todo = self.remaining().min(max_runs);
+        for _ in 0..todo {
+            let sample = self.plan.run_one_in(arena, self.ci, self.ai, self.next_si);
+            self.samples.push(sample);
+            self.next_si += 1;
+        }
+        todo
+    }
+
+    /// Assembles the finished cell's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not [`CellCursor::is_done`] — an abandoned
+    /// (cancelled) cursor is dropped, never finished.
+    pub fn finish(self) -> CellReport {
+        assert!(self.is_done(), "cell cursor finished early");
+        self.plan.cell_report(self.ci, self.ai, self.samples)
     }
 }
 
@@ -326,6 +497,26 @@ pub struct CellReport {
     pub summaries: [Summary; 4],
 }
 
+impl CellReport {
+    /// Renders the cell as one aligned table line (newline-terminated) —
+    /// the row format of [`SweepReport::render`], also used by clients
+    /// streaming cells one at a time.
+    pub fn render_line(&self) -> String {
+        let [lock, disc, bits, ops] = &self.summaries;
+        format!(
+            "{:<24} n={:<3} t={:<2} {:<16} lock-in {:<14} discoveries {:<14} bits {:<20} ops {}\n",
+            self.spec_name,
+            self.n,
+            self.t,
+            self.adversary,
+            lock.render(),
+            disc.render(),
+            bits.render(),
+            ops.render(),
+        )
+    }
+}
+
 /// The full sweep output: one [`CellReport`] per `(config, adversary)`
 /// pair, in grid order. `PartialEq` compares every sample and statistic,
 /// which is how the determinism tests assert bit-identical serial vs.
@@ -338,23 +529,112 @@ pub struct SweepReport {
     pub cells: Vec<CellReport>,
 }
 
+/// Order-sensitive FNV-1a fingerprint over sweep samples.
+///
+/// This is the determinism contract's currency: the batch path
+/// ([`SweepReport::fingerprint`]), the `repro --exp sweep` trajectory
+/// file, and the `sg-serve` daemon's summary frame all reduce their
+/// samples through this builder *in grid order*, so a fingerprint match
+/// means bit-identical samples whatever path produced them. Mixing is
+/// incremental — a streaming consumer can fold cells in as they arrive,
+/// as long as it folds them in grid order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The FNV-1a offset basis — an empty fingerprint.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one little-endian `u64` into the hash.
+    pub fn mix_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds one sample (all four observed quantities, in field order).
+    pub fn mix_sample(&mut self, s: &Sample) {
+        self.mix_u64(s.lock_in);
+        self.mix_u64(s.discoveries);
+        self.mix_u64(s.total_bits);
+        self.mix_u64(s.max_local_ops);
+    }
+
+    /// Folds one cell's samples in run order.
+    pub fn mix_cell(&mut self, cell: &CellReport) {
+        for s in &cell.samples {
+            self.mix_sample(s);
+        }
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The hash as the 16-digit lower-hex string the JSON artifacts use.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses a [`Fingerprint::hex`]-formatted string.
+    pub fn parse_hex(s: &str) -> Option<u64> {
+        let s = s.trim().trim_start_matches("0x");
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+
+    /// The `--expect-fingerprint` cross-check shared by the `sg` and
+    /// `repro` binaries: `Ok` carries the success line to print, `Err`
+    /// the mismatch report (the caller exits non-zero on `Err` — that
+    /// exit-code contract is what CI's `&&` chains rely on).
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch message when `actual != expected`.
+    pub fn cross_check(expected: u64, actual: u64) -> Result<String, String> {
+        if actual == expected {
+            Ok(format!("fingerprint cross-check ok ({actual:016x})"))
+        } else {
+            Err(format!(
+                "FINGERPRINT MISMATCH: expected {expected:016x}, got {actual:016x} — \
+                 the sweep did not reproduce the reference output"
+            ))
+        }
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
 impl SweepReport {
+    /// The report's [`Fingerprint`] over every sample in grid order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        for cell in &self.cells {
+            fp.mix_cell(cell);
+        }
+        fp.value()
+    }
+
+    /// [`SweepReport::fingerprint`] as the artifact hex string.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
     /// Renders one line per cell: `spec n t adversary lock-in disc bits ops`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for cell in &self.cells {
-            let [lock, disc, bits, ops] = &cell.summaries;
-            out.push_str(&format!(
-                "{:<24} n={:<3} t={:<2} {:<16} lock-in {:<14} discoveries {:<14} bits {:<20} ops {}\n",
-                cell.spec_name,
-                cell.n,
-                cell.t,
-                cell.adversary,
-                lock.render(),
-                disc.render(),
-                bits.render(),
-                ops.render(),
-            ));
+            out.push_str(&cell.render_line());
         }
         out
     }
@@ -397,6 +677,51 @@ mod tests {
         assert_eq!(serial.total_runs, 12);
         assert_eq!(serial.cells.len(), 4);
         assert!(serial.render().contains("hybrid"));
+    }
+
+    #[test]
+    fn cell_cursors_reproduce_the_batch_report() {
+        let plan = small_plan();
+        let batch = plan.run_with_jobs(2);
+        let mut arena = RunArena::new();
+        for cell in 0..plan.cell_count() {
+            // Odd batch sizes force resume points that never align with
+            // the cell boundary.
+            let mut cursor = plan.cell_cursor(cell);
+            while !cursor.is_done() {
+                cursor.run_batch_in(&mut arena, 2);
+            }
+            assert_eq!(cursor.run_batch_in(&mut arena, 5), 0);
+            assert_eq!(cursor.finish(), batch.cells[cell]);
+        }
+        assert!(arena.pooled_instance_sets() > 0, "arena pools stayed cold");
+    }
+
+    #[test]
+    fn fingerprint_matches_streaming_fold() {
+        let plan = small_plan();
+        let report = plan.run_with_jobs(1);
+        let mut streaming = Fingerprint::new();
+        for cell in &report.cells {
+            streaming.mix_cell(cell);
+        }
+        assert_eq!(streaming.value(), report.fingerprint());
+        assert_eq!(streaming.hex(), report.fingerprint_hex());
+        assert_eq!(
+            Fingerprint::parse_hex(&streaming.hex()),
+            Some(streaming.value())
+        );
+        assert_eq!(Fingerprint::parse_hex("zz"), None);
+        assert_ne!(report.fingerprint(), Fingerprint::new().value());
+    }
+
+    #[test]
+    fn cell_coords_are_row_major() {
+        let plan = small_plan();
+        assert_eq!(plan.cell_count(), 4);
+        assert_eq!(plan.cell_coords(0), (0, 0));
+        assert_eq!(plan.cell_coords(1), (0, 1));
+        assert_eq!(plan.cell_coords(3), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Wire (JSON) forms of the sweep types — the vocabulary of `sg-serve/1`.
+//!
+//! The `sg-serve` daemon (see `crates/serve`) accepts [`SweepPlan`]s and
+//! streams [`CellReport`]s over newline-delimited JSON; this module
+//! defines how those types look on the wire, via the serde shim's
+//! [`ToJson`]/[`FromJson`] traits. The encodings are documented field by
+//! field in ROADMAP.md's "Sweep service" convention; the invariant that
+//! matters is **round-trip exactness**: `decode(encode(x)) == x` for
+//! every encodable value, including `u64` seeds (carried as JSON
+//! integers, never through `f64`) and summary statistics (floats written
+//! with shortest-round-trip precision).
+//!
+//! Two deliberate gaps:
+//!
+//! * [`AdversaryFamily`] values built from arbitrary closures
+//!   ([`AdversaryFamily::new`]) have no wire form — only the named
+//!   constructors (`no-faults`, `random-liar`, `chain-revealer`) travel.
+//!   Encoding such a family returns [`Json::Null`]; plans containing one
+//!   are rejected at submit time, not silently altered.
+//! * [`crate::SweepReport`] has no single-document decode: the service streams
+//!   cells one frame at a time precisely so a report never has to exist
+//!   in one buffer; consumers reassemble it from [`CellReport`] frames.
+
+use serde::json::{JsonError, Value as Json};
+use serde::{FromJson, ToJson};
+use sg_adversary::FaultSelection;
+use sg_core::AlgorithmSpec;
+use sg_sim::Value;
+
+use crate::montecarlo::{Sample, Summary};
+use crate::sweep::FamilyWire;
+use crate::{AdversaryFamily, CellReport, SweepConfig, SweepPlan};
+
+fn bad(detail: impl Into<String>) -> JsonError {
+    JsonError::msg(detail)
+}
+
+fn field_usize(v: &Json, key: &str) -> Result<usize, JsonError> {
+    v.need(key)?
+        .as_usize()
+        .ok_or_else(|| bad(format!("'{key}' must be a non-negative integer")))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, JsonError> {
+    v.need(key)?
+        .as_u64()
+        .ok_or_else(|| bad(format!("'{key}' must be a non-negative integer")))
+}
+
+fn field_str<'v>(v: &'v Json, key: &str) -> Result<&'v str, JsonError> {
+    v.need(key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("'{key}' must be a string")))
+}
+
+/// Encodes an [`AlgorithmSpec`] as `{"alg":"<cli-name>"}` plus a `"b"`
+/// field for the block-parameterised families — the same names `sg run
+/// --alg` accepts.
+pub fn spec_to_json(spec: AlgorithmSpec) -> Json {
+    let (alg, b) = match spec {
+        AlgorithmSpec::PlainExponential => ("plain-exponential", None),
+        AlgorithmSpec::Exponential => ("exponential", None),
+        AlgorithmSpec::ExponentialPrime => ("exponential-prime", None),
+        AlgorithmSpec::AlgorithmA { b } => ("algorithm-a", Some(b)),
+        AlgorithmSpec::AlgorithmB { b } => ("algorithm-b", Some(b)),
+        AlgorithmSpec::AlgorithmC => ("algorithm-c", None),
+        AlgorithmSpec::Hybrid { b } => ("hybrid", Some(b)),
+        AlgorithmSpec::PhaseKing => ("phase-king", None),
+        AlgorithmSpec::OptimalKing => ("optimal-king", None),
+        AlgorithmSpec::KingShift { b } => ("king-shift", Some(b)),
+        AlgorithmSpec::PhaseQueen => ("phase-queen", None),
+        AlgorithmSpec::DolevStrong => ("dolev-strong", None),
+    };
+    let mut fields = vec![("alg".to_string(), Json::from(alg))];
+    if let Some(b) = b {
+        fields.push(("b".to_string(), Json::from(b)));
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes [`spec_to_json`]'s encoding.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for unknown algorithm names or a missing `b`
+/// on the block-parameterised families.
+pub fn spec_from_json(v: &Json) -> Result<AlgorithmSpec, JsonError> {
+    let alg = field_str(v, "alg")?;
+    let b = || field_usize(v, "b");
+    Ok(match alg {
+        "plain-exponential" => AlgorithmSpec::PlainExponential,
+        "exponential" => AlgorithmSpec::Exponential,
+        "exponential-prime" => AlgorithmSpec::ExponentialPrime,
+        "algorithm-a" => AlgorithmSpec::AlgorithmA { b: b()? },
+        "algorithm-b" => AlgorithmSpec::AlgorithmB { b: b()? },
+        "algorithm-c" => AlgorithmSpec::AlgorithmC,
+        "hybrid" => AlgorithmSpec::Hybrid { b: b()? },
+        "phase-king" => AlgorithmSpec::PhaseKing,
+        "optimal-king" => AlgorithmSpec::OptimalKing,
+        "king-shift" => AlgorithmSpec::KingShift { b: b()? },
+        "phase-queen" => AlgorithmSpec::PhaseQueen,
+        "dolev-strong" => AlgorithmSpec::DolevStrong,
+        other => return Err(bad(format!("unknown algorithm '{other}'"))),
+    })
+}
+
+impl ToJson for SweepConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("spec".to_string(), spec_to_json(self.spec)),
+            ("n".to_string(), Json::from(self.n)),
+            ("t".to_string(), Json::from(self.t)),
+            (
+                "source_value".to_string(),
+                Json::from(u64::from(self.source_value.raw())),
+            ),
+            ("trace".to_string(), Json::Bool(self.trace)),
+        ])
+    }
+}
+
+impl FromJson for SweepConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let raw = field_u64(v, "source_value")?;
+        let raw = u16::try_from(raw).map_err(|_| bad("source_value must fit in 16 bits"))?;
+        Ok(SweepConfig {
+            spec: spec_from_json(v.need("spec")?)?,
+            n: field_usize(v, "n")?,
+            t: field_usize(v, "t")?,
+            source_value: Value(raw),
+            trace: v
+                .need("trace")?
+                .as_bool()
+                .ok_or_else(|| bad("'trace' must be a boolean"))?,
+        })
+    }
+}
+
+impl ToJson for AdversaryFamily {
+    /// `{"family":"random-liar","selection":{…}}`-style tagged objects;
+    /// closure-built families encode as `null` (see the module docs).
+    fn to_json(&self) -> Json {
+        let Some(wire) = self.wire() else {
+            return Json::Null;
+        };
+        match wire {
+            FamilyWire::NoFaults => {
+                Json::Obj(vec![("family".to_string(), Json::from("no-faults"))])
+            }
+            FamilyWire::RandomLiar(selection) => Json::Obj(vec![
+                ("family".to_string(), Json::from("random-liar")),
+                ("selection".to_string(), selection.to_json()),
+            ]),
+            FamilyWire::ChainRevealer {
+                selection,
+                start,
+                block,
+            } => Json::Obj(vec![
+                ("family".to_string(), Json::from("chain-revealer")),
+                ("selection".to_string(), selection.to_json()),
+                ("start".to_string(), Json::from(*start)),
+                ("block".to_string(), Json::from(*block)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for AdversaryFamily {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match field_str(v, "family")? {
+            "no-faults" => Ok(AdversaryFamily::no_faults()),
+            "random-liar" => Ok(AdversaryFamily::random_liar(FaultSelection::from_json(
+                v.need("selection")?,
+            )?)),
+            "chain-revealer" => Ok(AdversaryFamily::chain_revealer(
+                FaultSelection::from_json(v.need("selection")?)?,
+                field_usize(v, "start")?,
+                field_usize(v, "block")?,
+            )),
+            other => Err(bad(format!("unknown adversary family '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for SweepPlan {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "configs".to_string(),
+                Json::Arr(self.configs.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "adversaries".to_string(),
+                Json::Arr(self.adversaries.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "seeds_per_cell".to_string(),
+                Json::from(self.seeds_per_cell),
+            ),
+            ("base_seed".to_string(), Json::from(self.base_seed)),
+        ])
+    }
+}
+
+impl FromJson for SweepPlan {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let configs = v
+            .need("configs")?
+            .as_arr()
+            .ok_or_else(|| bad("'configs' must be an array"))?
+            .iter()
+            .map(SweepConfig::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let adversaries = v
+            .need("adversaries")?
+            .as_arr()
+            .ok_or_else(|| bad("'adversaries' must be an array"))?
+            .iter()
+            .map(AdversaryFamily::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepPlan {
+            configs,
+            adversaries,
+            seeds_per_cell: field_u64(v, "seeds_per_cell")?,
+            base_seed: field_u64(v, "base_seed")?,
+        })
+    }
+}
+
+impl ToJson for Sample {
+    /// Compact positional form `[lock_in, discoveries, total_bits,
+    /// max_local_ops]` — cell frames carry `seeds_per_cell` of these.
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            Json::from(self.lock_in),
+            Json::from(self.discoveries),
+            Json::from(self.total_bits),
+            Json::from(self.max_local_ops),
+        ])
+    }
+}
+
+impl FromJson for Sample {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v
+            .as_arr()
+            .filter(|items| items.len() == 4)
+            .ok_or_else(|| bad("sample must be a 4-element array"))?;
+        let get = |i: usize| {
+            items[i]
+                .as_u64()
+                .ok_or_else(|| bad("sample entries must be non-negative integers"))
+        };
+        Ok(Sample {
+            lock_in: get(0)?,
+            discoveries: get(1)?,
+            total_bits: get(2)?,
+            max_local_ops: get(3)?,
+        })
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("samples".to_string(), Json::from(self.samples)),
+            ("min".to_string(), Json::from(self.min)),
+            ("max".to_string(), Json::from(self.max)),
+            ("mean".to_string(), Json::Num(self.mean)),
+            ("stddev".to_string(), Json::Num(self.stddev)),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let float = |key: &str| {
+            v.need(key)?
+                .as_f64()
+                .ok_or_else(|| bad(format!("'{key}' must be a number")))
+        };
+        Ok(Summary {
+            samples: field_usize(v, "samples")?,
+            min: field_u64(v, "min")?,
+            max: field_u64(v, "max")?,
+            mean: float("mean")?,
+            stddev: float("stddev")?,
+        })
+    }
+}
+
+impl ToJson for CellReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("spec_name".to_string(), Json::from(self.spec_name.as_str())),
+            ("n".to_string(), Json::from(self.n)),
+            ("t".to_string(), Json::from(self.t)),
+            ("adversary".to_string(), Json::from(self.adversary.as_str())),
+            ("first_seed".to_string(), Json::from(self.first_seed)),
+            (
+                "samples".to_string(),
+                Json::Arr(self.samples.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "summaries".to_string(),
+                Json::Arr(self.summaries.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for CellReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let samples = v
+            .need("samples")?
+            .as_arr()
+            .ok_or_else(|| bad("'samples' must be an array"))?
+            .iter()
+            .map(Sample::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let summaries: Vec<Summary> = v
+            .need("summaries")?
+            .as_arr()
+            .ok_or_else(|| bad("'summaries' must be an array"))?
+            .iter()
+            .map(Summary::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let summaries: [Summary; 4] = summaries
+            .try_into()
+            .map_err(|_| bad("'summaries' must have exactly 4 entries"))?;
+        Ok(CellReport {
+            spec_name: field_str(v, "spec_name")?.to_string(),
+            n: field_usize(v, "n")?,
+            t: field_usize(v, "t")?,
+            adversary: field_str(v, "adversary")?.to_string(),
+            first_seed: field_u64(v, "first_seed")?,
+            samples,
+            summaries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_adversary::FaultSelection;
+
+    fn plan() -> SweepPlan {
+        SweepPlan::new(
+            vec![
+                SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+                SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            ],
+            vec![
+                AdversaryFamily::random_liar(FaultSelection::without_source()),
+                AdversaryFamily::chain_revealer(FaultSelection::with_source().limit(2), 2, 2),
+                AdversaryFamily::no_faults(),
+            ],
+            3,
+        )
+        .with_base_seed(u64::MAX - 7)
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for spec in [
+            AlgorithmSpec::PlainExponential,
+            AlgorithmSpec::Exponential,
+            AlgorithmSpec::ExponentialPrime,
+            AlgorithmSpec::AlgorithmA { b: 4 },
+            AlgorithmSpec::AlgorithmB { b: 3 },
+            AlgorithmSpec::AlgorithmC,
+            AlgorithmSpec::Hybrid { b: 5 },
+            AlgorithmSpec::PhaseKing,
+            AlgorithmSpec::OptimalKing,
+            AlgorithmSpec::KingShift { b: 3 },
+            AlgorithmSpec::PhaseQueen,
+            AlgorithmSpec::DolevStrong,
+        ] {
+            let text = spec_to_json(spec).to_string();
+            let back = spec_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "through {text}");
+        }
+        assert!(spec_from_json(&Json::parse("{\"alg\":\"nope\"}").unwrap()).is_err());
+        assert!(spec_from_json(&Json::parse("{\"alg\":\"hybrid\"}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn plans_round_trip_bit_identically() {
+        let original = plan();
+        let text = original.to_json().to_string();
+        let decoded = SweepPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.seeds_per_cell, original.seeds_per_cell);
+        assert_eq!(decoded.base_seed, original.base_seed);
+        assert_eq!(decoded.configs, original.configs);
+        // Families compare by behaviour: the decoded plan must produce
+        // the exact report of the original.
+        assert_eq!(decoded.run_with_jobs(1), original.run_with_jobs(1));
+    }
+
+    #[test]
+    fn closure_families_have_no_wire_form() {
+        let custom = AdversaryFamily::new("custom", |_| Box::new(sg_sim::NoFaults));
+        assert_eq!(custom.to_json(), Json::Null);
+        assert!(AdversaryFamily::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn cell_reports_round_trip() {
+        let report = plan().run_with_jobs(2);
+        for cell in &report.cells {
+            let text = cell.to_json().to_string();
+            let back = CellReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, cell, "through {text}");
+        }
+    }
+
+    #[test]
+    fn summaries_survive_float_round_trip() {
+        let summary = Summary::of([3, 1, 4, 1, 5, 9, 2, 6]);
+        let text = summary.to_json().to_string();
+        let back = Summary::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "{}",
+            "{\"configs\":[],\"adversaries\":3,\"seeds_per_cell\":1,\"base_seed\":0}",
+            "{\"configs\":[{\"spec\":{\"alg\":\"hybrid\",\"b\":3},\"n\":10,\"t\":3,\
+             \"source_value\":99999,\"trace\":true}],\"adversaries\":[],\
+             \"seeds_per_cell\":1,\"base_seed\":0}",
+        ] {
+            assert!(
+                SweepPlan::from_json(&Json::parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+}

@@ -13,7 +13,14 @@
 //!                          #   plans|sweep
 //! repro --exp sweep        # the benchmark sweep: phase-king n=16 t=5
 //!                          # Monte-Carlo, timed, machine-readable trajectory
-//!                          # in BENCH_sweep.json (schema sg-bench-sweep/2)
+//!                          # in BENCH_sweep.json (schema sg-bench-sweep/3)
+//! repro --exp sweep --via-server
+//!                          # same grid, but submitted to an in-process
+//!                          # sg-serve daemon over localhost TCP — the
+//!                          # fingerprint must match the batch path
+//! repro --exp sweep --expect-fingerprint <hex>
+//!                          # exit non-zero unless the sweep reproduces
+//!                          # the given report fingerprint
 //! ```
 
 use std::env;
@@ -128,26 +135,47 @@ fn rusage_max_rss_kb() -> u64 {
     0
 }
 
-/// Order-sensitive FNV-1a fingerprint of every sample in the report, so
-/// bit-identity across `--jobs` settings can be checked from the JSON
-/// alone.
-fn report_fingerprint(report: &SweepReport) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    for cell in &report.cells {
-        for s in &cell.samples {
-            mix(s.lock_in);
-            mix(s.discoveries);
-            mix(s.total_bits);
-            mix(s.max_local_ops);
+/// How `--exp sweep` executes the benchmark grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Transport {
+    /// `SweepPlan::run` in this process (the default).
+    Batch,
+    /// Submitted to an in-process `sg-serve` daemon over localhost TCP
+    /// and reassembled from the streamed cell frames (`--via-server`) —
+    /// exercising the full service path: wire encoding, scheduling,
+    /// streaming, fingerprinting.
+    Server,
+}
+
+impl Transport {
+    fn as_str(self) -> &'static str {
+        match self {
+            Transport::Batch => "batch",
+            Transport::Server => "server",
         }
     }
-    h
+}
+
+/// Runs `plan` through an ephemeral in-process daemon and returns the
+/// reassembled report (bit-identical to the batch path by the serving
+/// layer's determinism contract).
+fn run_via_server(plan: &SweepPlan, jobs: usize) -> SweepReport {
+    let handle = sg_serve::serve(
+        &sg_serve::Bind::Tcp("127.0.0.1:0".to_string()),
+        sg_serve::ServeOptions {
+            workers: jobs,
+            ..Default::default()
+        },
+    )
+    .expect("bind in-process sg-serve daemon");
+    let addr = handle.tcp_addr().expect("tcp addr").to_string();
+    let mut client = sg_serve::Client::connect(&addr, std::time::Duration::from_secs(10))
+        .expect("connect to in-process daemon");
+    let streamed = client
+        .submit_and_collect(plan)
+        .unwrap_or_else(|e| panic!("server-path sweep failed: {e}"));
+    handle.shutdown();
+    streamed.report
 }
 
 /// Per-run allocation count of a steady-state sequential pass over
@@ -167,8 +195,9 @@ fn allocs_per_run_json(_plan: &SweepPlan) -> String {
 }
 
 /// The benchmark sweep behind `--exp sweep` and `BENCH_sweep.json`: the
-/// phase-king n=16, t=5 Monte-Carlo grid under seeded random liars.
-fn experiment_sweep(scale: Scale, jobs: usize) {
+/// phase-king n=16, t=5 Monte-Carlo grid under seeded random liars,
+/// executed in-process or through the service path (`--via-server`).
+fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Option<u64>) {
     let (n, t) = (16, 5);
     let seeds: u64 = match scale {
         Scale::Quick => 100,
@@ -182,13 +211,18 @@ fn experiment_sweep(scale: Scale, jobs: usize) {
         seeds,
     );
     let started = Instant::now();
-    let report = plan.run_with_jobs(jobs);
+    let report = match transport {
+        Transport::Batch => plan.run_with_jobs(jobs),
+        Transport::Server => run_via_server(&plan, jobs),
+    };
     let wall = started.elapsed();
     let runs_per_sec = report.total_runs as f64 / wall.as_secs_f64().max(1e-9);
+    let fingerprint = report.fingerprint();
 
     print!("{}", report.render());
     println!(
-        "BENCH-SWEEP — optimal-king n={n} t={t}: {} runs in {:.1} ms on {jobs} worker(s) — {:.0} runs/sec",
+        "BENCH-SWEEP — optimal-king n={n} t={t} via {}: {} runs in {:.1} ms on {jobs} worker(s) — {:.0} runs/sec",
+        transport.as_str(),
         report.total_runs,
         wall.as_secs_f64() * 1e3,
         runs_per_sec,
@@ -197,22 +231,32 @@ fn experiment_sweep(scale: Scale, jobs: usize) {
     let instance_pool = sg_sim::instance_pooling_enabled();
     let allocs_per_run = allocs_per_run_json(&plan);
     let json = format!(
-        "{{\n  \"schema\": \"sg-bench-sweep/2\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
+        "{{\n  \"schema\": \"sg-bench-sweep/3\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
          \"spec\": \"optimal-king\",\n  \"n\": {n},\n  \"t\": {t},\n  \
          \"adversary\": \"random-liar\",\n  \"runs\": {},\n  \"jobs\": {jobs},\n  \
-         \"instance_pool\": {instance_pool},\n  \
+         \"instance_pool\": {instance_pool},\n  \"transport\": \"{}\",\n  \
          \"wall_ms\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"peak_rss_kb\": {},\n  \
          \"allocs_per_run\": {allocs_per_run},\n  \
-         \"report_fingerprint\": \"{:016x}\"\n}}\n",
+         \"report_fingerprint\": \"{fingerprint:016x}\"\n}}\n",
         report.total_runs,
+        transport.as_str(),
         wall.as_secs_f64() * 1e3,
         runs_per_sec,
         peak_rss_kb(),
-        report_fingerprint(&report),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => println!("wrote BENCH_sweep.json"),
         Err(e) => eprintln!("cannot write BENCH_sweep.json: {e}"),
+    }
+
+    if let Some(expected) = expect {
+        match sg_analysis::Fingerprint::cross_check(expected, fingerprint) {
+            Ok(line) => println!("{line}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -238,6 +282,24 @@ fn main() {
     if args.iter().any(|a| a == "--no-instance-pool") {
         sg_sim::set_instance_pooling(false);
     }
+    let transport = if args.iter().any(|a| a == "--via-server") {
+        Transport::Server
+    } else {
+        Transport::Batch
+    };
+    let expect: Option<u64> = args
+        .iter()
+        .position(|a| a == "--expect-fingerprint")
+        .map(|i| {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--expect-fingerprint expects a 16-digit hex fingerprint");
+                std::process::exit(2);
+            };
+            sg_analysis::Fingerprint::parse_hex(v).unwrap_or_else(|| {
+                eprintln!("--expect-fingerprint expects a 16-digit hex fingerprint, got '{v}'");
+                std::process::exit(2);
+            })
+        });
     sg_analysis::set_jobs(jobs);
     let effective_jobs = sg_analysis::sweep::jobs();
     let which: Option<String> = args
@@ -269,7 +331,7 @@ fn main() {
         "early-stopping" => print(experiment_early_stopping(scale)),
         "king" => print(experiment_king(scale)),
         "compose" => print(experiment_compositions(scale)),
-        "sweep" => experiment_sweep(scale, effective_jobs),
+        "sweep" => experiment_sweep(scale, effective_jobs, transport, expect),
         "plans" => {
             if markdown {
                 println!("### EXP-F2/F3 — executable round plans (Figures 2 and 3)\n");

@@ -68,6 +68,6 @@ pub use multivalued::{multivalued_broadcast, run_multivalued};
 pub use optimal_king::{KingCore, OptimalKing, PhaseStep};
 pub use params::{isqrt, t_a, t_b, t_c, Params};
 pub use plan::{render_plan, RoundAction};
-pub use runner::execute;
+pub use runner::{execute, execute_in};
 pub use schedule::{choose_b, BChoice, HybridSchedule};
 pub use spec::{AlgorithmSpec, SpecError};

@@ -1,6 +1,6 @@
 //! Convenience entry point: validate, build, and run one execution.
 
-use sg_sim::{Adversary, Outcome, RunConfig};
+use sg_sim::{Adversary, Outcome, RunArena, RunConfig};
 
 use crate::spec::{AlgorithmSpec, SpecError};
 
@@ -41,6 +41,37 @@ pub fn execute(
     // `sg_sim::set_instance_pooling(false)` restores fresh instances.
     let key = spec.pool_key(&config);
     Ok(sg_sim::run_pooled(
+        &config,
+        adversary,
+        key,
+        spec.factory(&config),
+    ))
+}
+
+/// [`execute`] with caller-owned buffers: arena *and* keyed instance pool
+/// live in `arena`, so a long-lived worker (the `sg-serve` daemon's pool,
+/// the sweep engine's cell cursors) that loops over executions performs
+/// no steady-state allocations and keeps its protocol instances warm
+/// across runs — and across *requests*. Bit-identical to [`execute`]
+/// (`tests/instance_pool.rs` pins pooled/fresh identity).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the algorithm cannot run at `(n, t)`.
+pub fn execute_in(
+    arena: &mut RunArena,
+    spec: AlgorithmSpec,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+) -> Result<Outcome, SpecError> {
+    spec.validate(config.n, config.t)?;
+    let mut config = *config;
+    if spec.needs_authentication() {
+        config = config.with_authentication();
+    }
+    let key = spec.pool_key(&config);
+    Ok(sg_sim::run_pooled_in(
+        arena,
         &config,
         adversary,
         key,

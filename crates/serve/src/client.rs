@@ -1,0 +1,358 @@
+//! Client side of `sg-serve/1`: connect, submit, stream, reassemble.
+//!
+//! [`Client::submit_and_collect`] is the whole round trip: it submits a
+//! [`SweepPlan`], folds the streamed cell frames back into a
+//! [`SweepReport`] (bit-identical to what `SweepPlan::run` would have
+//! produced locally — the wire encoding round-trips exactly), and
+//! cross-checks the server's summary fingerprint against one recomputed
+//! from the received cells, so wire corruption or a misbehaving server
+//! cannot go unnoticed.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use serde::json::Value as Json;
+use serde::{FromJson, ToJson};
+use sg_analysis::{CellReport, Fingerprint, SweepPlan, SweepReport};
+
+use crate::wire::{ErrorCode, Frame, Request};
+
+/// Anything that can go wrong talking to a daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+    /// The server answered with an `error` frame.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The job was cancelled before completing.
+    Cancelled {
+        /// The cancelled job.
+        job: u64,
+        /// Cell frames received before the cancellation.
+        cells_streamed: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            ServeError::Server { code, detail } => {
+                write!(f, "server error [{}]: {detail}", code.as_str())
+            }
+            ServeError::Cancelled {
+                job,
+                cells_streamed,
+            } => write!(f, "job {job} cancelled after {cells_streamed} cell(s)"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ClientStream {
+    fn reader(&self) -> io::Result<Box<dyn io::Read + Send>> {
+        Ok(match self {
+            ClientStream::Tcp(s) => Box::new(s.try_clone()?),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => Box::new(s.try_clone()?),
+        })
+    }
+
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            ClientStream::Tcp(s) => s,
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s,
+        }
+    }
+}
+
+/// An accepted submission, returned by [`Client::submit`].
+#[derive(Clone, Copy, Debug)]
+pub struct JobHandle {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Cells the job will stream.
+    pub cells: usize,
+    /// Executions the job will perform.
+    pub total_runs: u64,
+}
+
+/// A completed submission, reassembled client-side.
+#[derive(Debug)]
+pub struct StreamedReport {
+    /// The job that produced it.
+    pub job: u64,
+    /// The reassembled report — bit-comparable to `SweepPlan::run`.
+    pub report: SweepReport,
+    /// The fingerprint both sides agreed on.
+    pub fingerprint: u64,
+    /// Server-measured wall time (accept → last cell), milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One connection to a daemon.
+pub struct Client {
+    lines: BufReader<Box<dyn io::Read + Send>>,
+    stream: ClientStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port` or `unix:/path`), retrying until
+    /// `timeout` elapses — which doubles as the wait-for-daemon-startup
+    /// loop in scripts and CI.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once the deadline passes.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let attempt = Self::connect_once(addr);
+            match attempt {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn connect_once(addr: &str) -> io::Result<Client> {
+        #[cfg(unix)]
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let stream = UnixStream::connect(path)?;
+            let stream = ClientStream::Unix(stream);
+            return Ok(Client {
+                lines: BufReader::new(stream.reader()?),
+                stream,
+            });
+        }
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let stream = ClientStream::Tcp(stream);
+        Ok(Client {
+            lines: BufReader::new(stream.reader()?),
+            stream,
+        })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection is gone.
+    pub fn send(&mut self, request: &Request) -> Result<(), ServeError> {
+        let writer = self.stream.writer();
+        writeln!(writer, "{}", request.to_json())?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on EOF and [`ServeError::Protocol`] on
+    /// an unparseable line.
+    pub fn next_frame(&mut self) -> Result<Frame, ServeError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.lines.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let doc = Json::parse(text)
+                .map_err(|e| ServeError::Protocol(format!("unparseable frame: {e}")))?;
+            return Frame::from_json(&doc)
+                .map_err(|e| ServeError::Protocol(format!("unexpected frame: {e}")));
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the daemon is unreachable or answers anything but pong.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Ping)?;
+        match self.next_frame()? {
+            Frame::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to exit.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the daemon is unreachable or does not acknowledge.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Shutdown)?;
+        match self.next_frame()? {
+            Frame::Bye => Ok(()),
+            other => Err(ServeError::Protocol(format!("expected bye, got {other:?}"))),
+        }
+    }
+
+    /// Submits `plan` and waits for the accept frame.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the server's `rejected` frame as [`ServeError::Server`].
+    pub fn submit(&mut self, plan: &SweepPlan) -> Result<JobHandle, ServeError> {
+        self.send(&Request::Submit { plan: plan.clone() })?;
+        match self.next_frame()? {
+            Frame::Accepted {
+                job,
+                cells,
+                total_runs,
+            } => Ok(JobHandle {
+                job,
+                cells,
+                total_runs,
+            }),
+            Frame::Error { code, detail, .. } => Err(ServeError::Server { code, detail }),
+            other => Err(ServeError::Protocol(format!(
+                "expected accepted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests cancellation of `job` (the stream will end with a
+    /// `cancelled` frame, surfaced by [`Client::collect`] as
+    /// [`ServeError::Cancelled`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection is gone.
+    pub fn cancel(&mut self, job: u64) -> Result<(), ServeError> {
+        self.send(&Request::Cancel { job })
+    }
+
+    /// Drains `handle`'s stream to its terminal frame, invoking
+    /// `on_cell` per cell (in grid order) and returning the reassembled
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Cancelled`] if the job was cancelled,
+    /// [`ServeError::Server`] if it failed, and
+    /// [`ServeError::Protocol`] on out-of-order cells, count mismatches,
+    /// or a summary fingerprint that does not match the received cells.
+    pub fn collect(
+        &mut self,
+        handle: JobHandle,
+        mut on_cell: impl FnMut(usize, &CellReport),
+    ) -> Result<StreamedReport, ServeError> {
+        let mut cells: Vec<CellReport> = Vec::with_capacity(handle.cells);
+        let mut fingerprint = Fingerprint::new();
+        loop {
+            match self.next_frame()? {
+                Frame::Cell { job, index, cell } if job == handle.job => {
+                    if index != cells.len() {
+                        return Err(ServeError::Protocol(format!(
+                            "cell {index} arrived out of order (expected {})",
+                            cells.len()
+                        )));
+                    }
+                    fingerprint.mix_cell(&cell);
+                    on_cell(index, &cell);
+                    cells.push(*cell);
+                }
+                Frame::Summary {
+                    job,
+                    cells: cell_count,
+                    total_runs,
+                    report_fingerprint,
+                    wall_ms,
+                } if job == handle.job => {
+                    if cell_count != cells.len() || cell_count != handle.cells {
+                        return Err(ServeError::Protocol(format!(
+                            "summary says {cell_count} cells, streamed {}",
+                            cells.len()
+                        )));
+                    }
+                    if report_fingerprint != fingerprint.hex() {
+                        return Err(ServeError::Protocol(format!(
+                            "fingerprint mismatch: server {report_fingerprint}, \
+                             recomputed {} from the streamed cells",
+                            fingerprint.hex()
+                        )));
+                    }
+                    return Ok(StreamedReport {
+                        job,
+                        report: SweepReport { total_runs, cells },
+                        fingerprint: fingerprint.value(),
+                        wall_ms,
+                    });
+                }
+                Frame::Cancelled {
+                    job,
+                    cells_streamed,
+                } if job == handle.job => {
+                    return Err(ServeError::Cancelled {
+                        job,
+                        cells_streamed,
+                    })
+                }
+                Frame::Error { code, detail, job } if job == Some(handle.job) => {
+                    return Err(ServeError::Server { code, detail })
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected frame while streaming job {}: {other:?}",
+                        handle.job
+                    )))
+                }
+            }
+        }
+    }
+
+    /// [`Client::submit`] + [`Client::collect`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`] and [`Client::collect`].
+    pub fn submit_and_collect(&mut self, plan: &SweepPlan) -> Result<StreamedReport, ServeError> {
+        let handle = self.submit(plan)?;
+        self.collect(handle, |_, _| {})
+    }
+}

@@ -1,0 +1,46 @@
+//! # sg-serve — the sweep service
+//!
+//! The reproduction's serving layer: a long-lived daemon that accepts
+//! sweep grids ([`sg_analysis::SweepPlan`]) over newline-delimited JSON
+//! — localhost TCP or a unix-domain socket — schedules them on a
+//! persistent worker pool, and streams [`sg_analysis::CellReport`]s
+//! back as cells complete, ending each job with a summary frame whose
+//! `report_fingerprint` is **bit-identical** to what `SweepPlan::run`
+//! produces for the same grid (the determinism contract CI's
+//! `serve-e2e` job enforces).
+//!
+//! What makes this a service rather than a loop around the batch path:
+//!
+//! * **Warm pools across requests.** Each worker thread owns one
+//!   [`sg_sim::RunArena`] for its entire life, so protocol instances and
+//!   execution buffers recycled by PR 2's pooled executor stay warm from
+//!   one request to the next.
+//! * **Fair interleaving.** Jobs are scheduled round-robin at cell
+//!   granularity; two concurrent grids make progress together, and each
+//!   still yields exactly its solo results (coordinate-pure seeding).
+//! * **Cancellation.** A `cancel` line stops a running grid within one
+//!   scheduling quantum, mid-cell included.
+//! * **Fault isolation.** Malformed frames get structured `error`
+//!   answers; a worker panic fails one job, not the daemon.
+//!
+//! Quickstart (see `examples/sweep_service.rs` for the library-level
+//! version):
+//!
+//! ```text
+//! sg serve --port 7411 &
+//! sg ping   --addr 127.0.0.1:7411
+//! sg submit --addr 127.0.0.1:7411 --alg optimal-king --n 16 --t 5 --seeds 100
+//! ```
+//!
+//! The wire protocol is specified in [`wire`] and summarized in
+//! ROADMAP.md's conventions.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, JobHandle, ServeError, StreamedReport};
+pub use server::{serve, Bind, ServeOptions, ServerHandle};
+pub use wire::{ErrorCode, Frame, Request, PROTOCOL};

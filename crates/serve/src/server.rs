@@ -1,0 +1,803 @@
+//! The daemon: listener, connection handlers, and the persistent worker
+//! pool.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loop ──► connection thread (one per client)
+//!                   │  reader thread: NDJSON lines → requests
+//!                   │  writer: frames, cells reordered into grid order
+//!                   ▼
+//!                scheduler: round-robin queue of active jobs
+//!                   ▲
+//! worker pool ──────┘  N threads, each owning ONE RunArena for life
+//! ```
+//!
+//! Work is scheduled at **cell granularity**: a worker pops the front
+//! job, claims its next unclaimed cell, requeues the job at the back (so
+//! concurrent jobs interleave fairly), and executes the cell through the
+//! sweep engine's [`sg_analysis::CellCursor`] in its own long-lived
+//! [`RunArena`] —
+//! the same arena across cells, jobs, *and requests*, which is what
+//! keeps protocol-instance pools warm daemon-wide. Cancellation is
+//! checked between cursor batches ([`ServeOptions::quantum`] runs), so a
+//! cancel lands within a few milliseconds even mid-cell.
+//!
+//! # Determinism
+//!
+//! Cell execution order is scheduling-dependent; cell *content* is not:
+//! the sweep engine's coordinate-pure seeding means every run's seed
+//! depends only on its grid position, and the pooled executor is pinned
+//! bit-identical to the fresh one. Connection handlers re-order
+//! completed cells into grid order before streaming, and fold the
+//! summary fingerprint in that order — so the summary frame's
+//! `report_fingerprint` is bit-identical to `SweepPlan::run` on the same
+//! grid, whatever the daemon had running concurrently.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use serde::json::Value as Json;
+use serde::{FromJson, ToJson};
+use sg_analysis::{CellReport, Fingerprint, SweepPlan};
+use sg_sim::RunArena;
+
+use crate::wire::{ErrorCode, Frame, Request};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// A TCP socket address, e.g. `127.0.0.1:7411` (`:0` picks a free
+    /// port — read it back from [`ServerHandle::tcp_addr`]).
+    Tcp(String),
+    /// A unix-domain socket path (removed and re-created on bind).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Bind {
+    /// Parses a CLI/bench address: `unix:/path` or `host:port`.
+    pub fn parse(addr: &str) -> Bind {
+        #[cfg(unix)]
+        if let Some(path) = addr.strip_prefix("unix:") {
+            return Bind::Unix(PathBuf::from(path));
+        }
+        Bind::Tcp(addr.to_string())
+    }
+}
+
+/// Daemon tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker threads (0 = one per hardware thread).
+    pub workers: usize,
+    /// Runs executed between cancellation checks inside one cell.
+    pub quantum: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            quantum: 64,
+        }
+    }
+}
+
+/// What a worker reports back to the owning connection, always sent
+/// under the job-core lock so terminal events are unique and ordered.
+enum JobEvent {
+    /// A completed cell (grid index attached); `last` marks the job's
+    /// final cell.
+    Cell {
+        index: usize,
+        cell: Box<CellReport>,
+        last: bool,
+    },
+    /// Terminal: the job was cancelled and no further frames will come.
+    Cancelled,
+    /// Terminal: a worker panicked executing this job.
+    Failed { detail: String },
+}
+
+/// Everything a connection thread can be woken by.
+enum ConnEvent {
+    /// A parsed request line (or the decode error to report).
+    Request(Result<Request, (ErrorCode, String)>),
+    /// The client closed or broke the connection.
+    Gone,
+    /// Progress on a job submitted by this connection.
+    Job(u64, JobEvent),
+}
+
+/// Mutable per-job scheduling state; one lock per job.
+struct JobCore {
+    /// Next unclaimed flat cell index.
+    next_cell: usize,
+    /// Cells currently executing on workers.
+    outstanding: usize,
+    /// Cells fully executed and reported.
+    done: usize,
+    /// Set by cancel (or worker panic); stops claiming and aborts runs.
+    cancelled: bool,
+    /// Whether a terminal event (`last` cell, `Cancelled`, `Failed`)
+    /// has been emitted — exactly one ever is.
+    terminal_sent: bool,
+}
+
+/// One submitted grid, shared between the scheduler, workers, and the
+/// owning connection.
+struct Job {
+    id: u64,
+    plan: SweepPlan,
+    /// Lock-free fast path for the in-cell cancellation check.
+    cancel: AtomicBool,
+    core: Mutex<JobCore>,
+    events: Sender<ConnEvent>,
+}
+
+impl Job {
+    fn cell_count(&self) -> usize {
+        self.plan.cell_count()
+    }
+
+    /// Marks the job cancelled; emits the terminal event immediately if
+    /// no worker is mid-cell (otherwise the last such worker does).
+    fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        let mut core = self.core.lock().expect("job core");
+        core.cancelled = true;
+        if core.outstanding == 0 && !core.terminal_sent {
+            core.terminal_sent = true;
+            let _ = self
+                .events
+                .send(ConnEvent::Job(self.id, JobEvent::Cancelled));
+        }
+    }
+}
+
+/// Scheduler + lifecycle state shared by every thread of one daemon.
+struct Shared {
+    /// Round-robin queue of jobs with unclaimed cells.
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Signals workers that the queue changed (or the daemon stops).
+    available: Condvar,
+    /// Daemon-wide stop flag.
+    stop: AtomicBool,
+    /// Monotonic job-id source.
+    next_job: AtomicU64,
+    /// Monotonic connection-id source (keys the registry below).
+    next_conn: AtomicU64,
+    /// Event senders of live connections, so [`Shared::begin_stop`] can
+    /// wake every connection loop — a client mid-stream would otherwise
+    /// block in `recv()` forever when some other client shuts the
+    /// daemon down.
+    conns: Mutex<HashMap<u64, Sender<ConnEvent>>>,
+    /// Unblocks the accept loop once `stop` is up (self-connect).
+    poke: Arc<dyn Fn() + Send + Sync>,
+    options: ServeOptions,
+}
+
+impl Shared {
+    /// Enqueues a job for the worker pool.
+    fn enqueue(&self, job: Arc<Job>) {
+        self.queue.lock().expect("job queue").push_back(job);
+        self.available.notify_all();
+    }
+
+    /// Blocks until a job is available (or the daemon stops).
+    fn next(&self) -> Option<Arc<Job>> {
+        let mut queue = self.queue.lock().expect("job queue");
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            queue = self.available.wait(queue).expect("job queue");
+        }
+    }
+
+    /// Stops the daemon: raises the flag, wakes idle workers, unblocks
+    /// the accept loop, and tells every live connection to wind down
+    /// (cancelling its jobs and closing its socket, so streaming
+    /// clients see EOF rather than a hang).
+    fn begin_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        (self.poke)();
+        for tx in self.conns.lock().expect("conn registry").values() {
+            let _ = tx.send(ConnEvent::Gone);
+        }
+    }
+}
+
+/// A byte stream the daemon can serve — TCP or unix-domain.
+trait Conn: io::Read + io::Write + Send {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// Shuts the underlying connection down for real (both directions,
+    /// all clones) — closing one dup'd handle alone would not send the
+    /// peer an EOF while the reader thread still holds another.
+    fn shutdown_conn(&self);
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true).ok();
+                Ok(Box::new(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+
+    /// A closure that connects to this listener's address, used to
+    /// unblock a blocking `accept` once the stop flag is up. Captures
+    /// the *address*, never the listener itself: the accept thread must
+    /// stay the socket's only owner, so the socket actually closes (and
+    /// late clients get refused instead of parking in the backlog
+    /// forever) the moment that thread exits.
+    fn poke_fn(&self) -> Arc<dyn Fn() + Send + Sync> {
+        match self {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(addr) => Arc::new(move || {
+                    let _ = TcpStream::connect(addr);
+                }),
+                Err(_) => Arc::new(|| {}),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let path = l
+                    .local_addr()
+                    .ok()
+                    .and_then(|addr| addr.as_pathname().map(PathBuf::from));
+                Arc::new(move || {
+                    if let Some(path) = &path {
+                        let _ = UnixStream::connect(path);
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// A running daemon, returned by [`serve`].
+pub struct ServerHandle {
+    tcp_addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (for `Bind::Tcp`; `None` on unix sockets).
+    /// Binding `:0` and reading the address back is how tests get an
+    /// ephemeral port.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Stops the daemon: accept loop, workers, everything. Jobs still
+    /// streaming are abandoned (their clients see the connection close).
+    pub fn shutdown(mut self) {
+        self.stop_all();
+    }
+
+    /// Blocks until the daemon stops — i.e. until some client sends the
+    /// `shutdown` op (or the process is signalled). This is `sg serve`'s
+    /// foreground mode.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stop_all();
+    }
+
+    fn stop_all(&mut self) {
+        self.shared.begin_stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_all();
+    }
+}
+
+/// Binds and starts a daemon; returns once it is accepting connections.
+///
+/// # Errors
+///
+/// Returns the bind/listen error verbatim (address in use, bad unix
+/// path, …).
+pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
+    let listener = match bind {
+        Bind::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr.as_str())?),
+        #[cfg(unix)]
+        Bind::Unix(path) => {
+            // A stale socket file from a previous daemon blocks bind.
+            let _ = std::fs::remove_file(path);
+            Listener::Unix(UnixListener::bind(path)?)
+        }
+    };
+    let tcp_addr = match &listener {
+        Listener::Tcp(l) => Some(l.local_addr()?),
+        #[cfg(unix)]
+        Listener::Unix(_) => None,
+    };
+    let workers = match options.workers {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        w => w,
+    };
+    let poke = listener.poke_fn();
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stop: AtomicBool::new(false),
+        next_job: AtomicU64::new(1),
+        next_conn: AtomicU64::new(1),
+        conns: Mutex::new(HashMap::new()),
+        poke,
+        options,
+    });
+
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("sg-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("sg-serve-accept".to_string())
+        .spawn(move || {
+            while !accept_shared.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok(conn) => {
+                        if accept_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let shared = Arc::clone(&accept_shared);
+                        let _ = std::thread::Builder::new()
+                            .name("sg-serve-conn".to_string())
+                            .spawn(move || handle_connection(conn, &shared));
+                    }
+                    Err(_) if accept_shared.stop.load(Ordering::SeqCst) => break,
+                    Err(_) => continue,
+                }
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        tcp_addr,
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+/// One worker: a long-lived arena and an endless claim-execute loop.
+fn worker_loop(shared: &Shared) {
+    let mut arena = RunArena::new();
+    while let Some(job) = shared.next() {
+        // Claim the job's next cell; requeue the job first so siblings
+        // can claim its other cells (and other jobs stay interleaved).
+        let claimed = {
+            let mut core = job.core.lock().expect("job core");
+            if core.cancelled || core.next_cell >= job.cell_count() {
+                None
+            } else {
+                let index = core.next_cell;
+                core.next_cell += 1;
+                core.outstanding += 1;
+                Some((index, core.next_cell < job.cell_count()))
+            }
+        };
+        let Some((index, more)) = claimed else {
+            continue;
+        };
+        if more {
+            shared.enqueue(Arc::clone(&job));
+        }
+
+        let quantum = shared.options.quantum.max(1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut cursor = job.plan.cell_cursor(index);
+            while !cursor.is_done() {
+                if job.cancel.load(Ordering::Relaxed) {
+                    return None;
+                }
+                cursor.run_batch_in(&mut arena, quantum);
+            }
+            Some(cursor.finish())
+        }));
+
+        match outcome {
+            Ok(Some(cell)) => {
+                let mut core = job.core.lock().expect("job core");
+                core.outstanding -= 1;
+                core.done += 1;
+                if core.cancelled {
+                    // Completed after cancel: drop the cell, and close
+                    // the job if we were the last worker on it.
+                    if core.outstanding == 0 && !core.terminal_sent {
+                        core.terminal_sent = true;
+                        let _ = job.events.send(ConnEvent::Job(job.id, JobEvent::Cancelled));
+                    }
+                } else {
+                    let last = core.done == job.cell_count();
+                    if last {
+                        core.terminal_sent = true;
+                    }
+                    let _ = job.events.send(ConnEvent::Job(
+                        job.id,
+                        JobEvent::Cell {
+                            index,
+                            cell: Box::new(cell),
+                            last,
+                        },
+                    ));
+                }
+            }
+            Ok(None) => {
+                // Aborted by cancellation mid-cell.
+                let mut core = job.core.lock().expect("job core");
+                core.outstanding -= 1;
+                if core.outstanding == 0 && !core.terminal_sent {
+                    core.terminal_sent = true;
+                    let _ = job.events.send(ConnEvent::Job(job.id, JobEvent::Cancelled));
+                }
+            }
+            Err(panic) => {
+                // The arena may hold protocol instances frozen mid-run;
+                // a panicked worker starts over with a cold one.
+                arena = RunArena::new();
+                let detail = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "worker panic".to_string());
+                job.cancel.store(true, Ordering::Relaxed);
+                let mut core = job.core.lock().expect("job core");
+                core.cancelled = true;
+                core.outstanding -= 1;
+                if !core.terminal_sent {
+                    core.terminal_sent = true;
+                    let _ = job
+                        .events
+                        .send(ConnEvent::Job(job.id, JobEvent::Failed { detail }));
+                }
+            }
+        }
+    }
+}
+
+/// Per-job streaming state on the connection side: reorder buffer,
+/// running fingerprint, and frame bookkeeping.
+struct StreamState {
+    job: Arc<Job>,
+    started: Instant,
+    /// Completed cells not yet emittable (a lower index is missing).
+    pending: BTreeMap<usize, Box<CellReport>>,
+    /// Next grid index to emit.
+    next_emit: usize,
+    /// Cell frames written so far.
+    emitted: usize,
+    fingerprint: Fingerprint,
+}
+
+/// Validates a submitted plan before it reaches the worker pool, so
+/// rejections are structured errors instead of worker panics.
+fn validate_plan(plan: &SweepPlan) -> Result<(), String> {
+    if plan.configs.is_empty() || plan.adversaries.is_empty() || plan.seeds_per_cell == 0 {
+        return Err(
+            "empty sweep grid (configs, adversaries, and seeds_per_cell must all be non-empty)"
+                .to_string(),
+        );
+    }
+    for config in &plan.configs {
+        config
+            .spec
+            .validate(config.n, config.t)
+            .map_err(|e| format!("{}: {e}", config.spec.name()))?;
+    }
+    Ok(())
+}
+
+/// Serves one client connection to completion.
+fn handle_connection(conn: Box<dyn Conn>, shared: &Shared) {
+    let Ok(read_half) = conn.try_clone_conn() else {
+        return;
+    };
+    let closer = conn.try_clone_conn().ok();
+    let (tx, rx) = mpsc::channel::<ConnEvent>();
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    shared
+        .conns
+        .lock()
+        .expect("conn registry")
+        .insert(conn_id, tx.clone());
+    let reader_tx = tx.clone();
+    let reader = std::thread::Builder::new()
+        .name("sg-serve-read".to_string())
+        .spawn(move || read_requests(read_half, &reader_tx))
+        .expect("spawn connection reader");
+
+    let mut writer = BufWriter::new(conn);
+    connection_loop(&rx, &tx, &mut writer, shared);
+    shared.conns.lock().expect("conn registry").remove(&conn_id);
+    // Flush whatever the loop last wrote, then shut the socket down for
+    // real: that sends the client EOF (a dropped clone alone would not,
+    // the reader thread still holds one) and unblocks our reader.
+    drop(writer);
+    if let Some(closer) = &closer {
+        closer.shutdown_conn();
+    }
+    let _ = reader.join();
+}
+
+/// Reader half: turns NDJSON lines into [`ConnEvent::Request`]s.
+fn read_requests(conn: Box<dyn Conn>, tx: &Sender<ConnEvent>) {
+    let mut lines = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match lines.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = tx.send(ConnEvent::Gone);
+                return;
+            }
+            Ok(_) => {
+                let text = line.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                let parsed = match Json::parse(text) {
+                    Err(e) => Err((ErrorCode::BadJson, e.to_string())),
+                    Ok(doc) => Request::from_json(&doc).map_err(|e| {
+                        if e.detail.contains("unsupported protocol") {
+                            (ErrorCode::UnsupportedProto, e.to_string())
+                        } else {
+                            (ErrorCode::BadRequest, e.to_string())
+                        }
+                    }),
+                };
+                if tx.send(ConnEvent::Request(parsed)).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn write_frame(writer: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    writeln!(writer, "{}", frame.to_json())?;
+    writer.flush()
+}
+
+/// The connection's event loop: requests in, frames out. However the
+/// loop ends (client EOF, write error, shutdown), every job the
+/// connection still owns is cancelled so workers stop burning time for
+/// a client that left.
+fn connection_loop(
+    rx: &Receiver<ConnEvent>,
+    tx: &Sender<ConnEvent>,
+    writer: &mut impl Write,
+    shared: &Shared,
+) {
+    let mut streams: HashMap<u64, StreamState> = HashMap::new();
+    let _ = connection_events(rx, tx, writer, shared, &mut streams);
+    for state in streams.values() {
+        state.job.cancel();
+    }
+}
+
+/// The fallible inner loop of [`connection_loop`]; a write error
+/// propagates out (the client is gone) and the caller cleans up.
+fn connection_events(
+    rx: &Receiver<ConnEvent>,
+    tx: &Sender<ConnEvent>,
+    writer: &mut impl Write,
+    shared: &Shared,
+    streams: &mut HashMap<u64, StreamState>,
+) -> io::Result<()> {
+    // A shutdown raced this connection's registration: wind down now
+    // rather than waiting for an event that may never come.
+    if shared.stop.load(Ordering::SeqCst) {
+        return Ok(());
+    }
+    while let Ok(event) = rx.recv() {
+        match event {
+            ConnEvent::Request(Ok(Request::Ping)) => write_frame(writer, &Frame::Pong)?,
+            ConnEvent::Request(Ok(Request::Shutdown)) => {
+                write_frame(writer, &Frame::Bye)?;
+                shared.begin_stop();
+                break;
+            }
+            ConnEvent::Request(Ok(Request::Submit { plan })) => {
+                if let Err(detail) = validate_plan(&plan) {
+                    write_frame(
+                        writer,
+                        &Frame::Error {
+                            code: ErrorCode::Rejected,
+                            detail,
+                            job: None,
+                        },
+                    )?;
+                    continue;
+                }
+                let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+                let cells = plan.cell_count();
+                let total_runs = plan.total_runs();
+                let job = Arc::new(Job {
+                    id,
+                    plan,
+                    cancel: AtomicBool::new(false),
+                    core: Mutex::new(JobCore {
+                        next_cell: 0,
+                        outstanding: 0,
+                        done: 0,
+                        cancelled: false,
+                        terminal_sent: false,
+                    }),
+                    events: tx.clone(),
+                });
+                write_frame(
+                    writer,
+                    &Frame::Accepted {
+                        job: id,
+                        cells,
+                        total_runs,
+                    },
+                )?;
+                streams.insert(
+                    id,
+                    StreamState {
+                        job: Arc::clone(&job),
+                        started: Instant::now(),
+                        pending: BTreeMap::new(),
+                        next_emit: 0,
+                        emitted: 0,
+                        fingerprint: Fingerprint::new(),
+                    },
+                );
+                shared.enqueue(job);
+            }
+            ConnEvent::Request(Ok(Request::Cancel { job })) => match streams.get(&job) {
+                Some(state) => state.job.cancel(),
+                None => write_frame(
+                    writer,
+                    &Frame::Error {
+                        code: ErrorCode::UnknownJob,
+                        detail: format!("no active job {job} on this connection"),
+                        job: Some(job),
+                    },
+                )?,
+            },
+            ConnEvent::Request(Err((code, detail))) => write_frame(
+                writer,
+                &Frame::Error {
+                    code,
+                    detail,
+                    job: None,
+                },
+            )?,
+            ConnEvent::Gone => break,
+            ConnEvent::Job(id, event) => {
+                let Some(state) = streams.get_mut(&id) else {
+                    continue; // stray event after the job's terminal frame
+                };
+                match event {
+                    JobEvent::Cell { index, cell, last } => {
+                        state.pending.insert(index, cell);
+                        while let Some(cell) = state.pending.remove(&state.next_emit) {
+                            state.fingerprint.mix_cell(&cell);
+                            let index = state.next_emit;
+                            state.next_emit += 1;
+                            state.emitted += 1;
+                            write_frame(
+                                writer,
+                                &Frame::Cell {
+                                    job: id,
+                                    index,
+                                    cell,
+                                },
+                            )?;
+                        }
+                        if last {
+                            debug_assert!(state.pending.is_empty());
+                            let summary = Frame::Summary {
+                                job: id,
+                                cells: state.emitted,
+                                total_runs: state.job.plan.total_runs(),
+                                report_fingerprint: state.fingerprint.hex(),
+                                wall_ms: state.started.elapsed().as_secs_f64() * 1e3,
+                            };
+                            write_frame(writer, &summary)?;
+                            streams.remove(&id);
+                        }
+                    }
+                    JobEvent::Cancelled => {
+                        let cells_streamed = state.emitted;
+                        write_frame(
+                            writer,
+                            &Frame::Cancelled {
+                                job: id,
+                                cells_streamed,
+                            },
+                        )?;
+                        streams.remove(&id);
+                    }
+                    JobEvent::Failed { detail } => {
+                        write_frame(
+                            writer,
+                            &Frame::Error {
+                                code: ErrorCode::JobFailed,
+                                detail,
+                                job: Some(id),
+                            },
+                        )?;
+                        streams.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! End-to-end determinism: grids submitted through a live daemon must
+//! reproduce the batch path bit for bit.
+
+use std::time::Duration;
+
+use sg_adversary::FaultSelection;
+use sg_analysis::{AdversaryFamily, SweepConfig, SweepPlan};
+use sg_core::AlgorithmSpec;
+use sg_serve::{serve, Bind, Client, ServeOptions};
+
+fn quick_plan() -> SweepPlan {
+    SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::no_faults(),
+        ],
+        10,
+    )
+}
+
+fn start(workers: usize) -> (sg_serve::ServerHandle, String) {
+    let handle = serve(
+        &Bind::Tcp("127.0.0.1:0".to_string()),
+        ServeOptions {
+            workers,
+            quantum: 4,
+        },
+    )
+    .expect("bind daemon");
+    let addr = handle.tcp_addr().expect("tcp addr").to_string();
+    (handle, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr, Duration::from_secs(10)).expect("connect")
+}
+
+#[test]
+fn streamed_report_is_bit_identical_to_batch() {
+    let plan = quick_plan();
+    let batch = plan.run_with_jobs(2);
+
+    let (handle, addr) = start(2);
+    let mut client = connect(&addr);
+    let mut seen = Vec::new();
+    let job = client.submit(&plan).expect("submit");
+    assert_eq!(job.cells, plan.cell_count());
+    assert_eq!(job.total_runs, plan.total_runs());
+    let streamed = client
+        .collect(job, |index, _| seen.push(index))
+        .expect("collect");
+
+    // Cells streamed in grid order, every one of them.
+    assert_eq!(seen, (0..plan.cell_count()).collect::<Vec<_>>());
+    // The whole report — samples, summaries, statistics — is the batch
+    // report, byte for byte; the fingerprint follows.
+    assert_eq!(streamed.report, batch);
+    assert_eq!(streamed.fingerprint, batch.fingerprint());
+    handle.shutdown();
+}
+
+#[test]
+fn two_interleaved_jobs_each_match_their_solo_runs() {
+    // One worker forces the scheduler to genuinely interleave the two
+    // jobs' cells rather than running them on disjoint threads.
+    let (handle, addr) = start(1);
+
+    let plan_a = quick_plan();
+    let plan_b = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::PhaseQueen, 9, 2)],
+        vec![
+            AdversaryFamily::chain_revealer(FaultSelection::without_source(), 2, 2),
+            AdversaryFamily::random_liar(FaultSelection::with_source()),
+        ],
+        12,
+    )
+    .with_base_seed(99);
+    let solo_a = plan_a.run_with_jobs(1);
+    let solo_b = plan_b.run_with_jobs(1);
+
+    // Submit both before collecting either, so the daemon holds both
+    // active at once and round-robins their cells on the single worker.
+    let mut client_a = connect(&addr);
+    let mut client_b = connect(&addr);
+    let job_a = client_a.submit(&plan_a).expect("submit a");
+    let job_b = client_b.submit(&plan_b).expect("submit b");
+
+    let streamed_b = client_b.collect(job_b, |_, _| {}).expect("collect b");
+    let streamed_a = client_a.collect(job_a, |_, _| {}).expect("collect a");
+
+    assert_eq!(streamed_a.report, solo_a);
+    assert_eq!(streamed_b.report, solo_b);
+    assert_eq!(streamed_a.fingerprint, solo_a.fingerprint());
+    assert_eq!(streamed_b.fingerprint, solo_b.fingerprint());
+    handle.shutdown();
+}
+
+#[test]
+fn one_connection_can_run_jobs_back_to_back() {
+    let (handle, addr) = start(2);
+    let mut client = connect(&addr);
+    let plan = quick_plan();
+    let first = client.submit_and_collect(&plan).expect("first");
+    let second = client.submit_and_collect(&plan).expect("second");
+    assert_eq!(first.report, second.report);
+    assert!(second.job > first.job);
+    client.ping().expect("still alive");
+    handle.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_works() {
+    let dir = std::env::temp_dir().join(format!("sg-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let sock = dir.join("daemon.sock");
+    let handle = serve(&Bind::Unix(sock.clone()), ServeOptions::default()).expect("bind unix");
+    let mut client = connect(&format!("unix:{}", sock.display()));
+    client.ping().expect("ping over unix socket");
+    let plan = quick_plan();
+    let streamed = client.submit_and_collect(&plan).expect("submit over unix");
+    assert_eq!(streamed.report, plan.run_with_jobs(1));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

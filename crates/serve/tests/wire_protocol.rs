@@ -1,0 +1,246 @@
+//! Protocol robustness: malformed input gets structured errors and the
+//! daemon keeps serving; cancellation stops the cell stream.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::json::Value as Json;
+use serde::FromJson;
+use sg_adversary::FaultSelection;
+use sg_analysis::{AdversaryFamily, SweepConfig, SweepPlan};
+use sg_core::AlgorithmSpec;
+use sg_serve::{serve, Bind, Client, ErrorCode, Frame, ServeError, ServeOptions};
+
+fn start() -> (sg_serve::ServerHandle, String) {
+    let handle = serve(
+        &Bind::Tcp("127.0.0.1:0".to_string()),
+        ServeOptions {
+            workers: 1,
+            quantum: 2,
+        },
+    )
+    .expect("bind daemon");
+    let addr = handle.tcp_addr().expect("tcp addr").to_string();
+    (handle, addr)
+}
+
+/// A raw NDJSON connection, for speaking deliberately broken frames.
+struct Raw {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Raw {
+    fn connect(addr: &str) -> Raw {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Raw { reader, writer }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn read_frame(&mut self) -> Frame {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        assert!(!line.is_empty(), "server closed unexpectedly");
+        Frame::from_json(&Json::parse(line.trim()).expect("frame json")).expect("frame decode")
+    }
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_daemon_survives() {
+    let (handle, addr) = start();
+    let mut raw = Raw::connect(&addr);
+
+    // Truncated frame (cut off mid-document), binary garbage, valid
+    // JSON that is not a request, unknown op, wrong proto: each answers
+    // with a structured error naming the failure class...
+    for (line, want) in [
+        (
+            "{\"op\":\"submit\",\"plan\":{\"configs\"",
+            ErrorCode::BadJson,
+        ),
+        ("\u{1}\u{2}garbage", ErrorCode::BadJson),
+        ("[1,2,3]", ErrorCode::BadRequest),
+        ("{\"op\":\"warp\"}", ErrorCode::BadRequest),
+        ("{\"op\":\"submit\"}", ErrorCode::BadRequest),
+        ("{\"op\":\"cancel\",\"job\":-3}", ErrorCode::BadRequest),
+        (
+            "{\"op\":\"ping\",\"proto\":\"sg-serve/99\"}",
+            ErrorCode::UnsupportedProto,
+        ),
+    ] {
+        raw.send_line(line);
+        match raw.read_frame() {
+            Frame::Error { code, detail, .. } => {
+                assert_eq!(code, want, "for line {line:?} ({detail})")
+            }
+            other => panic!("expected error for {line:?}, got {other:?}"),
+        }
+    }
+
+    // ...and the connection (and daemon) keep working afterwards.
+    raw.send_line("{\"op\":\"ping\"}");
+    assert_eq!(raw.read_frame(), Frame::Pong);
+
+    let mut fresh = Client::connect(&addr, Duration::from_secs(5)).expect("fresh connection");
+    fresh.ping().expect("daemon still serving");
+    handle.shutdown();
+}
+
+#[test]
+fn rejected_plans_and_unknown_jobs_are_structured_errors() {
+    let (handle, addr) = start();
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+
+    // An (n, t) the algorithm cannot run is rejected at submit time.
+    let invalid = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 3)],
+        vec![AdversaryFamily::no_faults()],
+        5,
+    );
+    match client.submit(&invalid) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::Rejected),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // Cancelling a job that does not exist on this connection.
+    client.cancel(12345).expect("send cancel");
+    match client.next_frame().expect("frame") {
+        Frame::Error { code, job, .. } => {
+            assert_eq!(code, ErrorCode::UnknownJob);
+            assert_eq!(job, Some(12345));
+        }
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn cancellation_mid_grid_stops_the_cell_stream() {
+    let (handle, addr) = start();
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+
+    // Many cells, enough seeds each that the single worker is still
+    // mid-grid when the cancel lands right after the first cell frame.
+    let plan = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseKing, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseQueen, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::chain_revealer(FaultSelection::without_source(), 2, 2),
+            AdversaryFamily::no_faults(),
+        ],
+        400,
+    );
+    let job = client.submit(&plan).expect("submit");
+    assert_eq!(job.cells, 12);
+
+    // Wait for the first streamed cell, then cancel.
+    let first = client.next_frame().expect("first cell");
+    assert!(
+        matches!(first, Frame::Cell { index: 0, .. }),
+        "expected cell 0, got {first:?}"
+    );
+    client.cancel(job.job).expect("cancel");
+
+    // The stream must end with a cancelled frame after at most a few
+    // more in-flight cells — nowhere near all 12.
+    let mut extra_cells = 0usize;
+    loop {
+        match client.next_frame().expect("frame") {
+            Frame::Cell { .. } => extra_cells += 1,
+            Frame::Cancelled {
+                job: id,
+                cells_streamed,
+            } => {
+                assert_eq!(id, job.job);
+                assert_eq!(cells_streamed, 1 + extra_cells);
+                break;
+            }
+            Frame::Summary { .. } => panic!("job ran to completion despite cancel"),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(
+        extra_cells < job.cells - 1,
+        "cancel stopped nothing: {extra_cells} cells streamed after it"
+    );
+
+    // The connection is still good for new work.
+    client.ping().expect("ping after cancel");
+    let small = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+        vec![AdversaryFamily::no_faults()],
+        3,
+    );
+    let streamed = client.submit_and_collect(&small).expect("post-cancel job");
+    assert_eq!(streamed.report, small.run_with_jobs(1));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_closes_streaming_clients_instead_of_stranding_them() {
+    let (handle, addr) = start();
+    let mut streaming = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+
+    // A big grid keeps the single worker busy well past the shutdown.
+    let big = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseKing, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseQueen, 9, 2),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::no_faults(),
+        ],
+        500,
+    );
+    let job = streaming.submit(&big).expect("submit");
+
+    // Another client shuts the daemon down while the first is
+    // mid-stream: the first must see its connection close (an error
+    // from collect), not block forever waiting for cells.
+    let mut other = Client::connect(&addr, Duration::from_secs(5)).expect("second connection");
+    other.shutdown_server().expect("bye");
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let drain = std::thread::spawn(move || {
+        let outcome = streaming.collect(job, |_, _| {});
+        let _ = done_tx.send(());
+        outcome
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("streaming client still blocked 30s after daemon shutdown");
+    assert!(
+        drain.join().expect("drain thread").is_err(),
+        "a shut-down daemon cannot have completed the big grid"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_op_stops_the_daemon() {
+    let (handle, addr) = start();
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    client.shutdown_server().expect("bye");
+    // New connections are refused (or die unanswered) once stopped;
+    // allow a moment for the accept loop to wind down.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut alive = false;
+    if let Ok(mut probe) = Client::connect(&addr, Duration::from_millis(200)) {
+        alive = probe.ping().is_ok();
+    }
+    assert!(!alive, "daemon still answering after shutdown");
+    handle.shutdown();
+}

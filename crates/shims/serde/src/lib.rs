@@ -1,11 +1,17 @@
-//! Offline shim for `serde`.
+//! Offline shim for `serde` (+ the `serde_json` document model).
 //!
 //! Re-exports the no-op derive macros from the sibling `serde_derive`
-//! shim and declares empty marker traits so that `T: serde::Serialize`
-//! bounds would still compile if a future change introduces them. See
-//! the `serde_derive` shim for why this is sound in this workspace.
+//! shim, declares the marker traits earlier PRs introduced, and — since
+//! the `sg-serve` wire protocol (PR 3) — provides a real minimal JSON
+//! layer in [`json`] together with the [`ToJson`]/[`FromJson`] traits
+//! the workspace's wire types implement. As with every shim under
+//! `crates/shims/`, this is exactly the API surface the workspace uses:
+//! swapping in the real `serde`/`serde_json` would replace [`json`] with
+//! `serde_json::Value` and these traits with derived impls.
 
 #![forbid(unsafe_code)]
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -15,3 +21,22 @@ pub trait SerializeMarker {}
 
 /// Marker stand-in for `serde::Deserialize` (see [`SerializeMarker`]).
 pub trait DeserializeMarker {}
+
+/// Conversion into the [`json::Value`] document model — the
+/// serialization half of the wire-protocol surface.
+pub trait ToJson {
+    /// Renders `self` as a JSON document.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Conversion from the [`json::Value`] document model — the
+/// deserialization half of the wire-protocol surface.
+pub trait FromJson: Sized {
+    /// Decodes `self` from a parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::JsonError`] describing the first missing or
+    /// ill-typed field.
+    fn from_json(v: &json::Value) -> Result<Self, json::JsonError>;
+}

@@ -319,6 +319,14 @@ impl RunArena {
         RunArena::default()
     }
 
+    /// How many keyed protocol-instance sets are currently warm in this
+    /// arena. Long-lived arena owners — the `sg-serve` daemon's worker
+    /// threads, which hold one arena for their whole life and reuse it
+    /// across requests — use this to report warm-pool state.
+    pub fn pooled_instance_sets(&self) -> usize {
+        self.instances.len()
+    }
+
     /// Sizes every buffer for an `n`-processor run and clears payloads
     /// retained from any previous run (dropping stale `Arc`s).
     fn reset(&mut self, n: usize) {

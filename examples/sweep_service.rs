@@ -1,0 +1,72 @@
+//! Quickstart for the sweep service (`sg-serve/1`), in-process edition.
+//!
+//! The shell version of this example is two terminals:
+//!
+//! ```text
+//! $ sg serve --port 7411 &
+//! $ sg ping   --addr 127.0.0.1:7411
+//! $ sg submit --addr 127.0.0.1:7411 --alg optimal-king --n 16 --t 5 --seeds 100
+//! ```
+//!
+//! Here we do the same through the library: start a daemon on an
+//! ephemeral port, submit a grid, watch cells stream back in grid
+//! order, and check the summary fingerprint against a local batch run
+//! of the identical plan — the determinism contract the service is
+//! built around.
+//!
+//! Run with `cargo run --release --example sweep_service`.
+
+use std::time::Duration;
+
+use shifting_gears::adversary::FaultSelection;
+use shifting_gears::analysis::{AdversaryFamily, SweepConfig, SweepPlan};
+use shifting_gears::core::AlgorithmSpec;
+use shifting_gears::serve::{serve, Bind, Client, ServeOptions};
+
+fn main() {
+    // A 2×2-cell grid: two king-family algorithms against two adversary
+    // families, 50 seeded runs per cell.
+    let plan = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 16, 5),
+            SweepConfig::traced(AlgorithmSpec::PhaseKing, 16, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::chain_revealer(FaultSelection::without_source(), 2, 2),
+        ],
+        50,
+    );
+
+    // Start the daemon on an ephemeral localhost port ("unix:/tmp/sg.sock"
+    // works too) and connect a client.
+    let daemon = serve(&Bind::Tcp("127.0.0.1:0".into()), ServeOptions::default())
+        .expect("bind the sweep service");
+    let addr = daemon.tcp_addr().expect("tcp address").to_string();
+    println!("daemon listening on {addr}");
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+
+    // Submit, then stream: cells arrive incrementally, in grid order,
+    // each a full CellReport with samples and summary statistics.
+    let job = client.submit(&plan).expect("submit the grid");
+    println!(
+        "job {} accepted: {} cells, {} runs\n",
+        job.job, job.cells, job.total_runs
+    );
+    let streamed = client
+        .collect(job, |index, cell| {
+            print!("cell {index}: {}", cell.render_line());
+        })
+        .expect("stream the results");
+
+    // The streamed report is bit-identical to running the same plan
+    // locally — same samples, same statistics, same fingerprint.
+    let batch = plan.run();
+    assert_eq!(streamed.report, batch);
+    assert_eq!(streamed.fingerprint, batch.fingerprint());
+    println!(
+        "\nfingerprint {:016x} — identical to the local batch run",
+        streamed.fingerprint
+    );
+    daemon.shutdown();
+}

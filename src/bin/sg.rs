@@ -8,12 +8,21 @@
 //! sg gauntlet --alg optimal-king --n 10 [--t 3] [--b 3]
 //! sg stability --alg hybrid --n 16 [--b 3] [--seed 7]
 //! sg sweep --alg phase-king --n 16 [--t 5] [--seeds 100] [--adversary random-liar]
+//!          [--expect-fingerprint <hex>]
+//! sg serve [--port 7411 | --addr 127.0.0.1:7411 | --socket /path] [--workers N]
+//! sg submit [--addr …] --alg optimal-king --n 16 [--t 5] [--seeds 100]
+//!           [--expect-fingerprint <hex>] [--shutdown]
+//! sg ping [--addr …]
 //! sg bounds --n 31
 //! sg list
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to size the sweep engine's worker
-//! pool (default: all hardware threads).
+//! pool (default: all hardware threads). `serve` runs the long-lived
+//! sweep daemon (wire protocol `sg-serve/1`, see `sg_serve::wire`);
+//! `submit` sends the same grid `sweep` runs locally and must produce a
+//! bit-identical fingerprint — CI's serve-e2e job holds the two paths to
+//! that contract.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -39,7 +48,13 @@ fn usage() -> ! {
          sg gauntlet --alg <name> --n <n> [--t <t>] [--b <b>]\n  \
          sg stability --alg <name> --n <n> [--t <t>] [--b <b>] [--seed <s>]\n  \
          sg sweep --alg <name> --n <n> [--t <t>] [--b <b>] [--seeds <k>]\n           \
-         [--adversary random-liar|chain-revealer|none] [--source-faulty]\n  \
+         [--adversary random-liar|chain-revealer|none] [--source-faulty]\n           \
+         [--base-seed <s>] [--expect-fingerprint <hex>]\n  \
+         sg serve [--port <p> | --addr <host:port> | --socket <path>]\n           \
+         [--workers <N>] [--quantum <runs>]\n  \
+         sg submit [--addr <host:port> | --socket <path>] [--timeout <secs>]\n           \
+         <sweep grid flags> [--expect-fingerprint <hex>] [--shutdown]\n  \
+         sg ping [--addr <host:port> | --socket <path>]\n  \
          sg bounds --n <n>\n  \
          sg list\n\
          global: --jobs <N> sizes the sweep worker pool"
@@ -461,7 +476,13 @@ fn cmd_stability(flags: &HashMap<String, String>) {
     }
 }
 
-fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
+/// Builds the single-cell sweep grid described by the shared
+/// `sweep`/`submit` flags (`--alg --n [--t] [--b] [--seeds]
+/// [--adversary] [--base-seed] [--source-faulty]`).
+fn sweep_plan_from_flags(
+    flags: &HashMap<String, String>,
+    toggles: &[String],
+) -> shifting_gears::analysis::SweepPlan {
     use shifting_gears::analysis::{AdversaryFamily, SweepConfig, SweepPlan};
 
     let alg = flags
@@ -496,7 +517,34 @@ fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
             exit(2);
         }
     };
-    let plan = SweepPlan::new(vec![SweepConfig::traced(spec, n, t)], vec![family], seeds);
+    let base_seed = parse_usize(flags, "base-seed").unwrap_or(0) as u64;
+    SweepPlan::new(vec![SweepConfig::traced(spec, n, t)], vec![family], seeds)
+        .with_base_seed(base_seed)
+}
+
+/// Enforces `--expect-fingerprint`: on mismatch, reports and exits
+/// non-zero so `&&` chains in CI cannot silently pass.
+fn check_expected_fingerprint(flags: &HashMap<String, String>, actual: u64) {
+    use shifting_gears::analysis::Fingerprint;
+
+    let Some(expected) = flags.get("expect-fingerprint") else {
+        return;
+    };
+    let Some(expected) = Fingerprint::parse_hex(expected) else {
+        eprintln!("--expect-fingerprint expects a 16-digit hex fingerprint, got '{expected}'");
+        exit(2);
+    };
+    match Fingerprint::cross_check(expected, actual) {
+        Ok(line) => println!("{line}"),
+        Err(report) => {
+            eprintln!("{report}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
+    let plan = sweep_plan_from_flags(flags, toggles);
     let started = std::time::Instant::now();
     let report = plan.run();
     let wall = started.elapsed();
@@ -508,6 +556,123 @@ fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
         shifting_gears::analysis::sweep::jobs(),
         report.total_runs as f64 / wall.as_secs_f64().max(1e-9),
     );
+    println!("report fingerprint: {}", report.fingerprint_hex());
+    check_expected_fingerprint(flags, report.fingerprint());
+}
+
+/// The default daemon address shared by `serve`, `submit`, and `ping`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+fn serve_addr(flags: &HashMap<String, String>) -> String {
+    if let Some(socket) = flags.get("socket") {
+        return format!("unix:{socket}");
+    }
+    if let Some(port) = parse_usize(flags, "port") {
+        return format!("127.0.0.1:{port}");
+    }
+    flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+fn connect_client(flags: &HashMap<String, String>) -> shifting_gears::serve::Client {
+    use shifting_gears::serve::Client;
+
+    let addr = serve_addr(flags);
+    let timeout = parse_usize(flags, "timeout").unwrap_or(10) as u64;
+    match Client::connect(&addr, std::time::Duration::from_secs(timeout)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot reach daemon at {addr}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) {
+    use shifting_gears::serve::{serve, Bind, ServeOptions};
+
+    let bind = Bind::parse(&serve_addr(flags));
+    let options = ServeOptions {
+        workers: parse_usize(flags, "workers").unwrap_or(0),
+        quantum: parse_usize(flags, "quantum").unwrap_or(64) as u64,
+    };
+    let handle = match serve(&bind, options) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind {bind:?}: {e}");
+            exit(1);
+        }
+    };
+    match handle.tcp_addr() {
+        Some(addr) => println!("sg-serve listening on {addr} (sg-serve/1)"),
+        None => println!("sg-serve listening on {} (sg-serve/1)", serve_addr(flags)),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("sg-serve stopped");
+}
+
+fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
+    use shifting_gears::serve::ServeError;
+
+    let mut client = connect_client(flags);
+    if toggles.iter().any(|t| t == "shutdown") {
+        match client.shutdown_server() {
+            Ok(()) => {
+                println!("daemon acknowledged shutdown");
+                return;
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    let plan = sweep_plan_from_flags(flags, toggles);
+    let handle = match client.submit(&plan) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "job {} accepted: {} cell(s), {} runs",
+        handle.job, handle.cells, handle.total_runs
+    );
+    let streamed = match client.collect(handle, |_, cell| print!("{}", cell.render_line())) {
+        Ok(streamed) => streamed,
+        Err(ServeError::Cancelled {
+            job,
+            cells_streamed,
+        }) => {
+            eprintln!("job {job} cancelled after {cells_streamed} cell(s)");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "job {} complete: {} runs in {:.1} ms (server wall) — report fingerprint: {:016x}",
+        streamed.job, streamed.report.total_runs, streamed.wall_ms, streamed.fingerprint
+    );
+    check_expected_fingerprint(flags, streamed.fingerprint);
+}
+
+fn cmd_ping(flags: &HashMap<String, String>) {
+    let mut client = connect_client(flags);
+    match client.ping() {
+        Ok(()) => println!("pong from {}", serve_addr(flags)),
+        Err(e) => {
+            eprintln!("ping failed: {e}");
+            exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -524,6 +689,9 @@ fn main() {
         "gauntlet" => cmd_gauntlet(&flags),
         "stability" => cmd_stability(&flags),
         "sweep" => cmd_sweep(&flags, &toggles),
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags, &toggles),
+        "ping" => cmd_ping(&flags),
         "bounds" => cmd_bounds(parse_usize(&flags, "n").unwrap_or_else(|| usage())),
         "list" => cmd_list(),
         _ => usage(),

@@ -14,7 +14,9 @@
 //! * [`core`] — the protocols (Exponential, Algorithms A/B/C, Hybrid, and
 //!   baselines);
 //! * [`analysis`] — the paper's closed-form bounds and the experiment
-//!   harness used to regenerate every table and figure.
+//!   harness used to regenerate every table and figure;
+//! * [`serve`] — the long-lived sweep service (`sg serve`/`sg submit`,
+//!   wire protocol `sg-serve/1`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,4 +25,5 @@ pub use sg_adversary as adversary;
 pub use sg_analysis as analysis;
 pub use sg_core as core;
 pub use sg_eigtree as eigtree;
+pub use sg_serve as serve;
 pub use sg_sim as sim;
