@@ -6,6 +6,8 @@
 //! have sent if honest) and corrupt it; strategies that want chaos build
 //! payloads from scratch.
 
+use std::sync::Arc;
+
 use sg_sim::{Adversary, AdversaryView, Payload, ProcessId, ProcessSet, Value};
 
 use crate::selection::FaultSelection;
@@ -13,30 +15,41 @@ use crate::util::{call_rng, flip, map_shadow, random_value, repeated, shadow_or_
 
 /// Faulty processors behave perfectly honestly until `crash_round`, then
 /// go permanently silent — the classic crash-failure pattern, which
-/// exercises the "inappropriate message → default value" path.
+/// exercises the "inappropriate message → default value" path. Combined
+/// with [`FaultSelection::limit`] this is the sweep engine's
+/// crash-early/go-silent scenario family for plotting rounds saved
+/// against the actual fault count `f ≤ t`.
 #[derive(Clone, Debug)]
 pub struct Crash {
     selection: FaultSelection,
     crash_round: usize,
+    name: Arc<str>,
 }
 
 impl Crash {
     /// Crash the selected processors at the start of `crash_round`.
     pub fn new(selection: FaultSelection, crash_round: usize) -> Self {
+        let name = Arc::from(format!("crash(r={crash_round},{})", selection.describe()).as_str());
         Crash {
             selection,
             crash_round,
+            name,
         }
     }
 }
 
 impl Adversary for Crash {
     fn name(&self) -> String {
-        format!(
-            "crash(r={},{})",
-            self.crash_round,
-            self.selection.describe()
-        )
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        // Seedless and stateless across runs.
+        true
     }
 
     fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
@@ -61,18 +74,28 @@ impl Adversary for Crash {
 #[derive(Clone, Debug)]
 pub struct Silent {
     selection: FaultSelection,
+    name: Arc<str>,
 }
 
 impl Silent {
     /// Silence the selected processors from round 1.
     pub fn new(selection: FaultSelection) -> Self {
-        Silent { selection }
+        let name = Arc::from(format!("silent({})", selection.describe()).as_str());
+        Silent { selection, name }
     }
 }
 
 impl Adversary for Silent {
     fn name(&self) -> String {
-        format!("silent({})", self.selection.describe())
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        true
     }
 
     fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
@@ -91,26 +114,43 @@ impl Adversary for Silent {
 
 /// Faulty processors send independent uniformly random in-domain values of
 /// the honest length to every recipient, every round.
+///
+/// The name deliberately excludes the seed: seeds are per-run data the
+/// sweep harness already reports (`CellReport::first_seed`, the
+/// agreement-assert messages), and a seed-free name is what lets pooled
+/// [`Adversary::reseed`] keep a zero-allocation shared name across runs.
 #[derive(Clone, Debug)]
 pub struct RandomLiar {
     selection: FaultSelection,
     seed: u64,
+    name: Arc<str>,
 }
 
 impl RandomLiar {
     /// Random lies from the selected processors, seeded deterministically.
     pub fn new(selection: FaultSelection, seed: u64) -> Self {
-        RandomLiar { selection, seed }
+        let name = Arc::from(format!("random-liar({})", selection.describe()).as_str());
+        RandomLiar {
+            selection,
+            seed,
+            name,
+        }
     }
 }
 
 impl Adversary for RandomLiar {
     fn name(&self) -> String {
-        format!(
-            "random-liar(seed={},{})",
-            self.seed,
-            self.selection.describe()
-        )
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, seed: u64) -> bool {
+        // The seed is the only per-run state.
+        self.seed = seed;
+        true
     }
 
     fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
@@ -286,28 +326,43 @@ pub struct ChainRevealer {
     reveal_start: usize,
     stride: usize,
     seed: u64,
+    name: Arc<str>,
 }
 
 impl ChainRevealer {
     /// Reveal one fault every `stride` rounds starting at `reveal_start`.
     pub fn new(selection: FaultSelection, reveal_start: usize, stride: usize, seed: u64) -> Self {
+        let stride = stride.max(1);
+        let name = Arc::from(
+            format!(
+                "chain-revealer(start={reveal_start},stride={stride},{})",
+                selection.describe()
+            )
+            .as_str(),
+        );
         ChainRevealer {
             selection,
             reveal_start,
-            stride: stride.max(1),
+            stride,
             seed,
+            name,
         }
     }
 }
 
 impl Adversary for ChainRevealer {
     fn name(&self) -> String {
-        format!(
-            "chain-revealer(start={},stride={},{})",
-            self.reveal_start,
-            self.stride,
-            self.selection.describe()
-        )
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, seed: u64) -> bool {
+        // The seed is the only per-run state.
+        self.seed = seed;
+        true
     }
 
     fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {

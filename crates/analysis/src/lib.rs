@@ -21,7 +21,7 @@ pub mod table;
 pub mod wire;
 
 pub use experiments::{all_experiments, measure, plan_figures, Measured, Scale};
-pub use montecarlo::{random_liar_sweep, sample_of, summarize, Sample, Summary};
+pub use montecarlo::{early_stop_rate, random_liar_sweep, sample_of, summarize, Sample, Summary};
 pub use stability::{lock_in, StabilityReport};
 pub use sweep::{
     set_jobs, sweep_map, AdversaryFamily, CellCursor, CellReport, Fingerprint, SweepConfig,

@@ -84,6 +84,11 @@ pub struct Sample {
     pub total_bits: u64,
     /// Largest per-processor local-computation charge.
     pub max_local_ops: u64,
+    /// Rounds actually executed (`Outcome::rounds_used`): equals the
+    /// static schedule unless the run early-stopped.
+    pub rounds: u64,
+    /// Whether the run terminated before its static schedule ended.
+    pub early_stopped: bool,
 }
 
 /// Extracts a [`Sample`] from a traced outcome.
@@ -99,6 +104,8 @@ pub fn sample_of(outcome: &Outcome) -> Sample {
         discoveries,
         total_bits: outcome.metrics.total_bits(),
         max_local_ops: outcome.metrics.max_local_ops(),
+        rounds: outcome.rounds_used as u64,
+        early_stopped: outcome.early_stopped,
     }
 }
 
@@ -125,14 +132,24 @@ pub fn random_liar_sweep(spec: AlgorithmSpec, n: usize, t: usize, seeds: u64) ->
     report.cells.swap_remove(0).samples
 }
 
-/// Summaries (lock-in, discoveries, bits, ops) of a sample set.
-pub fn summarize(samples: &[Sample]) -> [Summary; 4] {
+/// Summaries (lock-in, discoveries, bits, ops, rounds) of a sample set.
+pub fn summarize(samples: &[Sample]) -> [Summary; 5] {
     [
         Summary::of(samples.iter().map(|s| s.lock_in)),
         Summary::of(samples.iter().map(|s| s.discoveries)),
         Summary::of(samples.iter().map(|s| s.total_bits)),
         Summary::of(samples.iter().map(|s| s.max_local_ops)),
+        Summary::of(samples.iter().map(|s| s.rounds)),
     ]
+}
+
+/// Fraction of `samples` whose run terminated before its schedule ended
+/// (0.0 for an empty slice).
+pub fn early_stop_rate(samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|s| s.early_stopped).count() as f64 / samples.len() as f64
 }
 
 #[cfg(test)]
@@ -167,11 +184,27 @@ mod tests {
     #[test]
     fn hybrid_lock_in_distribution_sits_inside_schedule() {
         let samples = random_liar_sweep(AlgorithmSpec::Hybrid { b: 3 }, 13, 4, 6);
-        let [lock, disc, bits, ops] = summarize(&samples);
+        let [lock, disc, bits, ops, rounds] = summarize(&samples);
         let schedule = AlgorithmSpec::Hybrid { b: 3 }.rounds(13, 4) as u64;
         assert!(lock.max <= schedule);
         assert!(disc.max >= disc.min);
         assert!(bits.min > 0);
         assert!(ops.min > 0);
+        // The hybrid is a tree algorithm: it never stops early.
+        assert_eq!(rounds.min, schedule);
+        assert_eq!(rounds.max, schedule);
+        assert!((early_stop_rate(&samples) - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn early_stop_rate_counts_expedited_runs() {
+        assert!((early_stop_rate(&[]) - 0.0).abs() < f64::EPSILON);
+        let samples = random_liar_sweep(AlgorithmSpec::OptimalKing, 7, 2, 4);
+        // Source-faulty random liars still let correct processors lock
+        // quickly at n = 7, t = 2; at minimum the rate is well-defined.
+        let rate = early_stop_rate(&samples);
+        assert!((0.0..=1.0).contains(&rate));
+        let [.., rounds] = summarize(&samples);
+        assert!(rounds.max <= AlgorithmSpec::OptimalKing.rounds(7, 2) as u64);
     }
 }

@@ -33,15 +33,16 @@
 //! grid (the experiment harness's measurement cells, the exhaustive
 //! model-checking enumerations in `tests/exhaustive_*.rs`).
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rayon::prelude::*;
-use sg_adversary::{ChainRevealer, FaultSelection, RandomLiar};
+use sg_adversary::{ChainRevealer, Crash, FaultSelection, RandomLiar, Silent};
 use sg_core::AlgorithmSpec;
 use sg_sim::{Adversary, NoFaults, Outcome, RunArena, RunConfig, Value};
 
-use crate::montecarlo::{sample_of, Sample, Summary};
+use crate::montecarlo::{early_stop_rate, sample_of, Sample, Summary};
 
 /// Worker-thread count used by [`SweepPlan::run`] and [`sweep_map`];
 /// 0 = hardware default.
@@ -140,6 +141,13 @@ pub(crate) enum FamilyWire {
         start: usize,
         block: usize,
     },
+    /// [`AdversaryFamily::crash`] with its crash round.
+    Crash {
+        selection: FaultSelection,
+        round: usize,
+    },
+    /// [`AdversaryFamily::silent`] over the selection.
+    Silent(FaultSelection),
 }
 
 /// A named, seed-keyed adversary factory: `seed ↦ strategy instance`.
@@ -200,6 +208,36 @@ impl AdversaryFamily {
         family
     }
 
+    /// The crash-early/go-silent scenario family: selected processors are
+    /// perfectly honest until `round`, then permanently silent (ignores
+    /// the seed — crashes are deterministic). With
+    /// [`FaultSelection::limit`] capping the actual fault count `f ≤ t`,
+    /// this is the workload for plotting rounds saved against `f` — the
+    /// regime where the paper's expedite argument pays.
+    pub fn crash(selection: FaultSelection, round: usize) -> Self {
+        let wire = FamilyWire::Crash {
+            selection: selection.clone(),
+            round,
+        };
+        let mut family = AdversaryFamily::new("crash", move |_| {
+            Box::new(Crash::new(selection.clone(), round))
+        });
+        family.wire = Some(wire);
+        family
+    }
+
+    /// The omission scenario family: selected processors never send
+    /// anything (ignores the seed). Combined with
+    /// [`FaultSelection::limit`] this is the go-silent end of the
+    /// actual-fault-budget vocabulary.
+    pub fn silent(selection: FaultSelection) -> Self {
+        let wire = FamilyWire::Silent(selection.clone());
+        let mut family =
+            AdversaryFamily::new("silent", move |_| Box::new(Silent::new(selection.clone())));
+        family.wire = Some(wire);
+        family
+    }
+
     /// The family's strategy name.
     pub fn name(&self) -> &str {
         &self.name
@@ -222,6 +260,72 @@ impl std::fmt::Debug for AdversaryFamily {
             .field("name", &self.name)
             .finish_non_exhaustive()
     }
+}
+
+/// One pooled strategy instance, keyed by the family factory that built
+/// it. The entry holds a clone of the factory `Arc`, so the pointer used
+/// for the lookup cannot be recycled by a different family while the
+/// entry is alive (no ABA hazard) — pointer equality therefore proves
+/// "built by exactly this factory", which is the precondition
+/// [`sg_sim::Adversary::reseed`] needs.
+struct PooledAdversary {
+    make: Arc<dyn Fn(u64) -> Box<dyn Adversary> + Send + Sync>,
+    adversary: Box<dyn Adversary>,
+}
+
+/// How many families each worker thread keeps warm. Grids rarely cross
+/// more than a handful of adversary families per worker.
+const ADVERSARY_POOL_CAP: usize = 8;
+
+thread_local! {
+    /// Per-thread MRU cache of strategy instances, recycled across runs
+    /// (and, on long-lived workers like the `sg-serve` pool, across
+    /// cells, jobs, and requests) through [`sg_sim::Adversary::reseed`].
+    static ADVERSARY_POOL: RefCell<Vec<PooledAdversary>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `body` with a strategy instance for `family` at `seed`. When
+/// instance pooling is on (the same `sg_sim::set_instance_pooling`
+/// escape hatch that governs protocol instances), the instance is
+/// recycled through this thread's adversary pool via
+/// [`sg_sim::Adversary::reseed`]; strategies that decline the reseed (the
+/// default) are rebuilt by the family factory, so pooling is never wrong,
+/// only absent. This removes the per-run strategy `Box` from the sweep
+/// hot path; `tests/early_stopping.rs` pins pooled/fresh bit-identity.
+fn with_family_adversary<R>(
+    family: &AdversaryFamily,
+    seed: u64,
+    body: impl FnOnce(&mut dyn Adversary) -> R,
+) -> R {
+    if !sg_sim::instance_pooling_enabled() {
+        let mut adversary = family.instantiate(seed);
+        return body(adversary.as_mut());
+    }
+    ADVERSARY_POOL.with(|pool| {
+        let hit = {
+            let mut pool = pool.borrow_mut();
+            pool.iter()
+                .position(|e| Arc::ptr_eq(&e.make, &family.make))
+                .map(|idx| pool.remove(idx))
+        };
+        let mut entry = match hit {
+            Some(mut e) => {
+                if !e.adversary.reseed(seed) {
+                    e.adversary = family.instantiate(seed);
+                }
+                e
+            }
+            None => PooledAdversary {
+                make: Arc::clone(&family.make),
+                adversary: family.instantiate(seed),
+            },
+        };
+        let out = body(entry.adversary.as_mut());
+        let mut pool = pool.borrow_mut();
+        pool.insert(0, entry);
+        pool.truncate(ADVERSARY_POOL_CAP);
+        out
+    })
 }
 
 /// A sweep grid: `configs × adversaries × seeds_per_cell` executions.
@@ -364,6 +468,7 @@ impl SweepPlan {
             t: config.t,
             adversary: self.adversaries[ai].name.clone(),
             first_seed: self.seed_for(ci, ai, 0),
+            early_stop_rate: early_stop_rate(&samples),
             samples,
             summaries,
         }
@@ -400,16 +505,17 @@ impl SweepPlan {
         let family = &self.adversaries[ai];
         let seed = self.seed_for(ci, ai, si);
         let run_config = config.run_config();
-        let mut adversary = family.instantiate(seed);
-        let outcome = exec(config.spec, &run_config, adversary.as_mut())
-            .unwrap_or_else(|e| panic!("{}: {e}", config.spec.name()));
-        assert!(
-            outcome.agreement(),
-            "{} violated agreement under {} at seed {seed}",
-            config.spec.name(),
-            family.name,
-        );
-        sample_of(&outcome)
+        with_family_adversary(family, seed, |adversary| {
+            let outcome = exec(config.spec, &run_config, adversary)
+                .unwrap_or_else(|e| panic!("{}: {e}", config.spec.name()));
+            assert!(
+                outcome.agreement(),
+                "{} violated agreement under {} at seed {seed}",
+                config.spec.name(),
+                family.name,
+            );
+            sample_of(&outcome)
+        })
     }
 }
 
@@ -491,10 +597,14 @@ pub struct CellReport {
     pub adversary: String,
     /// The seed of the cell's first run (run `si` used `first_seed + si`).
     pub first_seed: u64,
+    /// Fraction of the cell's runs that terminated before their static
+    /// schedule ended.
+    pub early_stop_rate: f64,
     /// Per-run samples, in run order.
     pub samples: Vec<Sample>,
-    /// `[lock-in, discoveries, total bits, max local ops]` summaries.
-    pub summaries: [Summary; 4],
+    /// `[lock-in, discoveries, total bits, max local ops, rounds]`
+    /// summaries.
+    pub summaries: [Summary; 5],
 }
 
 impl CellReport {
@@ -502,9 +612,10 @@ impl CellReport {
     /// the row format of [`SweepReport::render`], also used by clients
     /// streaming cells one at a time.
     pub fn render_line(&self) -> String {
-        let [lock, disc, bits, ops] = &self.summaries;
+        let [lock, disc, bits, ops, rounds] = &self.summaries;
         format!(
-            "{:<24} n={:<3} t={:<2} {:<16} lock-in {:<14} discoveries {:<14} bits {:<20} ops {}\n",
+            "{:<24} n={:<3} t={:<2} {:<16} lock-in {:<14} discoveries {:<14} bits {:<20} ops \
+             {:<20} rounds {:<14} early-stop {:.0}%\n",
             self.spec_name,
             self.n,
             self.t,
@@ -513,6 +624,8 @@ impl CellReport {
             disc.render(),
             bits.render(),
             ops.render(),
+            rounds.render(),
+            self.early_stop_rate * 100.0,
         )
     }
 }
@@ -555,7 +668,13 @@ impl Fingerprint {
         }
     }
 
-    /// Folds one sample (all four observed quantities, in field order).
+    /// Folds one sample — deliberately the four original quantities
+    /// only, in field order. The `rounds`/`early_stopped` fields added
+    /// with the early-stopping engine are *not* mixed, so fixed-length
+    /// (`sg_sim::set_early_stopping(false)`) sweeps keep their
+    /// historical fingerprints (`BENCH_sweep_fixed.json`); early-stopped
+    /// runs still perturb the hash through `total_bits`, which shrinks
+    /// with every saved round.
     pub fn mix_sample(&mut self, s: &Sample) {
         self.mix_u64(s.lock_in);
         self.mix_u64(s.discoveries);

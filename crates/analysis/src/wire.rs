@@ -161,6 +161,15 @@ impl ToJson for AdversaryFamily {
                 ("start".to_string(), Json::from(*start)),
                 ("block".to_string(), Json::from(*block)),
             ]),
+            FamilyWire::Crash { selection, round } => Json::Obj(vec![
+                ("family".to_string(), Json::from("crash")),
+                ("selection".to_string(), selection.to_json()),
+                ("round".to_string(), Json::from(*round)),
+            ]),
+            FamilyWire::Silent(selection) => Json::Obj(vec![
+                ("family".to_string(), Json::from("silent")),
+                ("selection".to_string(), selection.to_json()),
+            ]),
         }
     }
 }
@@ -177,6 +186,13 @@ impl FromJson for AdversaryFamily {
                 field_usize(v, "start")?,
                 field_usize(v, "block")?,
             )),
+            "crash" => Ok(AdversaryFamily::crash(
+                FaultSelection::from_json(v.need("selection")?)?,
+                field_usize(v, "round")?,
+            )),
+            "silent" => Ok(AdversaryFamily::silent(FaultSelection::from_json(
+                v.need("selection")?,
+            )?)),
             other => Err(bad(format!("unknown adversary family '{other}'"))),
         }
     }
@@ -229,13 +245,18 @@ impl FromJson for SweepPlan {
 
 impl ToJson for Sample {
     /// Compact positional form `[lock_in, discoveries, total_bits,
-    /// max_local_ops]` — cell frames carry `seeds_per_cell` of these.
+    /// max_local_ops, rounds, early_stopped]` — cell frames carry
+    /// `seeds_per_cell` of these. Decoding also accepts the pre-rounds
+    /// 4-element form (rounds 0, not early-stopped) for compatibility
+    /// with frames recorded before the early-stopping engine.
     fn to_json(&self) -> Json {
         Json::Arr(vec![
             Json::from(self.lock_in),
             Json::from(self.discoveries),
             Json::from(self.total_bits),
             Json::from(self.max_local_ops),
+            Json::from(self.rounds),
+            Json::Bool(self.early_stopped),
         ])
     }
 }
@@ -244,18 +265,30 @@ impl FromJson for Sample {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         let items = v
             .as_arr()
-            .filter(|items| items.len() == 4)
-            .ok_or_else(|| bad("sample must be a 4-element array"))?;
+            .filter(|items| items.len() == 4 || items.len() == 6)
+            .ok_or_else(|| bad("sample must be a 4- or 6-element array"))?;
         let get = |i: usize| {
             items[i]
                 .as_u64()
                 .ok_or_else(|| bad("sample entries must be non-negative integers"))
+        };
+        let (rounds, early_stopped) = if items.len() == 6 {
+            (
+                get(4)?,
+                items[5]
+                    .as_bool()
+                    .ok_or_else(|| bad("sample entry 5 must be a boolean"))?,
+            )
+        } else {
+            (0, false)
         };
         Ok(Sample {
             lock_in: get(0)?,
             discoveries: get(1)?,
             total_bits: get(2)?,
             max_local_ops: get(3)?,
+            rounds,
+            early_stopped,
         })
     }
 }
@@ -298,6 +331,10 @@ impl ToJson for CellReport {
             ("adversary".to_string(), Json::from(self.adversary.as_str())),
             ("first_seed".to_string(), Json::from(self.first_seed)),
             (
+                "early_stop_rate".to_string(),
+                Json::Num(self.early_stop_rate),
+            ),
+            (
                 "samples".to_string(),
                 Json::Arr(self.samples.iter().map(ToJson::to_json).collect()),
             ),
@@ -310,6 +347,10 @@ impl ToJson for CellReport {
 }
 
 impl FromJson for CellReport {
+    /// Decodes the extended cell frame. Pre-early-stopping frames (four
+    /// summaries, no `early_stop_rate`) are accepted compatibly: the
+    /// rounds summary is recomputed from the decoded samples and the
+    /// rate defaults from their `early_stopped` flags.
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         let samples = v
             .need("samples")?
@@ -318,22 +359,43 @@ impl FromJson for CellReport {
             .iter()
             .map(Sample::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        let summaries: Vec<Summary> = v
+        let mut summaries: Vec<Summary> = v
             .need("summaries")?
             .as_arr()
             .ok_or_else(|| bad("'summaries' must be an array"))?
             .iter()
             .map(Summary::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        let summaries: [Summary; 4] = summaries
+        if summaries.len() == 4 {
+            // Legacy frame: synthesize the rounds summary from samples.
+            summaries.push(if samples.is_empty() {
+                Summary {
+                    samples: 0,
+                    min: 0,
+                    max: 0,
+                    mean: 0.0,
+                    stddev: 0.0,
+                }
+            } else {
+                Summary::of(samples.iter().map(|s| s.rounds))
+            });
+        }
+        let summaries: [Summary; 5] = summaries
             .try_into()
-            .map_err(|_| bad("'summaries' must have exactly 4 entries"))?;
+            .map_err(|_| bad("'summaries' must have 4 or 5 entries"))?;
+        let early_stop_rate = match v.get("early_stop_rate") {
+            Some(rate) => rate
+                .as_f64()
+                .ok_or_else(|| bad("'early_stop_rate' must be a number"))?,
+            None => crate::montecarlo::early_stop_rate(&samples),
+        };
         Ok(CellReport {
             spec_name: field_str(v, "spec_name")?.to_string(),
             n: field_usize(v, "n")?,
             t: field_usize(v, "t")?,
             adversary: field_str(v, "adversary")?.to_string(),
             first_seed: field_u64(v, "first_seed")?,
+            early_stop_rate,
             samples,
             summaries,
         })
@@ -396,6 +458,46 @@ mod tests {
         // Families compare by behaviour: the decoded plan must produce
         // the exact report of the original.
         assert_eq!(decoded.run_with_jobs(1), original.run_with_jobs(1));
+    }
+
+    #[test]
+    fn fault_budget_families_round_trip() {
+        // The actual-fault-budget vocabulary: named families carrying a
+        // `limit` knob (f_actual <= t), plus the crash-early and
+        // go-silent families.
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+            vec![
+                AdversaryFamily::random_liar(FaultSelection::without_source().limit(1)),
+                AdversaryFamily::crash(FaultSelection::without_source().limit(1), 2),
+                AdversaryFamily::silent(FaultSelection::with_source()),
+            ],
+            2,
+        );
+        let text = plan.to_json().to_string();
+        let decoded = SweepPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.run_with_jobs(1), plan.run_with_jobs(1));
+    }
+
+    #[test]
+    fn legacy_four_field_samples_and_summaries_decode() {
+        // Frames recorded before the early-stopping engine: positional
+        // 4-element samples, 4 summaries, no early_stop_rate.
+        let legacy = "{\"spec_name\":\"optimal-king\",\"n\":7,\"t\":2,\
+                      \"adversary\":\"no-faults\",\"first_seed\":0,\
+                      \"samples\":[[1,0,60,30,0,false],[1,0,60,30,0,false]],\
+                      \"summaries\":[\
+                      {\"samples\":2,\"min\":1,\"max\":1,\"mean\":1.0,\"stddev\":0.0},\
+                      {\"samples\":2,\"min\":0,\"max\":0,\"mean\":0.0,\"stddev\":0.0},\
+                      {\"samples\":2,\"min\":60,\"max\":60,\"mean\":60.0,\"stddev\":0.0},\
+                      {\"samples\":2,\"min\":30,\"max\":30,\"mean\":30.0,\"stddev\":0.0}]}";
+        let cell = CellReport::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(cell.summaries[4].max, 0, "rounds synthesized from samples");
+        assert!((cell.early_stop_rate - 0.0).abs() < f64::EPSILON);
+        let short = Sample::from_json(&Json::parse("[1,2,3,4]").unwrap()).unwrap();
+        assert_eq!(short.rounds, 0);
+        assert!(!short.early_stopped);
+        assert!(Sample::from_json(&Json::parse("[1,2,3,4,5]").unwrap()).is_err());
     }
 
     #[test]

@@ -6,16 +6,24 @@
 //!   cost of boxing `n` protocol instances per run is visible on its own;
 //! * `payload/*` — packed-ballot deliveries vs the per-payload fallback
 //!   (`set_packed_broadcast`), so the popcount-tally layer is measured
-//!   separately from pooling.
+//!   separately from pooling;
+//! * `rounds/*` — the `f_actual = 0` cell run status-driven
+//!   (`set_early_stopping`, the default) vs fixed-length, so the
+//!   expedite win of the early-stopping run loop is measured on its own.
 //!
-//! All four variants execute identical work — `tests/instance_pool.rs`
-//! pins down that their outcomes are bit-identical — so the ratios are
-//! pure hot-loop overhead.
+//! The `instances/*` and `payload/*` variants execute identical work —
+//! `tests/instance_pool.rs` pins down that their outcomes are
+//! bit-identical — so those ratios are pure hot-loop overhead; the
+//! `rounds/*` pair executes *fewer rounds* by design (identical
+//! decisions, pinned by `tests/early_stopping.rs`), and its ratio is the
+//! expedite speedup itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sg_adversary::{FaultSelection, RandomLiar};
 use sg_core::AlgorithmSpec;
-use sg_sim::{run_in, run_pooled_in, set_packed_broadcast, RunArena, RunConfig, Value};
+use sg_sim::{
+    run_in, run_pooled_in, set_early_stopping, set_packed_broadcast, RunArena, RunConfig, Value,
+};
 
 const SEED: u64 = 7;
 
@@ -81,5 +89,43 @@ fn bench_packed_payloads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_instance_pool, bench_packed_payloads);
+/// The early-stopping layer in isolation: the benchmark cell at
+/// `f_actual = 0` (every selected liar is disabled by `limit(0)`, so all
+/// processors are correct), run status-driven vs fixed-length. The
+/// status-driven run locks in the first king phase's propose step and
+/// stops at round 3 of 19 — the `min(f+2, t+1)`-style expedite win the
+/// paper's title promises, measured as wall time.
+fn bench_early_stopping(c: &mut Criterion) {
+    let (spec, config) = bench_config();
+    let key = spec.pool_key(&config);
+    let factory = spec.factory(&config);
+    let mut group = c.benchmark_group("run_loop_optimal_king_n16_t5");
+    group.sample_size(20);
+
+    let mut arena = RunArena::new();
+    set_early_stopping(false);
+    group.bench_function("rounds/fixed-length-f0", |b| {
+        b.iter(|| {
+            let mut adversary = RandomLiar::new(FaultSelection::without_source().limit(0), SEED);
+            run_pooled_in(&mut arena, &config, &mut adversary, key, &factory)
+        });
+    });
+    set_early_stopping(true);
+
+    let mut arena = RunArena::new();
+    group.bench_function("rounds/early-stop-f0", |b| {
+        b.iter(|| {
+            let mut adversary = RandomLiar::new(FaultSelection::without_source().limit(0), SEED);
+            run_pooled_in(&mut arena, &config, &mut adversary, key, &factory)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instance_pool,
+    bench_packed_payloads,
+    bench_early_stopping
+);
 criterion_main!(benches);

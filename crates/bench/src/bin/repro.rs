@@ -8,12 +8,16 @@
 //! repro --jobs 8           # size the sweep engine's worker pool
 //! repro --no-instance-pool # rebuild protocol instances every run (the
 //!                          # escape hatch CI cross-checks fingerprints with)
+//! repro --no-early-stop    # run every execution for its full static
+//!                          # schedule (fixed-length mode; its sweep must
+//!                          # reproduce BENCH_sweep_fixed.json's
+//!                          # fingerprint)
 //! repro --exp t3           # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|
 //!                          #   detect|stability|early-stopping|king|compose|
 //!                          #   plans|sweep
 //! repro --exp sweep        # the benchmark sweep: phase-king n=16 t=5
 //!                          # Monte-Carlo, timed, machine-readable trajectory
-//!                          # in BENCH_sweep.json (schema sg-bench-sweep/3)
+//!                          # in BENCH_sweep.json (schema sg-bench-sweep/4)
 //! repro --exp sweep --via-server
 //!                          # same grid, but submitted to an in-process
 //!                          # sg-serve daemon over localhost TCP — the
@@ -229,14 +233,29 @@ fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Opt
     );
 
     let instance_pool = sg_sim::instance_pooling_enabled();
+    let early_stopping = sg_sim::early_stopping_enabled();
     let allocs_per_run = allocs_per_run_json(&plan);
+    // The expedite trajectory: the grid is a single cell, whose report
+    // already carries the rounds summary and early-stop rate.
+    let cell = &report.cells[0];
+    let mean_rounds = cell.summaries[4].mean;
+    let early_stop_rate = cell.early_stop_rate;
+    println!(
+        "BENCH-SWEEP — early_stopping {} — mean rounds {:.2} of {} scheduled, early-stop rate {:.0}%",
+        if early_stopping { "on" } else { "off" },
+        mean_rounds,
+        AlgorithmSpec::OptimalKing.rounds(n, t),
+        early_stop_rate * 100.0,
+    );
     let json = format!(
-        "{{\n  \"schema\": \"sg-bench-sweep/3\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
+        "{{\n  \"schema\": \"sg-bench-sweep/4\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
          \"spec\": \"optimal-king\",\n  \"n\": {n},\n  \"t\": {t},\n  \
          \"adversary\": \"random-liar\",\n  \"runs\": {},\n  \"jobs\": {jobs},\n  \
-         \"instance_pool\": {instance_pool},\n  \"transport\": \"{}\",\n  \
+         \"instance_pool\": {instance_pool},\n  \"early_stopping\": {early_stopping},\n  \
+         \"transport\": \"{}\",\n  \
          \"wall_ms\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"peak_rss_kb\": {},\n  \
          \"allocs_per_run\": {allocs_per_run},\n  \
+         \"mean_rounds\": {mean_rounds:.3},\n  \"early_stop_rate\": {early_stop_rate:.3},\n  \
          \"report_fingerprint\": \"{fingerprint:016x}\"\n}}\n",
         report.total_runs,
         transport.as_str(),
@@ -281,6 +300,9 @@ fn main() {
     };
     if args.iter().any(|a| a == "--no-instance-pool") {
         sg_sim::set_instance_pooling(false);
+    }
+    if args.iter().any(|a| a == "--no-early-stop") {
+        sg_sim::set_early_stopping(false);
     }
     let transport = if args.iter().any(|a| a == "--via-server") {
         Transport::Server

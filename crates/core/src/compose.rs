@@ -59,7 +59,10 @@
 use std::fmt;
 
 use sg_eigtree::Conversion;
-use sg_sim::{Inbox, Payload, PoolKey, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, PoolKey, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent,
+    Value,
+};
 
 use crate::geared::GearedProtocol;
 use crate::optimal_king::{KingCore, PhaseStep};
@@ -763,6 +766,20 @@ impl Protocol for ComposedProtocol {
 
     fn space_nodes(&self) -> u64 {
         self.geared.space_nodes()
+    }
+
+    /// Forwards the active sub-plan's status: the tree-machine prefix is
+    /// fixed-length ([`RoundStatus::Continue`] — conversions need the
+    /// whole gathered structure), and a king tail reports
+    /// [`KingCore::is_ready`]. The source is always ready; compositions
+    /// without a king tail never stop early.
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        let king_ready = self.king.as_ref().is_some_and(KingCore::is_ready);
+        if self.input.is_some() || king_ready {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
     }
 
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {

@@ -17,7 +17,9 @@
 use std::collections::BTreeSet;
 
 use sg_sim::sig::SignedRelay;
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent, Value,
+};
 
 use crate::params::Params;
 
@@ -31,6 +33,13 @@ pub struct DolevStrong {
     /// Relays to broadcast next round (newly accepted, own signature
     /// already appended).
     outbox: Vec<SignedRelay>,
+    /// Whether the last delivered round was *quiet*: it accepted no new
+    /// value and left nothing to relay. The early-stopping quiescence
+    /// rule (the `f+2` pattern: with `f` actual faults, every chain that
+    /// reaches a correct processor has at most `f+1` signatures, so the
+    /// first system-wide quiet round occurs by round `f+2`) reports
+    /// ready from the first quiet round on.
+    quiet: bool,
 }
 
 impl DolevStrong {
@@ -52,6 +61,7 @@ impl DolevStrong {
             input,
             accepted: BTreeSet::new(),
             outbox: Vec::new(),
+            quiet: false,
         }
     }
 
@@ -127,6 +137,7 @@ impl Protocol for DolevStrong {
             }
         }
         // Relay newly accepted values next round (if any rounds remain).
+        let fresh_any = !fresh.is_empty();
         if round < self.total_rounds() {
             for relay in fresh {
                 if let Some(extended) = ctx.extend(&relay) {
@@ -134,6 +145,9 @@ impl Protocol for DolevStrong {
                 }
             }
         }
+        // Quiescence for early stopping: nothing new arrived and nothing
+        // is pending relay.
+        self.quiet = !fresh_any && self.outbox.is_empty();
     }
 
     fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
@@ -153,12 +167,30 @@ impl Protocol for DolevStrong {
         value
     }
 
+    /// The quiescence rule. The source is always ready (it decides its
+    /// own input); everyone else is ready from the first quiet round on.
+    /// The engine stops only when *all* correct processors are quiet in
+    /// the same round — and once they all are, no correct processor ever
+    /// relays again, so (absent withheld faulty-only signature chains,
+    /// which no strategy in the library banks) no acceptable chain can
+    /// arrive later and every decision is final. The fixed-length escape
+    /// hatch (`sg_sim::set_early_stopping(false)`) remains for
+    /// adversarial studies outside that envelope.
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        if self.input.is_some() || self.quiet {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
+    }
+
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
         self.params = Params::from_config(config);
         self.me = id;
         self.input = (id == config.source).then_some(config.source_value);
         self.accepted.clear();
         self.outbox.clear();
+        self.quiet = false;
         true
     }
 }

@@ -7,6 +7,15 @@
 //! principal structure and leaves the auxiliary ones intact (§4), *every*
 //! algorithm in the paper (and the hybrid that shifts across all three) is
 //! an instance of this one machine with a different plan.
+//!
+//! The tree machine deliberately keeps the default
+//! [`sg_sim::RoundStatus::Continue`] status: its decisions are functions
+//! of the *complete* gathered structure (resolve/`resolve'` over full
+//! levels), so no per-processor state short of the final conversion
+//! proves the decision final — early stopping belongs to the quiescent
+//! families (Dolev–Strong) and the lock-detecting king tails, which is
+//! exactly where the paper's expedite argument places it. The lock-in
+//! *measurement* for tree runs lives in `sg_analysis::stability`.
 
 use sg_eigtree::{convert, discover_during_conversion, discover_ig, FaultList, IgTree, RepTree};
 use sg_sim::{

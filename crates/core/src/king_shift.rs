@@ -32,7 +32,9 @@
 //! message blow-up for rounds while keeping full `⌊(n−1)/3⌋` resilience
 //! and keeping the A block's large-message phase to a single block.
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent, Value,
+};
 
 use sg_eigtree::Conversion;
 
@@ -59,7 +61,10 @@ pub fn king_shift_rounds(t: usize, b: usize) -> usize {
 /// let config = RunConfig::new(10, 3).with_source_value(Value(1));
 /// let outcome = execute(AlgorithmSpec::KingShift { b: 3 }, &config, &mut NoFaults)?;
 /// assert_eq!(outcome.decision(), Some(Value(1)));
-/// assert_eq!(outcome.rounds_used, 16); // 1 + b + 3·(t+1)
+/// assert_eq!(outcome.scheduled_rounds, 16); // 1 + b + 3·(t+1)
+/// // Fault-free runs shift out of the A block, lock in the first king
+/// // phase's propose step and stop there — the king tail's expedite win.
+/// assert_eq!(outcome.rounds_used, 6); // 1 + b + exchange + propose
 /// # Ok::<(), sg_core::SpecError>(())
 /// ```
 pub struct KingShift {
@@ -190,6 +195,18 @@ impl Protocol for KingShift {
 
     fn space_nodes(&self) -> u64 {
         self.geared.space_nodes()
+    }
+
+    /// Forwards the active sub-plan's status: the A prefix is a
+    /// fixed-length tree block ([`RoundStatus::Continue`] throughout —
+    /// its conversion needs the whole gathered tree), and the king tail
+    /// reports [`KingCore::is_ready`]. The source is always ready.
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        if self.input.is_some() || self.core.is_ready() {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
     }
 
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {

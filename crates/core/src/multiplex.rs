@@ -13,7 +13,9 @@
 //! that §1 of the paper builds on) and for the multivalued-to-binary
 //! reduction of [`crate::multivalued`].
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent, Value,
+};
 
 /// Combines the sub-protocols' decisions into the composite decision.
 pub type Combiner = Box<dyn Fn(&[Value]) -> Value>;
@@ -171,6 +173,22 @@ impl Protocol for Multiplex {
 
     fn space_nodes(&self) -> u64 {
         self.subs.iter().map(|s| s.space_nodes()).sum()
+    }
+
+    /// Ready exactly when *every* composed instance is ready: the
+    /// combined decision vector is final iff each slot is. Instances
+    /// without a status hook report [`RoundStatus::Continue`], which
+    /// correctly pins the composition to its full schedule.
+    fn round_status(&self, ctx: &ProcCtx) -> RoundStatus {
+        if self
+            .subs
+            .iter()
+            .all(|s| s.round_status(ctx) == RoundStatus::ReadyToDecide)
+        {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
     }
 
     fn reset(&mut self, id: ProcessId, _config: &RunConfig) -> bool {

@@ -43,8 +43,8 @@
 //! algorithms, answered affirmatively for this family.
 
 use sg_sim::{
-    Inbox, PackedBallots, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, RunConfig, TraceEvent,
-    Value,
+    Inbox, PackedBallots, Payload, ProcCtx, ProcessId, ProcessSet, Protocol, RoundStatus,
+    RunConfig, TraceEvent, Value,
 };
 
 use crate::params::Params;
@@ -97,6 +97,14 @@ pub struct KingCore {
     /// This processor's proposal from the exchange step (`None` = `⊥`).
     proposal: Option<Value>,
     locked: bool,
+    /// Whether the latest propose step locked. Unlike `locked` (which
+    /// the king step consumes and clears), this flag survives to the end
+    /// of the phase: it is the early-stopping signal. If *every* correct
+    /// processor locked in the same propose step they locked on the same
+    /// value (correct non-`⊥` proposals agree), so correct unanimity
+    /// holds and persists through every later phase — the decision is
+    /// final and the engine may stop right at that propose round.
+    ready: bool,
     /// Processors whose messages are masked to `⊥`/default — the paper's
     /// auxiliary fault list carried across a shift (empty unless the
     /// embedding protocol seeds it).
@@ -112,6 +120,7 @@ impl KingCore {
             current: Value::DEFAULT,
             proposal: None,
             locked: false,
+            ready: false,
             masked: ProcessSet::new(params.n),
         }
     }
@@ -125,6 +134,7 @@ impl KingCore {
         self.current = Value::DEFAULT;
         self.proposal = None;
         self.locked = false;
+        self.ready = false;
         if self.masked.universe() == params.n {
             self.masked.clear();
         } else {
@@ -146,6 +156,14 @@ impl KingCore {
     /// Whether the processor locked its value in the current phase.
     pub fn is_locked(&self) -> bool {
         self.locked
+    }
+
+    /// The early-stopping signal: whether the latest propose step
+    /// locked. Embedding protocols forward this from
+    /// [`sg_sim::Protocol::round_status`]; the engine's all-correct
+    /// conjunction makes it sound (see the `ready` field).
+    pub fn is_ready(&self) -> bool {
+        self.ready
     }
 
     /// Masks `who`: all further messages from it are read as `⊥`/default.
@@ -313,6 +331,7 @@ impl KingCore {
                     self.current = Value::DEFAULT;
                     self.locked = false;
                 }
+                self.ready = self.locked;
             }
             PhaseStep::King => {
                 if !self.locked {
@@ -352,7 +371,12 @@ impl KingCore {
 /// let config = RunConfig::new(10, 3).with_source_value(Value(1));
 /// let outcome = execute(AlgorithmSpec::OptimalKing, &config, &mut NoFaults)?;
 /// assert_eq!(outcome.decision(), Some(Value(1)));
-/// assert_eq!(outcome.rounds_used, 13); // 1 + 3·(t+1)
+/// assert_eq!(outcome.scheduled_rounds, 13); // 1 + 3·(t+1)
+/// // Fault-free runs lock in the very first propose step and stop there
+/// // (the expedite win; `sg_sim::set_early_stopping(false)` restores the
+/// // full fixed-length schedule).
+/// assert_eq!(outcome.rounds_used, 3);
+/// assert!(outcome.early_stopped);
 /// # Ok::<(), sg_core::SpecError>(())
 /// ```
 pub struct OptimalKing {
@@ -430,6 +454,16 @@ impl Protocol for OptimalKing {
         };
         ctx.emit(TraceEvent::Decided { value });
         value
+    }
+
+    /// Ready once the latest propose step locked ([`KingCore::is_ready`]);
+    /// the source is always ready — it decides its own input.
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        if self.input.is_some() || self.core.is_ready() {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
     }
 
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {

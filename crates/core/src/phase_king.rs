@@ -12,7 +12,9 @@
 //! consensus input, and validity follows from persistence (a unanimous
 //! correct majority survives every phase).
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent, Value,
+};
 
 use crate::params::Params;
 
@@ -29,6 +31,15 @@ pub struct PhaseKing {
     current: Value,
     /// Plurality value and its count from the phase's first round.
     tally: Option<(Value, usize)>,
+    /// Whether the last completed phase saw this processor's plurality
+    /// backed by a super-majority (`count > n/2 + t`) — the condition
+    /// under which it ignored the king. If *every* correct processor is
+    /// super-majority-backed in the same phase they all back the same
+    /// value (two values cannot each have more than `n/2` correct
+    /// holders), so correct unanimity holds and, at `n > 4t`, persists
+    /// through every later phase: the decision is final and the engine
+    /// may stop the run.
+    stable: bool,
 }
 
 impl PhaseKing {
@@ -50,6 +61,7 @@ impl PhaseKing {
             input,
             current: Value::DEFAULT,
             tally: None,
+            stable: false,
         }
     }
 
@@ -172,11 +184,8 @@ impl Protocol for PhaseKing {
                     domain.sanitize(inbox.from(king).value_at(0).unwrap_or(Value::DEFAULT))
                 };
                 // Keep the plurality only with super-majority support.
-                self.current = if count > n / 2 + self.params.t {
-                    maj
-                } else {
-                    king_value
-                };
+                self.stable = count > n / 2 + self.params.t;
+                self.current = if self.stable { maj } else { king_value };
                 ctx.charge(1);
                 ctx.emit(TraceEvent::Preferred {
                     value: self.current,
@@ -194,12 +203,24 @@ impl Protocol for PhaseKing {
         value
     }
 
+    /// Ready once the latest phase kept its value by super-majority (see
+    /// the `stable` field's invariant); the source is always ready — it
+    /// decides its own input.
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        if self.input.is_some() || self.stable {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
+    }
+
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
         self.params = Params::from_config(config);
         self.me = id;
         self.input = (id == config.source).then_some(config.source_value);
         self.current = Value::DEFAULT;
         self.tally = None;
+        self.stable = false;
         true
     }
 }

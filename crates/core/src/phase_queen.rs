@@ -12,7 +12,9 @@
 //! algorithms. The queen protocol is binary-valued by construction; the
 //! [`crate::multivalued`] reduction lifts it to larger domains.
 
-use sg_sim::{Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, TraceEvent, Value};
+use sg_sim::{
+    Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent, Value,
+};
 
 use crate::params::Params;
 
@@ -24,6 +26,13 @@ pub struct PhaseQueen {
     current: Value,
     /// Count of `1` reports in the current phase's first round.
     ones: usize,
+    /// Whether the last completed phase crossed the super-threshold
+    /// (`2·count > n + 2t` for either bit), overriding the queen. If
+    /// every correct processor crosses it in the same phase they cross
+    /// it for the same bit (each implies more than `n/2` *correct*
+    /// holders), so correct unanimity holds and, at `n > 4t`, persists
+    /// through every later phase: the decision is final.
+    stable: bool,
 }
 
 impl PhaseQueen {
@@ -51,6 +60,7 @@ impl PhaseQueen {
             input,
             current: Value::DEFAULT,
             ones: 0,
+            stable: false,
         }
     }
 
@@ -164,6 +174,7 @@ impl Protocol for PhaseQueen {
             } else {
                 queen_value
             };
+            self.stable = 2 * self.ones > n + 2 * t || 2 * (n - self.ones) > n + 2 * t;
             ctx.charge(1);
             ctx.emit(TraceEvent::Preferred {
                 value: self.current,
@@ -180,6 +191,17 @@ impl Protocol for PhaseQueen {
         value
     }
 
+    /// Ready once the latest phase crossed the super-threshold (see the
+    /// `stable` field's invariant); the source is always ready — it
+    /// decides its own input.
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        if self.input.is_some() || self.stable {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
+    }
+
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
         if config.domain.size() != 2 {
             // Phase Queen is binary-only; let the factory surface the
@@ -191,6 +213,7 @@ impl Protocol for PhaseQueen {
         self.input = (id == config.source).then_some(config.source_value);
         self.current = Value::DEFAULT;
         self.ones = 0;
+        self.stable = false;
         true
     }
 }

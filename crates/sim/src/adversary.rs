@@ -108,6 +108,31 @@ pub trait Adversary {
     /// Short human-readable strategy name for reports.
     fn name(&self) -> String;
 
+    /// The strategy name as a shared string, stored into every
+    /// [`crate::Outcome`]. The default allocates via [`Adversary::name`];
+    /// poolable strategies override it with a clone of a cached
+    /// `Arc<str>` so the per-run name allocation disappears from the
+    /// sweep hot path.
+    fn name_shared(&self) -> Arc<str> {
+        Arc::from(self.name())
+    }
+
+    /// Restores this instance to the state a freshly constructed instance
+    /// for `seed` would have, returning `true` on success. The sweep
+    /// engine's adversary pool calls this to recycle strategy instances
+    /// across runs of one family instead of boxing a fresh strategy per
+    /// run; a `false` return (the default, so external implementations
+    /// keep working unchanged) is a pool miss and the family factory
+    /// builds a replacement.
+    ///
+    /// Implementations may assume the instance was built by the same
+    /// factory (same family, same configuration) — the pool guarantees
+    /// it — and must restore *exactly* the freshly-constructed state so
+    /// pooled and fresh sweeps stay bit-identical.
+    fn reseed(&mut self, _seed: u64) -> bool {
+        false
+    }
+
     /// Chooses the set of faulty processors for this execution.
     ///
     /// Called once, before round 1. Implementations should corrupt at most
@@ -145,6 +170,16 @@ pub struct NoFaults;
 impl Adversary for NoFaults {
     fn name(&self) -> String {
         "no-faults".to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        static NAME: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+        NAME.get_or_init(|| Arc::from("no-faults")).clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        // Stateless: any instance is already "fresh" for any seed.
+        true
     }
 
     fn corrupt(&mut self, n: usize, _t: usize, _source: ProcessId) -> ProcessSet {

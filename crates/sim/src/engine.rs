@@ -11,7 +11,13 @@
 //!    have sent honestly, and shows both to the adversary;
 //! 3. asks the adversary for a payload per (faulty sender, recipient);
 //! 4. delivers complete inboxes to every processor (real and shadow);
-//! 5. accounts honest traffic, local work and peak space.
+//! 5. accounts honest traffic, local work and peak space;
+//! 6. consults every correct processor's [`Protocol::round_status`] and
+//!    terminates the run early once all of them are ready to decide —
+//!    the paper's *expedite* dividend, measurable as
+//!    [`Outcome::rounds_used`]` < `[`Outcome::scheduled_rounds`].
+//!    [`set_early_stopping`]`(false)` restores fixed-length execution
+//!    (bit-identical to the pre-early-stopping engine).
 //!
 //! # Allocation discipline
 //!
@@ -47,7 +53,7 @@ use crate::adversary::{Adversary, AdversaryView};
 use crate::id::{ProcessId, ProcessSet};
 use crate::metrics::{Metrics, RoundStats};
 use crate::payload::Payload;
-use crate::protocol::{Inbox, PackedBallots, ProcCtx, Protocol};
+use crate::protocol::{Inbox, PackedBallots, ProcCtx, Protocol, RoundStatus};
 use crate::sig::SigRegistry;
 use crate::trace::Trace;
 use crate::value::{Value, ValueDomain};
@@ -63,6 +69,14 @@ static INSTANCE_POOLING: AtomicBool = AtomicBool::new(true);
 /// fallback paths — the knob the criterion benches use to measure the
 /// bit-packed layer in isolation.
 static PACKED_BROADCAST: AtomicBool = AtomicBool::new(true);
+
+/// Whether the engine terminates a run early once every correct
+/// processor reports [`RoundStatus::ReadyToDecide`] (`true` by default).
+/// Off, every run executes its full static `total_rounds` schedule —
+/// the fixed-length behaviour all pre-early-stopping fingerprints were
+/// recorded under; CI cross-checks that mode against the committed
+/// `BENCH_sweep_fixed.json` reference.
+static EARLY_STOPPING: AtomicBool = AtomicBool::new(true);
 
 /// Enables or disables protocol-instance pooling (default on).
 pub fn set_instance_pooling(enabled: bool) {
@@ -82,6 +96,18 @@ pub fn set_packed_broadcast(enabled: bool) {
 /// Whether the bit-packed broadcast view is active.
 pub fn packed_broadcast_enabled() -> bool {
     PACKED_BROADCAST.load(Ordering::SeqCst)
+}
+
+/// Enables or disables status-driven early stopping (default on). The
+/// toggle is read once at the start of each run, so a run is always
+/// entirely early-stopping or entirely fixed-length.
+pub fn set_early_stopping(enabled: bool) {
+    EARLY_STOPPING.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether status-driven early stopping is active.
+pub fn early_stopping_enabled() -> bool {
+    EARLY_STOPPING.load(Ordering::SeqCst)
 }
 
 /// Identifies one protocol family + configuration *shape* for instance
@@ -191,14 +217,23 @@ pub struct Outcome {
     pub faulty: ProcessSet,
     /// Decision of each processor; `None` for faulty processors.
     pub decisions: Vec<Option<Value>>,
-    /// Rounds executed.
+    /// Rounds actually executed. With early stopping active this is the
+    /// round after which every correct processor was
+    /// [`RoundStatus::ReadyToDecide`]; otherwise it equals
+    /// [`Outcome::scheduled_rounds`].
     pub rounds_used: usize,
-    /// Traffic / computation / space metrics.
+    /// The protocol's static schedule length (`Protocol::total_rounds`).
+    pub scheduled_rounds: usize,
+    /// Whether the run terminated before its static schedule ended.
+    pub early_stopped: bool,
+    /// Traffic / computation / space metrics (round-resolved: one
+    /// [`RoundStats`] entry per round actually executed).
     pub metrics: Metrics,
     /// Trace events (empty unless tracing was enabled).
     pub trace: Trace,
-    /// The adversary's strategy name.
-    pub adversary: String,
+    /// The adversary's strategy name (shared, so pooled sweeps do not
+    /// allocate a name per run).
+    pub adversary: Arc<str>,
 }
 
 impl Outcome {
@@ -248,6 +283,12 @@ impl Outcome {
     /// The common decision value if agreement holds.
     pub fn decision(&self) -> Option<Value> {
         self.consensus().1
+    }
+
+    /// Rounds the run saved against its static schedule — the paper's
+    /// expedite quantity (0 unless the run early-stopped).
+    pub fn rounds_saved(&self) -> usize {
+        self.scheduled_rounds - self.rounds_used
     }
 
     /// Asserts agreement and validity, panicking with diagnostics
@@ -533,6 +574,12 @@ where
     // one mask word; see the module docs.
     let pack = packed_broadcast_enabled() && n <= 64 && config.domain.size() == 2;
 
+    // Early stopping is latched once per run, so a run is entirely
+    // status-driven or entirely fixed-length.
+    let early = early_stopping_enabled();
+    let mut rounds_used = total_rounds;
+    let mut early_stopped = false;
+
     let RunArena {
         honest,
         shadow,
@@ -684,6 +731,22 @@ where
                 metrics.peak_tree_nodes = metrics.peak_tree_nodes.max(protocols[i].space_nodes());
             }
         }
+
+        // 6. Early stopping: terminate once every *correct* processor
+        // reports its decision final (faulty processors never gate
+        // termination). Reaching the last scheduled round is not counted
+        // as early.
+        if early
+            && round < total_rounds
+            && (0..n).all(|i| {
+                faulty.contains(ProcessId(i))
+                    || protocols[i].round_status(&ctxs[i]) == RoundStatus::ReadyToDecide
+            })
+        {
+            rounds_used = round;
+            early_stopped = true;
+            break;
+        }
     }
 
     // Decisions.
@@ -714,10 +777,12 @@ where
         config: *config,
         faulty,
         decisions,
-        rounds_used: total_rounds,
+        rounds_used,
+        scheduled_rounds: total_rounds,
+        early_stopped,
         metrics,
         trace,
-        adversary: adversary.name(),
+        adversary: adversary.name_shared(),
     }
 }
 
@@ -797,6 +862,92 @@ mod tests {
         let outcome = run(&config, &mut NoFaults, toy_factory(&config));
         // Each processor charged 1 in outgoing + 1 in deliver.
         assert_eq!(outcome.metrics.local_ops, vec![2, 2, 2]);
+    }
+
+    /// Serializes the early-stopping tests: one of them flips the
+    /// process-global toggle, so running them on parallel test threads
+    /// would race the flag mid-run (the same convention as
+    /// `tests/instance_pool.rs`).
+    static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A silent protocol that runs `rounds` rounds and reports ready from
+    /// the end of round `ready_after` on.
+    struct Lazy {
+        rounds: usize,
+        ready_after: usize,
+    }
+
+    impl Protocol for Lazy {
+        fn total_rounds(&self) -> usize {
+            self.rounds
+        }
+
+        fn outgoing(&mut self, _ctx: &mut ProcCtx) -> Option<Payload> {
+            None
+        }
+
+        fn deliver(&mut self, _inbox: &Inbox, _ctx: &mut ProcCtx) {}
+
+        fn decide(&mut self, _ctx: &mut ProcCtx) -> Value {
+            Value::DEFAULT
+        }
+
+        fn round_status(&self, ctx: &ProcCtx) -> RoundStatus {
+            if ctx.round >= self.ready_after {
+                RoundStatus::ReadyToDecide
+            } else {
+                RoundStatus::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn engine_stops_when_all_correct_processors_are_ready() {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let config = RunConfig::new(3, 0);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            Box::new(Lazy {
+                rounds: 7,
+                ready_after: 3,
+            })
+        });
+        assert_eq!(outcome.rounds_used, 3);
+        assert_eq!(outcome.scheduled_rounds, 7);
+        assert!(outcome.early_stopped);
+        assert_eq!(outcome.rounds_saved(), 4);
+        assert_eq!(outcome.metrics.rounds(), 3);
+    }
+
+    #[test]
+    fn reaching_the_last_round_is_not_early() {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let config = RunConfig::new(3, 0);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            Box::new(Lazy {
+                rounds: 4,
+                ready_after: 4,
+            })
+        });
+        assert_eq!(outcome.rounds_used, 4);
+        assert!(!outcome.early_stopped);
+        assert_eq!(outcome.rounds_saved(), 0);
+    }
+
+    #[test]
+    fn escape_hatch_restores_fixed_length_runs() {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let config = RunConfig::new(3, 0);
+        set_early_stopping(false);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            Box::new(Lazy {
+                rounds: 7,
+                ready_after: 2,
+            })
+        });
+        set_early_stopping(true);
+        assert_eq!(outcome.rounds_used, 7);
+        assert!(!outcome.early_stopped);
+        assert_eq!(outcome.metrics.rounds(), 7);
     }
 
     #[test]

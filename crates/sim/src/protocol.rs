@@ -17,6 +17,28 @@ use crate::sig::{SigRegistry, SignedRelay};
 use crate::trace::{Trace, TraceEntry, TraceEvent};
 use crate::value::Value;
 
+/// What a processor reports to the engine at the end of a round: whether
+/// its decision is already final or the protocol must keep running.
+///
+/// The engine's early-stopping rule (see [`crate::engine`]) terminates a
+/// run before its static schedule ends once **every correct** processor
+/// reports [`RoundStatus::ReadyToDecide`] — faulty processors never gate
+/// termination. A processor should report ready only when its
+/// [`Protocol::decide`] value can no longer change *given that every other
+/// correct processor is simultaneously ready*; the engine evaluates the
+/// conjunction omnisciently, so per-processor hooks may rely on that
+/// global context (e.g. "I locked this phase" is sound because all-locked
+/// implies unanimity-forever in the king family).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RoundStatus {
+    /// The protocol must run its next scheduled round.
+    #[default]
+    Continue,
+    /// This processor's decision is final; it can stop whenever every
+    /// other correct processor is also ready.
+    ReadyToDecide,
+}
+
 /// Bit-packed view of one round's single-value binary broadcasts, one bit
 /// per sender: `ones` has sender `j`'s bit set iff `j`'s payload reads
 /// `Value(1)` at position 0, `zeros` likewise for `Value(0)`. A sender in
@@ -286,6 +308,21 @@ pub trait Protocol {
     /// space accounting. Default 0 for protocols without trees.
     fn space_nodes(&self) -> u64 {
         0
+    }
+
+    /// This processor's termination status at the end of the round in
+    /// `ctx.round`, consulted by the engine *after* the round's
+    /// deliveries. The default — always [`RoundStatus::Continue`] — keeps
+    /// external implementations valid and simply opts the protocol out of
+    /// early stopping (it runs its full static schedule), mirroring the
+    /// [`Protocol::reset`] pattern.
+    ///
+    /// Implementations must be deterministic functions of delivered state
+    /// so that pooled/fresh and packed/fallback runs remain bit-identical,
+    /// and must only report ready when the decision is provably final
+    /// under the engine's all-correct-ready rule (see [`RoundStatus`]).
+    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        RoundStatus::Continue
     }
 
     /// Restores this instance to the state a freshly constructed instance

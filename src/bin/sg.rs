@@ -18,11 +18,16 @@
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to size the sweep engine's worker
-//! pool (default: all hardware threads). `serve` runs the long-lived
-//! sweep daemon (wire protocol `sg-serve/1`, see `sg_serve::wire`);
-//! `submit` sends the same grid `sweep` runs locally and must produce a
+//! pool (default: all hardware threads) and `--no-early-stop` to run
+//! every execution for its full static schedule (by default the engine
+//! terminates a run once every correct processor is ready to decide —
+//! the paper's expedite behaviour). `serve` runs the long-lived sweep
+//! daemon (wire protocol `sg-serve/1`, see `sg_serve::wire`); `submit`
+//! sends the same grid `sweep` runs locally and must produce a
 //! bit-identical fingerprint — CI's serve-e2e job holds the two paths to
-//! that contract.
+//! that contract. The sweep grids take `--f <k>` to cap the *actual*
+//! fault count below `t` (the rounds-vs-f workloads) and grew `crash` /
+//! `silent` adversary families.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -48,8 +53,9 @@ fn usage() -> ! {
          sg gauntlet --alg <name> --n <n> [--t <t>] [--b <b>]\n  \
          sg stability --alg <name> --n <n> [--t <t>] [--b <b>] [--seed <s>]\n  \
          sg sweep --alg <name> --n <n> [--t <t>] [--b <b>] [--seeds <k>]\n           \
-         [--adversary random-liar|chain-revealer|none] [--source-faulty]\n           \
-         [--base-seed <s>] [--expect-fingerprint <hex>]\n  \
+         [--adversary random-liar|chain-revealer|crash|silent|none]\n           \
+         [--f <k>] [--source-faulty] [--base-seed <s>]\n           \
+         [--expect-fingerprint <hex>]\n  \
          sg serve [--port <p> | --addr <host:port> | --socket <path>]\n           \
          [--workers <N>] [--quantum <runs>]\n  \
          sg submit [--addr <host:port> | --socket <path>] [--timeout <secs>]\n           \
@@ -57,7 +63,8 @@ fn usage() -> ! {
          sg ping [--addr <host:port> | --socket <path>]\n  \
          sg bounds --n <n>\n  \
          sg list\n\
-         global: --jobs <N> sizes the sweep worker pool"
+         global: --jobs <N> sizes the sweep worker pool; --no-early-stop runs\n        \
+         full fixed-length schedules"
     );
     exit(2);
 }
@@ -256,7 +263,16 @@ fn cmd_run(flags: &HashMap<String, String>, toggles: &[String]) {
         "adversary : {} corrupting {}",
         outcome.adversary, outcome.faulty
     );
-    println!("rounds    : {}", outcome.rounds_used);
+    println!(
+        "rounds    : {} of {} scheduled{}",
+        outcome.rounds_used,
+        outcome.scheduled_rounds,
+        if outcome.early_stopped {
+            " (early stop)"
+        } else {
+            ""
+        }
+    );
     println!(
         "messages  : total {} ({} bits), largest {} values",
         outcome.metrics.total_messages(),
@@ -499,11 +515,16 @@ fn sweep_plan_from_flags(
         exit(2);
     }
     let source_faulty = toggles.iter().any(|t| t == "source-faulty");
-    let sel = if source_faulty {
+    let mut sel = if source_faulty {
         FaultSelection::with_source()
     } else {
         FaultSelection::without_source()
     };
+    // The actual-fault-budget knob: corrupt only f <= t processors, the
+    // regime where early stopping pays (rounds-vs-f sweeps).
+    if let Some(f) = parse_usize(flags, "f") {
+        sel = sel.limit(f);
+    }
     let adv_name = flags
         .get("adversary")
         .map(String::as_str)
@@ -512,8 +533,13 @@ fn sweep_plan_from_flags(
         "none" => AdversaryFamily::no_faults(),
         "random-liar" => AdversaryFamily::random_liar(sel),
         "chain-revealer" => AdversaryFamily::chain_revealer(sel, 2, 2),
+        "crash" => AdversaryFamily::crash(sel, 2),
+        "silent" => AdversaryFamily::silent(sel),
         other => {
-            eprintln!("sweep supports adversaries none|random-liar|chain-revealer, got '{other}'");
+            eprintln!(
+                "sweep supports adversaries none|random-liar|chain-revealer|crash|silent, \
+                 got '{other}'"
+            );
             exit(2);
         }
     };
@@ -618,6 +644,17 @@ fn cmd_serve(flags: &HashMap<String, String>) {
 fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
     use shifting_gears::serve::ServeError;
 
+    // The early-stopping mode is engine-global, not part of the wire
+    // plan: an external daemon runs grids in *its* mode regardless of
+    // this client's flag. Reject rather than silently return wrong-mode
+    // data; start the daemon with `sg serve --no-early-stop` instead.
+    if toggles.iter().any(|t| t == "no-early-stop") {
+        eprintln!(
+            "--no-early-stop does not travel over sg-serve/1: the daemon's own mode \
+             governs its runs. Launch the daemon with `sg serve --no-early-stop` instead."
+        );
+        exit(2);
+    }
     let mut client = connect_client(flags);
     if toggles.iter().any(|t| t == "shutdown") {
         match client.shutdown_server() {
@@ -681,6 +718,9 @@ fn main() {
     let (flags, toggles) = parse_flags(&args[1..]);
     if let Some(jobs) = parse_usize(&flags, "jobs") {
         shifting_gears::analysis::set_jobs(jobs);
+    }
+    if toggles.iter().any(|t| t == "no-early-stop") {
+        shifting_gears::sim::set_early_stopping(false);
     }
     match cmd.as_str() {
         "run" => cmd_run(&flags, &toggles),

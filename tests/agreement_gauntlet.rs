@@ -25,9 +25,22 @@ fn gauntlet(spec: AlgorithmSpec, n: usize, t: usize, quick: bool) {
             );
             outcome.assert_correct();
             assert_eq!(
-                outcome.rounds_used,
+                outcome.scheduled_rounds,
                 spec.rounds(n, t),
-                "{} round count drifted under {}",
+                "{} schedule drifted under {}",
+                spec.name(),
+                outcome.adversary
+            );
+            assert!(
+                outcome.rounds_used <= outcome.scheduled_rounds,
+                "{} overran its schedule under {}",
+                spec.name(),
+                outcome.adversary
+            );
+            assert_eq!(
+                outcome.early_stopped,
+                outcome.rounds_used < outcome.scheduled_rounds,
+                "{} mis-reported early_stopped under {}",
                 spec.name(),
                 outcome.adversary
             );

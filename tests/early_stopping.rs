@@ -1,0 +1,288 @@
+//! Early stopping is an *optimization*, never a semantic change: for
+//! every protocol family × adversary (including the actual-fault-budget
+//! scenarios with `f_actual < t`), the early-stopped run must decide the
+//! same values as the same-seed run with early stopping disabled —
+//! agreement and validity preserved — while never overrunning the static
+//! schedule. Fault-free (`f = 0`) runs of the early-stopping families
+//! must *strictly* undercut their schedules: that saving is the paper's
+//! expedite thesis made measurable.
+//!
+//! Also pinned here: the sweep engine's adversary pool
+//! (`Adversary::reseed`) is unobservable — pooled-warm, pooled-cold and
+//! fresh (`set_instance_pooling(false)`) sweeps produce bit-identical
+//! reports.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use shifting_gears::adversary::{
+    ChainRevealer, Crash, FaultSelection, RandomLiar, Silent, TwoFaced,
+};
+use shifting_gears::analysis::{AdversaryFamily, SweepConfig, SweepPlan};
+use shifting_gears::core::{execute, AlgorithmSpec};
+use shifting_gears::sim::{
+    set_early_stopping, set_instance_pooling, Adversary, NoFaults, Outcome, RunConfig, Value,
+};
+
+/// Serializes the tests in this file: they drive the process-global
+/// `set_early_stopping` / `set_instance_pooling` toggles.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+/// One strategy instance; `f` caps the actual fault count (`None` = the
+/// full budget `t`).
+fn adversary(idx: usize, seed: u64, f: Option<usize>) -> Box<dyn Adversary> {
+    let cap = |sel: FaultSelection| match f {
+        Some(f) => sel.limit(f),
+        None => sel,
+    };
+    match idx {
+        0 => Box::new(NoFaults),
+        1 => Box::new(RandomLiar::new(cap(FaultSelection::with_source()), seed)),
+        2 => Box::new(TwoFaced::new(cap(FaultSelection::without_source()))),
+        3 => Box::new(ChainRevealer::new(
+            cap(FaultSelection::without_source()),
+            2,
+            2,
+            seed,
+        )),
+        // The new crash-early / go-silent scenario families.
+        4 => Box::new(Crash::new(cap(FaultSelection::without_source()), 2)),
+        _ => Box::new(Silent::new(cap(FaultSelection::without_source()))),
+    }
+}
+
+/// Runs `spec` twice with the same adversary construction — early
+/// stopping on, then off — and returns both outcomes.
+fn run_pair(
+    spec: AlgorithmSpec,
+    n: usize,
+    t: usize,
+    mk_adversary: &dyn Fn() -> Box<dyn Adversary>,
+) -> (Outcome, Outcome) {
+    let config = RunConfig::new(n, t)
+        .with_source_value(Value(1))
+        .with_trace();
+    let expedited = execute(spec, &config, mk_adversary().as_mut())
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+    set_early_stopping(false);
+    let fixed = execute(spec, &config, mk_adversary().as_mut())
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+    set_early_stopping(true);
+    (expedited, fixed)
+}
+
+/// The core equivalence: same decisions, same fault set, schedule
+/// respected, and the expedited metrics are a round-prefix of the fixed
+/// run's.
+fn check_equivalence(
+    label: &str,
+    spec: AlgorithmSpec,
+    n: usize,
+    t: usize,
+    expedited: &Outcome,
+    fixed: &Outcome,
+) {
+    assert_eq!(expedited.faulty, fixed.faulty, "{label}: fault set");
+    assert_eq!(
+        expedited.decisions, fixed.decisions,
+        "{label}: early stopping changed a decision"
+    );
+    expedited.assert_correct();
+    fixed.assert_correct();
+    assert_eq!(expedited.validity(), fixed.validity(), "{label}: validity");
+
+    assert_eq!(fixed.scheduled_rounds, spec.rounds(n, t), "{label}");
+    assert_eq!(fixed.rounds_used, fixed.scheduled_rounds, "{label}");
+    assert!(!fixed.early_stopped, "{label}");
+    assert_eq!(
+        expedited.scheduled_rounds, fixed.scheduled_rounds,
+        "{label}"
+    );
+    assert!(
+        expedited.rounds_used <= expedited.scheduled_rounds,
+        "{label}: overran the schedule"
+    );
+    assert_eq!(
+        expedited.early_stopped,
+        expedited.rounds_used < expedited.scheduled_rounds,
+        "{label}"
+    );
+
+    // Up to the stopping round the executions are identical, so the
+    // expedited per-round metrics are exactly a prefix of the fixed ones.
+    assert_eq!(
+        expedited.metrics.per_round[..],
+        fixed.metrics.per_round[..expedited.rounds_used],
+        "{label}: metrics diverged before the stopping round"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every early-stopping family plus a tree baseline, the adversary
+    /// sample (including crash/silent), and actual fault budgets
+    /// `f ∈ {0, 1, t}`: expedited and fixed-length runs decide
+    /// identically.
+    #[test]
+    fn early_stopped_runs_decide_like_fixed_runs(
+        seed in 0u64..1_000,
+        adv_idx in 0usize..6,
+        f_sel in 0usize..3,
+    ) {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cases = [
+            (AlgorithmSpec::PhaseKing, 9, 2),
+            (AlgorithmSpec::PhaseQueen, 9, 2),
+            (AlgorithmSpec::OptimalKing, 7, 2),
+            (AlgorithmSpec::KingShift { b: 3 }, 10, 3),
+            (AlgorithmSpec::DolevStrong, 5, 3),
+            // Tree baseline: no status hook, must never stop early.
+            (AlgorithmSpec::Exponential, 7, 2),
+        ];
+        for (spec, n, t) in cases {
+            let f = [Some(0), Some(1), None][f_sel].map(|f| f.min(t));
+            let mk = || adversary(adv_idx, seed, f);
+            let (expedited, fixed) = run_pair(spec, n, t, &mk);
+            let label = format!("{} adv={adv_idx} f={f:?} seed={seed}", spec.name());
+            check_equivalence(&label, spec, n, t, &expedited, &fixed);
+            if matches!(spec, AlgorithmSpec::Exponential) {
+                prop_assert!(!expedited.early_stopped, "{label}: tree machine stopped early");
+            }
+        }
+    }
+}
+
+/// The expedite thesis, concretely: with zero actual faults the
+/// early-stopping families finish strictly below their schedules —
+/// Dolev–Strong by the quiescence rule (`min(f+2, t+1)` with `f = 0`),
+/// the king family one propose step after the source round.
+#[test]
+fn fault_free_runs_strictly_undercut_their_schedules() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cases = [
+        (AlgorithmSpec::DolevStrong, 5, 3, 2),         // t+1 = 4 → 2
+        (AlgorithmSpec::OptimalKing, 16, 5, 3),        // 3t+4 = 19 → 3
+        (AlgorithmSpec::PhaseKing, 16, 3, 3),          // 2t+3 = 9 → 3
+        (AlgorithmSpec::PhaseQueen, 16, 3, 3),         // 2t+3 = 9 → 3
+        (AlgorithmSpec::KingShift { b: 3 }, 16, 5, 6), // 1+b+3(t+1) = 22 → 6
+    ];
+    for (spec, n, t, expect) in cases {
+        let config = RunConfig::new(n, t).with_source_value(Value(1));
+        let outcome = execute(spec, &config, &mut NoFaults).unwrap();
+        outcome.assert_correct();
+        assert!(
+            outcome.rounds_used < outcome.scheduled_rounds,
+            "{}: no expedite at f = 0",
+            spec.name()
+        );
+        assert_eq!(outcome.rounds_used, expect, "{}", spec.name());
+        assert!(outcome.early_stopped, "{}", spec.name());
+        assert_eq!(
+            outcome.rounds_saved(),
+            outcome.scheduled_rounds - expect,
+            "{}",
+            spec.name()
+        );
+    }
+}
+
+/// The acceptance workload: an `f_actual = 0` sweep shows `mean_rounds`
+/// strictly below the schedule for Dolev–Strong and the king family,
+/// with a 100% early-stop rate, while the tree families hold their full
+/// schedules in the same grid.
+#[test]
+fn fault_budget_sweep_records_the_expedite_win() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::DolevStrong, 5, 3),
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 16, 5),
+            SweepConfig::traced(AlgorithmSpec::Exponential, 7, 2),
+        ],
+        vec![
+            // f_actual = 0 spelled two ways: an empty crash selection and
+            // the fault-free family.
+            AdversaryFamily::crash(FaultSelection::without_source().limit(0), 2),
+            AdversaryFamily::no_faults(),
+        ],
+        5,
+    );
+    let report = plan.run_with_jobs(1);
+    for cell in &report.cells {
+        let rounds = &cell.summaries[4];
+        let schedule = match cell.spec_name.as_str() {
+            "dolev-strong" => AlgorithmSpec::DolevStrong.rounds(cell.n, cell.t),
+            "optimal-king" => AlgorithmSpec::OptimalKing.rounds(cell.n, cell.t),
+            _ => AlgorithmSpec::Exponential.rounds(cell.n, cell.t),
+        } as u64;
+        if cell.spec_name == "exponential" {
+            assert_eq!(rounds.max, schedule, "trees run their full schedule");
+            assert!((cell.early_stop_rate - 0.0).abs() < f64::EPSILON);
+        } else {
+            assert!(
+                rounds.mean < schedule as f64,
+                "{}: mean rounds {} not below schedule {schedule}",
+                cell.spec_name,
+                rounds.mean
+            );
+            assert!((cell.early_stop_rate - 1.0).abs() < f64::EPSILON);
+            // The rendered row carries the new columns.
+            let line = cell.render_line();
+            assert!(line.contains("rounds"), "{line}");
+            assert!(line.contains("early-stop 100%"), "{line}");
+        }
+    }
+}
+
+/// The adversary pool is unobservable: a warm pooled sweep, a second
+/// (reseed-recycled) pooled sweep and a fresh sweep with pooling
+/// disabled all produce bit-identical reports.
+#[test]
+fn adversary_reseed_pooling_is_bit_identical() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::with_source()),
+            AdversaryFamily::chain_revealer(FaultSelection::without_source().limit(1), 2, 2),
+            AdversaryFamily::crash(FaultSelection::without_source(), 3),
+            AdversaryFamily::silent(FaultSelection::without_source().limit(1)),
+            AdversaryFamily::no_faults(),
+        ],
+        4,
+    );
+    // Sequential so both passes share one thread's adversary pool: the
+    // first pass seeds it, the second runs entirely on reseeds.
+    let cold = plan.run_with_jobs(1);
+    let warm = plan.run_with_jobs(1);
+    assert_eq!(cold, warm, "reseed-recycled sweep diverged");
+
+    set_instance_pooling(false);
+    let fresh = plan.run_with_jobs(1);
+    set_instance_pooling(true);
+    assert_eq!(cold, fresh, "pooled and fresh sweeps diverged");
+}
+
+/// `rounds_used` equality at the schedule: with early stopping disabled
+/// every run reports exactly its schedule, for every family × adversary.
+#[test]
+fn fixed_length_mode_reports_full_schedules() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_early_stopping(false);
+    for (spec, n, t) in [
+        (AlgorithmSpec::OptimalKing, 7, 2),
+        (AlgorithmSpec::DolevStrong, 5, 3),
+    ] {
+        for adv_idx in 0..6 {
+            let config = RunConfig::new(n, t).with_source_value(Value(1));
+            let outcome = execute(spec, &config, adversary(adv_idx, 7, None).as_mut()).unwrap();
+            assert_eq!(outcome.rounds_used, spec.rounds(n, t), "{}", spec.name());
+            assert!(!outcome.early_stopped);
+        }
+    }
+    set_early_stopping(true);
+}

@@ -24,9 +24,15 @@ fn gauntlet(spec: AlgorithmSpec, n: usize, t: usize, quick: bool) {
                 .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name()));
             outcome.assert_correct();
             assert_eq!(
-                outcome.rounds_used,
+                outcome.scheduled_rounds,
                 spec.rounds(n, t),
-                "{} round count drifted under {}",
+                "{} schedule drifted under {}",
+                spec.name(),
+                outcome.adversary
+            );
+            assert!(
+                outcome.rounds_used <= outcome.scheduled_rounds,
+                "{} overran its schedule under {}",
                 spec.name(),
                 outcome.adversary
             );

@@ -23,9 +23,15 @@ fn gauntlet(builder: ShiftPlanBuilder, n: usize, t: usize, quick: bool) {
             let outcome = composition.execute(&config, adversary.as_mut());
             outcome.assert_correct();
             assert_eq!(
-                outcome.rounds_used,
+                outcome.scheduled_rounds,
                 composition.rounds(),
-                "{} round count drifted under {}",
+                "{} schedule drifted under {}",
+                composition.name(),
+                outcome.adversary
+            );
+            assert!(
+                outcome.rounds_used <= outcome.scheduled_rounds,
+                "{} overran its schedule under {}",
                 composition.name(),
                 outcome.adversary
             );
