@@ -794,6 +794,109 @@ pub fn plan_figures() -> String {
     out
 }
 
+/// The rounds-vs-f table: measured `rounds_used` under the crash/silent
+/// scenario families at every actual fault count `f ∈ 0..=t`, comparing
+/// the static gear plan (`compose[A(b)×k→King]`) against its dynamic
+/// counterparts — the same composition with runtime checkpoints
+/// ([`sg_core::ShiftPlanBuilder::dynamic`]) and the `dynamic-king` spec —
+/// with Dolev–Strong's `min(f+2, t+1)` early-stopping staircase
+/// alongside. The scenario adversaries are deterministic (crashes ignore
+/// their seed), so each cell is one execution.
+pub fn experiment_rounds_vs_f(scale: Scale) -> Table {
+    let (n, b) = match scale {
+        Scale::Quick => (10, 3),
+        Scale::Full => (16, 3),
+    };
+    let t = t_a(n);
+    let blocks = sg_core::dynamic_king_blocks(t, b);
+    let static_comp = sg_core::ShiftPlanBuilder::new(n, t)
+        .a_blocks(b, blocks)
+        .king_tail()
+        .build()
+        .expect("A-blocks + king tail validate");
+    let dynamic_comp = sg_core::ShiftPlanBuilder::new(n, t)
+        .a_blocks(b, blocks)
+        .king_tail()
+        .dynamic()
+        .build()
+        .expect("dynamic A-blocks + king tail validate");
+    let mut table = Table::new(
+        "EXP-RF — rounds used vs. actual fault count (static vs dynamic gear plans)",
+        format!(
+            "n = {n}, t = {t}, b = {b}: the crash (silent from round 2), \
+             silent (never speak) and chain-revealer (staged lies that force \
+             tree discoveries) families corrupting exactly f processors — \
+             the actual-fault-budget knob of the expedite question. \
+             'dolev-strong' is the authenticated baseline whose quiescence \
+             rule pins the min(f+2, t+1) lemma; \
+             'compose[A(b)x{blocks}->King]' is the static gear plan (its tree \
+             prefix never stops early); 'dynamic' is the same composition \
+             with runtime checkpoints, and 'dynamic-king' the spec-level \
+             dynamic hybrid — both shift into the king tail as soon as a \
+             block under-delivers fault detections, so quiet adversaries \
+             (crash/silent, and any f << t) surrender the worst-case prefix \
+             immediately, while detection-forcing ones hold it longer."
+        ),
+        vec![
+            "family",
+            "f",
+            "min(f+2,t+1)",
+            "dolev-strong",
+            "static compose",
+            "dynamic compose",
+            "dynamic-king",
+        ],
+    );
+    let cells: Vec<(usize, usize)> = (0..3usize)
+        .flat_map(|family| (0..=t).map(move |f| (family, f)))
+        .collect();
+    let results = measure_cells(cells, move |&(family, f)| {
+        let config = RunConfig::new(n, t)
+            .with_source_value(Value(1))
+            .with_trace();
+        let adversary = || -> Box<dyn sg_sim::Adversary> {
+            let sel = FaultSelection::without_source().limit(f);
+            match family {
+                0 => Box::new(sg_adversary::Crash::new(sel, 2)),
+                1 => Box::new(sg_adversary::Silent::new(sel)),
+                // The detection-forcing contrast: staged reveals keep
+                // blocks delivering discoveries, so the dynamic plans
+                // hold their prefix longer as f grows.
+                _ => Box::new(ChainRevealer::new(sel, 2, 2, 7)),
+            }
+        };
+        let run = |spec: AlgorithmSpec| {
+            let outcome = sg_core::execute(spec, &config, adversary().as_mut()).expect("valid");
+            outcome.assert_correct();
+            outcome.rounds_used
+        };
+        let compose = |comp: &sg_core::ShiftComposition| {
+            let outcome = comp.execute(&config, adversary().as_mut());
+            outcome.assert_correct();
+            outcome.rounds_used
+        };
+        (
+            run(AlgorithmSpec::DolevStrong),
+            compose(&static_comp),
+            compose(&dynamic_comp),
+            run(AlgorithmSpec::DynamicKing { b }),
+        )
+    });
+    for ((family, f), (ds, stat, dynamic, dyn_king)) in results {
+        let family = ["crash", "silent", "chain-revealer"][family];
+        table.push_row(vec![
+            family.to_string(),
+            f.to_string(),
+            (f + 2).min(t + 1).to_string(),
+            ds.to_string(),
+            stat.to_string(),
+            dynamic.to_string(),
+            dyn_king.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Every tabulated experiment at the given scale, in presentation order.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     vec![
@@ -809,6 +912,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         experiment_early_stopping(scale),
         experiment_king(scale),
         experiment_compositions(scale),
+        experiment_rounds_vs_f(scale),
     ]
 }
 

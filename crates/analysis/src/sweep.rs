@@ -474,49 +474,59 @@ impl SweepPlan {
         }
     }
 
-    /// One execution: cell `(ci, ai)`, run `si`, on the thread-local
-    /// arena pool.
+    /// One execution: cell `(ci, ai)`, run `si`, on this thread's
+    /// scratch arena.
     fn run_one(&self, ci: usize, ai: usize, si: u64) -> Sample {
-        self.run_one_with(ci, ai, si, |spec, config, adversary| {
-            sg_core::execute(spec, config, adversary)
-        })
+        SWEEP_ARENA.with(|arena| self.run_one_in(&mut arena.borrow_mut(), ci, ai, si))
     }
 
     /// [`SweepPlan::run_one`] with a caller-held arena — the executor
-    /// behind [`CellCursor`]; bit-identical to the pooled path.
+    /// behind [`CellCursor`]; bit-identical to the batch path. The run's
+    /// [`Outcome`] streams into this thread's reusable buffer
+    /// ([`sg_core::execute_into`]), so the executor performs no per-run
+    /// result allocations: only the extracted [`Sample`] survives.
     fn run_one_in(&self, arena: &mut RunArena, ci: usize, ai: usize, si: u64) -> Sample {
-        self.run_one_with(ci, ai, si, |spec, config, adversary| {
-            sg_core::execute_in(arena, spec, config, adversary)
-        })
+        SWEEP_OUTCOME.with(|out| self.run_one_into(arena, &mut out.borrow_mut(), ci, ai, si))
     }
 
-    fn run_one_with(
+    /// The executor core: runs in `arena`, streams the result into
+    /// `out`, and reduces it to a [`Sample`].
+    fn run_one_into(
         &self,
+        arena: &mut RunArena,
+        out: &mut Outcome,
         ci: usize,
         ai: usize,
         si: u64,
-        exec: impl FnOnce(
-            AlgorithmSpec,
-            &RunConfig,
-            &mut dyn Adversary,
-        ) -> Result<Outcome, sg_core::SpecError>,
     ) -> Sample {
         let config = &self.configs[ci];
         let family = &self.adversaries[ai];
         let seed = self.seed_for(ci, ai, si);
         let run_config = config.run_config();
         with_family_adversary(family, seed, |adversary| {
-            let outcome = exec(config.spec, &run_config, adversary)
+            sg_core::execute_into(arena, config.spec, &run_config, adversary, out)
                 .unwrap_or_else(|e| panic!("{}: {e}", config.spec.name()));
             assert!(
-                outcome.agreement(),
+                out.agreement(),
                 "{} violated agreement under {} at seed {seed}",
                 config.spec.name(),
                 family.name,
             );
-            sample_of(&outcome)
+            sample_of(out)
         })
     }
+}
+
+thread_local! {
+    /// Per-thread scratch arena for the batch executor (the cursor path
+    /// holds its own long-lived arena instead).
+    static SWEEP_ARENA: RefCell<RunArena> = RefCell::new(RunArena::new());
+
+    /// Per-thread reusable [`Outcome`] buffer: every run's result is
+    /// streamed into it and reduced to a [`Sample`] in place, retiring
+    /// the last per-run result vectors (decisions, metrics, trace) from
+    /// the sweep hot path.
+    static SWEEP_OUTCOME: RefCell<Outcome> = RefCell::new(Outcome::buffer());
 }
 
 /// A resumable, preemptible executor for one `(config, adversary)` cell.

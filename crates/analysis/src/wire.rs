@@ -68,6 +68,7 @@ pub fn spec_to_json(spec: AlgorithmSpec) -> Json {
         AlgorithmSpec::PhaseKing => ("phase-king", None),
         AlgorithmSpec::OptimalKing => ("optimal-king", None),
         AlgorithmSpec::KingShift { b } => ("king-shift", Some(b)),
+        AlgorithmSpec::DynamicKing { b } => ("dynamic-king", Some(b)),
         AlgorithmSpec::PhaseQueen => ("phase-queen", None),
         AlgorithmSpec::DolevStrong => ("dolev-strong", None),
     };
@@ -98,6 +99,7 @@ pub fn spec_from_json(v: &Json) -> Result<AlgorithmSpec, JsonError> {
         "phase-king" => AlgorithmSpec::PhaseKing,
         "optimal-king" => AlgorithmSpec::OptimalKing,
         "king-shift" => AlgorithmSpec::KingShift { b: b()? },
+        "dynamic-king" => AlgorithmSpec::DynamicKing { b: b()? },
         "phase-queen" => AlgorithmSpec::PhaseQueen,
         "dolev-strong" => AlgorithmSpec::DolevStrong,
         other => return Err(bad(format!("unknown algorithm '{other}'"))),
@@ -436,6 +438,7 @@ mod tests {
             AlgorithmSpec::PhaseKing,
             AlgorithmSpec::OptimalKing,
             AlgorithmSpec::KingShift { b: 3 },
+            AlgorithmSpec::DynamicKing { b: 3 },
             AlgorithmSpec::PhaseQueen,
             AlgorithmSpec::DolevStrong,
         ] {

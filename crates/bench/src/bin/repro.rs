@@ -14,7 +14,10 @@
 //!                          # fingerprint)
 //! repro --exp t3           # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|
 //!                          #   detect|stability|early-stopping|king|compose|
-//!                          #   plans|sweep
+//!                          #   rounds-vs-f|plans|sweep
+//! repro --exp rounds-vs-f  # the static-vs-dynamic gear table across the
+//!                          # actual-fault budget; writes the committed
+//!                          # BENCH_rounds_vs_f.md artifact
 //! repro --exp sweep        # the benchmark sweep: phase-king n=16 t=5
 //!                          # Monte-Carlo, timed, machine-readable trajectory
 //!                          # in BENCH_sweep.json (schema sg-bench-sweep/4)
@@ -33,8 +36,8 @@ use std::time::Instant;
 use sg_adversary::FaultSelection;
 use sg_analysis::experiments::{
     experiment_compositions, experiment_detect, experiment_dominance, experiment_early_stopping,
-    experiment_king, experiment_p1, experiment_stability, experiment_t1, experiment_t2,
-    experiment_t3, experiment_t4, experiment_tradeoff, plan_figures, Scale,
+    experiment_king, experiment_p1, experiment_rounds_vs_f, experiment_stability, experiment_t1,
+    experiment_t2, experiment_t3, experiment_t4, experiment_tradeoff, plan_figures, Scale,
 };
 use sg_analysis::{AdversaryFamily, SweepConfig, SweepPlan, SweepReport, Table};
 use sg_core::AlgorithmSpec;
@@ -353,6 +356,17 @@ fn main() {
         "early-stopping" => print(experiment_early_stopping(scale)),
         "king" => print(experiment_king(scale)),
         "compose" => print(experiment_compositions(scale)),
+        "rounds-vs-f" => {
+            // The committed rounds-vs-f artifact: static vs dynamic gear
+            // plans across the actual-fault budget, CI-uploaded alongside
+            // the sweep trajectory files.
+            let table = experiment_rounds_vs_f(scale);
+            match std::fs::write("BENCH_rounds_vs_f.md", table.to_markdown()) {
+                Ok(()) => println!("wrote BENCH_rounds_vs_f.md"),
+                Err(e) => eprintln!("cannot write BENCH_rounds_vs_f.md: {e}"),
+            }
+            print(table);
+        }
         "sweep" => experiment_sweep(scale, effective_jobs, transport, expect),
         "plans" => {
             if markdown {
@@ -366,7 +380,7 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "known: p1 t1 t2 t3 t4 tradeoff dominance detect stability \
-                 early-stopping king compose plans sweep"
+                 early-stopping king compose rounds-vs-f plans sweep"
             );
             std::process::exit(2);
         }
@@ -388,6 +402,7 @@ fn main() {
                 "early-stopping",
                 "king",
                 "compose",
+                "rounds-vs-f",
                 "plans",
             ] {
                 run_one(id);

@@ -60,12 +60,13 @@ use std::fmt;
 
 use sg_eigtree::Conversion;
 use sg_sim::{
-    Inbox, Payload, PoolKey, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent,
+    GearAction, Inbox, Payload, PoolKey, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig,
     Value,
 };
 
+use crate::gearbox::{Checkpoint, GearBox, GearPlan};
 use crate::geared::GearedProtocol;
-use crate::optimal_king::{KingCore, PhaseStep};
+use crate::optimal_king::KingCore;
 use crate::params::{t_a, t_b, t_c, Params};
 use crate::plan::{ConvertSpec, RoundAction};
 use crate::spec::SpecError;
@@ -222,6 +223,12 @@ pub struct ShiftComposition {
     segments: Vec<Segment>,
     plan: Vec<RoundAction>,
     king_tail: bool,
+    /// Whether the composition shifts dynamically: interior A/B block
+    /// boundaries become runtime [`Checkpoint`]s into a king-tail escape
+    /// (see [`ShiftPlanBuilder::dynamic`]).
+    dynamic: bool,
+    /// The compiled checkpoints (empty for static compositions).
+    checkpoints: Vec<Checkpoint>,
 }
 
 impl ShiftComposition {
@@ -245,9 +252,30 @@ impl ShiftComposition {
         &self.plan
     }
 
-    /// Total communication rounds.
+    /// Whether the composition shifts dynamically at runtime.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// The compiled dynamic checkpoints (empty for static compositions).
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Worst-case communication rounds: the full static plan (plus the
+    /// planned king tail), or — for a dynamic composition — the longest
+    /// schedule any shift sequence can produce (the latest checkpoint
+    /// plus its full escape tail, when that exceeds the static plan).
+    /// Shares [`crate::gearbox::worst_case_schedule`] with the built
+    /// protocol's `total_rounds`, so the reported budget and the
+    /// engine's schedule ceiling cannot drift apart.
     pub fn rounds(&self) -> usize {
-        self.plan.len() + if self.king_tail { 3 * (self.t + 1) } else { 0 }
+        crate::gearbox::worst_case_schedule(
+            self.plan.len(),
+            self.king_tail,
+            self.t + 1,
+            &self.checkpoints,
+        )
     }
 
     /// A display name for reports.
@@ -261,20 +289,31 @@ impl ShiftComposition {
                 Segment::King => "King".to_string(),
             });
         }
-        format!("compose[{}]", parts.join("->"))
+        let kind = if self.dynamic { "dynamic" } else { "compose" };
+        format!("{kind}[{}]", parts.join("->"))
     }
 
     /// Builds the protocol instance for processor `me`.
     ///
     /// `input` must be `Some` exactly when `me` is the source.
     pub fn build(&self, params: Params, me: ProcessId, input: Option<Value>) -> ComposedProtocol {
+        let geared = GearedProtocol::new(params, me, input, self.name(), true, self.plan.clone());
+        // The king core exists when the static plan ends in a king tail
+        // or the composition is dynamic (the tail is the escape target).
+        let king = (self.king_tail || self.dynamic).then(|| KingCore::new(params, me));
         ComposedProtocol {
-            input,
-            geared: GearedProtocol::new(params, me, input, self.name(), true, self.plan.clone()),
-            king: self.king_tail.then(|| KingCore::new(params, me)),
-            prefix_rounds: self.plan.len(),
-            phases: self.t + 1,
-            seeded: false,
+            gear: GearBox::new(
+                input,
+                geared,
+                king,
+                GearPlan {
+                    static_tail: self.king_tail,
+                    phases: self.t + 1,
+                    tail_label: "composition -> phase-king",
+                    checkpoints: self.checkpoints.clone(),
+                    t: self.t,
+                },
+            ),
         }
     }
 
@@ -282,8 +321,9 @@ impl ShiftComposition {
     /// segment sequence (which fixes the compiled plan and king tail)
     /// plus every configuration field instances are seeded from.
     pub fn pool_key(&self, config: &RunConfig) -> PoolKey {
-        let mut words: Vec<u64> = Vec::with_capacity(3 * self.segments.len() + 6);
+        let mut words: Vec<u64> = Vec::with_capacity(3 * self.segments.len() + 7);
         words.push(0xC035_035E); // composition namespace
+        words.push(u64::from(self.dynamic));
         for seg in &self.segments {
             let (tag, a, b): (u64, usize, usize) = match *seg {
                 Segment::A { b, blocks } => (1, b, blocks),
@@ -353,6 +393,7 @@ pub struct ShiftPlanBuilder {
     n: usize,
     t: usize,
     segments: Vec<Segment>,
+    dynamic: bool,
 }
 
 impl ShiftPlanBuilder {
@@ -362,7 +403,23 @@ impl ShiftPlanBuilder {
             n,
             t,
             segments: Vec::new(),
+            dynamic: false,
         }
+    }
+
+    /// Marks the composition *dynamic*: every interior A/B block
+    /// boundary becomes a runtime [`Checkpoint`] at which the running
+    /// composition may shift into a Phase King escape tail as soon as
+    /// observed fault evidence bounds the active adversary (the
+    /// [`crate::gearbox`] evidence rule), instead of completing the
+    /// worst-case plan. The escape is sound regardless of the evidence —
+    /// king entry is unconditional at `t ≤ t_A(n)` (the module's safety
+    /// ledger) — so the static validation below still governs the
+    /// never-shift path, and the dynamic path only trades the remaining
+    /// plan for a tail whose guarantees stand on their own.
+    pub fn dynamic(mut self) -> Self {
+        self.dynamic = true;
+        self
     }
 
     /// Appends `blocks` Algorithm A blocks of `b` gather rounds.
@@ -412,6 +469,7 @@ impl ShiftPlanBuilder {
         let (n, t) = (self.n, self.t);
         assert!(!self.segments.is_empty(), "composition has no segments");
         let mut plan = vec![RoundAction::Initial];
+        let mut boundaries: Vec<Checkpoint> = Vec::new();
         let mut king_tail = false;
         let mut terminal = false;
         for seg in &self.segments {
@@ -421,12 +479,20 @@ impl ShiftPlanBuilder {
                     assert!(b >= 3 && blocks > 0, "malformed A segment");
                     for _ in 0..blocks {
                         push_block(&mut plan, b, a_convert(t));
+                        boundaries.push(Checkpoint {
+                            round: plan.len(),
+                            capacity: b - 2,
+                        });
                     }
                 }
                 Segment::B { b, blocks } => {
                     assert!(b >= 2 && blocks > 0, "malformed B segment");
                     for _ in 0..blocks {
                         push_block(&mut plan, b, b_convert());
+                        boundaries.push(Checkpoint {
+                            round: plan.len(),
+                            capacity: b - 1,
+                        });
                     }
                 }
                 Segment::C { rounds } => {
@@ -443,12 +509,15 @@ impl ShiftPlanBuilder {
                 }
             }
         }
+        let checkpoints = compile_checkpoints(self.dynamic, boundaries, plan.len());
         ShiftComposition {
             n,
             t,
             segments: self.segments,
             plan,
             king_tail,
+            dynamic: self.dynamic,
+            checkpoints,
         }
     }
 
@@ -481,6 +550,7 @@ impl ShiftPlanBuilder {
         let mut conclusive = false;
         let mut terminal: Option<usize> = None;
         let mut plan = vec![RoundAction::Initial];
+        let mut boundaries: Vec<Checkpoint> = Vec::new();
         let mut king_tail = false;
 
         for (index, seg) in self.segments.iter().enumerate() {
@@ -529,6 +599,10 @@ impl ShiftPlanBuilder {
                         }
                         d = (d + (b - 2)).min(t);
                         push_block(&mut plan, b, a_convert(t));
+                        boundaries.push(Checkpoint {
+                            round: plan.len(),
+                            capacity: b - 2,
+                        });
                     }
                     // Terminal-A sufficiency: the last block spans the
                     // remaining undetected faults plus the paper's final
@@ -583,6 +657,10 @@ impl ShiftPlanBuilder {
                         }
                         d = (d + (b - 1)).min(t);
                         push_block(&mut plan, b, b_convert());
+                        boundaries.push(Checkpoint {
+                            round: plan.len(),
+                            capacity: b - 1,
+                        });
                     }
                     conclusive = b >= (t - d_before_last + 1).min(t);
                 }
@@ -645,14 +723,34 @@ impl ShiftPlanBuilder {
             });
         }
 
+        let checkpoints = compile_checkpoints(self.dynamic, boundaries, plan.len());
         Ok(ShiftComposition {
             n,
             t,
             segments: self.segments,
             plan,
             king_tail,
+            dynamic: self.dynamic,
+            checkpoints,
         })
     }
+}
+
+/// Keeps only the *interior* block boundaries as dynamic checkpoints —
+/// the final prefix round is the static boundary itself, never a vote —
+/// and drops them all for static compositions.
+fn compile_checkpoints(
+    dynamic: bool,
+    boundaries: Vec<Checkpoint>,
+    prefix_len: usize,
+) -> Vec<Checkpoint> {
+    if !dynamic {
+        return Vec::new();
+    }
+    boundaries
+        .into_iter()
+        .filter(|c| c.round < prefix_len)
+        .collect()
 }
 
 fn a_convert(t: usize) -> ConvertSpec {
@@ -678,124 +776,71 @@ fn push_block(plan: &mut Vec<RoundAction>, b: usize, convert: ConvertSpec) {
     });
 }
 
-/// A running instance of a [`ShiftComposition`]: the tree machine for the
-/// A/B/C segments plus an optional king tail, with the fault list carried
-/// across the final shift as masks (the paper's auxiliary-structure rule).
+/// A running instance of a [`ShiftComposition`]: a [`GearBox`] driving
+/// the tree machine through the A/B/C segments plus an optional king
+/// tail, with the fault list carried across the final shift as masks
+/// (the paper's auxiliary-structure rule). Dynamic compositions
+/// additionally vote to shift into the escape tail at their interior
+/// block boundaries (see [`crate::gearbox`]).
 pub struct ComposedProtocol {
-    input: Option<Value>,
-    geared: GearedProtocol,
-    king: Option<KingCore>,
-    prefix_rounds: usize,
-    phases: usize,
-    seeded: bool,
+    gear: GearBox,
 }
 
 impl ComposedProtocol {
     /// The tree-machine prefix (inspection hook).
     pub fn prefix(&self) -> &GearedProtocol {
-        &self.geared
+        self.gear.prefix()
     }
 
-    fn locate(&self, round: usize) -> (usize, PhaseStep) {
-        let i = round - self.prefix_rounds - 1;
-        (i / 3, PhaseStep::from_index(i % 3))
+    /// The underlying gear box (inspection hook).
+    pub fn gear(&self) -> &GearBox {
+        &self.gear
     }
 }
 
 impl Protocol for ComposedProtocol {
     fn total_rounds(&self) -> usize {
-        self.prefix_rounds
-            + if self.king.is_some() {
-                3 * self.phases
-            } else {
-                0
-            }
+        self.gear.worst_case_rounds()
     }
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
-        if ctx.round <= self.prefix_rounds {
-            self.geared.outgoing(ctx)
-        } else {
-            let (phase, step) = self.locate(ctx.round);
-            self.king
-                .as_mut()
-                .expect("king rounds only exist with a king tail")
-                .outgoing(phase, step)
-        }
+        self.gear.outgoing(ctx)
     }
 
     fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
-        if ctx.round <= self.prefix_rounds {
-            self.geared.deliver(inbox, ctx);
-            if ctx.round == self.prefix_rounds && !self.seeded {
-                let Some(king) = self.king.as_mut() else {
-                    return;
-                };
-                let preferred = self.geared.preferred();
-                let faults: Vec<ProcessId> = self.geared.fault_list().iter().collect();
-                king.set_current(preferred);
-                for p in faults {
-                    king.mask(p);
-                }
-                self.seeded = true;
-                ctx.emit(TraceEvent::Shift {
-                    conversion: "composition -> phase-king".to_string(),
-                    preferred,
-                });
-            }
-        } else {
-            let (phase, step) = self.locate(ctx.round);
-            self.king
-                .as_mut()
-                .expect("king rounds only exist with a king tail")
-                .deliver(phase, step, inbox, ctx);
-        }
+        self.gear.deliver(inbox, ctx)
     }
 
     fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
-        let value = match self.input {
-            Some(v) => v,
-            None => match &self.king {
-                Some(core) => core.current(),
-                None => self.geared.preferred(),
-            },
-        };
-        ctx.emit(TraceEvent::Decided { value });
-        value
+        self.gear.decide(ctx)
     }
 
     fn space_nodes(&self) -> u64 {
-        self.geared.space_nodes()
+        self.gear.space_nodes()
     }
 
-    /// Forwards the active sub-plan's status: the tree-machine prefix is
-    /// fixed-length ([`RoundStatus::Continue`] — conversions need the
-    /// whole gathered structure), and a king tail reports
-    /// [`KingCore::is_ready`]. The source is always ready; compositions
-    /// without a king tail never stop early.
-    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
-        let king_ready = self.king.as_ref().is_some_and(KingCore::is_ready);
-        if self.input.is_some() || king_ready {
-            RoundStatus::ReadyToDecide
-        } else {
-            RoundStatus::Continue
-        }
+    /// Forwards the active sub-plan's status through the gear box: the
+    /// tree-machine prefix is fixed-length ([`RoundStatus::Continue`] —
+    /// conversions need the whole gathered structure), and a running
+    /// king tail reports [`KingCore::is_ready`]. The source is always
+    /// ready; compositions without a king tail never stop early.
+    fn round_status(&self, ctx: &ProcCtx) -> RoundStatus {
+        self.gear.round_status(ctx)
+    }
+
+    fn next_action(&self, ctx: &ProcCtx) -> GearAction {
+        self.gear.next_action(ctx)
+    }
+
+    fn shift_gear(&mut self, ctx: &mut ProcCtx) {
+        self.gear.shift_gear(ctx)
     }
 
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
-        // The compiled plan and phase count are fixed by the pool key
-        // (segment sequence + t); the prefix machine and king core reset
-        // in place.
-        let params = Params::from_config(config);
-        if !self.geared.reset(id, config) {
-            return false;
-        }
-        self.input = (id == config.source).then_some(config.source_value);
-        if let Some(king) = self.king.as_mut() {
-            king.reset(params, id);
-        }
-        self.seeded = false;
-        true
+        // The compiled plan, checkpoints and phase count are fixed by
+        // the pool key (segment sequence + dynamic flag + t); the gear
+        // box resets the prefix machine and king core in place.
+        self.gear.reset(id, config)
     }
 }
 

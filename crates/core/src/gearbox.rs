@@ -1,0 +1,663 @@
+//! The gear box: one scheduler for every tree-prefix → king-tail
+//! composition, static or dynamic.
+//!
+//! Before this module, [`crate::compose::ComposedProtocol`],
+//! [`crate::KingShift`] and the plan-driven [`GearedProtocol`] each
+//! carried their own copy of the same round dispatch: drive the tree
+//! machine through a prefix plan, seed a [`KingCore`] at the boundary,
+//! then map the remaining rounds onto three-round king phases.
+//! [`GearBox`] is that dispatch, written once — the wrappers delegate to
+//! it — and it is where the paper's headline becomes *runtime* behaviour:
+//! the box can pick its next segment **while the execution runs**, from
+//! accumulated fault evidence, instead of replaying a worst-case plan.
+//!
+//! # Dynamic gear shifting
+//!
+//! A dynamic gear box carries a list of [`Checkpoint`]s — the prefix's
+//! A/B block boundaries — and, at each one, weighs the block that just
+//! closed against its worst-case detection guarantee (§4.4's ledger:
+//! `b − 2` new global detections per Algorithm A block, `b − 1` per B
+//! block). A block that *under-delivers* detections is evidence the
+//! adversary has fewer active faults than the remaining worst-case plan
+//! was sized for, so the box votes to shift straight into its king tail
+//! ([`sg_sim::GearAction::ShiftGear`]); a full ledger (`|L_p| ≥ t`)
+//! votes likewise — every fault is already masked. The engine commits
+//! the shift only when **every correct processor** votes it in the same
+//! round (the same omniscient conjunction as status-driven early
+//! stopping), then calls [`GearBox::shift_gear`] on every instance so
+//! the schedule stays common.
+//!
+//! Why this is sound at any checkpoint, in the paper's own terms:
+//! shifting into an optimally resilient king tail is **unconditional**
+//! at `t ≤ t_A(n)` (see [`crate::compose`]) — Phase King reaches
+//! agreement from arbitrary seed values, and validity rides the
+//! Persistence Lemma through the prefix exactly as in the static
+//! A→King hybrid. The evidence rule therefore only affects *speed*,
+//! never safety: a non-committed vote simply continues the static plan,
+//! and a committed shift lands in a protocol whose guarantees do not
+//! depend on why the shift happened. Failed king phases
+//! ([`KingCore::failed_phases`]) are surfaced as the matching
+//! tail-side evidence stream for future policies.
+//!
+//! The escape hatch is the policy itself: a box with no checkpoints is
+//! exactly the old static dispatch, bit for bit — the static
+//! compositions' committed fingerprints survive unchanged.
+
+use sg_sim::{
+    GearAction, Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent,
+    Value,
+};
+
+use sg_eigtree::Conversion;
+
+use crate::geared::GearedProtocol;
+use crate::optimal_king::{KingCore, PhaseStep};
+use crate::params::Params;
+use crate::plan::{ConvertSpec, RoundAction};
+
+/// One dynamic shift checkpoint: a prefix block boundary at which a
+/// [`GearBox`] may vote to shift into its king tail.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Checkpoint {
+    /// The engine round whose delivery closes the block (a conversion
+    /// round of the prefix plan, strictly before the static prefix end).
+    pub round: usize,
+    /// The closed block's guaranteed worst-case detection capacity
+    /// (`b − 2` for an Algorithm A block, `b − 1` for a B block): the
+    /// vote shifts when the block discovered fewer new faults than this.
+    pub capacity: usize,
+}
+
+/// The schedule half of a [`GearBox`]: how the king tail is entered
+/// (statically planned and/or through dynamic checkpoints), how long it
+/// runs, and the fault budget the evidence rule is calibrated against.
+#[derive(Clone, Debug)]
+pub struct GearPlan {
+    /// Whether the static plan itself ends in the king tail (vs the tail
+    /// existing only as the dynamic escape target).
+    pub static_tail: bool,
+    /// King-tail length, in three-round phases.
+    pub phases: usize,
+    /// Trace label for the prefix → tail seeding event.
+    pub tail_label: &'static str,
+    /// Dynamic shift checkpoints, ascending, all strictly inside the
+    /// prefix (empty = static dispatch).
+    pub checkpoints: Vec<Checkpoint>,
+    /// The fault bound `t` the evidence rule's full-ledger vote uses.
+    pub t: usize,
+}
+
+/// The unified tree-prefix → king-tail round dispatcher behind
+/// [`crate::KingShift`], [`crate::compose::ComposedProtocol`] and
+/// [`DynamicKing`]. See the module docs for the dynamic-shifting rules;
+/// with no checkpoints the box replays its static plan exactly.
+pub struct GearBox {
+    input: Option<Value>,
+    geared: GearedProtocol,
+    king: Option<KingCore>,
+    /// Effective prefix length: the static plan length until a dynamic
+    /// shift truncates it.
+    prefix_rounds: usize,
+    /// The static plan's prefix length (restored on reset).
+    static_prefix: usize,
+    /// Whether the static plan itself ends in the king tail (vs the tail
+    /// existing only as the dynamic escape target).
+    static_tail: bool,
+    phases: usize,
+    /// Trace label for the prefix → tail seeding event.
+    tail_label: &'static str,
+    seeded: bool,
+    shifted: bool,
+    checkpoints: Vec<Checkpoint>,
+    /// `|L_p|` at the previous checkpoint — the evidence baseline.
+    ledger_baseline: usize,
+    /// Whether the checkpoint just delivered voted to shift.
+    vote_shift: bool,
+    t: usize,
+}
+
+impl GearBox {
+    /// Assembles a gear box.
+    ///
+    /// `geared` interprets the prefix plan; `king` is the tail core
+    /// (mandatory when the [`GearPlan`] has a static tail or any
+    /// checkpoint); `input` must be `Some` exactly for the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tail is required but `king` is `None`, or a
+    /// checkpoint falls outside the prefix.
+    pub fn new(
+        input: Option<Value>,
+        geared: GearedProtocol,
+        king: Option<KingCore>,
+        plan: GearPlan,
+    ) -> Self {
+        let static_prefix = geared.plan().len();
+        assert!(
+            king.is_some() || (!plan.static_tail && plan.checkpoints.is_empty()),
+            "a king tail or dynamic checkpoints require a king core"
+        );
+        assert!(
+            plan.checkpoints.iter().all(|c| c.round < static_prefix),
+            "checkpoints must fall strictly inside the prefix"
+        );
+        GearBox {
+            input,
+            geared,
+            king,
+            prefix_rounds: static_prefix,
+            static_prefix,
+            static_tail: plan.static_tail,
+            phases: plan.phases,
+            tail_label: plan.tail_label,
+            seeded: false,
+            shifted: false,
+            checkpoints: plan.checkpoints,
+            ledger_baseline: 0,
+            vote_shift: false,
+            t: plan.t,
+        }
+    }
+
+    /// The tree-machine prefix (inspection hook).
+    pub fn prefix(&self) -> &GearedProtocol {
+        &self.geared
+    }
+
+    /// The king-tail core, if the box has one (inspection hook).
+    pub fn core(&self) -> Option<&KingCore> {
+        self.king.as_ref()
+    }
+
+    /// The effective prefix length: static until a dynamic shift
+    /// truncates it to the shift round.
+    pub fn prefix_rounds(&self) -> usize {
+        self.prefix_rounds
+    }
+
+    /// Whether a dynamic shift has committed this run.
+    pub fn shifted(&self) -> bool {
+        self.shifted
+    }
+
+    /// Whether the king tail has been seeded from the prefix (statically
+    /// at the planned boundary, or by a committed dynamic shift).
+    pub fn seeded(&self) -> bool {
+        self.seeded
+    }
+
+    /// The dynamic shift checkpoints (empty for static dispatch).
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Whether the king tail runs this execution: statically planned, or
+    /// entered through a committed dynamic shift.
+    fn tail_active(&self) -> bool {
+        self.static_tail || self.shifted
+    }
+
+    /// The round after which this box's current schedule is exhausted.
+    fn end_round(&self) -> usize {
+        self.prefix_rounds
+            + if self.tail_active() {
+                3 * self.phases
+            } else {
+                0
+            }
+    }
+
+    /// The worst-case schedule length: the longest schedule any gear
+    /// sequence can produce (shifts only ever truncate the prefix, so
+    /// with a static tail this is simply the full static plan).
+    pub fn worst_case_rounds(&self) -> usize {
+        worst_case_schedule(
+            self.static_prefix,
+            self.static_tail,
+            self.phases,
+            &self.checkpoints,
+        )
+    }
+
+    /// Maps a post-prefix engine round to (phase, step).
+    fn locate(&self, round: usize) -> (usize, PhaseStep) {
+        debug_assert!(round > self.prefix_rounds);
+        let i = round - self.prefix_rounds - 1;
+        (i / 3, PhaseStep::from_index(i % 3))
+    }
+
+    /// The prefix → tail boundary: seed the king core from the converted
+    /// tree root and carry the fault list across as masks (the paper's
+    /// auxiliary-structure rule).
+    fn seed_tail(&mut self, ctx: &mut ProcCtx) {
+        let preferred = self.geared.preferred();
+        let king = self
+            .king
+            .as_mut()
+            .expect("seeding requires a king tail core");
+        king.set_current(preferred);
+        for p in self.geared.fault_list().iter() {
+            king.mask(p);
+        }
+        self.seeded = true;
+        ctx.emit(TraceEvent::Shift {
+            conversion: self.tail_label.to_string(),
+            preferred,
+        });
+    }
+
+    /// The box's payload for the round in `ctx.round`.
+    pub fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
+        if ctx.round <= self.prefix_rounds {
+            self.geared.outgoing(ctx)
+        } else {
+            let (phase, step) = self.locate(ctx.round);
+            self.king
+                .as_mut()
+                .expect("tail rounds only exist with a king core")
+                .outgoing(phase, step)
+        }
+    }
+
+    /// Consumes one round's inbox, evaluating the dynamic shift vote at
+    /// checkpoints and seeding the tail at the static boundary.
+    pub fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
+        self.vote_shift = false;
+        if ctx.round <= self.prefix_rounds {
+            self.geared.deliver(inbox, ctx);
+            if ctx.round == self.prefix_rounds {
+                if self.static_tail && !self.seeded {
+                    self.seed_tail(ctx);
+                }
+            } else if !self.shifted {
+                if let Some(cp) = self.checkpoints.iter().find(|c| c.round == ctx.round) {
+                    // The evidence rule: a block that under-delivered
+                    // against its worst-case detection guarantee, or a
+                    // full ledger, votes to shift into the tail now.
+                    let ledger = self.geared.fault_list().len();
+                    let newly = ledger.saturating_sub(self.ledger_baseline);
+                    self.vote_shift = newly < cp.capacity || ledger >= self.t;
+                    self.ledger_baseline = ledger;
+                }
+            }
+        } else {
+            let (phase, step) = self.locate(ctx.round);
+            self.king
+                .as_mut()
+                .expect("tail rounds only exist with a king core")
+                .deliver(phase, step, inbox, ctx);
+        }
+    }
+
+    /// The decision: the source's own input; otherwise the tail's final
+    /// value when the tail ran, or the prefix's converted root.
+    pub fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
+        let value = match self.input {
+            Some(v) => v,
+            None => {
+                if self.seeded {
+                    self.king
+                        .as_ref()
+                        .expect("seeded boxes have a king core")
+                        .current()
+                } else {
+                    self.geared.preferred()
+                }
+            }
+        };
+        ctx.emit(TraceEvent::Decided { value });
+        value
+    }
+
+    /// Live principal-structure nodes (the prefix tree dominates).
+    pub fn space_nodes(&self) -> u64 {
+        self.geared.space_nodes()
+    }
+
+    /// Forwards the active segment's status: the tree prefix is
+    /// fixed-length ([`RoundStatus::Continue`] — conversions need the
+    /// whole gathered structure), a running king tail reports
+    /// [`KingCore::is_ready`], and the source is always ready.
+    pub fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
+        let king_ready = self.seeded && self.king.as_ref().is_some_and(KingCore::is_ready);
+        if self.input.is_some() || king_ready {
+            RoundStatus::ReadyToDecide
+        } else {
+            RoundStatus::Continue
+        }
+    }
+
+    /// The schedule vote (see [`sg_sim::Protocol::next_action`]):
+    /// `Finished` past the current schedule's end, `ShiftGear` when the
+    /// checkpoint just delivered voted to shift, `Round` otherwise.
+    pub fn next_action(&self, ctx: &ProcCtx) -> GearAction {
+        if ctx.round >= self.end_round() {
+            GearAction::Finished
+        } else if self.vote_shift {
+            GearAction::ShiftGear
+        } else {
+            GearAction::Round
+        }
+    }
+
+    /// Commits an engine-mediated dynamic shift: truncates the prefix at
+    /// the current round and seeds the king tail. Called on every
+    /// instance — including honest shadows whose own vote may have
+    /// differed — so the post-shift schedule is common.
+    pub fn shift_gear(&mut self, ctx: &mut ProcCtx) {
+        if self.seeded || self.shifted {
+            return;
+        }
+        self.prefix_rounds = ctx.round;
+        self.shifted = true;
+        self.vote_shift = false;
+        self.seed_tail(ctx);
+    }
+
+    /// Restores the box (and its prefix machine and tail core) to the
+    /// freshly-constructed state for processor `id` under `config` — the
+    /// instance-pool path. The plan shape, checkpoints and phase count
+    /// are fixed by the pool key.
+    pub fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        let params = Params::from_config(config);
+        if !self.geared.reset(id, config) {
+            return false;
+        }
+        self.input = (id == config.source).then_some(config.source_value);
+        if let Some(king) = self.king.as_mut() {
+            king.reset(params, id);
+        }
+        self.prefix_rounds = self.static_prefix;
+        self.seeded = false;
+        self.shifted = false;
+        self.vote_shift = false;
+        self.ledger_baseline = 0;
+        true
+    }
+}
+
+/// The worst-case schedule length of a gear plan: the static prefix
+/// (plus the statically planned king tail, when there is one), or — when
+/// a checkpoint's escape tail would outrun that — the latest checkpoint
+/// plus its full `3 · phases`-round tail. The one formula behind both
+/// [`GearBox::worst_case_rounds`] (the engine's schedule ceiling) and
+/// [`crate::ShiftComposition::rounds`] (the reported round budget), so
+/// the two can never drift apart.
+pub fn worst_case_schedule(
+    static_prefix: usize,
+    static_tail: bool,
+    phases: usize,
+    checkpoints: &[Checkpoint],
+) -> usize {
+    let static_total = static_prefix + if static_tail { 3 * phases } else { 0 };
+    checkpoints
+        .iter()
+        .map(|c| c.round + 3 * phases)
+        .fold(static_total, usize::max)
+}
+
+/// The worst-case round count of [`DynamicKing`] at `(t, b)`: round 1,
+/// the full prefix of [`dynamic_king_blocks`]`(t, b)` Algorithm A blocks
+/// of `min(b, t)` gather rounds each, then `t + 1` three-round king
+/// phases. A dynamic shift can only shorten this.
+pub fn dynamic_king_rounds(t: usize, b: usize) -> usize {
+    let b_eff = b.min(t).max(1);
+    1 + dynamic_king_blocks(t, b) * b_eff + 3 * (t + 1)
+}
+
+/// How many Algorithm A blocks [`DynamicKing`]'s worst-case prefix runs
+/// at `(t, b)`: enough for the §4.4 detection ledger (`1` for the faulty
+/// source plus `b − 2` per block) to reach `t`, so the never-shift path
+/// enters its tail with every fault guaranteed detected.
+pub fn dynamic_king_blocks(t: usize, b: usize) -> usize {
+    let capacity = b.min(t).saturating_sub(2);
+    if capacity == 0 {
+        1
+    } else {
+        t.saturating_sub(1).div_ceil(capacity).max(1)
+    }
+}
+
+/// The dynamic gear-shifted king hybrid —
+/// [`crate::AlgorithmSpec::DynamicKing`].
+///
+/// The worst-case plan is [`crate::KingShift`] generalized to
+/// [`dynamic_king_blocks`] Algorithm A blocks: gather, discover, mask and
+/// convert block by block, then finish with an optimally resilient Phase
+/// King tail of `t + 1` phases. The dynamic part is *when the tail
+/// starts*: at every block boundary the [`GearBox`] evidence rule may
+/// shift into the tail immediately, so an execution facing few active
+/// faults skips the remaining worst-case blocks — the paper's
+/// "changing algorithms on the fly to expedite" as a runtime decision
+/// rather than a precompiled plan. Resilience `⌊(n−1)/3⌋`, like
+/// Algorithm A and the static king shift.
+///
+/// ```
+/// use sg_core::{execute, AlgorithmSpec};
+/// use sg_sim::{NoFaults, RunConfig, Value};
+///
+/// let config = RunConfig::new(16, 5).with_source_value(Value(1));
+/// let outcome = execute(AlgorithmSpec::DynamicKing { b: 3 }, &config, &mut NoFaults)?;
+/// assert_eq!(outcome.decision(), Some(Value(1)));
+/// assert_eq!(outcome.scheduled_rounds, 31); // 1 + 4·b + 3·(t+1) worst case
+/// // Fault-free, the first block under-delivers detections, the shift
+/// // commits at its boundary, and the tail locks one propose step later.
+/// assert_eq!(outcome.rounds_used, 6); // 1 + b + exchange + propose
+/// # Ok::<(), sg_core::SpecError>(())
+/// ```
+pub struct DynamicKing {
+    gear: GearBox,
+    b: usize,
+}
+
+impl DynamicKing {
+    /// Builds an instance for processor `me` with block parameter `b`
+    /// (clamped to `t` like every block algorithm).
+    ///
+    /// `input` must be `Some` exactly when `me` is the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input/source relationship is violated or `b < 3`.
+    pub fn new(params: Params, me: ProcessId, input: Option<Value>, b: usize) -> Self {
+        assert!(b >= 3, "Algorithm A blocks require b >= 3, got {b}");
+        let t = params.t;
+        let b_eff = b.min(t).max(1);
+        let blocks = dynamic_king_blocks(t, b);
+        let capacity = b_eff.saturating_sub(2);
+        let mut plan = vec![RoundAction::Initial];
+        let mut checkpoints = Vec::with_capacity(blocks.saturating_sub(1));
+        for block in 0..blocks {
+            for i in 0..b_eff {
+                plan.push(RoundAction::Gather {
+                    convert: (i == b_eff - 1).then_some(ConvertSpec {
+                        conversion: Conversion::ResolvePrime { t },
+                        discovery: true,
+                    }),
+                });
+            }
+            if block + 1 < blocks {
+                checkpoints.push(Checkpoint {
+                    round: plan.len(),
+                    capacity,
+                });
+            }
+        }
+        let geared = GearedProtocol::new(
+            params,
+            me,
+            input,
+            format!("dynamic-king-prefix(b={b})"),
+            true,
+            plan,
+        );
+        DynamicKing {
+            gear: GearBox::new(
+                input,
+                geared,
+                Some(KingCore::new(params, me)),
+                GearPlan {
+                    static_tail: true,
+                    phases: t + 1,
+                    tail_label: "dynamic resolve' -> phase-king",
+                    checkpoints,
+                    t,
+                },
+            ),
+            b,
+        }
+    }
+
+    /// The block parameter the instance was built with.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The underlying gear box (inspection hook for tests).
+    pub fn gear(&self) -> &GearBox {
+        &self.gear
+    }
+}
+
+impl Protocol for DynamicKing {
+    fn total_rounds(&self) -> usize {
+        self.gear.worst_case_rounds()
+    }
+
+    fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
+        self.gear.outgoing(ctx)
+    }
+
+    fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
+        self.gear.deliver(inbox, ctx)
+    }
+
+    fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
+        self.gear.decide(ctx)
+    }
+
+    fn space_nodes(&self) -> u64 {
+        self.gear.space_nodes()
+    }
+
+    fn round_status(&self, ctx: &ProcCtx) -> RoundStatus {
+        self.gear.round_status(ctx)
+    }
+
+    fn next_action(&self, ctx: &ProcCtx) -> GearAction {
+        self.gear.next_action(ctx)
+    }
+
+    fn shift_gear(&mut self, ctx: &mut ProcCtx) {
+        self.gear.shift_gear(ctx)
+    }
+
+    fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
+        self.gear.reset(id, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_sim::ValueDomain;
+
+    fn params(n: usize, t: usize) -> Params {
+        Params {
+            n,
+            t,
+            source: ProcessId(0),
+            domain: ValueDomain::binary(),
+        }
+    }
+
+    #[test]
+    fn block_count_covers_the_ledger() {
+        // t = 5, b = 3: capacity 1 per block, 4 blocks to detect t−1 = 4
+        // beyond the source's +1.
+        assert_eq!(dynamic_king_blocks(5, 3), 4);
+        assert_eq!(dynamic_king_blocks(5, 4), 2);
+        assert_eq!(dynamic_king_blocks(5, 5), 2);
+        // Degenerate small t: one block, KingShift's shape.
+        assert_eq!(dynamic_king_blocks(1, 3), 1);
+        assert_eq!(dynamic_king_blocks(2, 3), 1);
+        assert_eq!(dynamic_king_rounds(5, 3), 1 + 4 * 3 + 18);
+        assert_eq!(dynamic_king_rounds(1, 3), 1 + 1 + 6);
+    }
+
+    #[test]
+    fn checkpoints_sit_at_interior_block_boundaries() {
+        let p = DynamicKing::new(params(16, 5), ProcessId(1), None, 3);
+        let rounds: Vec<usize> = p.gear().checkpoints().iter().map(|c| c.round).collect();
+        assert_eq!(rounds, vec![4, 7, 10]);
+        assert!(p.gear().checkpoints().iter().all(|c| c.capacity == 1));
+        assert_eq!(p.total_rounds(), 31);
+        assert_eq!(p.gear().prefix_rounds(), 13);
+    }
+
+    #[test]
+    fn static_box_has_no_votes() {
+        let g = GearedProtocol::new(
+            params(10, 3),
+            ProcessId(1),
+            None,
+            "test".to_string(),
+            true,
+            vec![
+                RoundAction::Initial,
+                RoundAction::Gather { convert: None },
+                RoundAction::Gather { convert: None },
+                RoundAction::Gather {
+                    convert: Some(ConvertSpec {
+                        conversion: Conversion::ResolvePrime { t: 3 },
+                        discovery: true,
+                    }),
+                },
+            ],
+        );
+        let gear = GearBox::new(
+            None,
+            g,
+            Some(KingCore::new(params(10, 3), ProcessId(1))),
+            GearPlan {
+                static_tail: true,
+                phases: 4,
+                tail_label: "resolve' -> phase-king",
+                checkpoints: Vec::new(),
+                t: 3,
+            },
+        );
+        let mut ctx = ProcCtx::new(ProcessId(1));
+        ctx.round = 2;
+        assert_eq!(gear.next_action(&ctx), GearAction::Round);
+        ctx.round = gear.worst_case_rounds();
+        assert_eq!(gear.next_action(&ctx), GearAction::Finished);
+        assert_eq!(gear.worst_case_rounds(), 4 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "require a king core")]
+    fn tail_without_core_rejected() {
+        let g = GearedProtocol::new(
+            params(10, 3),
+            ProcessId(1),
+            None,
+            "test".to_string(),
+            true,
+            vec![RoundAction::Initial],
+        );
+        let _ = GearBox::new(
+            None,
+            g,
+            None,
+            GearPlan {
+                static_tail: true,
+                phases: 4,
+                tail_label: "x",
+                checkpoints: Vec::new(),
+                t: 3,
+            },
+        );
+    }
+}

@@ -33,13 +33,14 @@
 //! and keeping the A block's large-message phase to a single block.
 
 use sg_sim::{
-    Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, TraceEvent, Value,
+    GearAction, Inbox, Payload, ProcCtx, ProcessId, Protocol, RoundStatus, RunConfig, Value,
 };
 
 use sg_eigtree::Conversion;
 
+use crate::gearbox::{GearBox, GearPlan};
 use crate::geared::GearedProtocol;
-use crate::optimal_king::{KingCore, PhaseStep};
+use crate::optimal_king::KingCore;
 use crate::params::Params;
 use crate::plan::{ConvertSpec, RoundAction};
 
@@ -68,13 +69,7 @@ pub fn king_shift_rounds(t: usize, b: usize) -> usize {
 /// # Ok::<(), sg_core::SpecError>(())
 /// ```
 pub struct KingShift {
-    input: Option<Value>,
-    geared: GearedProtocol,
-    core: KingCore,
-    /// Rounds 1..=prefix_rounds are the A block (including round 1).
-    prefix_rounds: usize,
-    phases: usize,
-    seeded: bool,
+    gear: GearBox,
 }
 
 impl KingShift {
@@ -100,128 +95,95 @@ impl KingShift {
                 }),
             });
         }
-        let prefix_rounds = plan.len();
-        KingShift {
+        let geared = GearedProtocol::new(
+            params,
+            me,
             input,
-            geared: GearedProtocol::new(
-                params,
-                me,
+            format!("king-shift-prefix(b={b})"),
+            true,
+            plan,
+        );
+        // One statically planned shift, no dynamic checkpoints: the
+        // gear box replays the fixed A-block → king-tail schedule.
+        KingShift {
+            gear: GearBox::new(
                 input,
-                format!("king-shift-prefix(b={b})"),
-                true,
-                plan,
+                geared,
+                Some(KingCore::new(params, me)),
+                GearPlan {
+                    static_tail: true,
+                    phases: t + 1,
+                    tail_label: "resolve' -> phase-king",
+                    checkpoints: Vec::new(),
+                    t,
+                },
             ),
-            core: KingCore::new(params, me),
-            prefix_rounds,
-            phases: t + 1,
-            seeded: false,
         }
     }
 
     /// The A-prefix machine (inspection hook for tests).
     pub fn prefix(&self) -> &GearedProtocol {
-        &self.geared
+        self.gear.prefix()
     }
 
     /// The king-phase core (inspection hook for tests).
     pub fn core(&self) -> &KingCore {
-        &self.core
+        self.gear.core().expect("king shift always has a tail core")
     }
 
     /// Number of rounds in the A prefix, including round 1.
     pub fn prefix_rounds(&self) -> usize {
-        self.prefix_rounds
-    }
-
-    /// Maps a post-prefix engine round to (phase, step).
-    fn locate(&self, round: usize) -> (usize, PhaseStep) {
-        debug_assert!(round > self.prefix_rounds);
-        let i = round - self.prefix_rounds - 1;
-        (i / 3, PhaseStep::from_index(i % 3))
-    }
-
-    /// The shift: seed the king core from the converted tree root and
-    /// carry the fault list across as masks.
-    fn shift(&mut self, ctx: &mut ProcCtx) {
-        let preferred = self.geared.preferred();
-        self.core.set_current(preferred);
-        for p in self.geared.fault_list().iter() {
-            self.core.mask(p);
-        }
-        self.seeded = true;
-        ctx.emit(TraceEvent::Shift {
-            conversion: "resolve' -> phase-king".to_string(),
-            preferred,
-        });
+        self.gear.prefix_rounds()
     }
 }
 
 impl Protocol for KingShift {
     fn total_rounds(&self) -> usize {
-        self.prefix_rounds + 3 * self.phases
+        self.gear.worst_case_rounds()
     }
 
     fn outgoing(&mut self, ctx: &mut ProcCtx) -> Option<Payload> {
-        if ctx.round <= self.prefix_rounds {
-            self.geared.outgoing(ctx)
-        } else {
-            let (phase, step) = self.locate(ctx.round);
-            self.core.outgoing(phase, step)
-        }
+        self.gear.outgoing(ctx)
     }
 
     fn deliver(&mut self, inbox: &Inbox, ctx: &mut ProcCtx) {
-        if ctx.round <= self.prefix_rounds {
-            self.geared.deliver(inbox, ctx);
-            if ctx.round == self.prefix_rounds {
-                self.shift(ctx);
-            }
-        } else {
-            let (phase, step) = self.locate(ctx.round);
-            self.core.deliver(phase, step, inbox, ctx);
-        }
+        self.gear.deliver(inbox, ctx)
     }
 
     fn decide(&mut self, ctx: &mut ProcCtx) -> Value {
         // The source decided its own value in round 1 (§3); everyone else
         // decides the king core's final value.
-        let value = match self.input {
-            Some(v) => v,
-            None => self.core.current(),
-        };
-        ctx.emit(TraceEvent::Decided { value });
-        value
+        self.gear.decide(ctx)
     }
 
     fn space_nodes(&self) -> u64 {
-        self.geared.space_nodes()
+        self.gear.space_nodes()
     }
 
-    /// Forwards the active sub-plan's status: the A prefix is a
-    /// fixed-length tree block ([`RoundStatus::Continue`] throughout —
-    /// its conversion needs the whole gathered tree), and the king tail
-    /// reports [`KingCore::is_ready`]. The source is always ready.
-    fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
-        if self.input.is_some() || self.core.is_ready() {
-            RoundStatus::ReadyToDecide
-        } else {
-            RoundStatus::Continue
-        }
+    /// Forwards the active sub-plan's status through the gear box: the A
+    /// prefix is a fixed-length tree block ([`RoundStatus::Continue`]
+    /// throughout — its conversion needs the whole gathered tree), and
+    /// the king tail reports [`KingCore::is_ready`]. The source is
+    /// always ready.
+    fn round_status(&self, ctx: &ProcCtx) -> RoundStatus {
+        self.gear.round_status(ctx)
+    }
+
+    fn next_action(&self, ctx: &ProcCtx) -> GearAction {
+        self.gear.next_action(ctx)
+    }
+
+    fn shift_gear(&mut self, ctx: &mut ProcCtx) {
+        // No checkpoints today, so never called — forwarded anyway so a
+        // future dynamic GearPlan cannot silently lose its shifts.
+        self.gear.shift_gear(ctx)
     }
 
     fn reset(&mut self, id: ProcessId, config: &RunConfig) -> bool {
         // The A-block plan and phase count depend only on (t, b), which
-        // the pool key fixes; the prefix machine and king core reset in
-        // place.
-        let params = Params::from_config(config);
-        if !self.geared.reset(id, config) {
-            return false;
-        }
-        self.input = (id == config.source).then_some(config.source_value);
-        self.core.reset(params, id);
-        self.phases = params.t + 1;
-        self.seeded = false;
-        true
+        // the pool key fixes; the gear box resets the prefix machine and
+        // king core in place.
+        self.gear.reset(id, config)
     }
 }
 
@@ -288,7 +250,7 @@ mod tests {
             inbox.set(ProcessId(i), Payload::values([Value(1)]));
         }
         p.deliver(&inbox, &mut ctx);
-        assert!(p.seeded);
+        assert!(p.gear.seeded());
         assert_eq!(p.core().current(), Value(1));
     }
 }

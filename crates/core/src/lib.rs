@@ -45,6 +45,7 @@
 
 pub mod compose;
 pub mod dolev_strong;
+pub mod gearbox;
 mod geared;
 pub mod interactive;
 pub mod king_shift;
@@ -60,6 +61,9 @@ pub mod schedule;
 mod spec;
 
 pub use compose::{ComposeError, Segment, ShiftComposition, ShiftPlanBuilder};
+pub use gearbox::{
+    dynamic_king_blocks, dynamic_king_rounds, Checkpoint, DynamicKing, GearBox, GearPlan,
+};
 pub use geared::GearedProtocol;
 pub use interactive::{interactive_consistency, run_consensus};
 pub use king_shift::KingShift;
@@ -68,6 +72,6 @@ pub use multivalued::{multivalued_broadcast, run_multivalued};
 pub use optimal_king::{KingCore, OptimalKing, PhaseStep};
 pub use params::{isqrt, t_a, t_b, t_c, Params};
 pub use plan::{render_plan, RoundAction};
-pub use runner::{execute, execute_in};
+pub use runner::{execute, execute_in, execute_into};
 pub use schedule::{choose_b, BChoice, HybridSchedule};
 pub use spec::{AlgorithmSpec, SpecError};

@@ -109,6 +109,12 @@ pub struct KingCore {
     /// auxiliary fault list carried across a shift (empty unless the
     /// embedding protocol seeds it).
     masked: ProcessSet,
+    /// Completed phases whose propose step did not lock — the tail-side
+    /// fault-evidence stream (a failed phase means the adversary kept
+    /// correct processors from a super-majority, or the phase king was
+    /// faulty), surfaced for gear-shifting policies via
+    /// [`KingCore::failed_phases`].
+    failed_phases: usize,
 }
 
 impl KingCore {
@@ -122,6 +128,7 @@ impl KingCore {
             locked: false,
             ready: false,
             masked: ProcessSet::new(params.n),
+            failed_phases: 0,
         }
     }
 
@@ -135,6 +142,7 @@ impl KingCore {
         self.proposal = None;
         self.locked = false;
         self.ready = false;
+        self.failed_phases = 0;
         if self.masked.universe() == params.n {
             self.masked.clear();
         } else {
@@ -164,6 +172,16 @@ impl KingCore {
     /// conjunction makes it sound (see the `ready` field).
     pub fn is_ready(&self) -> bool {
         self.ready
+    }
+
+    /// Completed phases whose propose step failed to lock at this
+    /// processor — the king tail's accumulated fault evidence, the
+    /// counterpart of the tree prefix's detection ledger for
+    /// gear-shifting policies (`sg_core::gearbox`). Fault-free phases
+    /// lock immediately, so a nonzero count certifies adversary
+    /// interference (a blocked super-majority or a faulty king).
+    pub fn failed_phases(&self) -> usize {
+        self.failed_phases
     }
 
     /// Masks `who`: all further messages from it are read as `⊥`/default.
@@ -341,6 +359,9 @@ impl KingCore {
                     } else {
                         self.read(inbox, king).unwrap_or(Value::DEFAULT)
                     };
+                }
+                if !self.ready {
+                    self.failed_phases += 1;
                 }
                 // Phase over: reset per-phase state.
                 self.proposal = None;

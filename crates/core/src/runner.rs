@@ -79,6 +79,32 @@ pub fn execute_in(
     ))
 }
 
+/// [`execute_in`] streaming the result into a caller-held
+/// [`Outcome`] buffer (see [`sg_sim::Outcome::buffer`]): arena, instance
+/// pool *and* result storage all live with the caller, so a worker
+/// looping over executions performs no per-run result allocations — the
+/// sweep executor's steady-state path. Bit-identical to [`execute_in`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the algorithm cannot run at `(n, t)`.
+pub fn execute_into(
+    arena: &mut RunArena,
+    spec: AlgorithmSpec,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    out: &mut Outcome,
+) -> Result<(), SpecError> {
+    spec.validate(config.n, config.t)?;
+    let mut config = *config;
+    if spec.needs_authentication() {
+        config = config.with_authentication();
+    }
+    let key = spec.pool_key(&config);
+    sg_sim::run_pooled_into(arena, &config, adversary, key, spec.factory(&config), out);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +139,7 @@ mod tests {
             (AlgorithmSpec::PhaseQueen, 9, 2),
             (AlgorithmSpec::OptimalKing, 7, 2),
             (AlgorithmSpec::KingShift { b: 3 }, 10, 3),
+            (AlgorithmSpec::DynamicKing { b: 3 }, 16, 5),
             (AlgorithmSpec::DolevStrong, 5, 3),
         ];
         for (spec, n, t) in cases {

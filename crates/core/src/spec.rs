@@ -12,6 +12,7 @@ use std::fmt;
 use sg_sim::{PoolKey, ProcessId, Protocol, RunConfig, Value};
 
 use crate::dolev_strong::DolevStrong;
+use crate::gearbox::{dynamic_king_rounds, DynamicKing};
 use crate::geared::GearedProtocol;
 use crate::king_shift::{king_shift_rounds, KingShift};
 use crate::optimal_king::OptimalKing;
@@ -73,6 +74,16 @@ pub enum AlgorithmSpec {
     /// Resilience `⌊(n−1)/3⌋`.
     KingShift {
         /// Gather rounds in the A block (clamped to `t`); `3 ≤ b`.
+        b: usize,
+    },
+    /// The *dynamic* gear-shifted king hybrid: a worst-case prefix of
+    /// Algorithm A blocks whose interior boundaries are runtime shift
+    /// checkpoints — the execution enters its Phase King tail as soon as
+    /// observed fault evidence bounds the active adversary, instead of
+    /// completing the precompiled plan (`sg_core::gearbox`). Resilience
+    /// `⌊(n−1)/3⌋`; `rounds()` reports the never-shift worst case.
+    DynamicKing {
+        /// Gather rounds per A block (clamped to `t`); `3 ≤ b`.
         b: usize,
     },
     /// Phase Queen (Berman & Garay) baseline: like Phase King but with a
@@ -161,6 +172,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::PhaseKing => "phase-king".to_string(),
             AlgorithmSpec::OptimalKing => "optimal-king".to_string(),
             AlgorithmSpec::KingShift { b } => format!("king-shift(b={b})"),
+            AlgorithmSpec::DynamicKing { b } => format!("dynamic-king(b={b})"),
             AlgorithmSpec::PhaseQueen => "phase-queen".to_string(),
             AlgorithmSpec::DolevStrong => "dolev-strong".to_string(),
         }
@@ -175,6 +187,7 @@ impl AlgorithmSpec {
             | AlgorithmSpec::AlgorithmA { .. }
             | AlgorithmSpec::OptimalKing
             | AlgorithmSpec::KingShift { .. }
+            | AlgorithmSpec::DynamicKing { .. }
             | AlgorithmSpec::Hybrid { .. } => t_a(n),
             AlgorithmSpec::AlgorithmB { .. }
             | AlgorithmSpec::PhaseKing
@@ -214,11 +227,13 @@ impl AlgorithmSpec {
                 b,
                 min_b: 2,
             }),
-            AlgorithmSpec::KingShift { b } if b < 3 => Err(SpecError::BadBlockParameter {
-                algorithm: self.name(),
-                b,
-                min_b: 3,
-            }),
+            AlgorithmSpec::KingShift { b } | AlgorithmSpec::DynamicKing { b } if b < 3 => {
+                Err(SpecError::BadBlockParameter {
+                    algorithm: self.name(),
+                    b,
+                    min_b: 3,
+                })
+            }
             AlgorithmSpec::Hybrid { b } => {
                 let expected = t_a(n);
                 if t != expected || expected < 3 {
@@ -255,6 +270,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::PhaseKing | AlgorithmSpec::PhaseQueen => 1 + 2 * (t + 1),
             AlgorithmSpec::OptimalKing => 1 + 3 * (t + 1),
             AlgorithmSpec::KingShift { b } => king_shift_rounds(t, b),
+            AlgorithmSpec::DynamicKing { b } => dynamic_king_rounds(t, b),
             AlgorithmSpec::DolevStrong => t + 1,
         }
     }
@@ -277,6 +293,7 @@ impl AlgorithmSpec {
             | AlgorithmSpec::PhaseQueen
             | AlgorithmSpec::OptimalKing
             | AlgorithmSpec::KingShift { .. }
+            | AlgorithmSpec::DynamicKing { .. }
             | AlgorithmSpec::DolevStrong => None,
         }
     }
@@ -300,6 +317,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::PhaseKing => Box::new(PhaseKing::new(params, me, input)),
             AlgorithmSpec::OptimalKing => Box::new(OptimalKing::new(params, me, input)),
             AlgorithmSpec::KingShift { b } => Box::new(KingShift::new(params, me, input, *b)),
+            AlgorithmSpec::DynamicKing { b } => Box::new(DynamicKing::new(params, me, input, *b)),
             AlgorithmSpec::PhaseQueen => Box::new(PhaseQueen::new(params, me, input)),
             AlgorithmSpec::DolevStrong => Box::new(DolevStrong::new(params, me, input)),
             _ => {
@@ -349,6 +367,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::KingShift { b } => (9, b),
             AlgorithmSpec::PhaseQueen => (10, 0),
             AlgorithmSpec::DolevStrong => (11, 0),
+            AlgorithmSpec::DynamicKing { b } => (12, b),
         };
         PoolKey::of(&[
             tag,

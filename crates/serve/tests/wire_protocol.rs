@@ -244,3 +244,45 @@ fn shutdown_op_stops_the_daemon() {
     assert!(!alive, "daemon still answering after shutdown");
     handle.shutdown();
 }
+
+#[test]
+fn dynamic_king_grids_round_trip_through_the_daemon() {
+    // The dynamic-spec wire encoding end to end: a dynamic-king grid
+    // submitted over sg-serve/1 must stream back cells whose fingerprint
+    // is bit-identical to the batch path — the same determinism contract
+    // every static spec honours, now covering runtime gear shifts.
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(
+            AlgorithmSpec::DynamicKing { b: 3 },
+            10,
+            3,
+        )],
+        vec![
+            AdversaryFamily::crash(FaultSelection::without_source().limit(1), 2),
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::no_faults(),
+        ],
+        8,
+    );
+    let batch = plan.run_with_jobs(2);
+
+    let (handle, addr) = start();
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    let streamed = client.submit_and_collect(&plan).expect("dynamic-king job");
+    assert_eq!(
+        streamed.fingerprint,
+        batch.fingerprint(),
+        "daemon-path dynamic-king sweep diverged from the batch path"
+    );
+    assert_eq!(streamed.report, batch);
+    assert!(streamed
+        .report
+        .cells
+        .iter()
+        .all(|c| c.spec_name == "dynamic-king(b=3)"));
+    // The expedite shows up on the wire: the quiet families' cells
+    // stream rounds well below the worst-case schedule.
+    let schedule = AlgorithmSpec::DynamicKing { b: 3 }.rounds(10, 3) as f64;
+    assert!(streamed.report.cells[0].summaries[4].mean < schedule);
+    handle.shutdown();
+}

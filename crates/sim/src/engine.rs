@@ -17,7 +17,20 @@
 //!    the paper's *expedite* dividend, measurable as
 //!    [`Outcome::rounds_used`]` < `[`Outcome::scheduled_rounds`].
 //!    [`set_early_stopping`]`(false)` restores fixed-length execution
-//!    (bit-identical to the pre-early-stopping engine).
+//!    (bit-identical to the pre-early-stopping engine);
+//! 7. consults every correct processor's [`Protocol::next_action`] — the
+//!    dynamic-schedule dispatch. The run loop is no longer a fixed
+//!    `for round in 1..=total_rounds()`: protocols choose their next
+//!    segment at runtime ([`crate::GearAction`]), the engine commits a
+//!    gear shift on a unanimous correct-processor proposal (calling
+//!    [`Protocol::shift_gear`] on every instance, shadows included), and
+//!    the run ends when every correct processor reports its schedule
+//!    finished. The default `next_action` replays the static schedule,
+//!    so fixed-schedule protocols execute bit-identically to the
+//!    pre-dynamic engine; `total_rounds()` stays a hard ceiling the
+//!    engine never exceeds. Dynamic dispatch is part of the protocol's
+//!    schedule, not an observation optimization, so it stays active
+//!    under [`set_early_stopping`]`(false)`.
 //!
 //! # Allocation discipline
 //!
@@ -53,7 +66,7 @@ use crate::adversary::{Adversary, AdversaryView};
 use crate::id::{ProcessId, ProcessSet};
 use crate::metrics::{Metrics, RoundStats};
 use crate::payload::Payload;
-use crate::protocol::{Inbox, PackedBallots, ProcCtx, Protocol, RoundStatus};
+use crate::protocol::{GearAction, Inbox, PackedBallots, ProcCtx, Protocol, RoundStatus};
 use crate::sig::SigRegistry;
 use crate::trace::Trace;
 use crate::value::{Value, ValueDomain};
@@ -217,14 +230,19 @@ pub struct Outcome {
     pub faulty: ProcessSet,
     /// Decision of each processor; `None` for faulty processors.
     pub decisions: Vec<Option<Value>>,
-    /// Rounds actually executed. With early stopping active this is the
-    /// round after which every correct processor was
-    /// [`RoundStatus::ReadyToDecide`]; otherwise it equals
-    /// [`Outcome::scheduled_rounds`].
+    /// Rounds actually executed: the round after which every correct
+    /// processor was [`RoundStatus::ReadyToDecide`] (status-driven early
+    /// stopping) or reported [`GearAction::Finished`] (a dynamically
+    /// shortened schedule). Equals [`Outcome::scheduled_rounds`] for a
+    /// fixed-schedule run that never stopped early.
     pub rounds_used: usize,
-    /// The protocol's static schedule length (`Protocol::total_rounds`).
+    /// The protocol's worst-case schedule length
+    /// (`Protocol::total_rounds`) — for dynamic protocols, the longest
+    /// schedule any gear sequence can produce.
     pub scheduled_rounds: usize,
-    /// Whether the run terminated before its static schedule ended.
+    /// Whether the run terminated before its worst-case schedule ended,
+    /// whether by status-driven early stopping or by a dynamic gear
+    /// shift shortening the schedule.
     pub early_stopped: bool,
     /// Traffic / computation / space metrics (round-resolved: one
     /// [`RoundStats`] entry per round actually executed).
@@ -237,6 +255,26 @@ pub struct Outcome {
 }
 
 impl Outcome {
+    /// An empty, reusable outcome buffer for the `*_into` entry points
+    /// ([`run_into`], [`run_pooled_into`]): every field is overwritten by
+    /// the next run, and the vectors inside (decisions, per-round
+    /// metrics, local-ops, trace) keep their capacity across runs — the
+    /// streaming path that retires the engine's last per-run result
+    /// allocations.
+    pub fn buffer() -> Self {
+        Outcome {
+            config: RunConfig::new(1, 0),
+            faulty: ProcessSet::new(1),
+            decisions: Vec::new(),
+            rounds_used: 0,
+            scheduled_rounds: 0,
+            early_stopped: false,
+            metrics: Metrics::new(0),
+            trace: Trace::new(),
+            adversary: Arc::from(""),
+        }
+    }
+
     /// Single pass over the decisions: whether all correct processors
     /// decided the same value, and — when they did — that value (the
     /// first correct processor's decision; `None` when no processor is
@@ -454,7 +492,9 @@ pub fn run<F>(config: &RunConfig, adversary: &mut dyn Adversary, mk: F) -> Outco
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
-    with_pooled_arena(|arena| run_with(arena, config, adversary, None, mk))
+    let mut out = Outcome::buffer();
+    with_pooled_arena(|arena| run_with(arena, config, adversary, None, mk, &mut out));
+    out
 }
 
 /// Like [`run`], but recycling protocol instances across runs through the
@@ -473,7 +513,9 @@ pub fn run_pooled<F>(
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
-    with_pooled_arena(|arena| run_with(arena, config, adversary, Some(key), mk))
+    let mut out = Outcome::buffer();
+    with_pooled_arena(|arena| run_with(arena, config, adversary, Some(key), mk, &mut out));
+    out
 }
 
 /// Like [`run`], but with caller-supplied buffers — the allocation-free
@@ -488,7 +530,25 @@ pub fn run_in<F>(
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
-    run_with(arena, config, adversary, None, mk)
+    let mut out = Outcome::buffer();
+    run_with(arena, config, adversary, None, mk, &mut out);
+    out
+}
+
+/// [`run_in`] streaming the result into a caller-held [`Outcome`] buffer
+/// (see [`Outcome::buffer`]): every field is overwritten, and the result
+/// vectors reuse the buffer's capacity, so a caller looping over runs
+/// performs no per-run result allocations. Bit-identical to [`run_in`].
+pub fn run_into<F>(
+    arena: &mut RunArena,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    mk: F,
+    out: &mut Outcome,
+) where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
+    run_with(arena, config, adversary, None, mk, out);
 }
 
 /// [`run_pooled`] with caller-supplied buffers: arena *and* instance pool
@@ -504,18 +564,40 @@ pub fn run_pooled_in<F>(
 where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
-    run_with(arena, config, adversary, Some(key), mk)
+    let mut out = Outcome::buffer();
+    run_with(arena, config, adversary, Some(key), mk, &mut out);
+    out
 }
 
-/// The engine core behind every `run*` entry point.
+/// [`run_pooled_in`] streaming into a caller-held [`Outcome`] buffer:
+/// arena, instance pool *and* result storage all live with the caller, so
+/// a long-lived worker looping over runs of one spec performs no
+/// steady-state allocations at all — buffers, instances, or results.
+/// Bit-identical to [`run_pooled_in`] (`tests/instance_pool.rs` pins the
+/// reuse path).
+pub fn run_pooled_into<F>(
+    arena: &mut RunArena,
+    config: &RunConfig,
+    adversary: &mut dyn Adversary,
+    key: PoolKey,
+    mk: F,
+    out: &mut Outcome,
+) where
+    F: Fn(ProcessId) -> Box<dyn Protocol>,
+{
+    run_with(arena, config, adversary, Some(key), mk, out);
+}
+
+/// The engine core behind every `run*` entry point, writing the result
+/// into `out` (whose vectors are reused in place).
 fn run_with<F>(
     arena: &mut RunArena,
     config: &RunConfig,
     adversary: &mut dyn Adversary,
     key: Option<PoolKey>,
     mk: F,
-) -> Outcome
-where
+    out: &mut Outcome,
+) where
     F: Fn(ProcessId) -> Box<dyn Protocol>,
 {
     let n = config.n;
@@ -567,8 +649,13 @@ where
         );
     }
 
-    let mut metrics = Metrics::new(n);
-    metrics.per_round.reserve_exact(total_rounds);
+    // Result storage is reused in place: the caller's buffer keeps its
+    // vector capacity across runs, so the steady state allocates nothing
+    // for metrics, decisions, or trace.
+    out.config = *config;
+    out.metrics.reset_for(n);
+    out.metrics.per_round.reserve_exact(total_rounds);
+    let metrics = &mut out.metrics;
     let bits_per_value = config.domain.bits_per_value();
     // The bit-packed fast path applies to binary-domain runs that fit
     // one mask word; see the module docs.
@@ -577,8 +664,6 @@ where
     // Early stopping is latched once per run, so a run is entirely
     // status-driven or entirely fixed-length.
     let early = early_stopping_enabled();
-    let mut rounds_used = total_rounds;
-    let mut early_stopped = false;
 
     let RunArena {
         honest,
@@ -591,7 +676,18 @@ where
     } = &mut *arena;
     let inbox = inbox.as_mut().expect("arena reset installed an inbox");
 
-    for round in 1..=total_rounds {
+    // The dynamic run loop: rounds are issued one at a time, the schedule
+    // decided by the processors' `next_action` votes after each round —
+    // `total_rounds` is a hard ceiling, never exceeded (the entry guard
+    // also makes a zero-round schedule execute zero rounds, like the old
+    // `for` loop). Static protocols (the default `next_action`) replay
+    // `1..=total_rounds` exactly.
+    let mut round = 0;
+    let rounds_used = loop {
+        if round >= total_rounds {
+            break round;
+        }
+        round += 1;
         for ctx in ctxs.iter_mut() {
             ctx.round = round;
         }
@@ -734,7 +830,7 @@ where
 
         // 6. Early stopping: terminate once every *correct* processor
         // reports its decision final (faulty processors never gate
-        // termination). Reaching the last scheduled round is not counted
+        // termination). Reaching the schedule ceiling is not counted
         // as early.
         if early
             && round < total_rounds
@@ -743,29 +839,62 @@ where
                     || protocols[i].round_status(&ctxs[i]) == RoundStatus::ReadyToDecide
             })
         {
-            rounds_used = round;
-            early_stopped = true;
-            break;
+            break round;
         }
-    }
 
-    // Decisions.
+        // 7. Dynamic gear dispatch: poll every correct processor's
+        // next_action. The run ends when all of them report their
+        // schedule finished (or at the `total_rounds` ceiling); a gear
+        // shift commits only on a unanimous correct-processor proposal
+        // and is then applied to every instance — honest shadows of
+        // faulty processors included — so the schedule stays common.
+        let mut any_correct = false;
+        let mut all_finished = true;
+        let mut all_shift = true;
+        for i in 0..n {
+            if faulty.contains(ProcessId(i)) {
+                continue;
+            }
+            any_correct = true;
+            match protocols[i].next_action(&ctxs[i]) {
+                GearAction::Round => {
+                    all_finished = false;
+                    all_shift = false;
+                }
+                GearAction::ShiftGear => all_finished = false,
+                GearAction::Finished => all_shift = false,
+            }
+        }
+        if any_correct && all_finished {
+            break round;
+        }
+        if any_correct && all_shift {
+            for i in 0..n {
+                protocols[i].shift_gear(&mut ctxs[i]);
+            }
+        }
+    };
+    let early_stopped = rounds_used < total_rounds;
+
+    // Decisions (into the reused buffer).
     for ctx in ctxs.iter_mut() {
         ctx.round = 0;
     }
-    let mut decisions = vec![None; n];
+    out.decisions.clear();
+    out.decisions.resize(n, None);
     for i in 0..n {
         if !faulty.contains(ProcessId(i)) {
-            decisions[i] = Some(protocols[i].decide(&mut ctxs[i]));
+            out.decisions[i] = Some(protocols[i].decide(&mut ctxs[i]));
         }
     }
 
-    // Collect per-processor accounting (trace sized in one allocation).
-    let mut trace = Trace::new();
-    trace.reserve(ctxs.iter().map(ProcCtx::trace_len).sum());
+    // Collect per-processor accounting (trace sized in one reservation,
+    // reusing the buffer's capacity).
+    out.trace.clear();
+    out.trace.reserve(ctxs.iter().map(ProcCtx::trace_len).sum());
     for (i, ctx) in ctxs.iter_mut().enumerate() {
         metrics.local_ops[i] = ctx.ops();
-        ctx.drain_trace_into(&mut trace);
+        ctx.drain_trace_into(&mut out.trace);
     }
 
     // Return the instances to the pool for the next run of this spec.
@@ -773,17 +902,11 @@ where
         arena.put_instances(key, protocols);
     }
 
-    Outcome {
-        config: *config,
-        faulty,
-        decisions,
-        rounds_used,
-        scheduled_rounds: total_rounds,
-        early_stopped,
-        metrics,
-        trace,
-        adversary: adversary.name_shared(),
-    }
+    out.faulty = faulty;
+    out.rounds_used = rounds_used;
+    out.scheduled_rounds = total_rounds;
+    out.early_stopped = early_stopped;
+    out.adversary = adversary.name_shared();
 }
 
 #[cfg(test)]
@@ -948,6 +1071,154 @@ mod tests {
         assert_eq!(outcome.rounds_used, 7);
         assert!(!outcome.early_stopped);
         assert_eq!(outcome.metrics.rounds(), 7);
+    }
+
+    /// A two-segment dynamic toy: a "slow" segment of `slow_rounds`
+    /// silent rounds, then — once `propose_at` is reached — a proposal to
+    /// shift into a 2-round "fast" tail, after which it finishes.
+    struct Gearish {
+        slow_rounds: usize,
+        propose_at: usize,
+        /// Round at which the shift committed (0 = still in the slow
+        /// segment).
+        shifted_at: usize,
+    }
+
+    impl Gearish {
+        fn end(&self) -> usize {
+            if self.shifted_at > 0 {
+                self.shifted_at + 2
+            } else {
+                self.slow_rounds
+            }
+        }
+    }
+
+    impl Protocol for Gearish {
+        fn total_rounds(&self) -> usize {
+            self.slow_rounds
+        }
+
+        fn outgoing(&mut self, _ctx: &mut ProcCtx) -> Option<Payload> {
+            None
+        }
+
+        fn deliver(&mut self, _inbox: &Inbox, _ctx: &mut ProcCtx) {}
+
+        fn decide(&mut self, _ctx: &mut ProcCtx) -> Value {
+            Value::DEFAULT
+        }
+
+        fn next_action(&self, ctx: &ProcCtx) -> GearAction {
+            if ctx.round >= self.end() {
+                GearAction::Finished
+            } else if self.shifted_at == 0 && ctx.round >= self.propose_at {
+                GearAction::ShiftGear
+            } else {
+                GearAction::Round
+            }
+        }
+
+        fn shift_gear(&mut self, ctx: &mut ProcCtx) {
+            self.shifted_at = ctx.round;
+        }
+    }
+
+    #[test]
+    fn unanimous_shift_proposal_truncates_the_schedule() {
+        let config = RunConfig::new(3, 0);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            Box::new(Gearish {
+                slow_rounds: 12,
+                propose_at: 3,
+                shifted_at: 0,
+            })
+        });
+        // Shift committed after round 3; the fast tail runs rounds 4-5.
+        assert_eq!(outcome.rounds_used, 5);
+        assert_eq!(outcome.scheduled_rounds, 12);
+        assert!(outcome.early_stopped);
+        assert_eq!(outcome.metrics.rounds(), 5);
+    }
+
+    #[test]
+    fn divergent_proposals_do_not_commit_a_shift() {
+        let config = RunConfig::new(3, 0);
+        let propose = std::cell::Cell::new(0usize);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            // One processor proposes at round 3, the others at round 5:
+            // no unanimous round exists before 5, so the shift lands
+            // there and the run ends at round 7.
+            propose.set(propose.get() + 1);
+            Box::new(Gearish {
+                slow_rounds: 12,
+                propose_at: if propose.get() == 1 { 3 } else { 5 },
+                shifted_at: 0,
+            })
+        });
+        assert_eq!(outcome.rounds_used, 7);
+        assert!(outcome.early_stopped);
+    }
+
+    #[test]
+    fn zero_round_schedules_execute_no_rounds() {
+        // The old `for round in 1..=0` ran nothing; the dynamic loop's
+        // entry guard must preserve that for external implementations.
+        let config = RunConfig::new(3, 0);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            Box::new(Lazy {
+                rounds: 0,
+                ready_after: 0,
+            })
+        });
+        assert_eq!(outcome.rounds_used, 0);
+        assert_eq!(outcome.scheduled_rounds, 0);
+        assert!(!outcome.early_stopped);
+        assert_eq!(outcome.metrics.rounds(), 0);
+        assert_eq!(outcome.decisions.len(), 3);
+    }
+
+    #[test]
+    fn default_next_action_replays_the_static_schedule() {
+        let config = RunConfig::new(3, 0);
+        let outcome = run(&config, &mut NoFaults, |_| {
+            Box::new(Lazy {
+                rounds: 4,
+                ready_after: usize::MAX,
+            })
+        });
+        assert_eq!(outcome.rounds_used, 4);
+        assert!(!outcome.early_stopped);
+    }
+
+    #[test]
+    fn outcome_buffer_reuse_is_bit_identical() {
+        let config = RunConfig::new(4, 0).with_source_value(Value(1));
+        let fresh = run(&config, &mut NoFaults, toy_factory(&config));
+        let mut arena = RunArena::new();
+        let mut buf = Outcome::buffer();
+        // Two runs through the same buffer: the second overwrites every
+        // field of the first.
+        run_into(
+            &mut arena,
+            &config,
+            &mut NoFaults,
+            toy_factory(&config),
+            &mut buf,
+        );
+        run_into(
+            &mut arena,
+            &config,
+            &mut NoFaults,
+            toy_factory(&config),
+            &mut buf,
+        );
+        assert_eq!(buf.decisions, fresh.decisions);
+        assert_eq!(buf.faulty, fresh.faulty);
+        assert_eq!(buf.metrics, fresh.metrics);
+        assert_eq!(buf.rounds_used, fresh.rounds_used);
+        assert_eq!(buf.scheduled_rounds, fresh.scheduled_rounds);
+        assert_eq!(buf.trace, fresh.trace);
     }
 
     #[test]

@@ -66,12 +66,12 @@ mod value;
 pub use adversary::{Adversary, AdversaryView, NoFaults};
 pub use engine::{
     early_stopping_enabled, instance_pooling_enabled, packed_broadcast_enabled, run, run_in,
-    run_pooled, run_pooled_in, set_early_stopping, set_instance_pooling, set_packed_broadcast,
-    Outcome, PoolKey, RunArena, RunConfig,
+    run_into, run_pooled, run_pooled_in, run_pooled_into, set_early_stopping, set_instance_pooling,
+    set_packed_broadcast, Outcome, PoolKey, RunArena, RunConfig,
 };
 pub use id::{ProcessId, ProcessSet};
 pub use metrics::{Metrics, RoundStats};
 pub use payload::{Payload, SmallWords};
-pub use protocol::{Inbox, PackedBallots, ProcCtx, Protocol, RoundStatus};
+pub use protocol::{GearAction, Inbox, PackedBallots, ProcCtx, Protocol, RoundStatus};
 pub use trace::{Trace, TraceEntry, TraceEvent};
 pub use value::{Value, ValueDomain};

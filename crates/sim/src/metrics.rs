@@ -50,6 +50,17 @@ impl Metrics {
         }
     }
 
+    /// Empties these metrics in place for a fresh `n`-processor run,
+    /// keeping the per-round and per-processor buffer capacity — the
+    /// engine's outcome-reuse path calls this so back-to-back runs do not
+    /// reallocate their metric vectors.
+    pub fn reset_for(&mut self, n: usize) {
+        self.per_round.clear();
+        self.local_ops.clear();
+        self.local_ops.resize(n, 0);
+        self.peak_tree_nodes = 0;
+    }
+
     /// Number of communication rounds recorded.
     pub fn rounds(&self) -> usize {
         self.per_round.len()

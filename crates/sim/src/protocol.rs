@@ -39,6 +39,46 @@ pub enum RoundStatus {
     ReadyToDecide,
 }
 
+/// What a processor asks the engine to do next — the dynamic-schedule
+/// counterpart of [`RoundStatus`], consulted once per round through
+/// [`Protocol::next_action`].
+///
+/// The engine no longer drives a fixed `1..=total_rounds()` loop: after
+/// every round it polls each *correct* processor and
+///
+/// * runs another round while any correct processor answers
+///   [`GearAction::Round`];
+/// * commits a gear shift — calling [`Protocol::shift_gear`] on **every**
+///   instance, shadows of faulty processors included, so the schedule
+///   stays common — when every correct processor answers
+///   [`GearAction::ShiftGear`] in the same round;
+/// * ends the run when every correct processor answers
+///   [`GearAction::Finished`] (or when round `total_rounds()` completes,
+///   the engine's hard schedule ceiling).
+///
+/// The default implementation replays the static schedule exactly
+/// (`Round` until round `total_rounds()`, then `Finished`), so existing
+/// protocols keep working unchanged — the same opt-in pattern as
+/// [`Protocol::reset`] and [`Protocol::round_status`]. Like
+/// `round_status`, the all-correct conjunction is evaluated omnisciently
+/// by the engine: a processor may propose a shift from purely local
+/// evidence because the shift only commits if every correct processor
+/// simultaneously proposes it, and a non-committed proposal has no
+/// effect (the current segment simply continues).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GearAction {
+    /// Run the next scheduled round of the current segment.
+    #[default]
+    Round,
+    /// Local fault evidence justifies shifting into the protocol's next
+    /// gear segment now; the engine commits the shift only on a
+    /// unanimous correct-processor proposal.
+    ShiftGear,
+    /// The (possibly dynamically shortened) schedule is exhausted;
+    /// nothing is left to run.
+    Finished,
+}
+
 /// Bit-packed view of one round's single-value binary broadcasts, one bit
 /// per sender: `ones` has sender `j`'s bit set iff `j`'s payload reads
 /// `Value(1)` at position 0, `zeros` likewise for `Value(0)`. A sender in
@@ -279,17 +319,24 @@ impl ProcCtx {
 ///
 /// The engine drives the same schedule for every processor:
 ///
-/// 1. for `round` in `1..=total_rounds()`: call [`Protocol::outgoing`] on
-///    every processor, deliver the combined [`Inbox`] via
-///    [`Protocol::deliver`];
-/// 2. after the last round, call [`Protocol::decide`] once.
+/// 1. round by round: call [`Protocol::outgoing`] on every processor,
+///    deliver the combined [`Inbox`] via [`Protocol::deliver`], then
+///    consult [`Protocol::round_status`] (early stopping) and
+///    [`Protocol::next_action`] (dynamic gear dispatch) to decide
+///    whether to run another round, commit a gear shift, or end the run
+///    — never exceeding the [`Protocol::total_rounds`] ceiling;
+/// 2. after the last executed round, call [`Protocol::decide`] once.
 ///
 /// Implementations must be deterministic functions of their inputs — the
 /// paper's model has no randomness — so that shadow copies of faulty
 /// processors (used to show adversaries what an honest processor *would*
 /// send) stay consistent.
 pub trait Protocol {
-    /// Total number of communication rounds this protocol runs.
+    /// The worst-case number of communication rounds this protocol runs:
+    /// the exact schedule for fixed-schedule protocols (the default
+    /// [`Protocol::next_action`] replays it), and the longest schedule
+    /// any gear sequence can produce for dynamic ones. The engine never
+    /// issues a round beyond it.
     fn total_rounds(&self) -> usize;
 
     /// The payload this processor broadcasts in round `ctx.round`.
@@ -324,6 +371,40 @@ pub trait Protocol {
     fn round_status(&self, _ctx: &ProcCtx) -> RoundStatus {
         RoundStatus::Continue
     }
+
+    /// The schedule dispatch hook, consulted by the engine *after* the
+    /// round's deliveries (and after [`Protocol::round_status`]): what
+    /// this processor wants the engine to do next. The default replays
+    /// the static schedule — [`GearAction::Round`] while `ctx.round` is
+    /// below [`Protocol::total_rounds`], [`GearAction::Finished`] once it
+    /// is reached — so external implementations keep their fixed-length
+    /// behaviour bit-exactly (the `reset`/`round_status` opt-in pattern).
+    ///
+    /// Dynamic protocols override this to shorten the schedule at
+    /// runtime: answer [`GearAction::ShiftGear`] at a segment boundary
+    /// when local fault evidence justifies shifting, and
+    /// [`GearAction::Finished`] once the (possibly truncated) dynamic
+    /// schedule is complete. Implementations must be deterministic
+    /// functions of delivered state, must never extend the schedule past
+    /// `total_rounds()` (the engine enforces that ceiling), and must keep
+    /// `Finished` monotone — once returned, every later round returns it
+    /// too.
+    fn next_action(&self, ctx: &ProcCtx) -> GearAction {
+        if ctx.round >= self.total_rounds() {
+            GearAction::Finished
+        } else {
+            GearAction::Round
+        }
+    }
+
+    /// Commits a gear shift proposed unanimously through
+    /// [`Protocol::next_action`]. The engine calls this on **every**
+    /// instance — correct processors and the honest shadows of faulty
+    /// ones alike — immediately after the round whose deliveries produced
+    /// the unanimous [`GearAction::ShiftGear`] vote, so all instances
+    /// move to the new segment in lockstep. The default is a no-op
+    /// (static protocols never see it).
+    fn shift_gear(&mut self, _ctx: &mut ProcCtx) {}
 
     /// Restores this instance to the state a freshly constructed instance
     /// for processor `id` under `config` would have, returning `true` on

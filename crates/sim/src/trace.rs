@@ -80,6 +80,12 @@ impl Trace {
         self.entries.push(entry);
     }
 
+    /// Removes every entry, keeping the buffer capacity (the engine's
+    /// outcome-reuse path empties the previous run's trace in place).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Reserves capacity for at least `additional` more entries (the
     /// engine sizes the run trace in one allocation when draining
     /// per-processor buffers).

@@ -18,10 +18,14 @@
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to size the sweep engine's worker
-//! pool (default: all hardware threads) and `--no-early-stop` to run
+//! pool (default: all hardware threads), `--no-early-stop` to run
 //! every execution for its full static schedule (by default the engine
 //! terminates a run once every correct processor is ready to decide —
-//! the paper's expedite behaviour). `serve` runs the long-lived sweep
+//! the paper's expedite behaviour), and `--no-instance-pool` to rebuild
+//! protocol and adversary instances every run (the fingerprint
+//! cross-check escape hatch CI drives). Note `--no-early-stop` does not
+//! freeze *dynamic* specs (`dynamic-king`): their gear shifts are part
+//! of the schedule itself, not an engine observation. `serve` runs the long-lived sweep
 //! daemon (wire protocol `sg-serve/1`, see `sg_serve::wire`); `submit`
 //! sends the same grid `sweep` runs locally and must produce a
 //! bit-identical fingerprint — CI's serve-e2e job holds the two paths to
@@ -64,7 +68,8 @@ fn usage() -> ! {
          sg bounds --n <n>\n  \
          sg list\n\
          global: --jobs <N> sizes the sweep worker pool; --no-early-stop runs\n        \
-         full fixed-length schedules"
+         full fixed-length schedules; --no-instance-pool rebuilds protocol and\n        \
+         adversary instances every run"
     );
     exit(2);
 }
@@ -112,6 +117,7 @@ fn algorithm(name: &str, b: usize) -> AlgorithmSpec {
         "phase-king" => AlgorithmSpec::PhaseKing,
         "optimal-king" => AlgorithmSpec::OptimalKing,
         "king-shift" => AlgorithmSpec::KingShift { b },
+        "dynamic-king" => AlgorithmSpec::DynamicKing { b },
         "phase-queen" => AlgorithmSpec::PhaseQueen,
         "dolev-strong" => AlgorithmSpec::DolevStrong,
         other => {
@@ -157,6 +163,7 @@ fn cmd_list() {
         "phase-king",
         "optimal-king",
         "king-shift (needs --b)",
+        "dynamic-king (needs --b)",
         "phase-queen",
         "dolev-strong",
     ] {
@@ -721,6 +728,9 @@ fn main() {
     }
     if toggles.iter().any(|t| t == "no-early-stop") {
         shifting_gears::sim::set_early_stopping(false);
+    }
+    if toggles.iter().any(|t| t == "no-instance-pool") {
+        shifting_gears::sim::set_instance_pooling(false);
     }
     match cmd.as_str() {
         "run" => cmd_run(&flags, &toggles),

@@ -147,3 +147,13 @@ fn phase_queen_n13_t3() {
 fn dolev_strong_n5_t3() {
     gauntlet(AlgorithmSpec::DolevStrong, 5, 3, false);
 }
+
+#[test]
+fn dynamic_king_n10_t3() {
+    gauntlet(AlgorithmSpec::DynamicKing { b: 3 }, 10, 3, false);
+}
+
+#[test]
+fn dynamic_king_n16_t5() {
+    gauntlet(AlgorithmSpec::DynamicKing { b: 3 }, 16, 5, true);
+}

@@ -76,6 +76,7 @@ fn list_names_all_algorithms() {
         "hybrid",
         "algorithm-c",
         "phase-queen",
+        "dynamic-king",
         "dolev-strong",
         "two-faced",
     ] {
@@ -146,6 +147,24 @@ fn stability_prints_lock_in_sweep() {
         .filter(|l| l.trim_start().starts_with(char::is_numeric))
         .count();
     assert!(rows >= 3, "{stdout}");
+}
+
+#[test]
+fn run_dynamic_king_from_cli() {
+    let (ok, stdout, _) = sg(&[
+        "run",
+        "--alg",
+        "dynamic-king",
+        "--b",
+        "3",
+        "--n",
+        "16",
+        "--adversary",
+        "crash",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("agreement : true"));
+    assert!(stdout.contains("(early stop)"), "{stdout}");
 }
 
 #[test]

@@ -110,6 +110,16 @@ proptest! {
     }
 
     #[test]
+    fn dynamic_king_survives_random_tapes(
+        faulty in fault_set(13, 4),
+        moves in tape(256),
+    ) {
+        // Random tapes may or may not trip the shift checkpoints; both
+        // the shifted and never-shift paths must agree.
+        check(AlgorithmSpec::DynamicKing { b: 3 }, 13, 4, faulty, moves);
+    }
+
+    #[test]
     fn phase_king_survives_random_tapes(
         faulty in fault_set(13, 3),
         moves in tape(256),

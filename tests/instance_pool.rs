@@ -133,6 +133,7 @@ proptest! {
         check_spec(AlgorithmSpec::PhaseQueen, 9, 2, adv_idx, seed);
         check_spec(AlgorithmSpec::OptimalKing, 7, 2, adv_idx, seed);
         check_spec(AlgorithmSpec::KingShift { b: 3 }, 10, 3, adv_idx, seed);
+        check_spec(AlgorithmSpec::DynamicKing { b: 3 }, 10, 3, adv_idx, seed);
         check_spec(AlgorithmSpec::Exponential, 7, 2, adv_idx, seed);
         check_spec(AlgorithmSpec::DolevStrong, 5, 3, adv_idx, seed);
 
