@@ -124,6 +124,20 @@ impl SweepConfig {
             config
         }
     }
+
+    /// The instance-pool key this cell's runs execute under — derived
+    /// exactly as `sg_core::execute_into` derives it, including the
+    /// authentication adjustment for specs that require it. Long-lived
+    /// arena owners (the `sg-serve` daemon's workers) use this to
+    /// quarantine exactly one cell's pooled instances after a panic
+    /// instead of discarding the whole warm arena.
+    pub fn pool_key(&self) -> sg_sim::PoolKey {
+        let mut config = self.run_config();
+        if self.spec.needs_authentication() {
+            config = config.with_authentication();
+        }
+        self.spec.pool_key(&config)
+    }
 }
 
 /// The wire-expressible construction of a built-in family, kept so

@@ -28,6 +28,13 @@
 //! repro --exp sweep --expect-fingerprint <hex>
 //!                          # exit non-zero unless the sweep reproduces
 //!                          # the given report fingerprint
+//! repro --exp serve-load [--chaos]
+//!                          # the serving-path load benchmark: concurrent
+//!                          # connections (half through a fault-injecting
+//!                          # proxy with --chaos) hammering one daemon;
+//!                          # writes BENCH_serve.json (sg-serve-load/1)
+//!                          # and exits non-zero on any fingerprint
+//!                          # mismatch
 //! ```
 
 use std::env;
@@ -201,6 +208,65 @@ fn allocs_per_run_json(_plan: &SweepPlan) -> String {
     "null".to_string()
 }
 
+/// The serving-path load benchmark behind `--exp serve-load` and
+/// `BENCH_serve.json`: concurrent connections driving the mixed-plan
+/// hammer ([`sg_serve::run_load`]) against one in-process daemon,
+/// optionally with every other connection routed through the
+/// fault-injecting chaos proxy (`--chaos`). Every job that completes
+/// must reproduce its plan's batch-path fingerprint; any mismatch is a
+/// non-zero exit, which is the CI gate.
+fn experiment_serve_load(scale: Scale, jobs: usize, chaos: bool) {
+    let seeds_per_cell: u64 = match scale {
+        Scale::Quick => 24,
+        Scale::Full => 96,
+    };
+    let report = sg_serve::run_load(&sg_serve::LoadOptions {
+        connections: 6,
+        jobs_per_connection: 4,
+        seeds_per_cell,
+        workers: if jobs == 0 { 2 } else { jobs },
+        chaos: if chaos {
+            Some(sg_serve::ChaosSpec::gentle(11))
+        } else {
+            None
+        },
+        ..sg_serve::LoadOptions::default()
+    });
+
+    println!(
+        "BENCH-SERVE — {} of {} jobs completed across {} connection(s){}: \
+         {:.0} runs/sec, frame latency p50 {:.3} ms / p99 {:.3} ms \
+         (rejected {}, deadline {}, faulted {})",
+        report.jobs_completed,
+        report.jobs_submitted,
+        report.connections,
+        if chaos { " with chaos proxy" } else { "" },
+        report.runs_per_sec,
+        report.frame_latency_p50_ms,
+        report.frame_latency_p99_ms,
+        report.jobs_rejected,
+        report.jobs_deadline,
+        report.jobs_faulted,
+    );
+    let json = report.to_json_string();
+    print!("{json}");
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("cannot write BENCH_serve.json: {e}"),
+    }
+    if report.fingerprint_mismatches > 0 {
+        eprintln!(
+            "FINGERPRINT MISMATCH: {} completed job(s) diverged from the batch path",
+            report.fingerprint_mismatches
+        );
+        std::process::exit(1);
+    }
+    if report.jobs_completed == 0 {
+        eprintln!("no job completed — the load harness proved nothing");
+        std::process::exit(1);
+    }
+}
+
 /// The benchmark sweep behind `--exp sweep` and `BENCH_sweep.json`: the
 /// phase-king n=16, t=5 Monte-Carlo grid under seeded random liars,
 /// executed in-process or through the service path (`--via-server`).
@@ -312,6 +378,7 @@ fn main() {
     } else {
         Transport::Batch
     };
+    let chaos = args.iter().any(|a| a == "--chaos");
     let expect: Option<u64> = args
         .iter()
         .position(|a| a == "--expect-fingerprint")
@@ -368,6 +435,7 @@ fn main() {
             print(table);
         }
         "sweep" => experiment_sweep(scale, effective_jobs, transport, expect),
+        "serve-load" => experiment_serve_load(scale, jobs, chaos),
         "plans" => {
             if markdown {
                 println!("### EXP-F2/F3 — executable round plans (Figures 2 and 3)\n");
@@ -380,7 +448,7 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "known: p1 t1 t2 t3 t4 tradeoff dominance detect stability \
-                 early-stopping king compose rounds-vs-f plans sweep"
+                 early-stopping king compose rounds-vs-f plans sweep serve-load"
             );
             std::process::exit(2);
         }

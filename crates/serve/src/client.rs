@@ -7,6 +7,18 @@
 //! cross-checks the server's summary fingerprint against one recomputed
 //! from the received cells, so wire corruption or a misbehaving server
 //! cannot go unnoticed.
+//!
+//! # Robustness
+//!
+//! Against a saturated or flaky daemon the client is *bounded*, never
+//! hopeful: [`Client::connect_with_retry`] and
+//! [`Client::submit_with_retry`] make at most [`RetryPolicy::attempts`]
+//! tries with exponential backoff and deterministic jitter (seeded —
+//! the workspace is `Date`-free, so the same seed replays the same
+//! schedule), honour the server's `retry_after_ms` hint on `saturated`
+//! rejections, give up immediately on `draining` (that daemon will not
+//! change its mind), and never retry past a job's own `deadline_ms`
+//! budget.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -18,7 +30,7 @@ use serde::json::Value as Json;
 use serde::{FromJson, ToJson};
 use sg_analysis::{CellReport, Fingerprint, SweepPlan, SweepReport};
 
-use crate::wire::{ErrorCode, Frame, Request};
+use crate::wire::{ErrorCode, Frame, RejectCode, Request};
 
 /// Anything that can go wrong talking to a daemon.
 #[derive(Debug)]
@@ -33,6 +45,16 @@ pub enum ServeError {
         code: ErrorCode,
         /// Human-readable detail.
         detail: String,
+    },
+    /// The server declined the submit with a `rejected` frame
+    /// (admission control); nothing ran and the connection is usable.
+    Rejected {
+        /// Machine-readable reason (`saturated` or `draining`).
+        code: RejectCode,
+        /// Human-readable detail.
+        detail: String,
+        /// The server's back-off hint, when it wants a retry.
+        retry_after_ms: Option<u64>,
     },
     /// The job was cancelled before completing.
     Cancelled {
@@ -51,11 +73,63 @@ impl std::fmt::Display for ServeError {
             ServeError::Server { code, detail } => {
                 write!(f, "server error [{}]: {detail}", code.as_str())
             }
+            ServeError::Rejected { code, detail, .. } => {
+                write!(f, "submit rejected [{}]: {detail}", code.as_str())
+            }
             ServeError::Cancelled {
                 job,
                 cells_streamed,
             } => write!(f, "job {job} cancelled after {cells_streamed} cell(s)"),
         }
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Delay before retry `k` (0-based) is `base_ms · 2^k`, capped at
+/// `max_ms`, then jittered to 50–150% by a [`rand::rngs::StdRng`]
+/// seeded from `seed` — no wall clock anywhere, so a given policy
+/// replays the same schedule every time (the property the load
+/// harness's committed benchmark relies on).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries (first attempt included). 0 behaves as 1.
+    pub attempts: u32,
+    /// Delay before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single delay, milliseconds.
+    pub max_ms: u64,
+    /// Jitter seed; submits derive it from the plan's `base_seed`.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A sane default: 5 tries, 20 ms → 1 s exponential, jitter from
+    /// `seed`.
+    pub fn deterministic(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_ms: 20,
+            max_ms: 1_000,
+            seed,
+        }
+    }
+
+    /// The jittered delay before retry `k`, in milliseconds.
+    fn delay_ms(&self, k: u32, rng: &mut rand::rngs::StdRng) -> u64 {
+        use rand::Rng;
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(k).unwrap_or(u64::MAX))
+            .min(self.max_ms)
+            .max(1);
+        // 50–150% of the exponential step.
+        exp / 2 + rng.gen_range(0..exp.max(1))
+    }
+
+    fn rng(&self) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(self.seed)
     }
 }
 
@@ -143,6 +217,31 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Connects with bounded, jittered backoff: at most
+    /// `policy.attempts` tries, sleeping `policy`'s deterministic
+    /// schedule between them. The bounded sibling of
+    /// [`Client::connect`] for scripts that must fail fast with a
+    /// clear exit instead of spinning (`sg ping --attempts`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once attempts are exhausted.
+    pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> io::Result<Client> {
+        let mut rng = policy.rng();
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for k in 0..attempts {
+            match Self::connect_once(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            if k + 1 < attempts {
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(k, &mut rng)));
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connect attempts made")))
     }
 
     fn connect_once(addr: &str) -> io::Result<Client> {
@@ -236,9 +335,28 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Surfaces the server's `rejected` frame as [`ServeError::Server`].
+    /// Surfaces an invalid plan's `error` frame as
+    /// [`ServeError::Server`] and an admission-control `rejected` frame
+    /// as [`ServeError::Rejected`].
     pub fn submit(&mut self, plan: &SweepPlan) -> Result<JobHandle, ServeError> {
-        self.send(&Request::Submit { plan: plan.clone() })?;
+        self.submit_with_deadline(plan, None)
+    }
+
+    /// [`Client::submit`] with an optional `deadline_ms` completion
+    /// budget, enforced server-side at the cancellation quantum.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn submit_with_deadline(
+        &mut self,
+        plan: &SweepPlan,
+        deadline_ms: Option<u64>,
+    ) -> Result<JobHandle, ServeError> {
+        self.send(&Request::Submit {
+            plan: plan.clone(),
+            deadline_ms,
+        })?;
         match self.next_frame()? {
             Frame::Accepted {
                 job,
@@ -249,11 +367,78 @@ impl Client {
                 cells,
                 total_runs,
             }),
+            Frame::Rejected {
+                code,
+                detail,
+                retry_after_ms,
+            } => Err(ServeError::Rejected {
+                code,
+                detail,
+                retry_after_ms,
+            }),
             Frame::Error { code, detail, .. } => Err(ServeError::Server { code, detail }),
             other => Err(ServeError::Protocol(format!(
                 "expected accepted, got {other:?}"
             ))),
         }
+    }
+
+    /// [`Client::submit_with_deadline`] wrapped in bounded retry: a
+    /// `saturated` rejection sleeps the larger of the server's
+    /// `retry_after_ms` hint and the policy's own jittered backoff,
+    /// then resubmits — at most `policy.attempts` times, and never past
+    /// the job's `deadline_ms` budget (which spans the whole retry
+    /// loop, not each attempt). A `draining` rejection fails
+    /// immediately: that daemon will not take the job, ever.
+    ///
+    /// The policy seed should derive from the plan's `base_seed`
+    /// (that is what [`RetryPolicy::deterministic`] callers here do),
+    /// keeping the whole schedule replayable.
+    ///
+    /// # Errors
+    ///
+    /// The last rejection once attempts (or the deadline budget) are
+    /// exhausted; any other error immediately.
+    pub fn submit_with_retry(
+        &mut self,
+        plan: &SweepPlan,
+        deadline_ms: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> Result<JobHandle, ServeError> {
+        let started = Instant::now();
+        let mut rng = policy.rng();
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for k in 0..attempts {
+            match self.submit_with_deadline(plan, deadline_ms) {
+                Err(ServeError::Rejected {
+                    code: RejectCode::Saturated,
+                    detail,
+                    retry_after_ms,
+                }) => {
+                    let wait = retry_after_ms
+                        .unwrap_or(0)
+                        .max(policy.delay_ms(k, &mut rng));
+                    last = Some(ServeError::Rejected {
+                        code: RejectCode::Saturated,
+                        detail,
+                        retry_after_ms,
+                    });
+                    if k + 1 == attempts {
+                        break;
+                    }
+                    if let Some(budget) = deadline_ms {
+                        let spent = started.elapsed().as_millis() as u64;
+                        if spent.saturating_add(wait) >= budget {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+                outcome => return outcome,
+            }
+        }
+        Err(last.expect("at least one submit attempt"))
     }
 
     /// Requests cancellation of `job` (the stream will end with a

@@ -21,7 +21,16 @@
 //! * **Cancellation.** A `cancel` line stops a running grid within one
 //!   scheduling quantum, mid-cell included.
 //! * **Fault isolation.** Malformed frames get structured `error`
-//!   answers; a worker panic fails one job, not the daemon.
+//!   answers; a worker panic fails one job, not the daemon (and costs
+//!   only the panicked cell's pooled instances, not the arena).
+//! * **Admission control.** Bounded job and run backlogs: a saturated
+//!   daemon answers `rejected` with a deterministic `retry_after_ms`
+//!   instead of queueing without limit, deadlines (`deadline_ms`) stop
+//!   overdue jobs at the cancellation quantum, slow readers are shed
+//!   from a bounded per-connection write queue, and `drain` (or
+//!   SIGTERM) finishes accepted work before saying `bye` — see
+//!   [`server`]'s "Overload behavior" notes and [`load`] for the
+//!   harness that proves it.
 //!
 //! Quickstart (see `examples/sweep_service.rs` for the library-level
 //! version):
@@ -37,10 +46,14 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
+pub mod load;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, JobHandle, ServeError, StreamedReport};
-pub use server::{serve, Bind, ServeOptions, ServerHandle};
-pub use wire::{ErrorCode, Frame, Request, PROTOCOL};
+pub use chaos::{ChaosProxy, ChaosSpec};
+pub use client::{Client, JobHandle, RetryPolicy, ServeError, StreamedReport};
+pub use load::{run_load, LoadOptions, LoadReport};
+pub use server::{serve, Bind, Drainer, ServeOptions, ServerHandle};
+pub use wire::{ErrorCode, Frame, RejectCode, Request, PROTOCOL};

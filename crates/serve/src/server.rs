@@ -33,6 +33,22 @@
 //! summary fingerprint in that order — so the summary frame's
 //! `report_fingerprint` is bit-identical to `SweepPlan::run` on the same
 //! grid, whatever the daemon had running concurrently.
+//!
+//! # Overload behavior
+//!
+//! Admission control is enforced on the connection thread, before a job
+//! ever reaches the worker pool: a submit that would exceed
+//! [`ServeOptions::max_jobs`], [`ServeOptions::max_queued_runs`], or
+//! the per-connection cap answers `rejected` (code `saturated`) within
+//! one scheduling quantum of arriving, with a deterministic
+//! `retry_after_ms` hint scaled to the backlog. Deadlines ride the same
+//! per-quantum check as cancellation, so an expired job stops within
+//! one quantum. A reader that stalls while its daemon streams — the
+//! slow-loris client — is shed the moment its bounded write queue
+//! fills: its jobs are cancelled and its socket closed, while every
+//! other connection and the worker pool continue untouched. Draining
+//! (the `drain` op or `sg serve`'s SIGTERM handler) finishes accepted
+//! jobs, rejects new submits with code `draining`, and says `bye`.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -43,16 +59,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::json::Value as Json;
 use serde::{FromJson, ToJson};
 use sg_analysis::{CellReport, Fingerprint, SweepPlan};
 use sg_sim::RunArena;
 
-use crate::wire::{ErrorCode, Frame, Request};
+use crate::wire::{ErrorCode, Frame, RejectCode, Request};
 
 /// Where the daemon listens.
 #[derive(Clone, Debug)]
@@ -81,8 +97,30 @@ impl Bind {
 pub struct ServeOptions {
     /// Worker threads (0 = one per hardware thread).
     pub workers: usize,
-    /// Runs executed between cancellation checks inside one cell.
+    /// Runs executed between cancellation/deadline checks inside one
+    /// cell.
     pub quantum: u64,
+    /// Jobs admitted but not yet terminal, daemon-wide (0 = unlimited).
+    /// The next submit past the cap answers `rejected`/`saturated`.
+    pub max_jobs: usize,
+    /// Cap on the summed `total_runs` of active jobs (0 = unlimited) —
+    /// the queue's memory/backlog bound, since a job's queue footprint
+    /// is proportional to its run count.
+    pub max_queued_runs: u64,
+    /// Active jobs allowed per connection (0 = unlimited).
+    pub max_jobs_per_conn: usize,
+    /// Per-connection write-queue capacity, in frames. A client whose
+    /// reader stalls until the queue fills is shed — its jobs cancelled
+    /// and its socket closed — so one slow reader can never wedge the
+    /// daemon or other connections.
+    pub write_queue: usize,
+    /// Kernel send-buffer cap per accepted connection, in bytes (0 = OS
+    /// default). Left alone, Linux auto-grows `SO_SNDBUF` into the
+    /// megabytes on loopback, so a stalled reader hides behind kernel
+    /// buffering and the `write_queue` shed never fires; capping it
+    /// makes "bounded per-connection write buffer" mean what it says:
+    /// `write_queue` frames plus this many kernel bytes, total.
+    pub send_buffer: usize,
 }
 
 impl Default for ServeOptions {
@@ -90,8 +128,20 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 0,
             quantum: 64,
+            max_jobs: 64,
+            max_queued_runs: 50_000_000,
+            max_jobs_per_conn: 16,
+            write_queue: 256,
+            send_buffer: 256 * 1024,
         }
     }
+}
+
+/// The server's deterministic back-off hint for `saturated` rejections:
+/// a pure function of the admitted backlog, so a saturated daemon tells
+/// every client the same story and tests can pin it.
+fn retry_hint_ms(queued_runs: u64) -> u64 {
+    (queued_runs / 200).clamp(10, 2_000)
 }
 
 /// What a worker reports back to the owning connection, always sent
@@ -106,6 +156,8 @@ enum JobEvent {
     },
     /// Terminal: the job was cancelled and no further frames will come.
     Cancelled,
+    /// Terminal: the job's deadline expired mid-grid.
+    DeadlineExceeded,
     /// Terminal: a worker panicked executing this job.
     Failed { detail: String },
 }
@@ -116,6 +168,8 @@ enum ConnEvent {
     Request(Result<Request, (ErrorCode, String)>),
     /// The client closed or broke the connection.
     Gone,
+    /// The daemon finished draining: say `bye` and wind down.
+    Stopping,
     /// Progress on a job submitted by this connection.
     Job(u64, JobEvent),
 }
@@ -128,10 +182,15 @@ struct JobCore {
     outstanding: usize,
     /// Cells fully executed and reported.
     done: usize,
-    /// Set by cancel (or worker panic); stops claiming and aborts runs.
+    /// Set by cancel, deadline expiry, or worker panic; stops claiming
+    /// and aborts runs.
     cancelled: bool,
-    /// Whether a terminal event (`last` cell, `Cancelled`, `Failed`)
-    /// has been emitted — exactly one ever is.
+    /// Set by whichever worker first notices the deadline passed, so
+    /// the terminal frame reports `deadline-exceeded`, not `cancelled`.
+    deadline_hit: bool,
+    /// Whether a terminal event (`last` cell, `Cancelled`,
+    /// `DeadlineExceeded`, `Failed`) has been emitted — exactly one
+    /// ever is.
     terminal_sent: bool,
 }
 
@@ -140,15 +199,52 @@ struct JobCore {
 struct Job {
     id: u64,
     plan: SweepPlan,
+    /// Wall-clock completion budget, from the submit's `deadline_ms`.
+    deadline: Option<Instant>,
     /// Lock-free fast path for the in-cell cancellation check.
     cancel: AtomicBool,
     core: Mutex<JobCore>,
     events: Sender<ConnEvent>,
+    /// Back-reference for admission bookkeeping at terminal time (weak:
+    /// `Shared` owns the queue that owns jobs).
+    shared: Weak<Shared>,
 }
 
 impl Job {
     fn cell_count(&self) -> usize {
         self.plan.cell_count()
+    }
+
+    /// Whether the job's deadline (if any) has passed. Checked at the
+    /// same points as the cancellation flag, so expiry lands within one
+    /// scheduling quantum too.
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Emits the job's unique terminal event and releases its admission
+    /// budget. Must be called under the core lock, at most once.
+    ///
+    /// Event first, release second: releasing the last drained job
+    /// broadcasts `Stopping` (→ `bye`) through the same per-connection
+    /// channel, and the terminal frame must precede it.
+    fn finish(&self, core: &mut JobCore, event: JobEvent) {
+        debug_assert!(!core.terminal_sent);
+        core.terminal_sent = true;
+        let _ = self.events.send(ConnEvent::Job(self.id, event));
+        if let Some(shared) = self.shared.upgrade() {
+            shared.release(self.plan.total_runs());
+        }
+    }
+
+    /// The terminal event an aborted (non-panicked) job reports:
+    /// deadline expiry wins over plain cancellation.
+    fn aborted_event(core: &JobCore) -> JobEvent {
+        if core.deadline_hit {
+            JobEvent::DeadlineExceeded
+        } else {
+            JobEvent::Cancelled
+        }
     }
 
     /// Marks the job cancelled; emits the terminal event immediately if
@@ -158,10 +254,8 @@ impl Job {
         let mut core = self.core.lock().expect("job core");
         core.cancelled = true;
         if core.outstanding == 0 && !core.terminal_sent {
-            core.terminal_sent = true;
-            let _ = self
-                .events
-                .send(ConnEvent::Job(self.id, JobEvent::Cancelled));
+            let event = Job::aborted_event(&core);
+            self.finish(&mut core, event);
         }
     }
 }
@@ -174,6 +268,15 @@ struct Shared {
     available: Condvar,
     /// Daemon-wide stop flag.
     stop: AtomicBool,
+    /// Daemon-wide drain flag: accepted jobs finish, new submits are
+    /// rejected with code `draining`, and the last terminal stops the
+    /// daemon.
+    draining: AtomicBool,
+    /// Jobs admitted and not yet terminal.
+    active_jobs: AtomicU64,
+    /// Summed `total_runs` of active jobs — the admission-control
+    /// measure of backlog, released in one piece at terminal time.
+    queued_runs: AtomicU64,
     /// Monotonic job-id source.
     next_job: AtomicU64,
     /// Monotonic connection-id source (keys the registry below).
@@ -214,12 +317,87 @@ impl Shared {
     /// (cancelling its jobs and closing its socket, so streaming
     /// clients see EOF rather than a hang).
     fn begin_stop(&self) {
+        self.stop_conns(false);
+    }
+
+    /// [`Shared::begin_stop`], but connections say `bye` before closing
+    /// — the drain-complete goodbye the protocol promises.
+    fn begin_drain_stop(&self) {
+        self.stop_conns(true);
+    }
+
+    fn stop_conns(&self, say_bye: bool) {
         self.stop.store(true, Ordering::SeqCst);
         self.available.notify_all();
         (self.poke)();
         for tx in self.conns.lock().expect("conn registry").values() {
-            let _ = tx.send(ConnEvent::Gone);
+            let _ = tx.send(if say_bye {
+                ConnEvent::Stopping
+            } else {
+                ConnEvent::Gone
+            });
         }
+    }
+
+    /// Starts draining: no new submits, and once the active-job count
+    /// reaches zero the daemon stops with a `bye` on every connection.
+    /// Returns the number of jobs still active.
+    fn begin_drain(&self) -> u64 {
+        self.draining.store(true, Ordering::SeqCst);
+        let active = self.active_jobs.load(Ordering::SeqCst);
+        if active == 0 && !self.stop.load(Ordering::SeqCst) {
+            self.begin_drain_stop();
+        }
+        active
+    }
+
+    /// Releases one job's admission budget at terminal time, completing
+    /// a pending drain if this was the last active job.
+    fn release(&self, total_runs: u64) {
+        self.queued_runs.fetch_sub(total_runs, Ordering::SeqCst);
+        let was = self.active_jobs.fetch_sub(1, Ordering::SeqCst);
+        if was == 1 && self.draining.load(Ordering::SeqCst) && !self.stop.load(Ordering::SeqCst) {
+            self.begin_drain_stop();
+        }
+    }
+
+    /// Reserves admission budget for a submit, or explains the refusal.
+    /// Reservation is optimistic fetch-add with rollback, so concurrent
+    /// submits on different connections cannot both sneak past a cap.
+    fn admit(&self, total_runs: u64) -> Result<(), Frame> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(Frame::Rejected {
+                code: RejectCode::Draining,
+                detail: "daemon is draining and takes no new jobs".to_string(),
+                retry_after_ms: None,
+            });
+        }
+        // Roll back through `release` so a drain that started between
+        // our reservation and its failure still sees the final zero.
+        let max_jobs = self.options.max_jobs as u64;
+        let prev = self.active_jobs.fetch_add(1, Ordering::SeqCst);
+        if max_jobs > 0 && prev >= max_jobs {
+            let hint = retry_hint_ms(self.queued_runs.load(Ordering::SeqCst));
+            self.release(0);
+            return Err(Frame::Rejected {
+                code: RejectCode::Saturated,
+                detail: format!("job queue full ({max_jobs} active jobs)"),
+                retry_after_ms: Some(hint),
+            });
+        }
+        let max_runs = self.options.max_queued_runs;
+        let prev_runs = self.queued_runs.fetch_add(total_runs, Ordering::SeqCst);
+        if max_runs > 0 && prev_runs.saturating_add(total_runs) > max_runs {
+            self.release(total_runs);
+            return Err(Frame::Rejected {
+                code: RejectCode::Saturated,
+                detail: format!(
+                    "run backlog full ({prev_runs} of {max_runs} queued, job needs {total_runs})"
+                ),
+                retry_after_ms: Some(retry_hint_ms(prev_runs)),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -260,17 +438,47 @@ enum Listener {
     Unix(UnixListener),
 }
 
+/// Caps the kernel send buffer of an accepted socket. The kernel
+/// otherwise auto-grows `SO_SNDBUF` well past the configured write
+/// queue, letting megabytes of frames pile up for a reader that has
+/// stopped reading — the user-space queue never fills and the shed
+/// path never fires. Failure is ignored: the cap is a bound, not a
+/// correctness requirement.
+#[cfg(target_os = "linux")]
+fn cap_send_buffer(fd: i32, bytes: usize) {
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+    }
+    let value = bytes.min(i32::MAX as usize) as i32;
+    let len = std::mem::size_of::<i32>() as u32;
+    let _ = unsafe { setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &value, len) };
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+fn cap_send_buffer(_fd: i32, _bytes: usize) {}
+
 impl Listener {
-    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+    fn accept(&self, send_buffer: usize) -> io::Result<Box<dyn Conn>> {
+        #[cfg(not(unix))]
+        let _ = send_buffer;
         match self {
             Listener::Tcp(l) => {
                 let (stream, _) = l.accept()?;
                 stream.set_nodelay(true).ok();
+                #[cfg(unix)]
+                if send_buffer > 0 {
+                    cap_send_buffer(std::os::fd::AsRawFd::as_raw_fd(&stream), send_buffer);
+                }
                 Ok(Box::new(stream))
             }
             #[cfg(unix)]
             Listener::Unix(l) => {
                 let (stream, _) = l.accept()?;
+                if send_buffer > 0 {
+                    cap_send_buffer(std::os::fd::AsRawFd::as_raw_fd(&stream), send_buffer);
+                }
                 Ok(Box::new(stream))
             }
         }
@@ -328,6 +536,14 @@ impl ServerHandle {
         self.stop_all();
     }
 
+    /// A handle that can start a graceful drain from another thread —
+    /// `sg serve` wires its SIGTERM watcher to this.
+    pub fn drainer(&self) -> Drainer {
+        Drainer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Blocks until the daemon stops — i.e. until some client sends the
     /// `shutdown` op (or the process is signalled). This is `sg serve`'s
     /// foreground mode.
@@ -352,6 +568,21 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_all();
+    }
+}
+
+/// Starts a graceful drain on a running daemon (see [`Request::Drain`]
+/// for the semantics); cloneable into signal-watcher threads.
+#[derive(Clone)]
+pub struct Drainer {
+    shared: Arc<Shared>,
+}
+
+impl Drainer {
+    /// Begins the drain; returns the number of jobs still active (the
+    /// daemon stops once they finish — immediately when zero).
+    pub fn drain(&self) -> u64 {
+        self.shared.begin_drain()
     }
 }
 
@@ -385,6 +616,9 @@ pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         stop: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        active_jobs: AtomicU64::new(0),
+        queued_runs: AtomicU64::new(0),
         next_job: AtomicU64::new(1),
         next_conn: AtomicU64::new(1),
         conns: Mutex::new(HashMap::new()),
@@ -407,7 +641,7 @@ pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
         .name("sg-serve-accept".to_string())
         .spawn(move || {
             while !accept_shared.stop.load(Ordering::SeqCst) {
-                match listener.accept() {
+                match listener.accept(accept_shared.options.send_buffer) {
                     Ok(conn) => {
                         if accept_shared.stop.load(Ordering::SeqCst) {
                             break;
@@ -432,6 +666,16 @@ pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
     })
 }
 
+/// How one cell execution ended on a worker.
+enum CellRun {
+    /// Ran to completion.
+    Done(Box<CellReport>),
+    /// Stopped at a quantum boundary by the cancellation flag.
+    Aborted,
+    /// Stopped at a quantum boundary by the job's deadline.
+    Expired,
+}
+
 /// One worker: a long-lived arena and an endless claim-execute loop.
 fn worker_loop(shared: &Shared) {
     let mut arena = RunArena::new();
@@ -441,6 +685,16 @@ fn worker_loop(shared: &Shared) {
         let claimed = {
             let mut core = job.core.lock().expect("job core");
             if core.cancelled || core.next_cell >= job.cell_count() {
+                None
+            } else if job.expired() {
+                // Deadline noticed before any run of this claim: abort
+                // the whole job here, the cheapest of the quantum checks.
+                job.cancel.store(true, Ordering::Relaxed);
+                core.cancelled = true;
+                core.deadline_hit = true;
+                if core.outstanding == 0 && !core.terminal_sent {
+                    job.finish(&mut core, JobEvent::DeadlineExceeded);
+                }
                 None
             } else {
                 let index = core.next_cell;
@@ -461,53 +715,68 @@ fn worker_loop(shared: &Shared) {
             let mut cursor = job.plan.cell_cursor(index);
             while !cursor.is_done() {
                 if job.cancel.load(Ordering::Relaxed) {
-                    return None;
+                    return CellRun::Aborted;
+                }
+                if job.expired() {
+                    return CellRun::Expired;
                 }
                 cursor.run_batch_in(&mut arena, quantum);
             }
-            Some(cursor.finish())
+            CellRun::Done(Box::new(cursor.finish()))
         }));
 
         match outcome {
-            Ok(Some(cell)) => {
+            Ok(CellRun::Done(cell)) => {
                 let mut core = job.core.lock().expect("job core");
                 core.outstanding -= 1;
                 core.done += 1;
                 if core.cancelled {
-                    // Completed after cancel: drop the cell, and close
-                    // the job if we were the last worker on it.
+                    // Completed after cancel/expiry: drop the cell, and
+                    // close the job if we were the last worker on it.
                     if core.outstanding == 0 && !core.terminal_sent {
-                        core.terminal_sent = true;
-                        let _ = job.events.send(ConnEvent::Job(job.id, JobEvent::Cancelled));
+                        let event = Job::aborted_event(&core);
+                        job.finish(&mut core, event);
                     }
                 } else {
                     let last = core.done == job.cell_count();
                     if last {
                         core.terminal_sent = true;
                     }
-                    let _ = job.events.send(ConnEvent::Job(
-                        job.id,
-                        JobEvent::Cell {
-                            index,
-                            cell: Box::new(cell),
-                            last,
-                        },
-                    ));
+                    let _ = job
+                        .events
+                        .send(ConnEvent::Job(job.id, JobEvent::Cell { index, cell, last }));
+                    // Release only after the final cell event is in the
+                    // connection's queue: a drain finishing here sends
+                    // `Stopping` down that same queue, and the summary
+                    // must beat the `bye`.
+                    if last {
+                        if let Some(shared) = job.shared.upgrade() {
+                            shared.release(job.plan.total_runs());
+                        }
+                    }
                 }
             }
-            Ok(None) => {
-                // Aborted by cancellation mid-cell.
+            Ok(aborted @ (CellRun::Aborted | CellRun::Expired)) => {
                 let mut core = job.core.lock().expect("job core");
+                if matches!(aborted, CellRun::Expired) {
+                    job.cancel.store(true, Ordering::Relaxed);
+                    core.cancelled = true;
+                    core.deadline_hit = true;
+                }
                 core.outstanding -= 1;
                 if core.outstanding == 0 && !core.terminal_sent {
-                    core.terminal_sent = true;
-                    let _ = job.events.send(ConnEvent::Job(job.id, JobEvent::Cancelled));
+                    let event = Job::aborted_event(&core);
+                    job.finish(&mut core, event);
                 }
             }
             Err(panic) => {
-                // The arena may hold protocol instances frozen mid-run;
-                // a panicked worker starts over with a cold one.
-                arena = RunArena::new();
+                // The unwind already dropped the executing key's pooled
+                // instances (they were checked out of the arena); every
+                // other buffer is overwritten at the start of each run.
+                // Quarantine just that key — rebuilding the whole arena
+                // here would throw away every sibling key's warmth.
+                let (ci, _) = job.plan.cell_coords(index);
+                arena.evict_instances(job.plan.configs[ci].pool_key());
                 let detail = panic
                     .downcast_ref::<String>()
                     .cloned()
@@ -518,10 +787,7 @@ fn worker_loop(shared: &Shared) {
                 core.cancelled = true;
                 core.outstanding -= 1;
                 if !core.terminal_sent {
-                    core.terminal_sent = true;
-                    let _ = job
-                        .events
-                        .send(ConnEvent::Job(job.id, JobEvent::Failed { detail }));
+                    job.finish(&mut core, JobEvent::Failed { detail });
                 }
             }
         }
@@ -560,8 +826,80 @@ fn validate_plan(plan: &SweepPlan) -> Result<(), String> {
     Ok(())
 }
 
+/// How a connection's event loop ended, deciding the teardown order.
+#[derive(PartialEq, Eq)]
+enum ConnExit {
+    /// Client left, daemon stopping, or a write failed: let the writer
+    /// drain its queue before closing the socket.
+    Clean,
+    /// Slow-loris shed: the write queue filled because the client
+    /// stopped reading. Close the socket first — the writer may be
+    /// blocked inside the OS send buffer and must be forced out.
+    Shed,
+}
+
+/// How long a full write queue gets to drain before the connection is
+/// shed. A healthy reader empties kernel buffers in milliseconds, so a
+/// queue that stays full this long means the client has genuinely
+/// stopped reading (and the OS send buffer behind it — several MB on
+/// loopback — is full too).
+const SHED_GRACE_MS: u64 = 500;
+const SHED_POLL_MS: u64 = 10;
+
+/// Hands frames to the connection's writer thread with *bounded*
+/// patience: a momentarily-full queue (the writer is mid-write) is
+/// retried for [`SHED_GRACE_MS`]; one that never drains means the
+/// client has stalled while the daemon streams — grounds for shedding
+/// it. Blocking is per-connection either way: this sink is only ever
+/// used by the connection's own event thread.
+struct FrameSink {
+    tx: mpsc::SyncSender<String>,
+}
+
+impl FrameSink {
+    fn send(&self, frame: &Frame) -> Result<(), ConnExit> {
+        let mut line = frame.to_json().to_string();
+        line.push('\n');
+        let mut waited_ms = 0u64;
+        loop {
+            match self.tx.try_send(line) {
+                Ok(()) => return Ok(()),
+                Err(mpsc::TrySendError::Disconnected(_)) => return Err(ConnExit::Clean),
+                Err(mpsc::TrySendError::Full(back)) => {
+                    if waited_ms >= SHED_GRACE_MS {
+                        return Err(ConnExit::Shed);
+                    }
+                    std::thread::sleep(Duration::from_millis(SHED_POLL_MS));
+                    waited_ms += SHED_POLL_MS;
+                    line = back;
+                }
+            }
+        }
+    }
+}
+
+/// Writer half: drains queued frame lines onto the socket, batching
+/// whatever is ready before each flush. Exits on the first write error
+/// (dropping the receiver, which surfaces to the sink as disconnect).
+fn write_lines(rx: &Receiver<String>, conn: Box<dyn Conn>) {
+    let mut writer = BufWriter::new(conn);
+    while let Ok(line) = rx.recv() {
+        if writer.write_all(line.as_bytes()).is_err() {
+            return;
+        }
+        while let Ok(next) = rx.try_recv() {
+            if writer.write_all(next.as_bytes()).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
 /// Serves one client connection to completion.
-fn handle_connection(conn: Box<dyn Conn>, shared: &Shared) {
+fn handle_connection(conn: Box<dyn Conn>, shared: &Arc<Shared>) {
     let Ok(read_half) = conn.try_clone_conn() else {
         return;
     };
@@ -578,16 +916,35 @@ fn handle_connection(conn: Box<dyn Conn>, shared: &Shared) {
         .name("sg-serve-read".to_string())
         .spawn(move || read_requests(read_half, &reader_tx))
         .expect("spawn connection reader");
+    let (line_tx, line_rx) = mpsc::sync_channel::<String>(shared.options.write_queue.max(1));
+    let writer = std::thread::Builder::new()
+        .name("sg-serve-write".to_string())
+        .spawn(move || write_lines(&line_rx, conn))
+        .expect("spawn connection writer");
 
-    let mut writer = BufWriter::new(conn);
-    connection_loop(&rx, &tx, &mut writer, shared);
+    let sink = FrameSink { tx: line_tx };
+    let exit = connection_loop(&rx, &tx, &sink, shared);
     shared.conns.lock().expect("conn registry").remove(&conn_id);
-    // Flush whatever the loop last wrote, then shut the socket down for
-    // real: that sends the client EOF (a dropped clone alone would not,
-    // the reader thread still holds one) and unblocks our reader.
-    drop(writer);
-    if let Some(closer) = &closer {
-        closer.shutdown_conn();
+    // Dropping the sink lets the writer drain and exit; shutting the
+    // socket down for real sends the client EOF (a dropped clone alone
+    // would not, other threads still hold clones) and unblocks our
+    // reader. On a shed the order flips: the writer may be wedged in a
+    // full OS send buffer, so the socket dies first to force it out —
+    // the stalled client was not reading those frames anyway.
+    drop(sink);
+    match exit {
+        ConnExit::Clean => {
+            let _ = writer.join();
+            if let Some(closer) = &closer {
+                closer.shutdown_conn();
+            }
+        }
+        ConnExit::Shed => {
+            if let Some(closer) = &closer {
+                closer.shutdown_conn();
+            }
+            let _ = writer.join();
+        }
     }
     let _ = reader.join();
 }
@@ -626,37 +983,36 @@ fn read_requests(conn: Box<dyn Conn>, tx: &Sender<ConnEvent>) {
     }
 }
 
-fn write_frame(writer: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    writeln!(writer, "{}", frame.to_json())?;
-    writer.flush()
-}
-
 /// The connection's event loop: requests in, frames out. However the
-/// loop ends (client EOF, write error, shutdown), every job the
-/// connection still owns is cancelled so workers stop burning time for
-/// a client that left.
+/// loop ends (client EOF, shed, shutdown), every job the connection
+/// still owns is cancelled so workers stop burning time for a client
+/// that left.
 fn connection_loop(
     rx: &Receiver<ConnEvent>,
     tx: &Sender<ConnEvent>,
-    writer: &mut impl Write,
-    shared: &Shared,
-) {
+    sink: &FrameSink,
+    shared: &Arc<Shared>,
+) -> ConnExit {
     let mut streams: HashMap<u64, StreamState> = HashMap::new();
-    let _ = connection_events(rx, tx, writer, shared, &mut streams);
+    let exit = match connection_events(rx, tx, sink, shared, &mut streams) {
+        Ok(()) => ConnExit::Clean,
+        Err(exit) => exit,
+    };
     for state in streams.values() {
         state.job.cancel();
     }
+    exit
 }
 
-/// The fallible inner loop of [`connection_loop`]; a write error
-/// propagates out (the client is gone) and the caller cleans up.
+/// The fallible inner loop of [`connection_loop`]; a dead or stalled
+/// writer propagates out as [`ConnExit`] and the caller cleans up.
 fn connection_events(
     rx: &Receiver<ConnEvent>,
     tx: &Sender<ConnEvent>,
-    writer: &mut impl Write,
-    shared: &Shared,
+    sink: &FrameSink,
+    shared: &Arc<Shared>,
     streams: &mut HashMap<u64, StreamState>,
-) -> io::Result<()> {
+) -> Result<(), ConnExit> {
     // A shutdown raced this connection's registration: wind down now
     // rather than waiting for an event that may never come.
     if shared.stop.load(Ordering::SeqCst) {
@@ -664,48 +1020,70 @@ fn connection_events(
     }
     while let Ok(event) = rx.recv() {
         match event {
-            ConnEvent::Request(Ok(Request::Ping)) => write_frame(writer, &Frame::Pong)?,
+            ConnEvent::Request(Ok(Request::Ping)) => sink.send(&Frame::Pong)?,
             ConnEvent::Request(Ok(Request::Shutdown)) => {
-                write_frame(writer, &Frame::Bye)?;
+                sink.send(&Frame::Bye)?;
                 shared.begin_stop();
                 break;
             }
-            ConnEvent::Request(Ok(Request::Submit { plan })) => {
+            ConnEvent::Request(Ok(Request::Drain)) => {
+                // Ack first: the drain frame must precede the `bye`
+                // that a zero-job drain triggers immediately.
+                let active = shared.active_jobs.load(Ordering::SeqCst);
+                sink.send(&Frame::Draining {
+                    active_jobs: active,
+                })?;
+                shared.begin_drain();
+            }
+            ConnEvent::Request(Ok(Request::Submit { plan, deadline_ms })) => {
                 if let Err(detail) = validate_plan(&plan) {
-                    write_frame(
-                        writer,
-                        &Frame::Error {
-                            code: ErrorCode::Rejected,
-                            detail,
-                            job: None,
-                        },
-                    )?;
+                    sink.send(&Frame::Error {
+                        code: ErrorCode::Rejected,
+                        detail,
+                        job: None,
+                    })?;
+                    continue;
+                }
+                let cap = shared.options.max_jobs_per_conn;
+                if cap > 0 && streams.len() >= cap {
+                    sink.send(&Frame::Rejected {
+                        code: RejectCode::Saturated,
+                        detail: format!("connection in-flight cap ({cap} jobs) reached"),
+                        retry_after_ms: Some(retry_hint_ms(
+                            shared.queued_runs.load(Ordering::SeqCst),
+                        )),
+                    })?;
+                    continue;
+                }
+                let total_runs = plan.total_runs();
+                if let Err(rejected) = shared.admit(total_runs) {
+                    sink.send(&rejected)?;
                     continue;
                 }
                 let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
                 let cells = plan.cell_count();
-                let total_runs = plan.total_runs();
                 let job = Arc::new(Job {
                     id,
                     plan,
+                    deadline: deadline_ms
+                        .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
                     cancel: AtomicBool::new(false),
                     core: Mutex::new(JobCore {
                         next_cell: 0,
                         outstanding: 0,
                         done: 0,
                         cancelled: false,
+                        deadline_hit: false,
                         terminal_sent: false,
                     }),
                     events: tx.clone(),
+                    shared: Arc::downgrade(shared),
                 });
-                write_frame(
-                    writer,
-                    &Frame::Accepted {
-                        job: id,
-                        cells,
-                        total_runs,
-                    },
-                )?;
+                sink.send(&Frame::Accepted {
+                    job: id,
+                    cells,
+                    total_runs,
+                })?;
                 streams.insert(
                     id,
                     StreamState {
@@ -721,24 +1099,22 @@ fn connection_events(
             }
             ConnEvent::Request(Ok(Request::Cancel { job })) => match streams.get(&job) {
                 Some(state) => state.job.cancel(),
-                None => write_frame(
-                    writer,
-                    &Frame::Error {
-                        code: ErrorCode::UnknownJob,
-                        detail: format!("no active job {job} on this connection"),
-                        job: Some(job),
-                    },
-                )?,
+                None => sink.send(&Frame::Error {
+                    code: ErrorCode::UnknownJob,
+                    detail: format!("no active job {job} on this connection"),
+                    job: Some(job),
+                })?,
             },
-            ConnEvent::Request(Err((code, detail))) => write_frame(
-                writer,
-                &Frame::Error {
-                    code,
-                    detail,
-                    job: None,
-                },
-            )?,
+            ConnEvent::Request(Err((code, detail))) => sink.send(&Frame::Error {
+                code,
+                detail,
+                job: None,
+            })?,
             ConnEvent::Gone => break,
+            ConnEvent::Stopping => {
+                let _ = sink.send(&Frame::Bye);
+                break;
+            }
             ConnEvent::Job(id, event) => {
                 let Some(state) = streams.get_mut(&id) else {
                     continue; // stray event after the job's terminal frame
@@ -751,14 +1127,11 @@ fn connection_events(
                             let index = state.next_emit;
                             state.next_emit += 1;
                             state.emitted += 1;
-                            write_frame(
-                                writer,
-                                &Frame::Cell {
-                                    job: id,
-                                    index,
-                                    cell,
-                                },
-                            )?;
+                            sink.send(&Frame::Cell {
+                                job: id,
+                                index,
+                                cell,
+                            })?;
                         }
                         if last {
                             debug_assert!(state.pending.is_empty());
@@ -769,30 +1142,37 @@ fn connection_events(
                                 report_fingerprint: state.fingerprint.hex(),
                                 wall_ms: state.started.elapsed().as_secs_f64() * 1e3,
                             };
-                            write_frame(writer, &summary)?;
+                            sink.send(&summary)?;
                             streams.remove(&id);
                         }
                     }
                     JobEvent::Cancelled => {
                         let cells_streamed = state.emitted;
-                        write_frame(
-                            writer,
-                            &Frame::Cancelled {
-                                job: id,
-                                cells_streamed,
-                            },
-                        )?;
+                        sink.send(&Frame::Cancelled {
+                            job: id,
+                            cells_streamed,
+                        })?;
+                        streams.remove(&id);
+                    }
+                    JobEvent::DeadlineExceeded => {
+                        let detail = format!(
+                            "deadline exceeded after {} of {} cells; streamed cells remain valid",
+                            state.emitted,
+                            state.job.cell_count()
+                        );
+                        sink.send(&Frame::Error {
+                            code: ErrorCode::DeadlineExceeded,
+                            detail,
+                            job: Some(id),
+                        })?;
                         streams.remove(&id);
                     }
                     JobEvent::Failed { detail } => {
-                        write_frame(
-                            writer,
-                            &Frame::Error {
-                                code: ErrorCode::JobFailed,
-                                detail,
-                                job: Some(id),
-                            },
-                        )?;
+                        sink.send(&Frame::Error {
+                            code: ErrorCode::JobFailed,
+                            detail,
+                            job: Some(id),
+                        })?;
                         streams.remove(&id);
                     }
                 }

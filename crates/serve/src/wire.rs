@@ -9,8 +9,10 @@
 //!
 //! ```text
 //! {"op":"submit","proto":"sg-serve/1","plan":{…}}   submit a sweep grid
+//! {"op":"submit","plan":{…},"deadline_ms":5000}     …with a completion deadline
 //! {"op":"cancel","job":7}                           cancel a running job
 //! {"op":"ping"}                                     liveness probe
+//! {"op":"drain"}                                    finish running jobs, then stop
 //! {"op":"shutdown"}                                 stop the daemon
 //! ```
 //!
@@ -24,6 +26,9 @@
 //! {"frame":"summary","job":7,"cells":4,"total_runs":400,
 //!  "report_fingerprint":"40c18433ac711905","wall_ms":95.2}
 //! {"frame":"cancelled","job":7,"cells_streamed":1}
+//! {"frame":"rejected","code":"saturated","detail":"…","retry_after_ms":40}
+//! {"frame":"rejected","code":"draining","detail":"…"}
+//! {"frame":"draining","active_jobs":2}                   ack of the drain op
 //! {"frame":"error","code":"bad-json","detail":"…"}       job field present when job-scoped
 //! {"frame":"pong","proto":"sg-serve/1"}
 //! {"frame":"bye"}
@@ -36,6 +41,30 @@
 //! [`sg_analysis::Fingerprint`] over every sample in grid order —
 //! bit-identical to what `SweepPlan::run` would report for the same
 //! grid.
+//!
+//! # Backpressure and degradation
+//!
+//! A daemon under admission control answers `submit` with a `rejected`
+//! frame instead of `accepted` when it cannot take the job: code
+//! `saturated` (queue or per-connection caps hit; `retry_after_ms` is
+//! the server's deterministic back-off hint) or `draining` (the daemon
+//! is winding down and will not take new work; no retry hint — find
+//! another daemon). `rejected` is *not* an error frame: the connection
+//! stays fully usable and the client is expected to back off and retry
+//! (see `Client::submit_with_retry`).
+//!
+//! A `submit` may carry `deadline_ms`, a wall-clock budget measured from
+//! acceptance. The deadline is enforced at the same per-quantum check as
+//! cancellation, so an expired job stops within one scheduling quantum
+//! and its stream ends with `{"frame":"error","code":"deadline-exceeded"}`.
+//! Cells already streamed before the deadline remain valid — they are
+//! bit-identical to the batch path's cells for the same grid positions.
+//!
+//! The `drain` op is the graceful half of `shutdown`: the daemon
+//! immediately answers `{"frame":"draining","active_jobs":N}`, keeps
+//! running (and streaming) the jobs it already accepted, rejects every
+//! new `submit` with code `draining`, and once the last active job
+//! reaches its terminal frame sends every connection `bye` and stops.
 
 use serde::json::{JsonError, Value as Json};
 use serde::{FromJson, ToJson};
@@ -59,6 +88,9 @@ pub enum ErrorCode {
     Rejected,
     /// A job died mid-flight (worker panic); terminal for the job.
     JobFailed,
+    /// The job's `deadline_ms` budget expired; terminal for the job.
+    /// Cells streamed before the deadline remain valid.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -71,6 +103,7 @@ impl ErrorCode {
             ErrorCode::UnknownJob => "unknown-job",
             ErrorCode::Rejected => "rejected",
             ErrorCode::JobFailed => "job-failed",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
         }
     }
 
@@ -83,6 +116,37 @@ impl ErrorCode {
             "unknown-job" => ErrorCode::UnknownJob,
             "rejected" => ErrorCode::Rejected,
             "job-failed" => ErrorCode::JobFailed,
+            "deadline-exceeded" => ErrorCode::DeadlineExceeded,
+            _ => return None,
+        })
+    }
+}
+
+/// Machine-readable reason attached to `rejected` frames — the daemon
+/// declined the submit without running it; the connection stays usable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectCode {
+    /// Admission control: the job queue or a per-connection cap is
+    /// full. Back off (`retry_after_ms` is the server's hint) and retry.
+    Saturated,
+    /// The daemon is draining and takes no new work; do not retry here.
+    Draining,
+}
+
+impl RejectCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectCode::Saturated => "saturated",
+            RejectCode::Draining => "draining",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<RejectCode> {
+        Some(match s {
+            "saturated" => RejectCode::Saturated,
+            "draining" => RejectCode::Draining,
             _ => return None,
         })
     }
@@ -91,10 +155,14 @@ impl ErrorCode {
 /// A client→server line.
 #[derive(Clone, Debug)]
 pub enum Request {
-    /// Submit a sweep grid; answered by `accepted` then a cell stream.
+    /// Submit a sweep grid; answered by `accepted` then a cell stream,
+    /// or by a `rejected` frame under admission control.
     Submit {
         /// The grid to execute.
         plan: SweepPlan,
+        /// Wall-clock completion budget in milliseconds, measured from
+        /// acceptance; enforced at the per-quantum cancellation check.
+        deadline_ms: Option<u64>,
     },
     /// Cancel a job submitted on this connection.
     Cancel {
@@ -103,6 +171,9 @@ pub enum Request {
     },
     /// Liveness probe; answered by `pong`.
     Ping,
+    /// Finish running jobs, reject new submits with `draining`, then
+    /// stop; answered immediately by a `draining` frame.
+    Drain,
     /// Stop the daemon; answered by `bye`.
     Shutdown,
 }
@@ -111,16 +182,20 @@ impl ToJson for Request {
     fn to_json(&self) -> Json {
         let mut fields = Vec::new();
         match self {
-            Request::Submit { plan } => {
+            Request::Submit { plan, deadline_ms } => {
                 fields.push(("op".to_string(), Json::from("submit")));
                 fields.push(("proto".to_string(), Json::from(PROTOCOL)));
                 fields.push(("plan".to_string(), plan.to_json()));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".to_string(), Json::from(*ms)));
+                }
             }
             Request::Cancel { job } => {
                 fields.push(("op".to_string(), Json::from("cancel")));
                 fields.push(("job".to_string(), Json::from(*job)));
             }
             Request::Ping => fields.push(("op".to_string(), Json::from("ping"))),
+            Request::Drain => fields.push(("op".to_string(), Json::from("drain"))),
             Request::Shutdown => fields.push(("op".to_string(), Json::from("shutdown"))),
         }
         Json::Obj(fields)
@@ -143,6 +218,12 @@ impl FromJson for Request {
         Ok(match op {
             "submit" => Request::Submit {
                 plan: SweepPlan::from_json(v.need("plan")?)?,
+                deadline_ms: match v.get("deadline_ms") {
+                    None => None,
+                    Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                        JsonError::msg("'deadline_ms' must be a non-negative integer")
+                    })?),
+                },
             },
             "cancel" => Request::Cancel {
                 job: v
@@ -151,6 +232,7 @@ impl FromJson for Request {
                     .ok_or_else(|| JsonError::msg("'job' must be a non-negative integer"))?,
             },
             "ping" => Request::Ping,
+            "drain" => Request::Drain,
             "shutdown" => Request::Shutdown,
             other => return Err(JsonError::msg(format!("unknown op '{other}'"))),
         })
@@ -199,6 +281,22 @@ pub enum Frame {
         job: u64,
         /// Cell frames emitted before the cancellation took effect.
         cells_streamed: usize,
+    },
+    /// A submit was declined by admission control; nothing ran and the
+    /// connection stays usable.
+    Rejected {
+        /// Machine-readable reason.
+        code: RejectCode,
+        /// Human-readable detail (which cap was hit, queue depth, …).
+        detail: String,
+        /// Server's deterministic back-off hint (`saturated` only).
+        retry_after_ms: Option<u64>,
+    },
+    /// Ack of the `drain` op: the daemon takes no new work and will
+    /// stop once the named number of active jobs reach terminal frames.
+    Draining {
+        /// Jobs still running (or queued) at the time of the drain.
+        active_jobs: u64,
     },
     /// A request failed, or (with `job` set) a job died; connection
     /// remains usable either way.
@@ -261,6 +359,22 @@ impl ToJson for Frame {
                 fields.push(("job".to_string(), Json::from(*job)));
                 fields.push(("cells_streamed".to_string(), Json::from(*cells_streamed)));
             }
+            Frame::Rejected {
+                code,
+                detail,
+                retry_after_ms,
+            } => {
+                fields.push(("frame".to_string(), Json::from("rejected")));
+                fields.push(("code".to_string(), Json::from(code.as_str())));
+                fields.push(("detail".to_string(), Json::from(detail.as_str())));
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms".to_string(), Json::from(*ms)));
+                }
+            }
+            Frame::Draining { active_jobs } => {
+                fields.push(("frame".to_string(), Json::from("draining")));
+                fields.push(("active_jobs".to_string(), Json::from(*active_jobs)));
+            }
             Frame::Error { code, detail, job } => {
                 fields.push(("frame".to_string(), Json::from("error")));
                 fields.push(("code".to_string(), Json::from(code.as_str())));
@@ -319,6 +433,27 @@ impl FromJson for Frame {
                 job: job("job")?,
                 cells_streamed: job("cells_streamed")? as usize,
             },
+            "rejected" => Frame::Rejected {
+                code: v
+                    .need("code")?
+                    .as_str()
+                    .and_then(RejectCode::parse)
+                    .ok_or_else(|| JsonError::msg("unknown reject code"))?,
+                detail: v
+                    .need("detail")?
+                    .as_str()
+                    .ok_or_else(|| JsonError::msg("'detail' must be a string"))?
+                    .to_string(),
+                retry_after_ms: match v.get("retry_after_ms") {
+                    None => None,
+                    Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                        JsonError::msg("'retry_after_ms' must be a non-negative integer")
+                    })?),
+                },
+            },
+            "draining" => Frame::Draining {
+                active_jobs: job("active_jobs")?,
+            },
             "error" => {
                 Frame::Error {
                     code: v
@@ -363,9 +498,17 @@ mod tests {
             5,
         );
         for req in [
-            Request::Submit { plan },
+            Request::Submit {
+                plan: plan.clone(),
+                deadline_ms: None,
+            },
+            Request::Submit {
+                plan,
+                deadline_ms: Some(2500),
+            },
             Request::Cancel { job: 42 },
             Request::Ping,
+            Request::Drain,
             Request::Shutdown,
         ] {
             let line = req.to_json().to_string();
@@ -418,6 +561,22 @@ mod tests {
                 detail: "worker panic".to_string(),
                 job: Some(3),
             },
+            Frame::Error {
+                code: ErrorCode::DeadlineExceeded,
+                detail: "deadline of 50ms exceeded".to_string(),
+                job: Some(4),
+            },
+            Frame::Rejected {
+                code: RejectCode::Saturated,
+                detail: "job queue full (8 active)".to_string(),
+                retry_after_ms: Some(40),
+            },
+            Frame::Rejected {
+                code: RejectCode::Draining,
+                detail: "daemon is draining".to_string(),
+                retry_after_ms: None,
+            },
+            Frame::Draining { active_jobs: 2 },
             Frame::Pong,
             Frame::Bye,
         ] {
@@ -444,9 +603,22 @@ mod tests {
             ErrorCode::UnknownJob,
             ErrorCode::Rejected,
             ErrorCode::JobFailed,
+            ErrorCode::DeadlineExceeded,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn reject_codes_round_trip() {
+        for code in [RejectCode::Saturated, RejectCode::Draining] {
+            assert_eq!(RejectCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(RejectCode::parse("nope"), None);
+        // `rejected` the frame and `rejected` the error code are
+        // different animals: the former declines work it never ran, the
+        // latter reports a plan that could never run at all.
+        assert_eq!(ErrorCode::Rejected.as_str(), "rejected");
     }
 }

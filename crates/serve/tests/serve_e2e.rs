@@ -28,6 +28,7 @@ fn start(workers: usize) -> (sg_serve::ServerHandle, String) {
         ServeOptions {
             workers,
             quantum: 4,
+            ..ServeOptions::default()
         },
     )
     .expect("bind daemon");
@@ -110,6 +111,33 @@ fn one_connection_can_run_jobs_back_to_back() {
     assert!(second.job > first.job);
     client.ping().expect("still alive");
     handle.shutdown();
+}
+
+#[test]
+fn load_harness_under_gentle_chaos_keeps_fingerprints_exact() {
+    // The hammer end to end at smoke scale: several connections, half of
+    // them through a fault-injecting proxy, against one daemon. Whatever
+    // the chaos does to individual connections, every job that *does*
+    // complete must carry the batch-path fingerprint — the same
+    // determinism contract the rest of this file pins, now under load.
+    let report = sg_serve::run_load(&sg_serve::LoadOptions {
+        connections: 4,
+        jobs_per_connection: 2,
+        seeds_per_cell: 12,
+        workers: 2,
+        chaos: Some(sg_serve::ChaosSpec::gentle(7)),
+        ..sg_serve::LoadOptions::default()
+    });
+    assert_eq!(report.fingerprint_mismatches, 0, "{report:?}");
+    assert!(report.jobs_completed > 0, "{report:?}");
+    assert_eq!(
+        report.jobs_submitted,
+        report.jobs_completed + report.jobs_rejected + report.jobs_deadline + report.jobs_faulted,
+        "{report:?}"
+    );
+    // The artifact parses as the committed schema.
+    let json = report.to_json_string();
+    assert!(json.contains("\"schema\": \"sg-serve-load/1\""), "{json}");
 }
 
 #[cfg(unix)]

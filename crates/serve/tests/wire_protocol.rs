@@ -10,17 +10,21 @@ use serde::FromJson;
 use sg_adversary::FaultSelection;
 use sg_analysis::{AdversaryFamily, SweepConfig, SweepPlan};
 use sg_core::AlgorithmSpec;
-use sg_serve::{serve, Bind, Client, ErrorCode, Frame, ServeError, ServeOptions};
+use sg_serve::{
+    serve, Bind, ChaosProxy, ChaosSpec, Client, ErrorCode, Frame, RejectCode, Request, RetryPolicy,
+    ServeError, ServeOptions,
+};
 
 fn start() -> (sg_serve::ServerHandle, String) {
-    let handle = serve(
-        &Bind::Tcp("127.0.0.1:0".to_string()),
-        ServeOptions {
-            workers: 1,
-            quantum: 2,
-        },
-    )
-    .expect("bind daemon");
+    start_with(ServeOptions {
+        workers: 1,
+        quantum: 2,
+        ..ServeOptions::default()
+    })
+}
+
+fn start_with(options: ServeOptions) -> (sg_serve::ServerHandle, String) {
+    let handle = serve(&Bind::Tcp("127.0.0.1:0".to_string()), options).expect("bind daemon");
     let addr = handle.tcp_addr().expect("tcp addr").to_string();
     (handle, addr)
 }
@@ -242,6 +246,441 @@ fn shutdown_op_stops_the_daemon() {
         alive = probe.ping().is_ok();
     }
     assert!(!alive, "daemon still answering after shutdown");
+    handle.shutdown();
+}
+
+/// A grid slow enough that a single worker is still mid-stream when the
+/// test reacts to its first frames.
+fn slow_plan() -> SweepPlan {
+    SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseKing, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseQueen, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::chain_revealer(FaultSelection::without_source(), 2, 2),
+            AdversaryFamily::no_faults(),
+        ],
+        400,
+    )
+}
+
+fn tiny_plan() -> SweepPlan {
+    SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+        vec![AdversaryFamily::no_faults()],
+        3,
+    )
+}
+
+fn quick_plan() -> SweepPlan {
+    SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::no_faults(),
+        ],
+        10,
+    )
+}
+
+#[test]
+fn saturated_daemon_rejects_promptly_with_a_retry_hint() {
+    // One job slot: the second submit must bounce immediately — while
+    // the first job is still streaming — with code `saturated` and a
+    // deterministic retry hint, and succeed on bounded retry once the
+    // slot frees up.
+    let (handle, addr) = start_with(ServeOptions {
+        workers: 1,
+        quantum: 2,
+        max_jobs: 1,
+        ..ServeOptions::default()
+    });
+    let mut busy = Client::connect(&addr, Duration::from_secs(5)).expect("connect busy");
+    let mut turned_away = Client::connect(&addr, Duration::from_secs(5)).expect("connect second");
+
+    let job = busy.submit(&slow_plan()).expect("first job fits");
+    match turned_away.submit(&tiny_plan()) {
+        Err(ServeError::Rejected {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, RejectCode::Saturated);
+            assert!(
+                retry_after_ms.is_some_and(|ms| (10..=2_000).contains(&ms)),
+                "retry hint missing or wild: {retry_after_ms:?}"
+            );
+        }
+        other => panic!("expected saturated rejection, got {other:?}"),
+    }
+
+    // Free the slot and let the bounded retry loop land the job.
+    busy.cancel(job.job).expect("cancel");
+    match busy.collect(job, |_, _| {}) {
+        Err(ServeError::Cancelled { .. }) => {}
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    let policy = RetryPolicy {
+        attempts: 10,
+        ..RetryPolicy::deterministic(7)
+    };
+    let retried = turned_away
+        .submit_with_retry(&tiny_plan(), None, &policy)
+        .expect("retry after slot freed");
+    let streamed = turned_away.collect(retried, |_, _| {}).expect("collect");
+    assert_eq!(streamed.report, tiny_plan().run_with_jobs(1));
+    handle.shutdown();
+}
+
+#[test]
+fn queued_runs_cap_bounds_the_backlog() {
+    let (handle, addr) = start_with(ServeOptions {
+        workers: 1,
+        quantum: 2,
+        max_queued_runs: 100,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+
+    // slow_plan() is 12 cells × 400 seeds = 4800 runs ≫ 100: too much
+    // backlog even for an idle daemon.
+    match client.submit(&slow_plan()) {
+        Err(ServeError::Rejected { code, .. }) => assert_eq!(code, RejectCode::Saturated),
+        other => panic!("expected saturated rejection, got {other:?}"),
+    }
+    // 3 runs fit, and the rejection cost nothing: the budget is intact.
+    let streamed = client.submit_and_collect(&tiny_plan()).expect("small job");
+    assert_eq!(streamed.report, tiny_plan().run_with_jobs(1));
+    handle.shutdown();
+}
+
+#[test]
+fn per_connection_inflight_cap_is_enforced() {
+    let (handle, addr) = start_with(ServeOptions {
+        workers: 1,
+        quantum: 2,
+        max_jobs_per_conn: 1,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    let job = client.submit(&slow_plan()).expect("first job");
+    match client.submit(&tiny_plan()) {
+        Err(ServeError::Rejected { code, detail, .. }) => {
+            assert_eq!(code, RejectCode::Saturated);
+            assert!(detail.contains("connection"), "detail was: {detail}");
+        }
+        other => panic!("expected per-connection rejection, got {other:?}"),
+    }
+    client.cancel(job.job).expect("cancel");
+    assert!(matches!(
+        client.collect(job, |_, _| {}),
+        Err(ServeError::Cancelled { .. })
+    ));
+    // With the stream finished the slot is back.
+    client
+        .submit_and_collect(&tiny_plan())
+        .expect("after slot freed");
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_mid_grid_leaves_streamed_cells_valid() {
+    let (handle, addr) = start_with(ServeOptions {
+        workers: 1,
+        quantum: 2,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    // 24 000 runs: far more than any machine clears in 60 ms, so the
+    // deadline always lands mid-grid.
+    let plan = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseKing, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::PhaseQueen, 9, 2),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::chain_revealer(FaultSelection::without_source(), 2, 2),
+            AdversaryFamily::no_faults(),
+        ],
+        2_000,
+    );
+    let batch = plan.run_with_jobs(1);
+
+    let job = client
+        .submit_with_deadline(&plan, Some(60))
+        .expect("submit with deadline");
+    let mut streamed_cells = Vec::new();
+    match client.collect(job, |index, cell| {
+        streamed_cells.push((index, cell.clone()))
+    }) {
+        Err(ServeError::Server { code, detail }) => {
+            assert_eq!(code, ErrorCode::DeadlineExceeded, "detail: {detail}");
+        }
+        Ok(_) => panic!("a 60 ms deadline cannot cover a 24 000-run grid"),
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+    assert!(
+        streamed_cells.len() < plan.cell_count(),
+        "every cell streamed despite the deadline"
+    );
+    // The partial prefix is the batch prefix, bit for bit.
+    for (index, cell) in &streamed_cells {
+        assert_eq!(cell, &batch.cells[*index], "cell {index} diverged");
+    }
+
+    // The connection survives the error and takes new work.
+    client.ping().expect("ping after deadline");
+    let streamed = client.submit_and_collect(&tiny_plan()).expect("next job");
+    assert_eq!(streamed.report, tiny_plan().run_with_jobs(1));
+    handle.shutdown();
+}
+
+#[test]
+fn drain_finishes_running_jobs_and_rejects_new_submits() {
+    let (handle, addr) = start_with(ServeOptions {
+        workers: 1,
+        quantum: 8,
+        ..ServeOptions::default()
+    });
+    let mut running = Client::connect(&addr, Duration::from_secs(5)).expect("connect running");
+    let mut admin = Client::connect(&addr, Duration::from_secs(5)).expect("connect admin");
+
+    // Slow enough that the drain demonstrably lands mid-job.
+    let plan = slow_plan();
+    let job = running.submit(&plan).expect("submit before drain");
+
+    admin.send(&Request::Drain).expect("send drain");
+    match admin.next_frame().expect("drain ack") {
+        Frame::Draining { active_jobs } => assert_eq!(active_jobs, 1),
+        other => panic!("expected draining ack, got {other:?}"),
+    }
+    // Submit-after-drain: structured rejection, not a hang or a kill.
+    match admin.submit(&tiny_plan()) {
+        Err(ServeError::Rejected {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, RejectCode::Draining);
+            assert_eq!(retry_after_ms, None, "draining is not a retry-later");
+        }
+        other => panic!("expected draining rejection, got {other:?}"),
+    }
+
+    // The running job still completes, bit-exact.
+    let streamed = running
+        .collect(job, |_, _| {})
+        .expect("drain lets it finish");
+    assert_eq!(streamed.report, plan.run_with_jobs(1));
+
+    // With the last job done the daemon stops: bye on the stream, then
+    // no new connections.
+    match running.next_frame() {
+        Ok(Frame::Bye) | Err(ServeError::Io(_)) => {}
+        other => panic!("expected bye/EOF after drain completes, got {other:?}"),
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut alive = false;
+    if let Ok(mut probe) = Client::connect(&addr, Duration::from_millis(200)) {
+        alive = probe.ping().is_ok();
+    }
+    assert!(!alive, "daemon still answering after drain completed");
+    handle.shutdown();
+}
+
+#[test]
+fn drain_on_an_idle_daemon_stops_it_immediately() {
+    let (handle, addr) = start();
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    client.send(&Request::Drain).expect("send drain");
+    match client.next_frame().expect("ack") {
+        Frame::Draining { active_jobs } => assert_eq!(active_jobs, 0),
+        other => panic!("expected draining ack, got {other:?}"),
+    }
+    match client.next_frame() {
+        Ok(Frame::Bye) | Err(ServeError::Io(_)) => {}
+        other => panic!("expected bye after idle drain, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_frames_mid_job_kill_one_connection_not_the_daemon() {
+    let (handle, addr) = start();
+    // A proxy that truncates *every* line mid-bytes and tears the
+    // connection down: whatever reaches the daemon is malformed JSON,
+    // and whatever comes back dies on the wire.
+    let spec = ChaosSpec {
+        truncate_per_mille: 1_000,
+        ..ChaosSpec::hostile(3)
+    };
+    let proxy =
+        ChaosProxy::spawn(addr.parse().expect("daemon addr"), spec).expect("spawn chaos proxy");
+
+    let mut doomed = Client::connect(&proxy.addr().to_string(), Duration::from_secs(5))
+        .expect("connect via proxy");
+    match doomed.submit(&tiny_plan()) {
+        Err(ServeError::Io(_) | ServeError::Protocol(_)) => {}
+        other => panic!("a fully-truncating wire cannot deliver an accept: {other:?}"),
+    }
+
+    // The daemon shrugged it off: a direct client still gets bit-exact
+    // results.
+    let mut direct = Client::connect(&addr, Duration::from_secs(5)).expect("direct connect");
+    let streamed = direct.submit_and_collect(&tiny_plan()).expect("direct job");
+    assert_eq!(
+        streamed.fingerprint,
+        tiny_plan().run_with_jobs(1).fingerprint()
+    );
+    handle.shutdown();
+}
+
+/// Shrinks a socket's receive buffer to the kernel minimum, so a
+/// non-reading peer jams the sender after a few KB instead of the
+/// multi-megabyte loopback default — the slow-loris test's way of
+/// making the stall happen fast.
+#[cfg(unix)]
+fn clamp_recv_buffer(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const core::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let bytes: i32 = 4096;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&raw const bytes).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+}
+
+#[cfg(unix)]
+#[test]
+fn slow_loris_reader_is_shed_without_stalling_the_daemon() {
+    // A tiny write queue and a client that submits a many-celled grid
+    // and never reads a byte: once the socket and the queue fill, the
+    // daemon must shed that connection — not block its writer forever,
+    // not kill other jobs.
+    let (handle, addr) = start_with(ServeOptions {
+        workers: 1,
+        quantum: 64,
+        write_queue: 1,
+        // The product knob under test: a bounded kernel send buffer, so
+        // a stalled reader jams the writer after tens of KB instead of
+        // the multi-megabyte auto-tuned loopback default.
+        send_buffer: 16 * 1024,
+        ..ServeOptions::default()
+    });
+    // Cell frames carry per-run samples, so 500 seeds make each frame
+    // ~12 KB — a handful of cells overwhelm the capped send buffer plus
+    // the clamped receive buffer below, so the daemon's writer genuinely
+    // blocks and the queue genuinely jams.
+    let mut specs = Vec::new();
+    for _ in 0..8 {
+        specs.push(SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2));
+    }
+    let many_cells = SweepPlan::new(
+        specs,
+        vec![
+            AdversaryFamily::no_faults(),
+            AdversaryFamily::random_liar(FaultSelection::without_source()),
+            AdversaryFamily::crash(FaultSelection::without_source().limit(1), 2),
+            AdversaryFamily::silent(FaultSelection::without_source().limit(1)),
+        ],
+        500,
+    );
+    let mut loris = Raw::connect(&addr);
+    clamp_recv_buffer(&loris.writer);
+    loris.send_line(
+        &serde::ToJson::to_json(&Request::Submit {
+            plan: many_cells,
+            deadline_ms: None,
+        })
+        .to_string(),
+    );
+    // Never read. Meanwhile, an ordinary client must still get full
+    // service on the same single worker.
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    let streamed = client.submit_and_collect(&quick_plan()).expect("other job");
+    assert_eq!(streamed.report, quick_plan().run_with_jobs(1));
+
+    // Probe for the shed by *writing*: pings keep succeeding while the
+    // connection lives, and start failing once the daemon shuts the
+    // socket down. Crucially we never read — reading would drain the
+    // buffers and keep the connection healthy.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let alive = writeln!(loris.writer, "{{\"op\":\"ping\"}}")
+            .and_then(|()| loris.writer.flush())
+            .is_ok();
+        if !alive {
+            break; // shed: the socket is dead
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow-loris connection was never shed"
+        );
+    }
+
+    // Draining what the kernel already buffered ends in EOF (or a
+    // reset), never in a complete stream.
+    loris
+        .writer
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("set timeout");
+    let mut line = String::new();
+    let mut saw_summary = false;
+    loop {
+        line.clear();
+        match loris.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => saw_summary |= line.contains("\"frame\":\"summary\""),
+        }
+    }
+    assert!(
+        !saw_summary,
+        "the stalled connection received the whole stream — nothing was shed"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_during_stream_keeps_the_daemon_serving() {
+    let (handle, addr) = start();
+    let mut vanishing = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    vanishing.submit(&slow_plan()).expect("submit");
+    drop(vanishing); // walk away mid-stream
+
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("reconnect");
+    client.ping().expect("daemon alive after abandonment");
+    let streamed = client.submit_and_collect(&tiny_plan()).expect("next job");
+    assert_eq!(
+        streamed.fingerprint,
+        tiny_plan().run_with_jobs(1).fingerprint()
+    );
     handle.shutdown();
 }
 

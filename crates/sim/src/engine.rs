@@ -445,6 +445,19 @@ impl RunArena {
         self.instances.insert(0, PooledInstances { key, protocols });
         self.instances.truncate(INSTANCE_CACHE_CAP);
     }
+
+    /// Drops the pooled instance set for `key`, if present, leaving every
+    /// other key's warmth intact.
+    ///
+    /// This is the targeted recovery path for a panic that unwound
+    /// through a run: the executing key's instances were already removed
+    /// by the take/put cycle (and dropped by the unwind), and every
+    /// other buffer is fully overwritten at the start of each run, so
+    /// quarantining the one key is enough — the arena itself stays
+    /// usable and *warm* for unrelated work.
+    pub fn evict_instances(&mut self, key: PoolKey) {
+        self.instances.retain(|set| set.key != key);
+    }
 }
 
 thread_local! {

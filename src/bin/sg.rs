@@ -10,9 +10,13 @@
 //! sg sweep --alg phase-king --n 16 [--t 5] [--seeds 100] [--adversary random-liar]
 //!          [--expect-fingerprint <hex>]
 //! sg serve [--port 7411 | --addr 127.0.0.1:7411 | --socket /path] [--workers N]
+//!          [--max-jobs N] [--max-queued-runs N] [--conn-jobs N] [--write-queue N]
+//!          [--send-buffer <bytes>]
 //! sg submit [--addr …] --alg optimal-king --n 16 [--t 5] [--seeds 100]
+//!           [--deadline-ms <ms>] [--retry-attempts <k>]
 //!           [--expect-fingerprint <hex>] [--shutdown]
-//! sg ping [--addr …]
+//! sg ping [--addr …] [--timeout-ms <ms>] [--attempts <k>]
+//! sg hammer [--connections N] [--jobs-per-conn K] [--seeds S] [--chaos gentle|hostile]
 //! sg bounds --n 31
 //! sg list
 //! ```
@@ -32,6 +36,14 @@
 //! that contract. The sweep grids take `--f <k>` to cap the *actual*
 //! fault count below `t` (the rounds-vs-f workloads) and grew `crash` /
 //! `silent` adversary families.
+//!
+//! The daemon runs under admission control (`--max-jobs`,
+//! `--max-queued-runs`, per-connection `--conn-jobs`, slow-reader
+//! `--write-queue`) and drains on SIGTERM; `submit` maps the resulting
+//! `rejected`/`draining`/`deadline-exceeded` answers to distinct exit
+//! codes (3/4/5) with one structured stderr line each; `hammer` is the
+//! load harness (`sg_serve::load`) as a subcommand — N connections,
+//! mixed grids, optional `--chaos`, `sg-serve-load/1` JSON on stdout.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -61,10 +73,18 @@ fn usage() -> ! {
          [--f <k>] [--source-faulty] [--base-seed <s>]\n           \
          [--expect-fingerprint <hex>]\n  \
          sg serve [--port <p> | --addr <host:port> | --socket <path>]\n           \
-         [--workers <N>] [--quantum <runs>]\n  \
+         [--workers <N>] [--quantum <runs>] [--max-jobs <N>]\n           \
+         [--max-queued-runs <N>] [--conn-jobs <N>] [--write-queue <N>]\n           \
+         [--send-buffer <bytes>]\n  \
          sg submit [--addr <host:port> | --socket <path>] [--timeout <secs>]\n           \
-         <sweep grid flags> [--expect-fingerprint <hex>] [--shutdown]\n  \
-         sg ping [--addr <host:port> | --socket <path>]\n  \
+         <sweep grid flags> [--deadline-ms <ms>] [--retry-attempts <k>]\n           \
+         [--expect-fingerprint <hex>] [--shutdown]\n           \
+         (exit 3 = saturated, 4 = draining, 5 = deadline-exceeded)\n  \
+         sg ping [--addr <host:port> | --socket <path>]\n           \
+         [--timeout-ms <ms>] [--attempts <k>]\n  \
+         sg hammer [--connections <N>] [--jobs-per-conn <K>] [--seeds <S>]\n           \
+         [--workers <N>] [--max-jobs <N>] [--deadline-ms <ms>]\n           \
+         [--chaos gentle|hostile] [--seed <s>]\n  \
          sg bounds --n <n>\n  \
          sg list\n\
          global: --jobs <N> sizes the sweep worker pool; --no-early-stop runs\n        \
@@ -623,13 +643,55 @@ fn connect_client(flags: &HashMap<String, String>) -> shifting_gears::serve::Cli
     }
 }
 
+/// Arranges for SIGTERM to drain the daemon (finish running jobs,
+/// reject new submits, then `bye`) instead of killing it mid-job. The
+/// handler only flips an atomic; a watcher thread does the real work —
+/// the only async-signal-safe shape.
+#[cfg(unix)]
+fn install_sigterm_drain(drainer: shifting_gears::serve::Drainer) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+    let _ = std::thread::Builder::new()
+        .name("sg-serve-sigterm".to_string())
+        .spawn(move || loop {
+            if TERM.load(Ordering::SeqCst) {
+                // Log before initiating: an idle daemon stops inside
+                // `drain()`, and main may exit before this thread gets
+                // another word in.
+                eprintln!("SIGTERM: draining");
+                let active = drainer.drain();
+                eprintln!("SIGTERM: drain begun ({active} active job(s))");
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) {
     use shifting_gears::serve::{serve, Bind, ServeOptions};
 
     let bind = Bind::parse(&serve_addr(flags));
+    let defaults = ServeOptions::default();
     let options = ServeOptions {
         workers: parse_usize(flags, "workers").unwrap_or(0),
         quantum: parse_usize(flags, "quantum").unwrap_or(64) as u64,
+        max_jobs: parse_usize(flags, "max-jobs").unwrap_or(defaults.max_jobs),
+        max_queued_runs: parse_usize(flags, "max-queued-runs")
+            .map_or(defaults.max_queued_runs, |n| n as u64),
+        max_jobs_per_conn: parse_usize(flags, "conn-jobs").unwrap_or(defaults.max_jobs_per_conn),
+        write_queue: parse_usize(flags, "write-queue").unwrap_or(defaults.write_queue),
+        send_buffer: parse_usize(flags, "send-buffer").unwrap_or(defaults.send_buffer),
     };
     let handle = match serve(&bind, options) {
         Ok(handle) => handle,
@@ -638,6 +700,8 @@ fn cmd_serve(flags: &HashMap<String, String>) {
             exit(1);
         }
     };
+    #[cfg(unix)]
+    install_sigterm_drain(handle.drainer());
     match handle.tcp_addr() {
         Some(addr) => println!("sg-serve listening on {addr} (sg-serve/1)"),
         None => println!("sg-serve listening on {} (sg-serve/1)", serve_addr(flags)),
@@ -648,8 +712,14 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     println!("sg-serve stopped");
 }
 
+/// `sg submit` exit codes scripts can branch on: the daemon was full,
+/// the daemon is going away, the job blew its own deadline.
+const EXIT_SATURATED: i32 = 3;
+const EXIT_DRAINING: i32 = 4;
+const EXIT_DEADLINE: i32 = 5;
+
 fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
-    use shifting_gears::serve::ServeError;
+    use shifting_gears::serve::{ErrorCode, RejectCode, RetryPolicy, ServeError};
 
     // The early-stopping mode is engine-global, not part of the wire
     // plan: an external daemon runs grids in *its* mode regardless of
@@ -676,8 +746,29 @@ fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
         }
     }
     let plan = sweep_plan_from_flags(flags, toggles);
-    let handle = match client.submit(&plan) {
+    let deadline_ms = parse_usize(flags, "deadline-ms").map(|ms| ms as u64);
+    let mut policy = RetryPolicy::deterministic(plan.base_seed);
+    policy.attempts = parse_usize(flags, "retry-attempts").map_or(1, |n| n as u32);
+    let handle = match client.submit_with_retry(&plan, deadline_ms, &policy) {
         Ok(handle) => handle,
+        Err(ServeError::Rejected {
+            code,
+            detail,
+            retry_after_ms,
+        }) => {
+            // One structured line + a distinct exit code per reason, so
+            // scripts can branch without parsing prose.
+            let hint = retry_after_ms.map_or(String::new(), |ms| format!(" retry_after_ms={ms}"));
+            eprintln!(
+                "submit rejected: code={}{hint} attempts={} detail=\"{detail}\"",
+                code.as_str(),
+                policy.attempts.max(1),
+            );
+            exit(match code {
+                RejectCode::Saturated => EXIT_SATURATED,
+                RejectCode::Draining => EXIT_DRAINING,
+            });
+        }
         Err(e) => {
             eprintln!("submit failed: {e}");
             exit(1);
@@ -696,6 +787,16 @@ fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
             eprintln!("job {job} cancelled after {cells_streamed} cell(s)");
             exit(1);
         }
+        Err(ServeError::Server {
+            code: ErrorCode::DeadlineExceeded,
+            detail,
+        }) => {
+            eprintln!(
+                "submit failed: code=deadline-exceeded job={} detail=\"{detail}\"",
+                handle.job
+            );
+            exit(EXIT_DEADLINE);
+        }
         Err(e) => {
             eprintln!("stream failed: {e}");
             exit(1);
@@ -709,13 +810,82 @@ fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
 }
 
 fn cmd_ping(flags: &HashMap<String, String>) {
-    let mut client = connect_client(flags);
+    use shifting_gears::serve::{Client, RetryPolicy};
+
+    let addr = serve_addr(flags);
+    // With --attempts / --timeout-ms the probe is *bounded*: at most
+    // `attempts` connect tries with jittered backoff capped at
+    // `timeout-ms` per delay, then a clear failure and exit 1. That is
+    // what CI's wait-for-startup gate loops on. Without either flag the
+    // legacy 10 s patient connect stays.
+    let attempts = parse_usize(flags, "attempts");
+    let timeout_ms = parse_usize(flags, "timeout-ms");
+    let mut client = if attempts.is_some() || timeout_ms.is_some() {
+        let policy = RetryPolicy {
+            attempts: attempts.unwrap_or(5) as u32,
+            base_ms: 40,
+            max_ms: timeout_ms.unwrap_or(1_000) as u64,
+            seed: 0x5047,
+        };
+        match Client::connect_with_retry(&addr, &policy) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!(
+                    "daemon at {addr} unreachable after {} attempt(s): {e}",
+                    policy.attempts.max(1)
+                );
+                exit(1);
+            }
+        }
+    } else {
+        connect_client(flags)
+    };
     match client.ping() {
-        Ok(()) => println!("pong from {}", serve_addr(flags)),
+        Ok(()) => println!("pong from {addr}"),
         Err(e) => {
             eprintln!("ping failed: {e}");
             exit(1);
         }
+    }
+}
+
+fn cmd_hammer(flags: &HashMap<String, String>) {
+    use shifting_gears::serve::{run_load, ChaosSpec, LoadOptions};
+
+    let defaults = LoadOptions::default();
+    let seed = parse_usize(flags, "seed").map_or(defaults.base_seed, |s| s as u64);
+    let chaos = flags.get("chaos").map(|mode| match mode.as_str() {
+        "gentle" => ChaosSpec::gentle(seed),
+        "hostile" => ChaosSpec::hostile(seed),
+        other => {
+            eprintln!("--chaos expects gentle|hostile, got '{other}'");
+            exit(2);
+        }
+    });
+    let options = LoadOptions {
+        connections: parse_usize(flags, "connections").unwrap_or(defaults.connections),
+        jobs_per_connection: parse_usize(flags, "jobs-per-conn")
+            .unwrap_or(defaults.jobs_per_connection),
+        seeds_per_cell: parse_usize(flags, "seeds").map_or(defaults.seeds_per_cell, |s| s as u64),
+        workers: parse_usize(flags, "workers").unwrap_or(defaults.workers),
+        quantum: parse_usize(flags, "quantum").map_or(defaults.quantum, |q| q as u64),
+        max_jobs: parse_usize(flags, "max-jobs").unwrap_or(defaults.max_jobs),
+        max_queued_runs: parse_usize(flags, "max-queued-runs")
+            .map_or(defaults.max_queued_runs, |n| n as u64),
+        deadline_ms: parse_usize(flags, "deadline-ms").map(|ms| ms as u64),
+        retry_attempts: parse_usize(flags, "retry-attempts")
+            .map_or(defaults.retry_attempts, |n| n as u32),
+        chaos,
+        base_seed: seed,
+    };
+    let report = run_load(&options);
+    print!("{}", report.to_json_string());
+    if report.fingerprint_mismatches > 0 {
+        eprintln!(
+            "{} completed job(s) diverged from the batch fingerprint",
+            report.fingerprint_mismatches
+        );
+        exit(1);
     }
 }
 
@@ -742,6 +912,7 @@ fn main() {
         "serve" => cmd_serve(&flags),
         "submit" => cmd_submit(&flags, &toggles),
         "ping" => cmd_ping(&flags),
+        "hammer" => cmd_hammer(&flags),
         "bounds" => cmd_bounds(parse_usize(&flags, "n").unwrap_or_else(|| usage())),
         "list" => cmd_list(),
         _ => usage(),

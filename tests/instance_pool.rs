@@ -199,6 +199,75 @@ proptest! {
     }
 }
 
+/// Panic recovery is *targeted*: when the serve worker quarantines a
+/// poisoned key with `RunArena::evict_instances`, only that key's
+/// entries go — a sibling key warmed in the same arena must keep its
+/// instances and answer the next run with zero factory calls. (This is
+/// the regression test for the old behavior of rebuilding the whole
+/// arena after a panicked job, which froze out every unrelated grid's
+/// warmth.)
+#[test]
+fn evicting_one_pool_key_leaves_sibling_keys_warm() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config_a = RunConfig::new(7, 2)
+        .with_source_value(Value(1))
+        .with_trace();
+    let config_b = RunConfig::new(9, 2)
+        .with_source_value(Value(1))
+        .with_trace();
+    let spec_a = AlgorithmSpec::OptimalKing;
+    let spec_b = AlgorithmSpec::PhaseKing;
+    let key_a = spec_a.pool_key(&config_a);
+    let key_b = spec_b.pool_key(&config_b);
+    let factory_a = spec_a.factory(&config_a);
+    let factory_b = spec_b.factory(&config_b);
+    let mut arena = RunArena::new();
+
+    let calls_a = AtomicUsize::new(0);
+    let calls_b = AtomicUsize::new(0);
+    let counting_a = |me: ProcessId| {
+        calls_a.fetch_add(1, Ordering::SeqCst);
+        factory_a(me)
+    };
+    let counting_b = |me: ProcessId| {
+        calls_b.fetch_add(1, Ordering::SeqCst);
+        factory_b(me)
+    };
+    let adv = || Box::new(shifting_gears::sim::NoFaults) as Box<dyn Adversary>;
+
+    // Warm both keys.
+    run_pooled_in(&mut arena, &config_a, adv().as_mut(), key_a, counting_a);
+    run_pooled_in(&mut arena, &config_b, adv().as_mut(), key_b, counting_b);
+    assert_eq!(calls_a.swap(0, Ordering::SeqCst), config_a.n);
+    assert_eq!(calls_b.swap(0, Ordering::SeqCst), config_b.n);
+    assert_eq!(arena.pooled_instance_sets(), 2);
+
+    // Quarantine key A (what the serve worker does after a panic in an
+    // A-cell), then run both again.
+    arena.evict_instances(key_a);
+    assert_eq!(arena.pooled_instance_sets(), 1);
+    let rerun_a = run_pooled_in(&mut arena, &config_a, adv().as_mut(), key_a, counting_a);
+    let rerun_b = run_pooled_in(&mut arena, &config_b, adv().as_mut(), key_b, counting_b);
+
+    assert_eq!(
+        calls_a.load(Ordering::SeqCst),
+        config_a.n,
+        "the evicted key must rebuild from the factory"
+    );
+    assert_eq!(
+        calls_b.load(Ordering::SeqCst),
+        0,
+        "the sibling key must stay warm across the eviction"
+    );
+
+    // And the outcomes are still the fresh-run outcomes, bit for bit.
+    let mut fresh_arena = RunArena::new();
+    let fresh_a = run_in(&mut fresh_arena, &config_a, adv().as_mut(), &factory_a);
+    let fresh_b = run_in(&mut fresh_arena, &config_b, adv().as_mut(), &factory_b);
+    assert_same_outcome("evicted key", &fresh_a, &rerun_a);
+    assert_same_outcome("surviving key", &fresh_b, &rerun_b);
+}
+
 /// Pooling responds to the global escape hatch: with
 /// `set_instance_pooling(false)` every run rebuilds its instances, and
 /// outcomes still match pooled runs exactly (the CI perf-smoke invariant).
