@@ -27,10 +27,22 @@
 //!   root-to-leaf path, the Frontier Lemma's worst case;
 //! * [`TapeAdversary`] — plays an explicit per-call behaviour tape;
 //!   together with [`enumerate_tapes`] it model-checks small instances
-//!   against *every* behaviour over a move alphabet.
+//!   against *every* behaviour over a move alphabet;
+//! * [`Partition`] — round-ranged network partition cutting every edge
+//!   (honest ones included) across a group boundary;
+//! * [`Omission`] — periodic per-edge message drops, a timing-fault
+//!   texture;
+//! * [`Equivocate`] — a sustained value-split schedule by recipient set;
+//! * [`Adaptive`] — mid-run corruption: the fault set turns Byzantine in
+//!   scripted waves.
 //!
 //! [`standard_suite`] bundles them into the gauntlet used by the
 //! integration tests and the benchmark harness.
+//!
+//! Every run under any of these strategies can be captured as a
+//! serializable [`AdversaryTrace`] (wrap the strategy in
+//! [`RecordingAdversary`]) and re-executed bit-exactly by
+//! [`ReplayAdversary`] — see the [`scenario`] module.
 //!
 //! # Examples
 //!
@@ -47,19 +59,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod scenario;
 mod selection;
 mod strategies;
 mod suite;
 mod tape;
 mod util;
 
+pub use scenario::{
+    AdversaryTrace, RecordingAdversary, ReplayAdversary, TraceCut, TraceError, TracePayload,
+    TraceStep, TRACE_SCHEMA,
+};
 pub use selection::FaultSelection;
 pub use strategies::{
-    ChainRevealer, Collusion, Crash, DoubleTalk, EquivocatingSource, FrontierBreaker, RandomLiar,
-    Replay, Silent, StaggeredSplit, Stealth, TwoFaced,
+    Adaptive, ChainRevealer, Collusion, Crash, DoubleTalk, Equivocate, EquivocatingSource,
+    FrontierBreaker, Omission, Partition, RandomLiar, Replay, Silent, StaggeredSplit, Stealth,
+    TwoFaced,
 };
 pub use suite::{quick_suite, standard_suite};
 pub use tape::{
-    calls_per_run, enumerate_tapes, Move, TapeAdversary, TapeEnumerator, ALL_MOVES,
+    calls_per_run, enumerate_tapes, EmptyTapeError, Move, TapeAdversary, TapeEnumerator, ALL_MOVES,
     SINGLE_VALUE_MOVES,
 };

@@ -909,3 +909,315 @@ impl Adversary for FrontierBreaker {
         Payload::Values(out)
     }
 }
+
+/// A round-ranged **network partition**: during `[from, to]` every edge
+/// crossing the `split` boundary (ids `< split` on one side, the rest on
+/// the other) is cut — honest edges through [`Adversary::edge_cut`],
+/// the corrupted processors' own cross-split traffic by sending nothing.
+///
+/// This is a *link*-fault family: the corrupted set exists so the run
+/// has a fault budget to account the damage against, but corrupted
+/// processors otherwise relay their honest shadows, so placing the whole
+/// cut set inside one side (e.g. `selection.limit(1)` with `split = 1`)
+/// models an honest network healing around an isolated group.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    selection: FaultSelection,
+    split: usize,
+    from: usize,
+    to: usize,
+    name: Arc<str>,
+}
+
+impl Partition {
+    /// Cut every edge crossing the `split` boundary from round `from`
+    /// through round `to` (inclusive, 1-based).
+    pub fn new(selection: FaultSelection, split: usize, from: usize, to: usize) -> Self {
+        let name = Arc::from(
+            format!(
+                "partition(split={split},r={from}..{to},{})",
+                selection.describe()
+            )
+            .as_str(),
+        );
+        Partition {
+            selection,
+            split,
+            from,
+            to,
+            name,
+        }
+    }
+
+    fn crosses(&self, a: ProcessId, b: ProcessId) -> bool {
+        (a.index() < self.split) != (b.index() < self.split)
+    }
+
+    fn active(&self, round: usize) -> bool {
+        round >= self.from && round <= self.to
+    }
+}
+
+impl Adversary for Partition {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        true
+    }
+
+    fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
+        self.selection.select(n, t, source)
+    }
+
+    fn payload(
+        &mut self,
+        sender: ProcessId,
+        recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> Payload {
+        if self.active(view.round) && self.crosses(sender, recipient) {
+            Payload::Missing
+        } else {
+            shadow_or_missing(view, sender)
+        }
+    }
+
+    fn has_edge_faults(&self) -> bool {
+        true
+    }
+
+    fn edge_cut(
+        &mut self,
+        sender: ProcessId,
+        recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> bool {
+        self.active(view.round) && self.crosses(sender, recipient)
+    }
+}
+
+/// Per-edge **omission pattern**: the corrupted senders drop exactly the
+/// (round, sender, recipient) slots where
+/// `(round + sender + recipient + phase) % period == 0`, and relay their
+/// honest shadow everywhere else — periodic, deterministic message loss
+/// that drifts across the recipient space round by round, the timing-
+/// fault texture crash/silent cannot produce.
+#[derive(Clone, Debug)]
+pub struct Omission {
+    selection: FaultSelection,
+    period: usize,
+    phase: usize,
+    name: Arc<str>,
+}
+
+impl Omission {
+    /// Drop every `period`-th edge slot, offset by `phase`
+    /// (`period` is clamped to ≥ 1).
+    pub fn new(selection: FaultSelection, period: usize, phase: usize) -> Self {
+        let period = period.max(1);
+        let name =
+            Arc::from(format!("omission(p={period},ph={phase},{})", selection.describe()).as_str());
+        Omission {
+            selection,
+            period,
+            phase,
+            name,
+        }
+    }
+
+    fn drops(&self, round: usize, sender: ProcessId, recipient: ProcessId) -> bool {
+        (round + sender.index() + recipient.index() + self.phase).is_multiple_of(self.period)
+    }
+}
+
+impl Adversary for Omission {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        true
+    }
+
+    fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
+        self.selection.select(n, t, source)
+    }
+
+    fn payload(
+        &mut self,
+        sender: ProcessId,
+        recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> Payload {
+        if self.drops(view.round, sender, recipient) {
+            Payload::Missing
+        } else {
+            shadow_or_missing(view, sender)
+        }
+    }
+}
+
+/// An **equivocation schedule**: from round `start` on, every corrupted
+/// sender tells recipients with ids `< split` an all-zeros story and
+/// everyone else an all-ones story, both at the honest length — maximal
+/// sustained disagreement between two fixed audiences, the value-split
+/// pattern the equivocating-source strategy plays only in round 1.
+#[derive(Clone, Debug)]
+pub struct Equivocate {
+    selection: FaultSelection,
+    split: usize,
+    start: usize,
+    name: Arc<str>,
+}
+
+impl Equivocate {
+    /// Split recipients at `split`, equivocating from round `start`
+    /// (1-based) onwards.
+    pub fn new(selection: FaultSelection, split: usize, start: usize) -> Self {
+        let name = Arc::from(
+            format!(
+                "equivocate(split={split},r>={start},{})",
+                selection.describe()
+            )
+            .as_str(),
+        );
+        Equivocate {
+            selection,
+            split,
+            start,
+            name,
+        }
+    }
+}
+
+impl Adversary for Equivocate {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        true
+    }
+
+    fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
+        self.selection.select(n, t, source)
+    }
+
+    fn payload(
+        &mut self,
+        sender: ProcessId,
+        recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> Payload {
+        if view.round < self.start {
+            return shadow_or_missing(view, sender);
+        }
+        let len = view.expected_len(sender);
+        if len == 0 {
+            return Payload::Missing;
+        }
+        let story = if recipient.index() < self.split {
+            Value(0)
+        } else {
+            Value(1)
+        };
+        repeated(story, len)
+    }
+}
+
+/// **Adaptive mid-run corruption**: the fault set grows at scripted
+/// rounds. The engine fixes the corrupted set before round 1, so the
+/// full eventual set is declared upfront and each member plays its
+/// honest shadow until its activation round — the member of rank `k`
+/// (ascending id order) turns at `schedule[k]`, members beyond the
+/// schedule never turn. From activation on, a member tells everyone the
+/// coherent flipped story (the [`Collusion`] lie), so the run looks
+/// fault-free until the first activation and degrades in scripted waves.
+#[derive(Clone, Debug)]
+pub struct Adaptive {
+    selection: FaultSelection,
+    schedule: Vec<usize>,
+    name: Arc<str>,
+}
+
+impl Adaptive {
+    /// Corrupt the selected processors, activating the rank-`k` member
+    /// at round `schedule[k]` (1-based).
+    pub fn new(selection: FaultSelection, schedule: Vec<usize>) -> Self {
+        let rounds: Vec<String> = schedule.iter().map(usize::to_string).collect();
+        let name = Arc::from(
+            format!(
+                "adaptive(r=[{}],{})",
+                rounds.join(","),
+                selection.describe()
+            )
+            .as_str(),
+        );
+        Adaptive {
+            selection,
+            schedule,
+            name,
+        }
+    }
+}
+
+impl Adversary for Adaptive {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn name_shared(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        true
+    }
+
+    fn corrupt(&mut self, n: usize, t: usize, source: ProcessId) -> ProcessSet {
+        self.selection.select(n, t, source)
+    }
+
+    fn payload(
+        &mut self,
+        sender: ProcessId,
+        _recipient: ProcessId,
+        view: &AdversaryView<'_>,
+    ) -> Payload {
+        let rank = view
+            .faulty
+            .iter()
+            .position(|p| p == sender)
+            .expect("sender is faulty");
+        let active = self
+            .schedule
+            .get(rank)
+            .is_some_and(|&turn| view.round >= turn);
+        if !active {
+            return shadow_or_missing(view, sender);
+        }
+        let lie = flip(view, view.source_value);
+        if view.round == 1 && sender == view.source {
+            return Payload::values([lie]);
+        }
+        let len = view.expected_len(sender);
+        if len == 0 {
+            return Payload::Missing;
+        }
+        repeated(lie, len)
+    }
+}

@@ -11,8 +11,9 @@ use sg_sim::Adversary;
 
 use crate::selection::FaultSelection;
 use crate::strategies::{
-    ChainRevealer, Collusion, Crash, DoubleTalk, EquivocatingSource, FrontierBreaker, RandomLiar,
-    Replay, Silent, StaggeredSplit, Stealth, TwoFaced,
+    Adaptive, ChainRevealer, Collusion, Crash, DoubleTalk, Equivocate, EquivocatingSource,
+    FrontierBreaker, Omission, Partition, RandomLiar, Replay, Silent, StaggeredSplit, Stealth,
+    TwoFaced,
 };
 
 /// Builds the standard gauntlet, seeded deterministically.
@@ -58,6 +59,21 @@ pub fn standard_suite(seed: u64) -> Vec<Box<dyn Adversary>> {
         Box::new(FrontierBreaker::new(FaultSelection::without_source())),
         Box::new(StaggeredSplit::new(FaultSelection::with_source(), 2, 2)),
         Box::new(StaggeredSplit::new(FaultSelection::with_source(), 3, 3)),
+        // The isolated-group partition: every cut edge is incident to the
+        // single corrupted processor, so the honest network stays intact
+        // and all guarantees must still hold.
+        Box::new(Partition::new(
+            FaultSelection::with_source().limit(1),
+            1,
+            2,
+            3,
+        )),
+        Box::new(Omission::new(FaultSelection::without_source(), 2, 0)),
+        Box::new(Omission::new(FaultSelection::with_source(), 3, 1)),
+        Box::new(Equivocate::new(FaultSelection::without_source(), 3, 2)),
+        Box::new(Equivocate::new(FaultSelection::with_source(), 2, 1)),
+        Box::new(Adaptive::new(FaultSelection::without_source(), vec![2, 4])),
+        Box::new(Adaptive::new(FaultSelection::with_source(), vec![1, 3])),
     ]
 }
 

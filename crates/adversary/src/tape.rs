@@ -63,6 +63,23 @@ pub const ALL_MOVES: [Move; 6] = [
 pub const SINGLE_VALUE_MOVES: [Move; 3] = [Move::Silent, Move::AllZero, Move::AllOne];
 
 impl Move {
+    /// The move's wire name, as used by the tape family's JSON encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Move::Honest => "honest",
+            Move::Silent => "silent",
+            Move::AllZero => "all-zero",
+            Move::AllOne => "all-one",
+            Move::FlipFirst => "flip-first",
+            Move::Garbage => "garbage",
+        }
+    }
+
+    /// Parses a wire name back into a move.
+    pub fn from_name(name: &str) -> Option<Move> {
+        ALL_MOVES.into_iter().find(|m| m.as_str() == name)
+    }
+
     /// Materializes this move for `sender` under `view`.
     pub fn apply(self, sender: ProcessId, view: &AdversaryView<'_>) -> Payload {
         let shadow_len = view.expected_len(sender);
@@ -97,7 +114,7 @@ impl Move {
 /// use sg_adversary::{Move, TapeAdversary};
 /// use sg_sim::{Adversary, ProcessId};
 ///
-/// let mut a = TapeAdversary::new([ProcessId(1)], vec![Move::AllOne, Move::Silent]);
+/// let mut a = TapeAdversary::new([ProcessId(1)], vec![Move::AllOne, Move::Silent]).unwrap();
 /// let faulty = a.corrupt(4, 1, ProcessId(0));
 /// assert!(faulty.contains(ProcessId(1)));
 /// ```
@@ -108,19 +125,42 @@ pub struct TapeAdversary {
     next: usize,
 }
 
+/// Error returned by [`TapeAdversary::new`] for an empty tape — there is
+/// no move to wrap around to, so the adversary would have no behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptyTapeError;
+
+impl std::fmt::Display for EmptyTapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tape must contain at least one move")
+    }
+}
+
+impl std::error::Error for EmptyTapeError {}
+
 impl TapeAdversary {
     /// An adversary corrupting exactly `members`, playing `tape`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tape` is empty.
-    pub fn new<I: IntoIterator<Item = ProcessId>>(members: I, tape: Vec<Move>) -> Self {
-        assert!(!tape.is_empty(), "tape must contain at least one move");
-        TapeAdversary {
+    /// Returns [`EmptyTapeError`] if `tape` is empty.
+    pub fn new<I: IntoIterator<Item = ProcessId>>(
+        members: I,
+        tape: Vec<Move>,
+    ) -> Result<Self, EmptyTapeError> {
+        if tape.is_empty() {
+            return Err(EmptyTapeError);
+        }
+        Ok(TapeAdversary {
             members: members.into_iter().collect(),
             tape,
             next: 0,
-        }
+        })
+    }
+
+    /// The corrupted set the tape plays against.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
     }
 
     /// The tape being played.
@@ -132,6 +172,13 @@ impl TapeAdversary {
 impl Adversary for TapeAdversary {
     fn name(&self) -> String {
         format!("tape(len={})", self.tape.len())
+    }
+
+    fn reseed(&mut self, _seed: u64) -> bool {
+        // Seedless: members and tape are the factory's configuration,
+        // so rewinding the cursor restores the fresh state exactly.
+        self.next = 0;
+        true
     }
 
     fn corrupt(&mut self, n: usize, _t: usize, _source: ProcessId) -> ProcessSet {
@@ -233,10 +280,18 @@ mod tests {
 
     #[test]
     fn tape_wraps_when_short() {
-        let mut a = TapeAdversary::new([ProcessId(1)], vec![Move::Silent]);
+        let mut a = TapeAdversary::new([ProcessId(1)], vec![Move::Silent]).unwrap();
         let faulty = a.corrupt(4, 1, ProcessId(0));
         assert_eq!(faulty.len(), 1);
         assert_eq!(a.tape().len(), 1);
+    }
+
+    #[test]
+    fn move_names_round_trip() {
+        for m in ALL_MOVES {
+            assert_eq!(Move::from_name(m.as_str()), Some(m));
+        }
+        assert_eq!(Move::from_name("bogus"), None);
     }
 
     #[test]
@@ -246,8 +301,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one move")]
     fn empty_tape_rejected() {
-        let _ = TapeAdversary::new([ProcessId(1)], Vec::new());
+        assert_eq!(
+            TapeAdversary::new([ProcessId(1)], Vec::new()).unwrap_err(),
+            EmptyTapeError
+        );
     }
 }

@@ -15,6 +15,7 @@ pub mod chart;
 pub mod coan;
 pub mod experiments;
 pub mod montecarlo;
+pub mod scenario;
 pub mod stability;
 pub mod sweep;
 pub mod table;
@@ -22,6 +23,7 @@ pub mod wire;
 
 pub use experiments::{all_experiments, measure, plan_figures, Measured, Scale};
 pub use montecarlo::{early_stop_rate, random_liar_sweep, sample_of, summarize, Sample, Summary};
+pub use scenario::{Scenario, ScenarioError, Verdict, SCENARIO_SCHEMA};
 pub use stability::{lock_in, StabilityReport};
 pub use sweep::{
     set_jobs, sweep_map, AdversaryFamily, CellCursor, CellReport, Fingerprint, SweepConfig,

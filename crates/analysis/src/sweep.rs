@@ -38,9 +38,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rayon::prelude::*;
-use sg_adversary::{ChainRevealer, Crash, FaultSelection, RandomLiar, Silent};
+use sg_adversary::{
+    Adaptive, AdversaryTrace, ChainRevealer, Crash, EmptyTapeError, Equivocate, FaultSelection,
+    Move, Omission, Partition, RandomLiar, ReplayAdversary, Silent, TapeAdversary, TraceError,
+};
 use sg_core::AlgorithmSpec;
-use sg_sim::{Adversary, NoFaults, Outcome, RunArena, RunConfig, Value};
+use sg_sim::{Adversary, NoFaults, Outcome, ProcessId, RunArena, RunConfig, Value};
 
 use crate::montecarlo::{early_stop_rate, sample_of, Sample, Summary};
 
@@ -162,6 +165,38 @@ pub(crate) enum FamilyWire {
     },
     /// [`AdversaryFamily::silent`] over the selection.
     Silent(FaultSelection),
+    /// [`AdversaryFamily::partition`] with its split/window shape.
+    Partition {
+        selection: FaultSelection,
+        split: usize,
+        from: usize,
+        to: usize,
+    },
+    /// [`AdversaryFamily::omission`] with its period/phase pattern.
+    Omission {
+        selection: FaultSelection,
+        period: usize,
+        phase: usize,
+    },
+    /// [`AdversaryFamily::equivocate`] with its split/start schedule.
+    Equivocate {
+        selection: FaultSelection,
+        split: usize,
+        start: usize,
+    },
+    /// [`AdversaryFamily::adaptive`] with its activation schedule.
+    Adaptive {
+        selection: FaultSelection,
+        schedule: Vec<usize>,
+    },
+    /// [`AdversaryFamily::tape`] with its corrupted set and move tape.
+    Tape {
+        members: Vec<ProcessId>,
+        tape: Vec<Move>,
+    },
+    /// [`AdversaryFamily::replay`] over a recorded trace (shared, so
+    /// cloning the wire form never copies the step list).
+    Trace(Arc<AdversaryTrace>),
 }
 
 /// A named, seed-keyed adversary factory: `seed ↦ strategy instance`.
@@ -250,6 +285,118 @@ impl AdversaryFamily {
             AdversaryFamily::new("silent", move |_| Box::new(Silent::new(selection.clone())));
         family.wire = Some(wire);
         family
+    }
+
+    /// The round-ranged network-partition family: during rounds
+    /// `from..=to` every edge crossing the id boundary `split` is cut,
+    /// honest edges included (ignores the seed). Keep every cut edge
+    /// incident to the corrupted set (e.g. `selection.limit(1)` with
+    /// `split = 1`) when the protocol's guarantees should still hold.
+    pub fn partition(selection: FaultSelection, split: usize, from: usize, to: usize) -> Self {
+        let wire = FamilyWire::Partition {
+            selection: selection.clone(),
+            split,
+            from,
+            to,
+        };
+        let mut family = AdversaryFamily::new("partition", move |_| {
+            Box::new(Partition::new(selection.clone(), split, from, to))
+        });
+        family.wire = Some(wire);
+        family
+    }
+
+    /// The per-edge omission family: corrupted senders drop every
+    /// `period`-th (round, sender, recipient) slot, offset by `phase`,
+    /// and relay their honest shadow otherwise (ignores the seed).
+    pub fn omission(selection: FaultSelection, period: usize, phase: usize) -> Self {
+        let wire = FamilyWire::Omission {
+            selection: selection.clone(),
+            period,
+            phase,
+        };
+        let mut family = AdversaryFamily::new("omission", move |_| {
+            Box::new(Omission::new(selection.clone(), period, phase))
+        });
+        family.wire = Some(wire);
+        family
+    }
+
+    /// The equivocation-schedule family: from round `start` on,
+    /// corrupted senders tell recipients below `split` all-zeros and the
+    /// rest all-ones (ignores the seed).
+    pub fn equivocate(selection: FaultSelection, split: usize, start: usize) -> Self {
+        let wire = FamilyWire::Equivocate {
+            selection: selection.clone(),
+            split,
+            start,
+        };
+        let mut family = AdversaryFamily::new("equivocate", move |_| {
+            Box::new(Equivocate::new(selection.clone(), split, start))
+        });
+        family.wire = Some(wire);
+        family
+    }
+
+    /// The adaptive mid-run corruption family: the rank-`k` member of
+    /// the corrupted set starts lying at round `schedule[k]`, playing
+    /// its honest shadow before then (ignores the seed).
+    pub fn adaptive(selection: FaultSelection, schedule: Vec<usize>) -> Self {
+        let wire = FamilyWire::Adaptive {
+            selection: selection.clone(),
+            schedule: schedule.clone(),
+        };
+        let mut family = AdversaryFamily::new("adaptive", move |_| {
+            Box::new(Adaptive::new(selection.clone(), schedule.clone()))
+        });
+        family.wire = Some(wire);
+        family
+    }
+
+    /// An enumerated behaviour tape as a wire-portable family: corrupts
+    /// exactly `members` and plays `tape` (ignores the seed) — the
+    /// vehicle that lets `tests/exhaustive_*` counterexamples travel the
+    /// serve wire and the committed corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyTapeError`] if `tape` is empty.
+    pub fn tape(members: Vec<ProcessId>, tape: Vec<Move>) -> Result<Self, EmptyTapeError> {
+        // Validate the shape once here so the factory's rebuild is
+        // infallible.
+        let _ = TapeAdversary::new(members.iter().copied(), tape.clone())?;
+        let wire = FamilyWire::Tape {
+            members: members.clone(),
+            tape: tape.clone(),
+        };
+        let mut family = AdversaryFamily::new("tape", move |_| {
+            Box::new(
+                TapeAdversary::new(members.iter().copied(), tape.clone())
+                    .expect("tape validated non-empty"),
+            )
+        });
+        family.wire = Some(wire);
+        Ok(family)
+    }
+
+    /// A recorded scenario as a wire-portable family: every run replays
+    /// `trace` bit-exactly (ignores the seed). This is how exact
+    /// scenarios travel to a daemon and get cross-checked against the
+    /// batch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] if the trace fails
+    /// [`AdversaryTrace::validate`].
+    pub fn replay(trace: AdversaryTrace) -> Result<Self, TraceError> {
+        trace.validate()?;
+        let trace = Arc::new(trace);
+        let wire = FamilyWire::Trace(trace.clone());
+        let mut family = AdversaryFamily::new("replay", move |_| {
+            Box::new(ReplayAdversary::new(trace.clone()).expect("trace validated"))
+        });
+        family.wire = Some(wire);
+        Ok(family)
     }
 
     /// The family's strategy name.

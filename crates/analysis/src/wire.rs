@@ -23,9 +23,9 @@
 
 use serde::json::{JsonError, Value as Json};
 use serde::{FromJson, ToJson};
-use sg_adversary::FaultSelection;
+use sg_adversary::{AdversaryTrace, FaultSelection, Move};
 use sg_core::AlgorithmSpec;
-use sg_sim::Value;
+use sg_sim::{ProcessId, Value};
 
 use crate::montecarlo::{Sample, Summary};
 use crate::sweep::FamilyWire;
@@ -172,6 +172,64 @@ impl ToJson for AdversaryFamily {
                 ("family".to_string(), Json::from("silent")),
                 ("selection".to_string(), selection.to_json()),
             ]),
+            FamilyWire::Partition {
+                selection,
+                split,
+                from,
+                to,
+            } => Json::Obj(vec![
+                ("family".to_string(), Json::from("partition")),
+                ("selection".to_string(), selection.to_json()),
+                ("split".to_string(), Json::from(*split)),
+                ("from".to_string(), Json::from(*from)),
+                ("to".to_string(), Json::from(*to)),
+            ]),
+            FamilyWire::Omission {
+                selection,
+                period,
+                phase,
+            } => Json::Obj(vec![
+                ("family".to_string(), Json::from("omission")),
+                ("selection".to_string(), selection.to_json()),
+                ("period".to_string(), Json::from(*period)),
+                ("phase".to_string(), Json::from(*phase)),
+            ]),
+            FamilyWire::Equivocate {
+                selection,
+                split,
+                start,
+            } => Json::Obj(vec![
+                ("family".to_string(), Json::from("equivocate")),
+                ("selection".to_string(), selection.to_json()),
+                ("split".to_string(), Json::from(*split)),
+                ("start".to_string(), Json::from(*start)),
+            ]),
+            FamilyWire::Adaptive {
+                selection,
+                schedule,
+            } => Json::Obj(vec![
+                ("family".to_string(), Json::from("adaptive")),
+                ("selection".to_string(), selection.to_json()),
+                (
+                    "schedule".to_string(),
+                    Json::Arr(schedule.iter().map(|&r| Json::from(r)).collect()),
+                ),
+            ]),
+            FamilyWire::Tape { members, tape } => Json::Obj(vec![
+                ("family".to_string(), Json::from("tape")),
+                (
+                    "members".to_string(),
+                    Json::Arr(members.iter().map(|p| Json::from(p.index())).collect()),
+                ),
+                (
+                    "tape".to_string(),
+                    Json::Arr(tape.iter().map(|m| Json::from(m.as_str())).collect()),
+                ),
+            ]),
+            FamilyWire::Trace(trace) => Json::Obj(vec![
+                ("family".to_string(), Json::from("replay")),
+                ("trace".to_string(), trace.to_json()),
+            ]),
         }
     }
 }
@@ -195,6 +253,67 @@ impl FromJson for AdversaryFamily {
             "silent" => Ok(AdversaryFamily::silent(FaultSelection::from_json(
                 v.need("selection")?,
             )?)),
+            "partition" => Ok(AdversaryFamily::partition(
+                FaultSelection::from_json(v.need("selection")?)?,
+                field_usize(v, "split")?,
+                field_usize(v, "from")?,
+                field_usize(v, "to")?,
+            )),
+            "omission" => Ok(AdversaryFamily::omission(
+                FaultSelection::from_json(v.need("selection")?)?,
+                field_usize(v, "period")?,
+                field_usize(v, "phase")?,
+            )),
+            "equivocate" => Ok(AdversaryFamily::equivocate(
+                FaultSelection::from_json(v.need("selection")?)?,
+                field_usize(v, "split")?,
+                field_usize(v, "start")?,
+            )),
+            "adaptive" => {
+                let schedule = v
+                    .need("schedule")?
+                    .as_arr()
+                    .ok_or_else(|| bad("'schedule' must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_usize()
+                            .ok_or_else(|| bad("schedule rounds must be integers"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(AdversaryFamily::adaptive(
+                    FaultSelection::from_json(v.need("selection")?)?,
+                    schedule,
+                ))
+            }
+            "tape" => {
+                let members = v
+                    .need("members")?
+                    .as_arr()
+                    .ok_or_else(|| bad("'members' must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_usize()
+                            .map(ProcessId)
+                            .ok_or_else(|| bad("tape members must be integers"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let tape = v
+                    .need("tape")?
+                    .as_arr()
+                    .ok_or_else(|| bad("'tape' must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_str()
+                            .and_then(Move::from_name)
+                            .ok_or_else(|| bad("tape entries must be move names"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                AdversaryFamily::tape(members, tape).map_err(|e| bad(e.to_string()))
+            }
+            "replay" => {
+                let trace = AdversaryTrace::from_json(v.need("trace")?)?;
+                AdversaryFamily::replay(trace).map_err(|e| bad(e.to_string()))
+            }
             other => Err(bad(format!("unknown adversary family '{other}'"))),
         }
     }
@@ -480,6 +599,55 @@ mod tests {
         let text = plan.to_json().to_string();
         let decoded = SweepPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded.run_with_jobs(1), plan.run_with_jobs(1));
+    }
+
+    #[test]
+    fn widened_fault_vocabulary_round_trips() {
+        // The trace-era families: partitions, per-edge omission,
+        // equivocation schedules, adaptive corruption, and enumerated
+        // tapes all travel the wire and reproduce the batch report.
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+            vec![
+                AdversaryFamily::partition(FaultSelection::with_source().limit(1), 1, 2, 3),
+                AdversaryFamily::omission(FaultSelection::without_source(), 2, 1),
+                AdversaryFamily::equivocate(FaultSelection::with_source(), 3, 2),
+                AdversaryFamily::adaptive(FaultSelection::without_source(), vec![2, 4]),
+                AdversaryFamily::tape(
+                    vec![sg_sim::ProcessId(1)],
+                    vec![Move::AllOne, Move::Silent, Move::FlipFirst],
+                )
+                .unwrap(),
+            ],
+            2,
+        );
+        let text = plan.to_json().to_string();
+        let decoded = SweepPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.run_with_jobs(1), plan.run_with_jobs(1));
+    }
+
+    #[test]
+    fn recorded_trace_family_round_trips_and_reproduces() {
+        // Record one run, wrap the trace as a family, ship it through
+        // JSON, and check the replayed grid reproduces the original
+        // family's single-seed report bit-exactly.
+        let config = SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2);
+        let family = AdversaryFamily::equivocate(FaultSelection::with_source(), 3, 1);
+        let reference = SweepPlan::new(vec![config], vec![family.clone()], 1).run_with_jobs(1);
+        // Seed 0 is what the sweep's seeding scheme hands cell (0, 0)'s
+        // first run under the default base seed.
+        let mut recorder = sg_adversary::RecordingAdversary::new(family.instantiate(0));
+        let run_config = sg_sim::RunConfig::new(config.n, config.t)
+            .with_source_value(config.source_value)
+            .with_trace();
+        let _ = sg_core::execute(config.spec, &run_config, &mut recorder).unwrap();
+        let trace = recorder.finish().unwrap();
+        let replay_family = AdversaryFamily::replay(trace).unwrap();
+        let plan = SweepPlan::new(vec![config], vec![replay_family], 1);
+        let text = plan.to_json().to_string();
+        let decoded = SweepPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let replayed = decoded.run_with_jobs(1);
+        assert_eq!(replayed.cells[0].samples, reference.cells[0].samples);
     }
 
     #[test]

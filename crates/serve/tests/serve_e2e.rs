@@ -155,3 +155,42 @@ fn unix_socket_transport_works() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn widened_families_and_trace_plans_travel_the_wire_bit_exactly() {
+    // The widened fault vocabulary (link cuts, omission patterns,
+    // equivocation schedules, adaptive corruption) plus a recorded-trace
+    // replay family, submitted through a live daemon: the streamed
+    // report must be the batch report bit for bit, which means every one
+    // of these families round-trips `sg-serve/1` and replays
+    // deterministically inside the server's pooled workers.
+    let sel = FaultSelection::without_source();
+    let (scenario, _) = sg_analysis::scenario::record(
+        &SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2),
+        Box::new(sg_adversary::Equivocate::new(
+            FaultSelection::with_source(),
+            3,
+            1,
+        )),
+    )
+    .expect("recordable strategy");
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+        vec![
+            AdversaryFamily::partition(sel.clone().limit(1), 1, 2, 3),
+            AdversaryFamily::omission(sel.clone(), 2, 0),
+            AdversaryFamily::equivocate(sel.clone(), 3, 1),
+            AdversaryFamily::adaptive(sel, vec![2, 4]),
+            AdversaryFamily::replay(scenario.trace).expect("recorded trace validates"),
+        ],
+        8,
+    );
+    let batch = plan.run_with_jobs(2);
+
+    let (handle, addr) = start(2);
+    let mut client = connect(&addr);
+    let streamed = client.submit_and_collect(&plan).expect("submit");
+    assert_eq!(streamed.report, batch);
+    assert_eq!(streamed.fingerprint, batch.fingerprint());
+    handle.shutdown();
+}

@@ -150,6 +150,36 @@ pub trait Adversary {
         recipient: ProcessId,
         view: &AdversaryView<'_>,
     ) -> Payload;
+
+    /// Whether this adversary also attacks *honest* edges (message loss
+    /// between correct processors — network partitions, per-edge
+    /// omission). The engine latches this once per run, before round 1:
+    /// `false` (the default) keeps the delivery loop on its shared-inbox
+    /// fast path with zero extra cost, `true` switches the run to
+    /// per-recipient inbox fills consulting [`Adversary::edge_cut`] for
+    /// every honest edge.
+    ///
+    /// Cutting an honest edge models link failure, not sender failure:
+    /// traffic accounting still charges the sender for the broadcast,
+    /// and the sender stays in the correct set for agreement/validity.
+    fn has_edge_faults(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` to drop the honest broadcast from `sender` to
+    /// `recipient` in the viewed round (the recipient sees a missing
+    /// payload). Consulted once per (honest sender, recipient ≠ sender)
+    /// pair per round, in deterministic order (recipients ascending,
+    /// senders ascending) — and only when [`Adversary::has_edge_faults`]
+    /// was `true` at run start.
+    fn edge_cut(
+        &mut self,
+        _sender: ProcessId,
+        _recipient: ProcessId,
+        _view: &AdversaryView<'_>,
+    ) -> bool {
+        false
+    }
 }
 
 /// The trivial adversary: corrupts nobody.

@@ -678,6 +678,11 @@ fn run_with<F>(
     // status-driven or entirely fixed-length.
     let early = early_stopping_enabled();
 
+    // Per-edge faults (partitions, honest-link omission) are latched the
+    // same way: the default `false` keeps delivery on the shared-inbox
+    // fast path with no per-round cost.
+    let edge_faults = adversary.has_edge_faults();
+
     let RunArena {
         honest,
         shadow,
@@ -771,7 +776,7 @@ fn run_with<F>(
         // recipient; faulty senders differ per recipient and are fixed
         // up below.
         let mut base = PackedBallots::default();
-        if pack {
+        if pack && !edge_faults {
             for (j, payload) in honest.iter().enumerate() {
                 if let Some(v) = payload.as_ref().and_then(|p| p.value_at(0)) {
                     if v.raw() <= 1 {
@@ -788,6 +793,38 @@ fn run_with<F>(
         // that differ — the previous recipient's self slot, its own self
         // slot, and the per-recipient faulty rows.
         for i in 0..n {
+            if edge_faults {
+                // Per-edge faults make honest slots recipient-dependent,
+                // so every inbox is filled completely and the ballot
+                // masks are recomputed from its actual contents (no
+                // shared base, no delta updates).
+                let mut ballots = PackedBallots::default();
+                for j in 0..n {
+                    let q = ProcessId(j);
+                    let payload = if i == j {
+                        Payload::shared_missing()
+                    } else if faulty.contains(q) {
+                        rows[j][i].clone()
+                    } else if adversary.edge_cut(q, ProcessId(i), &view) {
+                        Payload::shared_missing()
+                    } else {
+                        honest[j].clone().unwrap_or_else(Payload::shared_missing)
+                    };
+                    if pack && j != i {
+                        if let Some(v) = payload.value_at(0) {
+                            if v.raw() <= 1 {
+                                ballots.record(q, v);
+                            }
+                        }
+                    }
+                    inbox.set_shared(q, payload);
+                }
+                if pack {
+                    inbox.set_ballots(Some(ballots));
+                }
+                protocols[i].deliver(inbox, &mut ctxs[i]);
+                continue;
+            }
             if i == 0 {
                 for j in 0..n {
                     let q = ProcessId(j);

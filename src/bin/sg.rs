@@ -9,6 +9,8 @@
 //! sg stability --alg hybrid --n 16 [--b 3] [--seed 7]
 //! sg sweep --alg phase-king --n 16 [--t 5] [--seeds 100] [--adversary random-liar]
 //!          [--expect-fingerprint <hex>]
+//! sg record --alg optimal-king --n 7 --adversary equivocate [--seed 3] [--out scenario.json]
+//! sg replay tests/corpus/*.json [--quiet]
 //! sg serve [--port 7411 | --addr 127.0.0.1:7411 | --socket /path] [--workers N]
 //!          [--max-jobs N] [--max-queued-runs N] [--conn-jobs N] [--write-queue N]
 //!          [--send-buffer <bytes>]
@@ -34,8 +36,14 @@
 //! sends the same grid `sweep` runs locally and must produce a
 //! bit-identical fingerprint — CI's serve-e2e job holds the two paths to
 //! that contract. The sweep grids take `--f <k>` to cap the *actual*
-//! fault count below `t` (the rounds-vs-f workloads) and grew `crash` /
-//! `silent` adversary families.
+//! fault count below `t` (the rounds-vs-f workloads) and speak the full
+//! wire vocabulary of adversary families — including the link/schedule
+//! families (`partition`, `omission`, `equivocate`, `adaptive`) and
+//! `trace` (replaying a recorded `sg-trace/1`/`sg-scenario/1` file via
+//! `--trace-file`). `record` captures one run as an `sg-scenario/1`
+//! JSON artifact; `replay` re-executes such artifacts and fails on any
+//! verdict drift — CI's scenario-corpus job runs it over
+//! `tests/corpus/`.
 //!
 //! The daemon runs under admission control (`--max-jobs`,
 //! `--max-queued-runs`, per-connection `--conn-jobs`, slow-reader
@@ -48,11 +56,14 @@
 use std::collections::HashMap;
 use std::process::exit;
 
+use serde::json::Value as Json;
+use serde::{FromJson, ToJson};
 use shifting_gears::adversary::{
-    standard_suite, ChainRevealer, Crash, DoubleTalk, EquivocatingSource, FaultSelection,
-    RandomLiar, Silent, StaggeredSplit, Stealth, TwoFaced,
+    standard_suite, Adaptive, AdversaryTrace, ChainRevealer, Crash, DoubleTalk, Equivocate,
+    EquivocatingSource, FaultSelection, Omission, Partition, RandomLiar, Silent, StaggeredSplit,
+    Stealth, TwoFaced,
 };
-use shifting_gears::analysis::lock_in;
+use shifting_gears::analysis::{lock_in, scenario, Scenario};
 use shifting_gears::core::schedule::{algorithm_a_rounds_exact, algorithm_b_rounds_exact};
 use shifting_gears::core::{
     execute, render_plan, t_a, t_b, t_c, AlgorithmSpec, HybridSchedule, ShiftPlanBuilder,
@@ -69,9 +80,15 @@ fn usage() -> ! {
          sg gauntlet --alg <name> --n <n> [--t <t>] [--b <b>]\n  \
          sg stability --alg <name> --n <n> [--t <t>] [--b <b>] [--seed <s>]\n  \
          sg sweep --alg <name> --n <n> [--t <t>] [--b <b>] [--seeds <k>]\n           \
-         [--adversary random-liar|chain-revealer|crash|silent|none]\n           \
+         [--adversary random-liar|chain-revealer|crash|silent|partition|\n            \
+         omission|equivocate|adaptive|trace|none]\n           \
          [--f <k>] [--source-faulty] [--base-seed <s>]\n           \
+         [--split <k>] [--from <r>] [--to <r>] [--period <k>] [--phase <k>]\n           \
+         [--start <r>] [--schedule <r,r,..>] [--trace-file <path>]\n           \
          [--expect-fingerprint <hex>]\n  \
+         sg record --alg <name> --n <n> [--t <t>] [--b <b>] [--adversary <name>]\n           \
+         [--value <v>] [--seed <s>] [--source-faulty] [--out <path>]\n  \
+         sg replay <scenario.json>.. [--quiet]\n  \
          sg serve [--port <p> | --addr <host:port> | --socket <path>]\n           \
          [--workers <N>] [--quantum <runs>] [--max-jobs <N>]\n           \
          [--max-queued-runs <N>] [--conn-jobs <N>] [--write-queue <N>]\n           \
@@ -163,6 +180,12 @@ fn adversary(name: &str, source_faulty: bool, seed: u64) -> Box<dyn Adversary> {
         "stealth" => Box::new(Stealth::new(sel)),
         "chain-revealer" => Box::new(ChainRevealer::new(sel, 2, 2, seed)),
         "double-talk" => Box::new(DoubleTalk::new(sel)),
+        // The wire-portable link/schedule families at their suite shapes;
+        // `sweep` exposes the tuning knobs (--split, --period, ...).
+        "partition" => Box::new(Partition::new(sel.limit(1), 1, 2, 3)),
+        "omission" => Box::new(Omission::new(sel, 2, 0)),
+        "equivocate" => Box::new(Equivocate::new(sel, 3, 1)),
+        "adaptive" => Box::new(Adaptive::new(sel, vec![2, 4])),
         other => {
             eprintln!("unknown adversary '{other}' (try `sg list`)");
             exit(2);
@@ -200,6 +223,10 @@ fn cmd_list() {
         "stealth",
         "chain-revealer",
         "double-talk",
+        "partition",
+        "omission",
+        "equivocate",
+        "adaptive",
     ] {
         println!("  {a}");
     }
@@ -562,10 +589,48 @@ fn sweep_plan_from_flags(
         "chain-revealer" => AdversaryFamily::chain_revealer(sel, 2, 2),
         "crash" => AdversaryFamily::crash(sel, 2),
         "silent" => AdversaryFamily::silent(sel),
+        "partition" => AdversaryFamily::partition(
+            sel.limit(parse_usize(flags, "f").unwrap_or(1)),
+            parse_usize(flags, "split").unwrap_or(1),
+            parse_usize(flags, "from").unwrap_or(2),
+            parse_usize(flags, "to").unwrap_or(3),
+        ),
+        "omission" => AdversaryFamily::omission(
+            sel,
+            parse_usize(flags, "period").unwrap_or(2),
+            parse_usize(flags, "phase").unwrap_or(0),
+        ),
+        "equivocate" => AdversaryFamily::equivocate(
+            sel,
+            parse_usize(flags, "split").unwrap_or((n / 2).max(1)),
+            parse_usize(flags, "start").unwrap_or(1),
+        ),
+        "adaptive" => AdversaryFamily::adaptive(sel, parse_schedule(flags)),
+        "trace" => {
+            let path = flags
+                .get("trace-file")
+                .map(String::as_str)
+                .unwrap_or_else(|| {
+                    eprintln!("--adversary trace needs --trace-file <path>");
+                    exit(2);
+                });
+            let trace = load_trace(path);
+            if trace.n != n || trace.t != t {
+                eprintln!(
+                    "trace in '{path}' was recorded at (n={}, t={}), grid is (n={n}, t={t})",
+                    trace.n, trace.t
+                );
+                exit(2);
+            }
+            AdversaryFamily::replay(trace).unwrap_or_else(|e| {
+                eprintln!("trace in '{path}' does not validate: {e}");
+                exit(2);
+            })
+        }
         other => {
             eprintln!(
-                "sweep supports adversaries none|random-liar|chain-revealer|crash|silent, \
-                 got '{other}'"
+                "sweep supports adversaries none|random-liar|chain-revealer|crash|silent|\
+                 partition|omission|equivocate|adaptive|trace, got '{other}'"
             );
             exit(2);
         }
@@ -573,6 +638,50 @@ fn sweep_plan_from_flags(
     let base_seed = parse_usize(flags, "base-seed").unwrap_or(0) as u64;
     SweepPlan::new(vec![SweepConfig::traced(spec, n, t)], vec![family], seeds)
         .with_base_seed(base_seed)
+}
+
+/// Parses `--schedule r,r,..` — one activation round per corrupted rank
+/// for the adaptive family; defaults to the standard suite's `2,4`.
+fn parse_schedule(flags: &HashMap<String, String>) -> Vec<usize> {
+    let Some(raw) = flags.get("schedule") else {
+        return vec![2, 4];
+    };
+    raw.split(',')
+        .map(|part| {
+            part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--schedule expects comma-separated round numbers, got '{raw}'");
+                exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Reads and parses a JSON file, exiting with a diagnostic on failure.
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read '{path}': {e}");
+        exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("'{path}' is not valid JSON: {e}");
+        exit(2);
+    })
+}
+
+/// Extracts the adversary trace from an `sg-trace/1` or `sg-scenario/1`
+/// JSON file (the scenario form carries a trace inside it).
+fn load_trace(path: &str) -> AdversaryTrace {
+    let json = read_json(path);
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    let parsed = if schema == scenario::SCENARIO_SCHEMA {
+        Scenario::from_json(&json).map(|s| s.trace)
+    } else {
+        AdversaryTrace::from_json(&json)
+    };
+    parsed.unwrap_or_else(|e| {
+        eprintln!("cannot parse trace from '{path}': {e}");
+        exit(2);
+    })
 }
 
 /// Enforces `--expect-fingerprint`: on mismatch, reports and exits
@@ -611,6 +720,123 @@ fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
     );
     println!("report fingerprint: {}", report.fingerprint_hex());
     check_expected_fingerprint(flags, report.fingerprint());
+}
+
+/// `sg record`: one run of a named strategy under the recording wrapper,
+/// written out as `sg-scenario/1` JSON (to `--out`, or stdout).
+fn cmd_record(flags: &HashMap<String, String>, toggles: &[String]) {
+    use shifting_gears::analysis::SweepConfig;
+
+    let alg = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let n = parse_usize(flags, "n").unwrap_or_else(|| usage());
+    let b = parse_usize(flags, "b").unwrap_or(3);
+    let spec = algorithm(alg, b);
+    let t = parse_usize(flags, "t").unwrap_or_else(|| spec.max_resilience(n));
+    let seed = parse_usize(flags, "seed").unwrap_or(0) as u64;
+    let source_faulty = toggles.iter().any(|t| t == "source-faulty");
+    let name = flags
+        .get("adversary")
+        .map(String::as_str)
+        .unwrap_or("random-liar");
+    let adversary = adversary(name, source_faulty, seed);
+    let mut config = SweepConfig::traced(spec, n, t);
+    if let Some(v) = parse_usize(flags, "value") {
+        let Ok(v) = u16::try_from(v) else {
+            eprintln!("--value must fit in 16 bits, got {v}");
+            exit(2);
+        };
+        config.source_value = Value(v);
+    }
+    let (recorded, _) = match scenario::record(&config, adversary) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("cannot record: {e}");
+            exit(1);
+        }
+    };
+    let text = recorded.to_json().to_string();
+    let v = &recorded.verdict;
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text.as_bytes()) {
+                eprintln!("cannot write '{path}': {e}");
+                exit(1);
+            }
+            println!(
+                "recorded {} on {alg} (n={n}, t={t}): agreement={}, rounds={}{} -> {path}",
+                recorded.trace.family,
+                v.agreement,
+                v.rounds_used,
+                if v.early_stopped { " (early)" } else { "" },
+            );
+        }
+        None => println!("{text}"),
+    }
+}
+
+/// `sg replay`: re-execute recorded scenarios and check each verdict
+/// reproduces bit-exactly. Exits non-zero on any parse failure, replay
+/// desync, or verdict drift — the CI corpus gate.
+fn cmd_replay(args: &[String]) {
+    let mut files = Vec::new();
+    let mut quiet = false;
+    for a in args {
+        match a.as_str() {
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown replay flag '{other}'");
+                usage();
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("replay needs at least one scenario file");
+        usage();
+    }
+    let mut failures = 0usize;
+    for path in &files {
+        let json = read_json(path);
+        let outcome = match Scenario::from_json(&json) {
+            Err(e) => Err(format!("parse error: {e}")),
+            Ok(recorded) => match scenario::replay(&recorded) {
+                Err(e) => Err(format!("replay error: {e}")),
+                Ok(fresh) if fresh == recorded.verdict => Ok((recorded, fresh)),
+                Ok(fresh) => Err(format!(
+                    "verdict drift: recorded {:?}, replayed {:?}",
+                    recorded.verdict, fresh
+                )),
+            },
+        };
+        match outcome {
+            Ok((recorded, fresh)) => {
+                if !quiet {
+                    println!(
+                        "ok   {path}: {} (agreement={}, rounds={}{})",
+                        recorded.trace.family,
+                        fresh.agreement,
+                        fresh.rounds_used,
+                        if fresh.early_stopped {
+                            ", early-stopped"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+            Err(msg) => {
+                failures += 1;
+                eprintln!("FAIL {path}: {msg}");
+            }
+        }
+    }
+    println!("{} scenario(s) replayed, {failures} failed", files.len());
+    if failures > 0 {
+        exit(1);
+    }
 }
 
 /// The default daemon address shared by `serve`, `submit`, and `ping`.
@@ -892,6 +1118,11 @@ fn cmd_hammer(flags: &HashMap<String, String>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    // `replay` takes positional file operands, which parse_flags rejects.
+    if cmd == "replay" {
+        cmd_replay(&args[1..]);
+        return;
+    }
     let (flags, toggles) = parse_flags(&args[1..]);
     if let Some(jobs) = parse_usize(&flags, "jobs") {
         shifting_gears::analysis::set_jobs(jobs);
@@ -909,6 +1140,7 @@ fn main() {
         "gauntlet" => cmd_gauntlet(&flags),
         "stability" => cmd_stability(&flags),
         "sweep" => cmd_sweep(&flags, &toggles),
+        "record" => cmd_record(&flags, &toggles),
         "serve" => cmd_serve(&flags),
         "submit" => cmd_submit(&flags, &toggles),
         "ping" => cmd_ping(&flags),

@@ -183,3 +183,66 @@ fn run_king_shift_from_cli() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("agreement : true"));
 }
+
+#[test]
+fn record_then_replay_round_trips_through_the_cli() {
+    let dir = std::env::temp_dir().join(format!("sg-cli-record-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("scenario.json");
+    let path = path.to_str().expect("utf-8 path");
+
+    let (ok, stdout, stderr) = sg(&[
+        "record",
+        "--alg",
+        "optimal-king",
+        "--n",
+        "7",
+        "--adversary",
+        "equivocate",
+        "--seed",
+        "3",
+        "--out",
+        path,
+    ]);
+    assert!(ok, "record failed: {stdout}{stderr}");
+    assert!(stdout.contains("recorded equivocate"), "{stdout}");
+
+    let (ok, stdout, stderr) = sg(&["replay", path]);
+    assert!(ok, "replay failed: {stdout}{stderr}");
+    assert!(
+        stdout.contains("1 scenario(s) replayed, 0 failed"),
+        "{stdout}"
+    );
+
+    // A damaged artifact must fail the replay gate, not pass silently.
+    let text = std::fs::read_to_string(path).expect("readable scenario");
+    std::fs::write(
+        path,
+        text.replace("\"agreement\":true", "\"agreement\":false"),
+    )
+    .expect("write damaged scenario");
+    let (ok, _, stderr) = sg(&["replay", path]);
+    assert!(!ok, "damaged scenario must fail");
+    assert!(stderr.contains("verdict drift"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_accepts_the_widened_adversary_vocabulary() {
+    for adversary in ["partition", "omission", "equivocate", "adaptive"] {
+        let (ok, stdout, stderr) = sg(&[
+            "sweep",
+            "--alg",
+            "optimal-king",
+            "--n",
+            "7",
+            "--seeds",
+            "5",
+            "--adversary",
+            adversary,
+        ]);
+        assert!(ok, "sweep --adversary {adversary} failed: {stdout}{stderr}");
+        assert!(stdout.contains("report fingerprint:"), "{stdout}");
+    }
+}

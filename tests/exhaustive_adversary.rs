@@ -30,7 +30,7 @@ fn check_tape(
     tape: Vec<Move>,
     source_value: Value,
 ) {
-    let mut adversary = TapeAdversary::new([faulty], tape);
+    let mut adversary = TapeAdversary::new([faulty], tape).expect("non-empty tape");
     let config = RunConfig::new(n, t).with_source_value(source_value);
     let outcome = execute(spec, &config, &mut adversary).expect("valid spec");
     assert!(
@@ -191,7 +191,8 @@ fn exponential_n7_two_faults_bounded() {
     shifting_gears::analysis::sweep_map(cells, |chunk| {
         for mut tape in chunk {
             tape.resize(12, Move::Honest);
-            let mut adversary = TapeAdversary::new([ProcessId(2), ProcessId(5)], tape);
+            let mut adversary =
+                TapeAdversary::new([ProcessId(2), ProcessId(5)], tape).expect("non-empty tape");
             let config = RunConfig::new(7, 2).with_source_value(Value(1));
             let outcome = execute(AlgorithmSpec::Exponential, &config, &mut adversary).unwrap();
             assert!(
@@ -220,7 +221,8 @@ fn optimal_king_n4_bounded() {
             for filler in SINGLE_VALUE_MOVES {
                 let mut tape = head.clone();
                 tape.resize(24, filler);
-                let mut adversary = TapeAdversary::new([ProcessId(1)], tape);
+                let mut adversary =
+                    TapeAdversary::new([ProcessId(1)], tape).expect("non-empty tape");
                 let config = RunConfig::new(4, 1).with_source_value(Value(1));
                 let outcome = execute(AlgorithmSpec::OptimalKing, &config, &mut adversary).unwrap();
                 assert!(
@@ -241,7 +243,8 @@ fn honest_tape_equals_fault_free_run() {
     let config = RunConfig::new(7, 2).with_source_value(Value(1));
     let spec = AlgorithmSpec::Exponential;
     let len = calls_per_run(7, 1, spec.rounds(7, 2));
-    let mut adversary = TapeAdversary::new([ProcessId(3)], vec![Move::Honest; len]);
+    let mut adversary =
+        TapeAdversary::new([ProcessId(3)], vec![Move::Honest; len]).expect("non-empty tape");
     let outcome = execute(spec, &config, &mut adversary).unwrap();
     outcome.assert_correct();
     assert_eq!(outcome.decision(), Some(Value(1)));

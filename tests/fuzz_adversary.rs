@@ -28,7 +28,8 @@ fn fault_set(n: usize, t: usize) -> impl Strategy<Value = Vec<ProcessId>> {
 /// Runs one fuzzed execution and asserts the paper's two conditions.
 fn check(spec: AlgorithmSpec, n: usize, t: usize, faulty: Vec<ProcessId>, tape: Vec<Move>) {
     for source_value in [Value(0), Value(1)] {
-        let mut adversary = TapeAdversary::new(faulty.iter().copied(), tape.clone());
+        let mut adversary =
+            TapeAdversary::new(faulty.iter().copied(), tape.clone()).expect("non-empty tape");
         let config = RunConfig::new(n, t).with_source_value(source_value);
         let outcome = execute(spec, &config, &mut adversary).expect("valid spec");
         assert!(
