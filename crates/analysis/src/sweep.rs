@@ -489,6 +489,72 @@ fn with_family_adversary<R>(
     })
 }
 
+/// One pooled *lane group* of strategy instances for the lock-step batch
+/// executor — the batch-width sibling of [`PooledAdversary`], with the
+/// same factory-pointer keying and the same reseed-or-rebuild contract
+/// applied lane by lane.
+struct PooledBatchAdversaries {
+    make: Arc<dyn Fn(u64) -> Box<dyn Adversary> + Send + Sync>,
+    adversaries: Vec<Box<dyn Adversary>>,
+}
+
+/// How many families each worker thread keeps a warm lane group for.
+/// Lane groups are up to 64 instances each, so the cap is tighter than
+/// [`ADVERSARY_POOL_CAP`].
+const BATCH_ADVERSARY_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Per-thread MRU cache of lane groups for the batch executor.
+    static BATCH_ADVERSARY_POOL: RefCell<Vec<PooledBatchAdversaries>> =
+        const { RefCell::new(Vec::new()) };
+
+    /// Per-thread scratch for [`sg_sim::run_batch`].
+    static BATCH_SCRATCH: RefCell<sg_sim::BatchArena> = RefCell::new(sg_sim::BatchArena::new());
+}
+
+/// Runs `body` with one strategy instance per seed in `seeds` — the
+/// batch executor's counterpart of [`with_family_adversary`]. Pooled
+/// instances are reseeded lane by lane (rebuilt where the strategy
+/// declines), so pooled and fresh lane groups behave identically.
+fn with_batch_adversaries<R>(
+    family: &AdversaryFamily,
+    seeds: &[u64],
+    body: impl FnOnce(&mut [Box<dyn Adversary>]) -> R,
+) -> R {
+    if !sg_sim::instance_pooling_enabled() {
+        let mut adversaries: Vec<_> = seeds.iter().map(|&s| family.instantiate(s)).collect();
+        return body(&mut adversaries);
+    }
+    BATCH_ADVERSARY_POOL.with(|pool| {
+        let hit = {
+            let mut pool = pool.borrow_mut();
+            pool.iter()
+                .position(|e| Arc::ptr_eq(&e.make, &family.make))
+                .map(|idx| pool.remove(idx))
+        };
+        let mut entry = hit.unwrap_or_else(|| PooledBatchAdversaries {
+            make: Arc::clone(&family.make),
+            adversaries: Vec::new(),
+        });
+        entry.adversaries.truncate(seeds.len());
+        for (lane, &seed) in seeds.iter().enumerate() {
+            match entry.adversaries.get_mut(lane) {
+                Some(adversary) => {
+                    if !adversary.reseed(seed) {
+                        *adversary = family.instantiate(seed);
+                    }
+                }
+                None => entry.adversaries.push(family.instantiate(seed)),
+            }
+        }
+        let out = body(&mut entry.adversaries);
+        let mut pool = pool.borrow_mut();
+        pool.insert(0, entry);
+        pool.truncate(BATCH_ADVERSARY_POOL_CAP);
+        out
+    })
+}
+
 /// A sweep grid: `configs × adversaries × seeds_per_cell` executions.
 #[derive(Clone, Debug)]
 pub struct SweepPlan {
@@ -556,18 +622,36 @@ impl SweepPlan {
             "empty sweep plan"
         );
         let shared = Arc::new(self.clone());
-        let units: Vec<(usize, usize, u64)> = self
+        // With batching on, a unit is a lock-step group of up to 64
+        // consecutive seeds of one cell; with `--no-batch` it degenerates
+        // to one seed per unit, restoring the scalar executor's exact
+        // scheduling shape. Either way results are flattened back into
+        // `(ci, ai, si)` order, so the report bytes cannot depend on the
+        // toggle (pinned by `tests/batch_identity.rs`).
+        let chunk = if sg_sim::batch_runs_enabled() {
+            sg_sim::MAX_BATCH_RUNS as u64
+        } else {
+            1
+        };
+        let units: Vec<(usize, usize, u64, u64)> = self
             .configs
             .iter()
             .enumerate()
             .flat_map(|(ci, _)| {
                 let seeds = self.seeds_per_cell;
-                (0..self.adversaries.len())
-                    .flat_map(move |ai| (0..seeds).map(move |si| (ci, ai, si)))
+                (0..self.adversaries.len()).flat_map(move |ai| {
+                    (0..seeds)
+                        .step_by(chunk as usize)
+                        .map(move |si0| (ci, ai, si0, chunk.min(seeds - si0)))
+                })
             })
             .collect();
-        let samples =
-            sweep_map_with_jobs(units, jobs, move |(ci, ai, si)| shared.run_one(ci, ai, si));
+        let samples: Vec<Sample> = sweep_map_with_jobs(units, jobs, move |(ci, ai, si0, len)| {
+            shared.run_chunk(ci, ai, si0, len)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
         let mut cells = Vec::with_capacity(self.cell_count());
         let mut chunks = samples.chunks_exact(self.seeds_per_cell as usize);
@@ -633,6 +717,67 @@ impl SweepPlan {
             samples,
             summaries,
         }
+    }
+
+    /// One executor unit: runs `si0 .. si0 + len` of cell `(ci, ai)`.
+    ///
+    /// When batching is on and the cell has a lock-step kernel (the king
+    /// family on an eligible configuration), the whole group executes in
+    /// one [`sg_sim::run_batch`] call; everything else — other specs,
+    /// edge-faulting adversaries, `--no-batch` — falls back to the scalar
+    /// executor run by run. Both paths emit identical samples.
+    fn run_chunk(&self, ci: usize, ai: usize, si0: u64, len: u64) -> Vec<Sample> {
+        if len > 1 && sg_sim::batch_runs_enabled() {
+            if let Some(samples) = self.run_chunk_lockstep(ci, ai, si0, len) {
+                return samples;
+            }
+        }
+        (0..len).map(|k| self.run_one(ci, ai, si0 + k)).collect()
+    }
+
+    /// The lock-step fast path: all `len` seeds of the group execute
+    /// simultaneously, one bit lane per run. Returns `None` when the cell
+    /// is not batch-eligible (no kernel for the spec, or the adversary
+    /// family corrupts edges), in which case no lane has gone past its
+    /// `corrupt` call and the scalar path re-runs the group from scratch.
+    fn run_chunk_lockstep(&self, ci: usize, ai: usize, si0: u64, len: u64) -> Option<Vec<Sample>> {
+        let config = &self.configs[ci];
+        let run_config = config.run_config();
+        let mut kernel = sg_core::king_batch_kernel(&config.spec, &run_config)?;
+        let family = &self.adversaries[ai];
+        let seeds: Vec<u64> = (0..len).map(|k| self.seed_for(ci, ai, si0 + k)).collect();
+        BATCH_SCRATCH.with(|scratch| {
+            let arena = &mut scratch.borrow_mut();
+            with_batch_adversaries(family, &seeds, |adversaries| {
+                if !sg_sim::run_batch(arena, &run_config, &mut kernel, adversaries) {
+                    return None;
+                }
+                let samples = arena
+                    .results()
+                    .iter()
+                    .zip(&seeds)
+                    .map(|(result, seed)| {
+                        assert!(
+                            result.agreement,
+                            "{} violated agreement under {} at seed {seed}",
+                            config.spec.name(),
+                            family.name,
+                        );
+                        Sample {
+                            lock_in: result.lock_in as u64,
+                            // The king family discovers no faults, so a
+                            // traced scalar run of it counts zero too.
+                            discoveries: 0,
+                            total_bits: result.total_bits,
+                            max_local_ops: result.max_local_ops,
+                            rounds: result.rounds_used as u64,
+                            early_stopped: result.early_stopped,
+                        }
+                    })
+                    .collect();
+                Some(samples)
+            })
+        })
     }
 
     /// One execution: cell `(ci, ai)`, run `si`, on this thread's

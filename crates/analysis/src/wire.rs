@@ -1,5 +1,10 @@
 //! Wire (JSON) forms of the sweep types — the vocabulary of `sg-serve/1`.
 //!
+//! See `docs/WIRE.md` at the repository root for the consolidated
+//! catalogue of every schema the repo speaks and their compatibility
+//! notes; this module is the codec for the plan/cell/sample vocabulary
+//! those schemas share.
+//!
 //! The `sg-serve` daemon (see `crates/serve`) accepts [`SweepPlan`]s and
 //! streams [`CellReport`]s over newline-delimited JSON; this module
 //! defines how those types look on the wire, via the serde shim's

@@ -9,7 +9,10 @@
 //!   separately from pooling;
 //! * `rounds/*` — the `f_actual = 0` cell run status-driven
 //!   (`set_early_stopping`, the default) vs fixed-length, so the
-//!   expedite win of the early-stopping run loop is measured on its own.
+//!   expedite win of the early-stopping run loop is measured on its own;
+//! * `batch/*` — 64 seeds of the cell run one by one through the scalar
+//!   loop vs lock-step through `run_batch` (one bit lane per run), so
+//!   the cross-run data-parallel layer is measured on its own.
 //!
 //! The `instances/*` and `payload/*` variants execute identical work —
 //! `tests/instance_pool.rs` pins down that their outcomes are
@@ -20,9 +23,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sg_adversary::{FaultSelection, RandomLiar};
-use sg_core::AlgorithmSpec;
+use sg_core::{king_batch_kernel, AlgorithmSpec};
 use sg_sim::{
-    run_in, run_pooled_in, set_early_stopping, set_packed_broadcast, RunArena, RunConfig, Value,
+    run_batch, run_in, run_pooled_in, set_early_stopping, set_packed_broadcast, Adversary,
+    BatchArena, RunArena, RunConfig, Value, MAX_BATCH_RUNS,
 };
 
 const SEED: u64 = 7;
@@ -122,10 +126,55 @@ fn bench_early_stopping(c: &mut Criterion) {
     group.finish();
 }
 
+/// The lock-step batch layer in isolation: the same 64 seeds of the
+/// benchmark cell executed scalar (one `run_pooled_in` per seed) vs
+/// lock-step (one `run_batch` call, one bit lane per run). Both
+/// variants perform the identical per-run adversary calls — that
+/// irreducible scalar work is what keeps the ratio below 64× — and
+/// `tests/batch_identity.rs` pins their samples bit-identical.
+fn bench_batch_runs(c: &mut Criterion) {
+    let (spec, config) = bench_config();
+    let key = spec.pool_key(&config);
+    let factory = spec.factory(&config);
+    let mut group = c.benchmark_group("run_loop_optimal_king_n16_t5");
+    group.sample_size(20);
+
+    let mut arena = RunArena::new();
+    group.bench_function("batch/scalar-64", |b| {
+        b.iter(|| {
+            for seed in 0..MAX_BATCH_RUNS as u64 {
+                let mut adversary = RandomLiar::new(FaultSelection::without_source(), seed);
+                run_pooled_in(&mut arena, &config, &mut adversary, key, &factory);
+            }
+        });
+    });
+
+    let mut batch_arena = BatchArena::new();
+    group.bench_function("batch/lock-step-64", |b| {
+        b.iter(|| {
+            let mut kernel = king_batch_kernel(&spec, &config).expect("eligible cell");
+            let mut adversaries: Vec<Box<dyn Adversary>> = (0..MAX_BATCH_RUNS as u64)
+                .map(|seed| {
+                    Box::new(RandomLiar::new(FaultSelection::without_source(), seed))
+                        as Box<dyn Adversary>
+                })
+                .collect();
+            assert!(run_batch(
+                &mut batch_arena,
+                &config,
+                &mut kernel,
+                &mut adversaries
+            ));
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_instance_pool,
     bench_packed_payloads,
-    bench_early_stopping
+    bench_early_stopping,
+    bench_batch_runs
 );
 criterion_main!(benches);

@@ -12,6 +12,9 @@
 //!                          # schedule (fixed-length mode; its sweep must
 //!                          # reproduce BENCH_sweep_fixed.json's
 //!                          # fingerprint)
+//! repro --no-batch         # disable the lock-step batch executor (64
+//!                          # runs per instruction) — the scalar path
+//!                          # must reproduce the same fingerprints
 //! repro --exp t3           # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|
 //!                          #   detect|stability|early-stopping|king|compose|
 //!                          #   rounds-vs-f|plans|sweep
@@ -20,7 +23,7 @@
 //!                          # BENCH_rounds_vs_f.md artifact
 //! repro --exp sweep        # the benchmark sweep: phase-king n=16 t=5
 //!                          # Monte-Carlo, timed, machine-readable trajectory
-//!                          # in BENCH_sweep.json (schema sg-bench-sweep/4)
+//!                          # in BENCH_sweep.json (schema sg-bench-sweep/5)
 //! repro --exp sweep --via-server
 //!                          # same grid, but submitted to an in-process
 //!                          # sg-serve daemon over localhost TCP — the
@@ -303,6 +306,7 @@ fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Opt
 
     let instance_pool = sg_sim::instance_pooling_enabled();
     let early_stopping = sg_sim::early_stopping_enabled();
+    let batch_runs = sg_sim::batch_runs_enabled();
     let allocs_per_run = allocs_per_run_json(&plan);
     // The expedite trajectory: the grid is a single cell, whose report
     // already carries the rounds summary and early-stop rate.
@@ -317,10 +321,11 @@ fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Opt
         early_stop_rate * 100.0,
     );
     let json = format!(
-        "{{\n  \"schema\": \"sg-bench-sweep/4\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
+        "{{\n  \"schema\": \"sg-bench-sweep/5\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
          \"spec\": \"optimal-king\",\n  \"n\": {n},\n  \"t\": {t},\n  \
          \"adversary\": \"random-liar\",\n  \"runs\": {},\n  \"jobs\": {jobs},\n  \
          \"instance_pool\": {instance_pool},\n  \"early_stopping\": {early_stopping},\n  \
+         \"batch_runs\": {batch_runs},\n  \
          \"transport\": \"{}\",\n  \
          \"wall_ms\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"peak_rss_kb\": {},\n  \
          \"allocs_per_run\": {allocs_per_run},\n  \
@@ -372,6 +377,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--no-early-stop") {
         sg_sim::set_early_stopping(false);
+    }
+    if args.iter().any(|a| a == "--no-batch") {
+        sg_sim::set_batch_runs(false);
     }
     let transport = if args.iter().any(|a| a == "--via-server") {
         Transport::Server

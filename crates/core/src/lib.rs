@@ -48,6 +48,7 @@ pub mod dolev_strong;
 pub mod gearbox;
 mod geared;
 pub mod interactive;
+pub mod king_batch;
 pub mod king_shift;
 pub mod multiplex;
 pub mod multivalued;
@@ -66,6 +67,7 @@ pub use gearbox::{
 };
 pub use geared::GearedProtocol;
 pub use interactive::{interactive_consistency, run_consensus};
+pub use king_batch::{king_batch_kernel, KingBatchKernel};
 pub use king_shift::KingShift;
 pub use multiplex::{plurality, Multiplex};
 pub use multivalued::{multivalued_broadcast, run_multivalued};

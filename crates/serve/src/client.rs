@@ -20,6 +20,7 @@
 //! change its mind), and never retry past a job's own `deadline_ms`
 //! budget.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
@@ -193,6 +194,11 @@ pub struct StreamedReport {
 pub struct Client {
     lines: BufReader<Box<dyn io::Read + Send>>,
     stream: ClientStream,
+    /// Job-scoped frames that arrived while a request was waiting for
+    /// its own answer (a still-streaming job's cells can interleave
+    /// with a later submit's `accepted`/`rejected`); [`Client::collect`]
+    /// drains these before reading the socket again.
+    pending: VecDeque<Frame>,
 }
 
 impl Client {
@@ -252,6 +258,7 @@ impl Client {
             return Ok(Client {
                 lines: BufReader::new(stream.reader()?),
                 stream,
+                pending: VecDeque::new(),
             });
         }
         let stream = TcpStream::connect(addr)?;
@@ -260,6 +267,7 @@ impl Client {
         Ok(Client {
             lines: BufReader::new(stream.reader()?),
             stream,
+            pending: VecDeque::new(),
         })
     }
 
@@ -357,29 +365,48 @@ impl Client {
             plan: plan.clone(),
             deadline_ms,
         })?;
-        match self.next_frame()? {
-            Frame::Accepted {
-                job,
-                cells,
-                total_runs,
-            } => Ok(JobHandle {
-                job,
-                cells,
-                total_runs,
-            }),
-            Frame::Rejected {
-                code,
-                detail,
-                retry_after_ms,
-            } => Err(ServeError::Rejected {
-                code,
-                detail,
-                retry_after_ms,
-            }),
-            Frame::Error { code, detail, .. } => Err(ServeError::Server { code, detail }),
-            other => Err(ServeError::Protocol(format!(
-                "expected accepted, got {other:?}"
-            ))),
+        // A still-streaming job on this connection may interleave its
+        // frames with this submit's answer; park those for the job's
+        // own `collect` call rather than treating them as violations.
+        loop {
+            match self.next_frame()? {
+                Frame::Accepted {
+                    job,
+                    cells,
+                    total_runs,
+                } => {
+                    return Ok(JobHandle {
+                        job,
+                        cells,
+                        total_runs,
+                    })
+                }
+                Frame::Rejected {
+                    code,
+                    detail,
+                    retry_after_ms,
+                } => {
+                    return Err(ServeError::Rejected {
+                        code,
+                        detail,
+                        retry_after_ms,
+                    })
+                }
+                Frame::Error {
+                    code,
+                    detail,
+                    job: None,
+                } => return Err(ServeError::Server { code, detail }),
+                frame @ (Frame::Cell { .. }
+                | Frame::Summary { .. }
+                | Frame::Cancelled { .. }
+                | Frame::Error { job: Some(_), .. }) => self.pending.push_back(frame),
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected accepted, got {other:?}"
+                    )))
+                }
+            }
         }
     }
 
@@ -470,7 +497,11 @@ impl Client {
         let mut cells: Vec<CellReport> = Vec::with_capacity(handle.cells);
         let mut fingerprint = Fingerprint::new();
         loop {
-            match self.next_frame()? {
+            let frame = match self.pending.pop_front() {
+                Some(parked) => parked,
+                None => self.next_frame()?,
+            };
+            match frame {
                 Frame::Cell { job, index, cell } if job == handle.job => {
                     if index != cells.len() {
                         return Err(ServeError::Protocol(format!(

@@ -836,6 +836,13 @@ enum ConnExit {
     /// stopped reading. Close the socket first — the writer may be
     /// blocked inside the OS send buffer and must be forced out.
     Shed,
+    /// This connection received the `shutdown` op: tear down like
+    /// `Clean`, then stop the daemon. Deferring `begin_stop` until
+    /// after the writer has drained and the socket has closed
+    /// gracefully guarantees the `bye` frame reaches the client —
+    /// stopping first lets the process exit (and the OS reset the
+    /// socket) while the `bye` is still queued.
+    Stop,
 }
 
 /// How long a full write queue gets to drain before the connection is
@@ -933,7 +940,7 @@ fn handle_connection(conn: Box<dyn Conn>, shared: &Arc<Shared>) {
     // the stalled client was not reading those frames anyway.
     drop(sink);
     match exit {
-        ConnExit::Clean => {
+        ConnExit::Clean | ConnExit::Stop => {
             let _ = writer.join();
             if let Some(closer) = &closer {
                 closer.shutdown_conn();
@@ -945,6 +952,11 @@ fn handle_connection(conn: Box<dyn Conn>, shared: &Arc<Shared>) {
             }
             let _ = writer.join();
         }
+    }
+    if matches!(exit, ConnExit::Stop) {
+        // The `bye` is flushed and the socket closed gracefully — now
+        // it is safe to let the daemon (and the process) wind down.
+        shared.begin_stop();
     }
     let _ = reader.join();
 }
@@ -1023,8 +1035,9 @@ fn connection_events(
             ConnEvent::Request(Ok(Request::Ping)) => sink.send(&Frame::Pong)?,
             ConnEvent::Request(Ok(Request::Shutdown)) => {
                 sink.send(&Frame::Bye)?;
-                shared.begin_stop();
-                break;
+                // Don't begin_stop here: the caller does, after the
+                // writer has flushed the `bye` (see `ConnExit::Stop`).
+                return Err(ConnExit::Stop);
             }
             ConnEvent::Request(Ok(Request::Drain)) => {
                 // Ack first: the drain frame must precede the `bye`

@@ -1,5 +1,10 @@
 //! The `sg-serve/1` wire protocol: newline-delimited JSON frames.
 //!
+//! See `docs/WIRE.md` at the repository root for the consolidated
+//! catalogue of every schema the repo speaks (`sg-serve/1`,
+//! `sg-trace/1`, `sg-scenario/1`, `sg-bench-sweep/5`,
+//! `sg-serve-load/1`) and their compatibility notes.
+//!
 //! One connection carries a sequence of client→server [`Request`] lines
 //! and server→client [`Frame`] lines, each a single compact JSON object
 //! terminated by `\n`. The vocabulary (plans, cells, samples) is encoded

@@ -1,0 +1,629 @@
+//! Lock-step batch execution: up to 64 runs per instruction.
+//!
+//! The scalar engine already packs one *round* into words — a binary
+//! broadcast is a [`PackedBallots`](crate::PackedBallots) bit per sender.
+//! This module lifts the same trick one level: all seeds of one sweep cell
+//! execute **lock-step** in a structure-of-arrays layout, where a binary
+//! broadcast becomes one `u64` per processor-slot spanning up to
+//! [`MAX_BATCH_RUNS`] runs, majority tallies become full-width bitwise
+//! ops across runs, and per-run divergence (early stop, differing fault
+//! sets) is carried by an active-run mask.
+//!
+//! The division of labour mirrors the scalar engine:
+//!
+//! * this module owns the *substrate* — the [`BatchArena`] scratch space,
+//!   the bit-plane counters ([`LaneCounts`]), and the [`run_batch`]
+//!   driver that materializes per-run [`AdversaryView`]s and calls each
+//!   run's adversary in exactly the order the scalar engine would;
+//! * the *protocol semantics* live behind the [`BatchKernel`] trait,
+//!   implemented in `sg-core` for the king family (everything else takes
+//!   the scalar fallback, per the `set_packed_broadcast` pattern).
+//!
+//! Per-run outputs are bit-identical to the scalar path by construction:
+//! the adversary sees semantically equal views in the same call order,
+//! tallies reproduce [`crate::PackedBallots`] classification exactly (first
+//! value, `{0, 1}` only), and retired runs are frozen by the active mask
+//! rather than removed, so late rounds cannot disturb them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::engine::{early_stopping_enabled, RunConfig};
+use crate::id::ProcessSet;
+use crate::payload::Payload;
+use crate::value::Value;
+
+/// Whether sweep executors batch seeds of a cell into lock-step groups
+/// (`true` by default). The CLI's `--no-batch` escape hatch clears it;
+/// CI runs the benchmark sweep both ways and cross-checks the report
+/// fingerprints.
+static BATCH_RUNS: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables lock-step run batching (default on). The toggle
+/// is read once per batch, so a group of runs is always entirely batched
+/// or entirely scalar.
+pub fn set_batch_runs(enabled: bool) {
+    BATCH_RUNS.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether lock-step run batching is active.
+pub fn batch_runs_enabled() -> bool {
+    BATCH_RUNS.load(Ordering::SeqCst)
+}
+
+/// Maximum runs per lock-step batch: one bit lane per run in a `u64`.
+pub const MAX_BATCH_RUNS: usize = 64;
+
+/// Bit planes for per-lane tallies: 7 planes count up to 127, enough for
+/// any sender count at `n ≤ 64`.
+const COUNT_PLANES: usize = 7;
+
+/// A per-lane counter in bit-plane form: plane `p` holds bit `p` of each
+/// lane's count. Adding a lane mask is a ripple-carry increment of every
+/// set lane at once; comparisons walk the planes MSB-first.
+///
+/// # Examples
+///
+/// ```
+/// use sg_sim::batch::LaneCounts;
+///
+/// let mut c = LaneCounts::default();
+/// c.add(0b1011); // lanes 0,1,3 += 1
+/// c.add(0b0011); // lanes 0,1   += 1
+/// assert_eq!(c.ge(2), 0b0011);
+/// assert_eq!(c.ge(1), 0b1011);
+/// assert_eq!(c.ge(0), !0);
+/// ```
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LaneCounts {
+    planes: [u64; COUNT_PLANES],
+}
+
+impl LaneCounts {
+    /// Adds 1 to every lane set in `mask`.
+    pub fn add(&mut self, mask: u64) {
+        let mut carry = mask;
+        for plane in self.planes.iter_mut() {
+            if carry == 0 {
+                break;
+            }
+            let sum = *plane ^ carry;
+            carry &= *plane;
+            *plane = sum;
+        }
+        debug_assert_eq!(carry, 0, "lane counter overflow");
+    }
+
+    /// Lanes whose count is `>= c`.
+    pub fn ge(&self, c: usize) -> u64 {
+        debug_assert!(c < (1 << COUNT_PLANES));
+        let mut gt = 0u64;
+        let mut eq = !0u64;
+        for p in (0..COUNT_PLANES).rev() {
+            if (c >> p) & 1 == 1 {
+                eq &= self.planes[p];
+            } else {
+                gt |= eq & self.planes[p];
+            }
+        }
+        gt | eq
+    }
+
+    /// Lanes where `self > other`.
+    pub fn gt(&self, other: &LaneCounts) -> u64 {
+        let mut gt = 0u64;
+        let mut eq = !0u64;
+        for p in (0..COUNT_PLANES).rev() {
+            gt |= eq & self.planes[p] & !other.planes[p];
+            eq &= !(self.planes[p] ^ other.planes[p]);
+        }
+        gt
+    }
+
+    /// The count in one lane (test/debug helper).
+    pub fn lane(&self, lane: usize) -> usize {
+        let mut c = 0usize;
+        for (p, plane) in self.planes.iter().enumerate() {
+            c |= (((plane >> lane) & 1) as usize) << p;
+        }
+        c
+    }
+}
+
+/// The delivered network of one round, classified for binary tallies:
+/// `one[j * n + i]` is the lane mask of runs in which the *first value*
+/// of the payload delivered from sender `j` to recipient `i` is
+/// `Value(1)`, and `zero[…]` likewise for `Value(0)`. Lanes set in
+/// neither received `⊥`, an out-of-domain value, or nothing — exactly
+/// the three-way classification [`PackedBallots`](crate::PackedBallots)
+/// records and the per-payload fallback reproduces.
+///
+/// Self slots (`i == j`) are always clear, mirroring the scalar engine's
+/// `clear(me)`; kernels substitute their own local state.
+pub struct BatchNet<'a> {
+    /// System size.
+    pub n: usize,
+    /// Lane masks of delivered first-value-one, sender-major.
+    pub one: &'a [u64],
+    /// Lane masks of delivered first-value-zero, sender-major.
+    pub zero: &'a [u64],
+}
+
+impl BatchNet<'_> {
+    /// Lane mask of runs delivering first value `1` from `j` to `i`.
+    #[inline]
+    pub fn one(&self, j: usize, i: usize) -> u64 {
+        self.one[j * self.n + i]
+    }
+
+    /// Lane mask of runs delivering first value `0` from `j` to `i`.
+    #[inline]
+    pub fn zero(&self, j: usize, i: usize) -> u64 {
+        self.zero[j * self.n + i]
+    }
+}
+
+/// Protocol semantics for lock-step batch execution: the per-round hooks
+/// a family implements so [`run_batch`] can drive up to 64 of its runs
+/// with full-width bitwise ops. All lane-mask state updates must freeze
+/// lanes outside `active` (`new = (active & computed) | (!active & old)`)
+/// so early-stopped runs keep their retirement-time state.
+pub trait BatchKernel {
+    /// Rounds in the static schedule (batch kernels run static schedules
+    /// only; gear-shifting families take the scalar fallback).
+    fn total_rounds(&self) -> usize;
+
+    /// Resets all lane state for a fresh batch of `lanes` runs.
+    fn reset(&mut self, lanes: usize);
+
+    /// Local-computation charge per processor for `round` — must equal
+    /// the scalar protocol's per-slot `ctx.charge` total, which the king
+    /// family keeps uniform across slots.
+    fn charge(&self, round: usize) -> u64;
+
+    /// Whether `round` emits a preferred-value snapshot (the events the
+    /// stability analysis replays to compute lock-in rounds).
+    fn snapshot_round(&self, round: usize) -> bool;
+
+    /// Classifies every slot's broadcast for `round` into lane masks:
+    /// `present[j]` — lanes in which slot `j` sends at all; `one`/`zero`
+    /// — lanes in which the sent value is `1`/`0` (present lanes in
+    /// neither send `⊥`). Slots are classified independently of fault
+    /// status: the engine routes a faulty slot's broadcast to the shadow
+    /// table, exactly like the scalar path.
+    fn outgoing(&mut self, round: usize, present: &mut [u64], one: &mut [u64], zero: &mut [u64]);
+
+    /// Applies one delivered round to all lane state, updating only
+    /// lanes in `active`.
+    fn deliver(&mut self, round: usize, net: &BatchNet<'_>, active: u64);
+
+    /// Lanes in which `slot` currently reports ready-to-decide.
+    fn ready(&self, slot: usize) -> u64;
+
+    /// Lanes in which `slot`'s current preferred value is `1`.
+    fn current_one(&self, slot: usize) -> u64;
+
+    /// Lanes in which `slot` would decide `1` if the run ended now.
+    fn decision_one(&self, slot: usize) -> u64;
+}
+
+/// One recorded preferred-value snapshot: the round, each slot's
+/// preferred-value lane mask at that point, and which lanes actually
+/// executed the round (retired lanes must not see later snapshots).
+struct Snapshot {
+    round: usize,
+    current: Vec<u64>,
+    active: u64,
+}
+
+/// Per-run results of a lock-step batch, in lane order. Field semantics
+/// match the scalar [`Outcome`](crate::Outcome)-derived sweep sample
+/// exactly; king-family runs emit no discovery events, so there is no
+/// discovery count here.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BatchRunResult {
+    /// Whether all correct processors decided the same value.
+    pub agreement: bool,
+    /// Rounds actually executed.
+    pub rounds_used: usize,
+    /// Whether the run stopped before its static schedule.
+    pub early_stopped: bool,
+    /// System lock-in round (0 when tracing is off, matching the scalar
+    /// path's empty-trace analysis).
+    pub lock_in: usize,
+    /// Total honest bits put on the wire.
+    pub total_bits: u64,
+    /// Maximum local computation charged to any one processor.
+    pub max_local_ops: u64,
+}
+
+/// Reusable scratch for [`run_batch`] — the batch-path sibling of the
+/// scalar [`RunArena`](crate::RunArena). Holding one per worker thread
+/// keeps the steady-state round loop allocation-free.
+#[derive(Default)]
+pub struct BatchArena {
+    // Per-slot broadcast classification for the current round.
+    present: Vec<u64>,
+    one: Vec<u64>,
+    zero: Vec<u64>,
+    // Delivered network, sender-major `n × n` lane masks.
+    net_one: Vec<u64>,
+    net_zero: Vec<u64>,
+    // Faulty lane mask per slot, and per-lane fault sets.
+    faulty: Vec<u64>,
+    fault_sets: Vec<ProcessSet>,
+    // Adversary-view scratch, refilled per lane per round.
+    view_honest: Vec<Option<Arc<Payload>>>,
+    view_shadow: Vec<Option<Arc<Payload>>>,
+    // Preferred-value snapshots for the lock-in walk.
+    snapshots: Vec<Snapshot>,
+    // Per-lane accounting.
+    total_bits: Vec<u64>,
+    ops: Vec<u64>,
+    rounds_used: Vec<usize>,
+    early_stopped: Vec<bool>,
+    results: Vec<BatchRunResult>,
+}
+
+impl BatchArena {
+    /// A fresh arena; buffers grow on first use and are recycled after.
+    pub fn new() -> Self {
+        BatchArena::default()
+    }
+
+    /// The per-run results of the most recent [`run_batch`] call, in
+    /// lane (seed) order.
+    pub fn results(&self) -> &[BatchRunResult] {
+        &self.results
+    }
+
+    fn reset(&mut self, n: usize, lanes: usize) {
+        for buf in [
+            &mut self.present,
+            &mut self.one,
+            &mut self.zero,
+            &mut self.faulty,
+        ] {
+            buf.clear();
+            buf.resize(n, 0);
+        }
+        for buf in [&mut self.net_one, &mut self.net_zero] {
+            buf.clear();
+            buf.resize(n * n, 0);
+        }
+        self.fault_sets.clear();
+        self.view_honest.clear();
+        self.view_honest.resize(n, None);
+        self.view_shadow.clear();
+        self.view_shadow.resize(n, None);
+        self.snapshots.clear();
+        for buf in [&mut self.total_bits, &mut self.ops] {
+            buf.clear();
+            buf.resize(lanes, 0);
+        }
+        self.rounds_used.clear();
+        self.rounds_used.resize(lanes, 0);
+        self.early_stopped.clear();
+        self.early_stopped.resize(lanes, false);
+        self.results.clear();
+        self.results.resize(lanes, BatchRunResult::default());
+    }
+}
+
+/// The three interned wire payloads a binary-domain kernel broadcast can
+/// classify into, shared with the scalar engine's interning table so
+/// adversaries see pointer-equal payloads either way.
+fn wire_payloads() -> (Arc<Payload>, Arc<Payload>, Arc<Payload>) {
+    (
+        Payload::single(Value(1)).into_shared(),
+        Payload::single(Value(0)).into_shared(),
+        Payload::single(Value(u16::MAX)).into_shared(),
+    )
+}
+
+/// Executes up to [`MAX_BATCH_RUNS`] runs of one configuration in
+/// lock-step, one adversary instance per lane. Results land in
+/// [`BatchArena::results`], in lane order.
+///
+/// Returns `false` — leaving the adversaries consumed only up to their
+/// `corrupt` calls and the arena results empty — if any lane's adversary
+/// reports edge faults, which the word-per-slot layout cannot express;
+/// callers then take the scalar path. (This mirrors the scalar engine,
+/// which latches `has_edge_faults` immediately after `corrupt`.)
+///
+/// # Panics
+///
+/// Panics if `adversaries` is empty or longer than [`MAX_BATCH_RUNS`],
+/// or if a lane's `corrupt` returns a set over the wrong universe.
+pub fn run_batch(
+    arena: &mut BatchArena,
+    config: &RunConfig,
+    kernel: &mut dyn BatchKernel,
+    adversaries: &mut [Box<dyn Adversary>],
+) -> bool {
+    let n = config.n;
+    let lanes = adversaries.len();
+    assert!(
+        (1..=MAX_BATCH_RUNS).contains(&lanes),
+        "1..=64 lanes per batch"
+    );
+    arena.reset(n, lanes);
+
+    // Corrupt every lane up front, exactly once per run, in lane order —
+    // the same once-per-run contract the scalar engine honours.
+    for (lane, adversary) in adversaries.iter_mut().enumerate() {
+        let set = adversary.corrupt(n, config.t, config.source);
+        assert_eq!(set.universe(), n, "adversary corrupted the wrong universe");
+        for p in set.iter() {
+            arena.faulty[p.index()] |= 1u64 << lane;
+        }
+        arena.fault_sets.push(set);
+        if adversary.has_edge_faults() {
+            return false;
+        }
+    }
+
+    let total_rounds = kernel.total_rounds();
+    kernel.reset(lanes);
+    let early = early_stopping_enabled();
+    let (p_one, p_zero, p_bot) = wire_payloads();
+    let lane_mask = |lane: usize| 1u64 << lane;
+    let all_lanes: u64 = if lanes == MAX_BATCH_RUNS {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    };
+    let mut active = all_lanes;
+    let src = config.source.index();
+
+    let mut round = 0usize;
+    while active != 0 && round < total_rounds {
+        round += 1;
+
+        for buf in [&mut arena.present, &mut arena.one, &mut arena.zero] {
+            buf.iter_mut().for_each(|w| *w = 0);
+        }
+        kernel.outgoing(round, &mut arena.present, &mut arena.one, &mut arena.zero);
+
+        // Accounting: honest bits on the wire (every king-family payload
+        // is one value of one bit, fanned out to n − 1 recipients) and
+        // the uniform per-slot local-op charge.
+        let charge = kernel.charge(round);
+        for j in 0..n {
+            let mut w = arena.present[j] & !arena.faulty[j] & active;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                arena.total_bits[lane] += (n as u64) - 1;
+            }
+        }
+        {
+            let mut w = active;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                arena.ops[lane] += charge;
+            }
+        }
+
+        // The rushing adversary: per active lane, materialize the view
+        // (interned payloads, honest and shadow tables split by that
+        // lane's fault set) and collect every faulty sender's payloads in
+        // the scalar call order — faulty senders ascending, recipients
+        // ascending, self skipped.
+        for buf in [&mut arena.net_one, &mut arena.net_zero] {
+            buf.iter_mut().for_each(|w| *w = 0);
+        }
+        {
+            let mut w = active;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let bit = lane_mask(lane);
+                for j in 0..n {
+                    let payload = if arena.present[j] & bit == 0 {
+                        None
+                    } else if arena.one[j] & bit != 0 {
+                        Some(p_one.clone())
+                    } else if arena.zero[j] & bit != 0 {
+                        Some(p_zero.clone())
+                    } else {
+                        Some(p_bot.clone())
+                    };
+                    if arena.faulty[j] & bit != 0 {
+                        arena.view_honest[j] = None;
+                        arena.view_shadow[j] = payload;
+                    } else {
+                        arena.view_honest[j] = payload;
+                        arena.view_shadow[j] = None;
+                    }
+                }
+                let view = AdversaryView {
+                    round,
+                    total_rounds,
+                    n,
+                    t: config.t,
+                    source: config.source,
+                    source_value: config.source_value,
+                    domain: config.domain,
+                    faulty: &arena.fault_sets[lane],
+                    honest_broadcast: &arena.view_honest,
+                    shadow_broadcast: &arena.view_shadow,
+                    sigs: None,
+                };
+                for f in arena.fault_sets[lane].iter() {
+                    for r in 0..n {
+                        if r == f.index() {
+                            continue;
+                        }
+                        let payload = adversaries[lane].payload(f, crate::ProcessId(r), &view);
+                        match payload.value_at(0) {
+                            Some(Value(1)) => arena.net_one[f.index() * n + r] |= bit,
+                            Some(Value(0)) => arena.net_zero[f.index() * n + r] |= bit,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        // Merge honest broadcasts into the delivered network: in lanes
+        // where a slot is correct its classified outgoing reaches every
+        // recipient unchanged; faulty lanes already carry the adversary's
+        // per-recipient rows.
+        for j in 0..n {
+            let honest_one = arena.one[j] & arena.present[j] & !arena.faulty[j];
+            let honest_zero = arena.zero[j] & arena.present[j] & !arena.faulty[j];
+            for i in 0..n {
+                if i == j {
+                    arena.net_one[j * n + i] = 0;
+                    arena.net_zero[j * n + i] = 0;
+                } else {
+                    arena.net_one[j * n + i] |= honest_one;
+                    arena.net_zero[j * n + i] |= honest_zero;
+                }
+            }
+        }
+
+        let net = BatchNet {
+            n,
+            one: &arena.net_one,
+            zero: &arena.net_zero,
+        };
+        kernel.deliver(round, &net, active);
+
+        if kernel.snapshot_round(round) && config.trace {
+            let current: Vec<u64> = (0..n).map(|i| kernel.current_one(i)).collect();
+            arena.snapshots.push(Snapshot {
+                round,
+                current,
+                active,
+            });
+        }
+
+        // Early stop: retire lanes in which every correct processor is
+        // ready. The source processor holds the input and is always
+        // ready; faulty slots are exempt per lane.
+        if early && round < total_rounds {
+            let mut stop = active;
+            for i in 0..n {
+                if i == src {
+                    continue;
+                }
+                stop &= kernel.ready(i) | arena.faulty[i];
+            }
+            let mut w = stop;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                arena.rounds_used[lane] = round;
+                arena.early_stopped[lane] = true;
+            }
+            active &= !stop;
+        }
+    }
+    {
+        let mut w = active;
+        while w != 0 {
+            let lane = w.trailing_zeros() as usize;
+            w &= w - 1;
+            arena.rounds_used[lane] = total_rounds;
+        }
+    }
+
+    // Finalize per lane: decisions, agreement, and the lock-in walk over
+    // the recorded snapshots — the same per-processor candidate scan the
+    // stability analysis performs on a scalar trace.
+    let decisions: Vec<u64> = (0..n).map(|i| kernel.decision_one(i)).collect();
+    for lane in 0..lanes {
+        let bit = lane_mask(lane);
+        let faulty = &arena.fault_sets[lane];
+        let mut agreement = true;
+        let mut seen: Option<bool> = None;
+        let mut lock_in = 0usize;
+        for i in 0..n {
+            if faulty.contains(crate::ProcessId(i)) {
+                continue;
+            }
+            let d = decisions[i] & bit != 0;
+            match seen {
+                None => seen = Some(d),
+                Some(prev) => agreement &= prev == d,
+            }
+            if config.trace {
+                let mut candidate: Option<usize> = None;
+                let mut any = false;
+                for snap in &arena.snapshots {
+                    if snap.active & bit == 0 {
+                        continue;
+                    }
+                    any = true;
+                    if (snap.current[i] & bit != 0) != d {
+                        candidate = None;
+                    } else if candidate.is_none() {
+                        candidate = Some(snap.round);
+                    }
+                }
+                if any {
+                    lock_in = lock_in.max(candidate.unwrap_or(arena.rounds_used[lane]));
+                }
+            }
+        }
+        arena.results[lane] = BatchRunResult {
+            agreement,
+            rounds_used: arena.rounds_used[lane],
+            early_stopped: arena.early_stopped[lane],
+            lock_in,
+            total_bits: arena.total_bits[lane],
+            max_local_ops: arena.ops[lane],
+        };
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_add_and_compare() {
+        let mut a = LaneCounts::default();
+        for _ in 0..11 {
+            a.add(0b01);
+        }
+        for _ in 0..7 {
+            a.add(0b10);
+        }
+        assert_eq!(a.lane(0), 11);
+        assert_eq!(a.lane(1), 7);
+        assert_eq!(a.ge(8), 0b01);
+        assert_eq!(a.ge(7), 0b11);
+        assert_eq!(a.ge(12) & 0b11, 0);
+
+        let mut b = LaneCounts::default();
+        for _ in 0..9 {
+            b.add(0b11);
+        }
+        // lane 0: 11 > 9, lane 1: 7 < 9.
+        assert_eq!(a.gt(&b) & 0b11, 0b01);
+        assert_eq!(b.gt(&a) & 0b11, 0b10);
+        assert_eq!(a.gt(&a), 0);
+    }
+
+    #[test]
+    fn lane_counts_ge_zero_is_universal() {
+        let c = LaneCounts::default();
+        assert_eq!(c.ge(0), !0);
+        assert_eq!(c.ge(1), 0);
+    }
+
+    #[test]
+    fn batch_toggle_round_trips() {
+        assert!(batch_runs_enabled());
+        set_batch_runs(false);
+        assert!(!batch_runs_enabled());
+        set_batch_runs(true);
+        assert!(batch_runs_enabled());
+    }
+}

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 mod adversary;
+pub mod batch;
 pub mod engine;
 mod id;
 mod metrics;
@@ -64,6 +65,10 @@ pub mod trace;
 mod value;
 
 pub use adversary::{Adversary, AdversaryView, NoFaults};
+pub use batch::{
+    batch_runs_enabled, run_batch, set_batch_runs, BatchArena, BatchKernel, BatchNet,
+    BatchRunResult, LaneCounts, MAX_BATCH_RUNS,
+};
 pub use engine::{
     early_stopping_enabled, instance_pooling_enabled, packed_broadcast_enabled, run, run_in,
     run_into, run_pooled, run_pooled_in, run_pooled_into, set_early_stopping, set_instance_pooling,

@@ -27,9 +27,12 @@
 //! pool (default: all hardware threads), `--no-early-stop` to run
 //! every execution for its full static schedule (by default the engine
 //! terminates a run once every correct processor is ready to decide —
-//! the paper's expedite behaviour), and `--no-instance-pool` to rebuild
+//! the paper's expedite behaviour), `--no-instance-pool` to rebuild
 //! protocol and adversary instances every run (the fingerprint
-//! cross-check escape hatch CI drives). Note `--no-early-stop` does not
+//! cross-check escape hatch CI drives), and `--no-batch` to disable the
+//! lock-step batch executor — the sweep engine's 64-runs-per-instruction
+//! fast path — in favour of the scalar run loop (another fingerprint
+//! cross-check escape hatch). Note `--no-early-stop` does not
 //! freeze *dynamic* specs (`dynamic-king`): their gear shifts are part
 //! of the schedule itself, not an engine observation. `serve` runs the long-lived sweep
 //! daemon (wire protocol `sg-serve/1`, see `sg_serve::wire`); `submit`
@@ -106,7 +109,8 @@ fn usage() -> ! {
          sg list\n\
          global: --jobs <N> sizes the sweep worker pool; --no-early-stop runs\n        \
          full fixed-length schedules; --no-instance-pool rebuilds protocol and\n        \
-         adversary instances every run"
+         adversary instances every run; --no-batch disables the lock-step\n        \
+         batch executor (64 runs per instruction) in favour of the scalar path"
     );
     exit(2);
 }
@@ -1132,6 +1136,9 @@ fn main() {
     }
     if toggles.iter().any(|t| t == "no-instance-pool") {
         shifting_gears::sim::set_instance_pooling(false);
+    }
+    if toggles.iter().any(|t| t == "no-batch") {
+        shifting_gears::sim::set_batch_runs(false);
     }
     match cmd.as_str() {
         "run" => cmd_run(&flags, &toggles),

@@ -1,0 +1,215 @@
+//! Batch-vs-scalar bit-identity: the lock-step batch executor is
+//! *unobservable* in sweep output.
+//!
+//! The sweep engine's batch layer (`sg_sim::run_batch` +
+//! `sg_core::KingBatchKernel`) executes up to 64 seeds of a cell in
+//! lock-step, one bit lane per run. Its contract is the same as every
+//! other engine fast path (`set_packed_broadcast`, instance pooling):
+//! toggling it changes wall time only, never a byte of the report. The
+//! property test below drives the nine protocol families through the
+//! named adversary suite at `f ∈ {0, 1, t}` and asserts the full
+//! [`SweepReport`] — every sample of every cell, and the pinned
+//! fingerprint derived from it — matches between `set_batch_runs(true)`
+//! and `set_batch_runs(false)`. Families without a batch kernel exercise
+//! the chunk-scheduling layer (grouped units must flatten back to seed
+//! order); `optimal-king` cells exercise the kernel itself, including
+//! early-stop retirement splitting the active mask mid-batch.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use shifting_gears::adversary::FaultSelection;
+use shifting_gears::analysis::{AdversaryFamily, SweepConfig, SweepPlan, SweepReport};
+use shifting_gears::core::AlgorithmSpec;
+use shifting_gears::sim::{set_batch_runs, set_early_stopping};
+
+/// Serializes the tests in this file: all of them drive the
+/// process-global `set_batch_runs` toggle, so running them concurrently
+/// would race the flag mid-sweep.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `plan` once with the batch executor and once without, restoring
+/// the default (on) afterwards, and returns both reports.
+///
+/// The caller must hold `TOGGLE_LOCK`.
+fn batched_and_scalar(plan: &SweepPlan, jobs: usize) -> (SweepReport, SweepReport) {
+    set_batch_runs(true);
+    let batched = plan.run_with_jobs(jobs);
+    set_batch_runs(false);
+    let scalar = plan.run_with_jobs(jobs);
+    set_batch_runs(true);
+    (batched, scalar)
+}
+
+/// The nine protocol families of the sweep surface, at parameters every
+/// resilience bound accepts for `(n, t) = (10, 2)`.
+fn spec(idx: usize) -> AlgorithmSpec {
+    match idx {
+        0 => AlgorithmSpec::PlainExponential,
+        1 => AlgorithmSpec::Exponential,
+        2 => AlgorithmSpec::AlgorithmA { b: 3 },
+        3 => AlgorithmSpec::AlgorithmB { b: 3 },
+        4 => AlgorithmSpec::AlgorithmC,
+        5 => AlgorithmSpec::Hybrid { b: 3 },
+        6 => AlgorithmSpec::PhaseKing,
+        7 => AlgorithmSpec::OptimalKing,
+        _ => AlgorithmSpec::DynamicKing { b: 3 },
+    }
+}
+
+/// The named adversary suite, parameterized by a fault selection — the
+/// same families `sg sweep --adversary` exposes, at the CLI's default
+/// shape parameters.
+fn family(idx: usize, sel: FaultSelection) -> AdversaryFamily {
+    match idx {
+        0 => AdversaryFamily::no_faults(),
+        1 => AdversaryFamily::random_liar(sel),
+        2 => AdversaryFamily::chain_revealer(sel, 2, 2),
+        3 => AdversaryFamily::crash(sel, 2),
+        4 => AdversaryFamily::silent(sel),
+        5 => AdversaryFamily::partition(sel, 1, 2, 3),
+        6 => AdversaryFamily::omission(sel, 2, 0),
+        7 => AdversaryFamily::equivocate(sel, 3, 1),
+        _ => AdversaryFamily::adaptive(sel, vec![2, 4]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-identity across the grid: family × adversary × fault budget.
+    /// `optimal-king` cells get 65 seeds so one lock-step chunk fills
+    /// completely and a second, partial chunk crosses the 64-lane
+    /// boundary; the scalar-fallback families get fewer (their identity
+    /// is scheduling-only, and the tree machines are costly per run).
+    #[test]
+    fn batch_and_scalar_reports_are_bit_identical(
+        spec_idx in 0usize..9,
+        adv_idx in 0usize..9,
+        f in 0usize..3,
+    ) {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (n, t) = (10, 2);
+        let budget = [0, 1, t][f];
+        let seeds = match spec(spec_idx) {
+            AlgorithmSpec::OptimalKing => 65,
+            AlgorithmSpec::PlainExponential | AlgorithmSpec::Exponential => 4,
+            _ => 8,
+        };
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(spec(spec_idx), n, t)],
+            vec![family(adv_idx, FaultSelection::without_source().limit(budget))],
+            seeds,
+        );
+        let (batched, scalar) = batched_and_scalar(&plan, 1);
+        prop_assert_eq!(&batched, &scalar);
+        prop_assert_eq!(batched.fingerprint(), scalar.fingerprint());
+    }
+}
+
+/// Early-stop divergence mid-batch: an `optimal-king` cell whose runs
+/// retire at different rounds (the probe histogram at this cell is
+/// `{3, 6, 9, 12}`), so the active mask shrinks lane by lane while the
+/// survivors keep executing. The retired lanes' state must stay frozen —
+/// any leak shows up as a sample mismatch against the scalar run.
+#[test]
+fn early_stop_divergence_splits_the_active_mask() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 10, 3)],
+        vec![AdversaryFamily::random_liar(FaultSelection::with_source())],
+        65,
+    );
+    let (batched, scalar) = batched_and_scalar(&plan, 1);
+    assert_eq!(batched, scalar);
+
+    // The cell must actually diverge — otherwise this test silently
+    // degrades to the uniform-retirement case the property test covers.
+    let distinct: std::collections::BTreeSet<u64> =
+        batched.cells[0].samples.iter().map(|s| s.rounds).collect();
+    assert!(
+        distinct.len() >= 2,
+        "cell retired uniformly (rounds {distinct:?}); pick a livelier cell"
+    );
+}
+
+/// With early stopping disabled, no lane ever retires mid-loop: every
+/// run survives to the schedule's end and takes the post-loop
+/// finalization path (`rounds_used = total_rounds`, not early-stopped).
+/// That path must also match the scalar executor bit for bit.
+#[test]
+fn fixed_length_batches_match_scalar_too() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 10, 3)],
+        vec![AdversaryFamily::random_liar(FaultSelection::with_source())],
+        65,
+    );
+    set_early_stopping(false);
+    let (batched, scalar) = batched_and_scalar(&plan, 1);
+    set_early_stopping(true);
+    assert_eq!(batched, scalar);
+    let total_rounds = 1 + 3 * (3 + 1); // optimal-king schedule at t = 3
+    assert!(
+        batched.cells[0]
+            .samples
+            .iter()
+            .all(|s| s.rounds == total_rounds && !s.early_stopped),
+        "fixed-length runs must fill the whole schedule"
+    );
+}
+
+/// `dynamic-king` shifts gears from fault evidence mid-run, so it has no
+/// lock-step kernel: every chunk must take the scalar fallback and still
+/// produce seed-ordered samples identical to the unbatched executor —
+/// across a 65-seed chunk boundary and at both worker counts.
+#[test]
+fn dynamic_king_gear_shifts_fall_back_identically() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = SweepPlan::new(
+        vec![SweepConfig::traced(
+            AlgorithmSpec::DynamicKing { b: 3 },
+            10,
+            2,
+        )],
+        vec![AdversaryFamily::random_liar(
+            FaultSelection::without_source().limit(2),
+        )],
+        65,
+    );
+    let (batched, scalar) = batched_and_scalar(&plan, 1);
+    assert_eq!(batched, scalar);
+
+    set_batch_runs(true);
+    let parallel = plan.run_with_jobs(8);
+    assert_eq!(parallel, scalar);
+}
+
+/// Worker count and batching compose: a mixed grid (kernel cell +
+/// fallback cell, two adversaries) produces one report for all four
+/// combinations of `--jobs {1, 8}` × batch on/off.
+#[test]
+fn jobs_and_batching_commute_on_a_mixed_grid() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 10, 3),
+            SweepConfig::traced(AlgorithmSpec::Hybrid { b: 3 }, 10, 3),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::with_source()),
+            AdversaryFamily::crash(FaultSelection::without_source().limit(3), 2),
+        ],
+        70,
+    );
+    set_batch_runs(true);
+    let batched_1 = plan.run_with_jobs(1);
+    let batched_8 = plan.run_with_jobs(8);
+    set_batch_runs(false);
+    let scalar_1 = plan.run_with_jobs(1);
+    let scalar_8 = plan.run_with_jobs(8);
+    set_batch_runs(true);
+    assert_eq!(batched_1, batched_8);
+    assert_eq!(batched_1, scalar_1);
+    assert_eq!(batched_1, scalar_8);
+}

@@ -228,6 +228,108 @@ fn record_then_replay_round_trips_through_the_cli() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Running `sg` with no subcommand prints the usage text and exits
+/// non-zero, and that text documents *every* public flag the binary
+/// parses — the help audit. A flag added to a subcommand without a
+/// usage() mention fails this list, which is kept in sync by hand with
+/// the `flags.get`/`parse_usize`/toggle lookups in `src/bin/sg.rs`.
+#[test]
+fn usage_documents_every_public_flag() {
+    let (ok, _, stderr) = sg(&[]);
+    assert!(!ok, "bare `sg` must exit non-zero");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    for flag in [
+        // run / plan / compose / gauntlet / stability
+        "--alg",
+        "--n",
+        "--t",
+        "--b",
+        "--adversary",
+        "--value",
+        "--seed",
+        "--source-faulty",
+        "--trace",
+        "--spec",
+        "--run",
+        // sweep grids (also accepted by submit)
+        "--seeds",
+        "--f",
+        "--base-seed",
+        "--split",
+        "--from",
+        "--to",
+        "--period",
+        "--phase",
+        "--start",
+        "--schedule",
+        "--trace-file",
+        "--expect-fingerprint",
+        // record / replay
+        "--out",
+        "--quiet",
+        // serve / submit / ping / hammer
+        "--port",
+        "--addr",
+        "--socket",
+        "--workers",
+        "--quantum",
+        "--max-jobs",
+        "--max-queued-runs",
+        "--conn-jobs",
+        "--write-queue",
+        "--send-buffer",
+        "--timeout",
+        "--deadline-ms",
+        "--retry-attempts",
+        "--shutdown",
+        "--timeout-ms",
+        "--attempts",
+        "--connections",
+        "--jobs-per-conn",
+        "--chaos",
+        // global engine toggles
+        "--jobs",
+        "--no-early-stop",
+        "--no-instance-pool",
+        "--no-batch",
+    ] {
+        assert!(stderr.contains(flag), "usage text is missing {flag}");
+    }
+}
+
+/// The `--no-batch` escape hatch must reproduce the batched sweep's
+/// fingerprint bit for bit — the CLI surface of the contract
+/// `tests/batch_identity.rs` pins at the library layer.
+#[test]
+fn sweep_no_batch_reproduces_the_fingerprint() {
+    let grid = [
+        "sweep",
+        "--alg",
+        "optimal-king",
+        "--n",
+        "7",
+        "--seeds",
+        "70",
+        "--adversary",
+        "random-liar",
+        "--jobs",
+        "1",
+    ];
+    let (ok, batched, stderr) = sg(&grid);
+    assert!(ok, "{batched}{stderr}");
+    let mut no_batch = grid.to_vec();
+    no_batch.push("--no-batch");
+    let (ok, scalar, stderr) = sg(&no_batch);
+    assert!(ok, "{scalar}{stderr}");
+    let fingerprint_of = |out: &str| {
+        out.lines()
+            .find(|l| l.contains("report fingerprint:"))
+            .map(str::to_string)
+            .expect("fingerprint line")
+    };
+    assert_eq!(fingerprint_of(&batched), fingerprint_of(&scalar));
+}
+
 #[test]
 fn sweep_accepts_the_widened_adversary_vocabulary() {
     for adversary in ["partition", "omission", "equivocate", "adaptive"] {
