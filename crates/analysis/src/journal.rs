@@ -1,0 +1,271 @@
+//! Journal-backed sweep execution: content addressing + the warm path.
+//!
+//! Every sweep cell is a pure function of its *coordinate* — spec, `n`,
+//! `t`, adversary family, seed stream, samples per cell — and of the
+//! *engine* that executes it. This module derives the two halves of the
+//! [`sg_journal`] address from those facts:
+//!
+//! * [`SweepPlan::cell_key`] fingerprints the coordinate's canonical
+//!   wire form (the same [`crate::wire`] encodings `sg-serve/1` and the
+//!   scenario format speak, so the address is stable across processes
+//!   and machines);
+//! * [`engine_epoch`] fingerprints the execution environment: the four
+//!   engine fast-path toggles and [`ENGINE_VERSION_TAG`]. Flip any
+//!   toggle — or land an engine change that bumps the tag — and every
+//!   lookup misses, which is the entire invalidation story.
+//!
+//! [`SweepPlan::run_with_journal`] is then the incremental executor:
+//! partition the grid into hits and misses, compute only the misses
+//! (through the *same* chunked parallel executor as a cold run, so the
+//! computed bytes are identical), append them, and splice the streams
+//! back in grid order. The merged [`SweepReport`] is bit-identical to a
+//! cold [`SweepPlan::run`] — same cells, same samples, same
+//! fingerprint.
+//!
+//! Cache discipline is the instance pool's "absent, never wrong": an
+//! undecodable payload, a shape mismatch, a closure-built family with no
+//! wire form — each demotes the cell to a miss with a structured
+//! warning. The journal can only ever save work, not change answers.
+
+use serde::{FromJson, ToJson};
+use sg_journal::{CellKey, EngineEpoch, Journal};
+
+use crate::sweep::{CellReport, Fingerprint, SweepPlan, SweepReport};
+
+/// Compiled-in engine version tag, mixed into every [`engine_epoch`].
+///
+/// Bump this whenever an engine or protocol change may alter sweep
+/// bytes (new kernel, changed tally rule, different accounting): the
+/// epoch moves, every journal entry written before the change misses,
+/// and `sg journal compact` reclaims the dead epoch.
+pub const ENGINE_VERSION_TAG: &str = "sg-engine/9";
+
+/// The engine epoch of this process right now: [`epoch_for`] over the
+/// live toggle set and [`ENGINE_VERSION_TAG`].
+pub fn engine_epoch() -> EngineEpoch {
+    epoch_for(
+        ENGINE_VERSION_TAG,
+        [
+            sg_sim::early_stopping_enabled(),
+            sg_sim::instance_pooling_enabled(),
+            sg_sim::batch_runs_enabled(),
+            sg_sim::packed_broadcast_enabled(),
+        ],
+    )
+}
+
+/// Fingerprints an engine configuration: `tag` plus the toggle set
+/// (early-stop, instance-pool, batch, packed-broadcast, in that order).
+/// Public so invalidation tests can enumerate neighbouring epochs.
+pub fn epoch_for(tag: &str, toggles: [bool; 4]) -> EngineEpoch {
+    let mut fp = Fingerprint::new();
+    fp.mix_bytes(tag.as_bytes());
+    for toggle in toggles {
+        fp.mix_u64(u64::from(toggle));
+    }
+    EngineEpoch(fp.value())
+}
+
+/// A journal-backed sweep's outcome: the merged report plus the
+/// hit/miss split that produced it.
+#[derive(Debug)]
+pub struct JournalSweep {
+    /// The merged report — bit-identical to a cold [`SweepPlan::run`].
+    pub report: SweepReport,
+    /// Cells streamed from the journal without recomputation.
+    pub hits: usize,
+    /// Cells computed (and appended) this run.
+    pub computed: usize,
+    /// Structured validation warnings (undecodable or mismatched cached
+    /// payloads that were demoted to misses). Load-time segment warnings
+    /// live on [`Journal::warnings`].
+    pub warnings: Vec<String>,
+}
+
+impl SweepPlan {
+    /// The content address of flat cell `cell`, or `None` when the
+    /// cell's adversary family was built from closures and has no wire
+    /// form — such cells are simply always computed.
+    ///
+    /// The key fingerprints the canonical JSON wire encodings of the
+    /// cell's [`SweepConfig`](crate::SweepConfig) (spec, `n`, `t`,
+    /// source value, trace flag) and adversary family, plus the cell's
+    /// first seed and the samples-per-cell count — everything that
+    /// determines the cell's bytes besides the engine itself, which
+    /// [`engine_epoch`] covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= cell_count()`.
+    pub fn cell_key(&self, cell: usize) -> Option<CellKey> {
+        let (ci, ai) = self.cell_coords(cell);
+        let family = self.adversaries[ai].to_json();
+        if matches!(family, serde::json::Value::Null) {
+            return None;
+        }
+        let mut fp = Fingerprint::new();
+        fp.mix_bytes(self.configs[ci].to_json().to_string().as_bytes());
+        // A non-JSON byte between the two encodings, so no config text
+        // can alias into a family text.
+        fp.mix_bytes(&[0xFF]);
+        fp.mix_bytes(family.to_string().as_bytes());
+        fp.mix_u64(self.seed_for(ci, ai, 0));
+        fp.mix_u64(self.seeds_per_cell);
+        Some(CellKey(fp.value()))
+    }
+
+    /// Looks flat cell `cell` up in `journal` under `epoch` and
+    /// validates the payload. `Ok(Some)` is a usable hit, `Ok(None)` a
+    /// plain miss (including keyless closure families), and `Err` a
+    /// *demoted* miss — a stored entry that decoded badly or described a
+    /// different cell, with the structured warning explaining why. The
+    /// caller recomputes on `Ok(None)` and `Err` alike; the error never
+    /// aborts anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= cell_count()`.
+    pub fn cached_cell(
+        &self,
+        journal: &Journal,
+        epoch: EngineEpoch,
+        cell: usize,
+    ) -> Result<Option<CellReport>, String> {
+        let Some(key) = self.cell_key(cell) else {
+            return Ok(None);
+        };
+        let Some(doc) = journal.get(key, epoch) else {
+            return Ok(None);
+        };
+        match CellReport::from_json(doc) {
+            Ok(cached) if self.cell_shape_matches(cell, &cached) => Ok(Some(cached)),
+            Ok(_) => Err(format!(
+                "journal: entry {key} decodes to a different cell shape — recomputing"
+            )),
+            Err(e) => Err(format!(
+                "journal: entry {key} payload undecodable ({e}) — recomputing"
+            )),
+        }
+    }
+
+    /// Executes the plan against `journal`: cells already stored under
+    /// the current [`engine_epoch`] are streamed back, only the rest are
+    /// computed (with `jobs` workers, through the cold path's exact
+    /// chunked executor) and appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is empty or any computed run violates
+    /// agreement, exactly like [`SweepPlan::run_with_jobs`].
+    pub fn run_with_journal(&self, journal: &mut Journal, jobs: usize) -> JournalSweep {
+        assert!(
+            !self.configs.is_empty() && !self.adversaries.is_empty() && self.seeds_per_cell > 0,
+            "empty sweep plan"
+        );
+        let epoch = engine_epoch();
+        let count = self.cell_count();
+        let keys: Vec<Option<CellKey>> = (0..count).map(|c| self.cell_key(c)).collect();
+        let mut slots: Vec<Option<CellReport>> = Vec::new();
+        slots.resize_with(count, || None);
+        let mut warnings = Vec::new();
+        for cell in 0..count {
+            match self.cached_cell(journal, epoch, cell) {
+                Ok(hit) => slots[cell] = hit,
+                Err(warning) => warnings.push(warning),
+            }
+        }
+        let misses: Vec<usize> = (0..count).filter(|&c| slots[c].is_none()).collect();
+        let computed = self.run_cells_with_jobs(&misses, jobs);
+        for (&cell, report) in misses.iter().zip(computed) {
+            if let Some(key) = keys[cell] {
+                if let Err(e) = journal.append(key, epoch, &report.to_json()) {
+                    warnings.push(format!("journal: append of entry {key} failed ({e})"));
+                }
+            }
+            slots[cell] = Some(report);
+        }
+        let cells: Vec<CellReport> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell is a hit or was computed"))
+            .collect();
+        JournalSweep {
+            report: SweepReport {
+                total_runs: self.total_runs(),
+                cells,
+            },
+            hits: count - misses.len(),
+            computed: misses.len(),
+            warnings,
+        }
+    }
+
+    /// Belt-and-braces validation of a cached payload against the
+    /// plan's expectation for `cell`. The address already covers all of
+    /// this; the check exists so that even a key collision (or a
+    /// hand-edited store) degrades to a recompute, never a wrong cell.
+    fn cell_shape_matches(&self, cell: usize, cached: &CellReport) -> bool {
+        let (ci, ai) = self.cell_coords(cell);
+        let config = &self.configs[ci];
+        cached.spec_name == config.spec.name()
+            && cached.n == config.n
+            && cached.t == config.t
+            && cached.adversary == self.adversaries[ai].name()
+            && cached.first_seed == self.seed_for(ci, ai, 0)
+            && cached.samples.len() as u64 == self.seeds_per_cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepConfig;
+    use crate::AdversaryFamily;
+    use sg_adversary::FaultSelection;
+    use sg_core::AlgorithmSpec;
+
+    fn plan(seeds: u64) -> SweepPlan {
+        SweepPlan::new(
+            vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+            vec![AdversaryFamily::random_liar(
+                FaultSelection::without_source(),
+            )],
+            seeds,
+        )
+    }
+
+    #[test]
+    fn keys_are_coordinate_pure() {
+        let a = plan(5);
+        let b = plan(5);
+        assert_eq!(a.cell_key(0), b.cell_key(0));
+        assert_ne!(a.cell_key(0), plan(6).cell_key(0), "seed count is keyed");
+        assert_ne!(
+            a.cell_key(0),
+            plan(5).with_base_seed(1).cell_key(0),
+            "seed stream is keyed"
+        );
+    }
+
+    #[test]
+    fn closure_families_have_no_key() {
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(AlgorithmSpec::OptimalKing, 7, 2)],
+            vec![AdversaryFamily::new("bespoke", |_seed| {
+                Box::new(sg_sim::NoFaults)
+            })],
+            3,
+        );
+        assert_eq!(plan.cell_key(0), None);
+    }
+
+    #[test]
+    fn epoch_moves_with_every_toggle_and_the_tag() {
+        let base = epoch_for(ENGINE_VERSION_TAG, [true; 4]);
+        assert_ne!(base, epoch_for("sg-engine/next", [true; 4]));
+        for flip in 0..4 {
+            let mut toggles = [true; 4];
+            toggles[flip] = false;
+            assert_ne!(base, epoch_for(ENGINE_VERSION_TAG, toggles));
+        }
+    }
+}

@@ -621,6 +621,23 @@ impl SweepPlan {
             !self.configs.is_empty() && !self.adversaries.is_empty() && self.seeds_per_cell > 0,
             "empty sweep plan"
         );
+        let cells: Vec<usize> = (0..self.cell_count()).collect();
+        SweepReport {
+            total_runs: self.total_runs(),
+            cells: self.run_cells_with_jobs(&cells, jobs),
+        }
+    }
+
+    /// Executes only the cells named by flat index, through the same
+    /// chunked parallel executor as [`SweepPlan::run_with_jobs`] (which
+    /// passes the full range), returning one report per entry in `cells`
+    /// order. This is what makes the journal-warm path bit-identical to
+    /// a cold run: a miss set of any shape still executes with the cold
+    /// path's exact unit chunking.
+    pub(crate) fn run_cells_with_jobs(&self, cells: &[usize], jobs: usize) -> Vec<CellReport> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
         let shared = Arc::new(self.clone());
         // With batching on, a unit is a lock-step group of up to 64
         // consecutive seeds of one cell; with `--no-batch` it degenerates
@@ -633,17 +650,14 @@ impl SweepPlan {
         } else {
             1
         };
-        let units: Vec<(usize, usize, u64, u64)> = self
-            .configs
+        let units: Vec<(usize, usize, u64, u64)> = cells
             .iter()
-            .enumerate()
-            .flat_map(|(ci, _)| {
+            .flat_map(|&cell| {
+                let (ci, ai) = self.cell_coords(cell);
                 let seeds = self.seeds_per_cell;
-                (0..self.adversaries.len()).flat_map(move |ai| {
-                    (0..seeds)
-                        .step_by(chunk as usize)
-                        .map(move |si0| (ci, ai, si0, chunk.min(seeds - si0)))
-                })
+                (0..seeds)
+                    .step_by(chunk as usize)
+                    .map(move |si0| (ci, ai, si0, chunk.min(seeds - si0)))
             })
             .collect();
         let samples: Vec<Sample> = sweep_map_with_jobs(units, jobs, move |(ci, ai, si0, len)| {
@@ -653,18 +667,14 @@ impl SweepPlan {
         .flatten()
         .collect();
 
-        let mut cells = Vec::with_capacity(self.cell_count());
+        let mut reports = Vec::with_capacity(cells.len());
         let mut chunks = samples.chunks_exact(self.seeds_per_cell as usize);
-        for ci in 0..self.configs.len() {
-            for ai in 0..self.adversaries.len() {
-                let cell_samples = chunks.next().expect("one chunk per cell").to_vec();
-                cells.push(self.cell_report(ci, ai, cell_samples));
-            }
+        for &cell in cells {
+            let (ci, ai) = self.cell_coords(cell);
+            let cell_samples = chunks.next().expect("one chunk per cell").to_vec();
+            reports.push(self.cell_report(ci, ai, cell_samples));
         }
-        SweepReport {
-            total_runs: self.total_runs(),
-            cells,
-        }
+        reports
     }
 
     /// Number of `(config, adversary)` cells in the grid.
@@ -722,7 +732,8 @@ impl SweepPlan {
     /// One executor unit: runs `si0 .. si0 + len` of cell `(ci, ai)`.
     ///
     /// When batching is on and the cell has a lock-step kernel (the king
-    /// family on an eligible configuration), the whole group executes in
+    /// and phase families on eligible configurations), the whole group
+    /// executes in
     /// one [`sg_sim::run_batch`] call; everything else — other specs,
     /// edge-faulting adversaries, `--no-batch` — falls back to the scalar
     /// executor run by run. Both paths emit identical samples.
@@ -743,13 +754,13 @@ impl SweepPlan {
     fn run_chunk_lockstep(&self, ci: usize, ai: usize, si0: u64, len: u64) -> Option<Vec<Sample>> {
         let config = &self.configs[ci];
         let run_config = config.run_config();
-        let mut kernel = sg_core::king_batch_kernel(&config.spec, &run_config)?;
+        let mut kernel = sg_core::batch_kernel(&config.spec, &run_config)?;
         let family = &self.adversaries[ai];
         let seeds: Vec<u64> = (0..len).map(|k| self.seed_for(ci, ai, si0 + k)).collect();
         BATCH_SCRATCH.with(|scratch| {
             let arena = &mut scratch.borrow_mut();
             with_batch_adversaries(family, &seeds, |adversaries| {
-                if !sg_sim::run_batch(arena, &run_config, &mut kernel, adversaries) {
+                if !sg_sim::run_batch(arena, &run_config, kernel.as_mut(), adversaries) {
                     return None;
                 }
                 let samples = arena
@@ -765,8 +776,8 @@ impl SweepPlan {
                         );
                         Sample {
                             lock_in: result.lock_in as u64,
-                            // The king family discovers no faults, so a
-                            // traced scalar run of it counts zero too.
+                            // The kernel families discover no faults, so
+                            // a traced scalar run counts zero too.
                             discoveries: 0,
                             total_bits: result.total_bits,
                             max_local_ops: result.max_local_ops,
@@ -979,6 +990,16 @@ impl Fingerprint {
     /// Folds one little-endian `u64` into the hash.
     pub fn mix_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds raw bytes into the hash — used by the journal's
+    /// content-address derivations, which fingerprint canonical wire
+    /// encodings rather than samples.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }

@@ -23,7 +23,8 @@
 //!                          # BENCH_rounds_vs_f.md artifact
 //! repro --exp sweep        # the benchmark sweep: phase-king n=16 t=5
 //!                          # Monte-Carlo, timed, machine-readable trajectory
-//!                          # in BENCH_sweep.json (schema sg-bench-sweep/5)
+//!                          # in BENCH_sweep.json (schema sg-bench-sweep/6,
+//!                          # including the cold→warm journal delta)
 //! repro --exp sweep --via-server
 //!                          # same grid, but submitted to an in-process
 //!                          # sg-serve daemon over localhost TCP — the
@@ -304,6 +305,45 @@ fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Opt
         runs_per_sec,
     );
 
+    // The cold→warm journal delta: a scratch journal is populated by one
+    // write-through pass (which must reproduce the cold fingerprint),
+    // then the identical grid is answered entirely from the store. The
+    // warm rate is the headline number of the incremental-sweep story,
+    // so it is committed alongside the cold rate.
+    let scratch = env::temp_dir().join(format!("sg-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let (cache_hit_cells, warm_runs_per_sec) = {
+        let mut journal = sg_journal::Journal::open(&scratch).expect("scratch journal");
+        let populate = plan.run_with_journal(&mut journal, jobs);
+        assert_eq!(
+            populate.report.fingerprint(),
+            fingerprint,
+            "journal populate pass diverged from the cold report"
+        );
+        let warm_started = Instant::now();
+        let warm = plan.run_with_journal(&mut journal, jobs);
+        let warm_wall = warm_started.elapsed();
+        assert_eq!(
+            warm.report.fingerprint(),
+            fingerprint,
+            "warm journal pass diverged from the cold report"
+        );
+        assert_eq!(
+            warm.hits,
+            plan.cell_count(),
+            "a repeat of the same grid must hit every cell"
+        );
+        let rate = report.total_runs as f64 / warm_wall.as_secs_f64().max(1e-9);
+        (warm.hits, rate)
+    };
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "BENCH-SWEEP — journal warm pass: {cache_hit_cells} of {} cell(s) from cache — {:.0} runs/sec ({:.1}x cold)",
+        plan.cell_count(),
+        warm_runs_per_sec,
+        warm_runs_per_sec / runs_per_sec.max(1e-9),
+    );
+
     let instance_pool = sg_sim::instance_pooling_enabled();
     let early_stopping = sg_sim::early_stopping_enabled();
     let batch_runs = sg_sim::batch_runs_enabled();
@@ -321,7 +361,7 @@ fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Opt
         early_stop_rate * 100.0,
     );
     let json = format!(
-        "{{\n  \"schema\": \"sg-bench-sweep/5\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
+        "{{\n  \"schema\": \"sg-bench-sweep/6\",\n  \"experiment\": \"phase-king-montecarlo\",\n  \
          \"spec\": \"optimal-king\",\n  \"n\": {n},\n  \"t\": {t},\n  \
          \"adversary\": \"random-liar\",\n  \"runs\": {},\n  \"jobs\": {jobs},\n  \
          \"instance_pool\": {instance_pool},\n  \"early_stopping\": {early_stopping},\n  \
@@ -329,6 +369,8 @@ fn experiment_sweep(scale: Scale, jobs: usize, transport: Transport, expect: Opt
          \"transport\": \"{}\",\n  \
          \"wall_ms\": {:.3},\n  \"runs_per_sec\": {:.3},\n  \"peak_rss_kb\": {},\n  \
          \"allocs_per_run\": {allocs_per_run},\n  \
+         \"journal\": \"on\",\n  \"cache_hit_cells\": {cache_hit_cells},\n  \
+         \"warm_runs_per_sec\": {warm_runs_per_sec:.3},\n  \
          \"mean_rounds\": {mean_rounds:.3},\n  \"early_stop_rate\": {early_stop_rate:.3},\n  \
          \"report_fingerprint\": \"{fingerprint:016x}\"\n}}\n",
         report.total_runs,

@@ -54,6 +54,7 @@ pub mod multiplex;
 pub mod multivalued;
 pub mod optimal_king;
 mod params;
+pub mod phase_batch;
 pub mod phase_king;
 pub mod phase_queen;
 pub mod plan;
@@ -73,6 +74,7 @@ pub use multiplex::{plurality, Multiplex};
 pub use multivalued::{multivalued_broadcast, run_multivalued};
 pub use optimal_king::{KingCore, OptimalKing, PhaseStep};
 pub use params::{isqrt, t_a, t_b, t_c, Params};
+pub use phase_batch::{batch_kernel, PhaseBatchKernel};
 pub use plan::{render_plan, RoundAction};
 pub use runner::{execute, execute_in, execute_into};
 pub use schedule::{choose_b, BChoice, HybridSchedule};

@@ -188,6 +188,9 @@ pub struct StreamedReport {
     pub fingerprint: u64,
     /// Server-measured wall time (accept → last cell), milliseconds.
     pub wall_ms: f64,
+    /// Cells the daemon answered from its result journal (0 unless it
+    /// runs with `--journal`).
+    pub cached_cells: usize,
 }
 
 /// One connection to a daemon.
@@ -519,6 +522,7 @@ impl Client {
                     total_runs,
                     report_fingerprint,
                     wall_ms,
+                    cached_cells,
                 } if job == handle.job => {
                     if cell_count != cells.len() || cell_count != handle.cells {
                         return Err(ServeError::Protocol(format!(
@@ -538,6 +542,7 @@ impl Client {
                         report: SweepReport { total_runs, cells },
                         fingerprint: fingerprint.value(),
                         wall_ms,
+                        cached_cells,
                     });
                 }
                 Frame::Cancelled {

@@ -65,7 +65,8 @@ use std::time::{Duration, Instant};
 
 use serde::json::Value as Json;
 use serde::{FromJson, ToJson};
-use sg_analysis::{CellReport, Fingerprint, SweepPlan};
+use sg_analysis::{engine_epoch, CellReport, Fingerprint, SweepPlan};
+use sg_journal::{CellKey, Journal};
 use sg_sim::RunArena;
 
 use crate::wire::{ErrorCode, Frame, RejectCode, Request};
@@ -93,7 +94,7 @@ impl Bind {
 }
 
 /// Daemon tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Worker threads (0 = one per hardware thread).
     pub workers: usize,
@@ -121,6 +122,13 @@ pub struct ServeOptions {
     /// makes "bounded per-connection write buffer" mean what it says:
     /// `write_queue` frames plus this many kernel bytes, total.
     pub send_buffer: usize,
+    /// Result-journal directory (`sg serve --journal`). When set, every
+    /// submit is first resolved against the journal: cells already
+    /// stored under the current engine epoch are streamed back instantly
+    /// (in grid order, through the same reorder buffer as computed
+    /// cells) and only the delta is scheduled; computed cells are
+    /// appended write-through. `None` (the default) disables caching.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -133,6 +141,7 @@ impl Default for ServeOptions {
             max_jobs_per_conn: 16,
             write_queue: 256,
             send_buffer: 256 * 1024,
+            journal: None,
         }
     }
 }
@@ -205,6 +214,14 @@ struct Job {
     cancel: AtomicBool,
     core: Mutex<JobCore>,
     events: Sender<ConnEvent>,
+    /// Per-cell journal addresses for write-through appends; empty when
+    /// the daemon runs without a journal (`None` marks closure-family
+    /// cells, which have no wire form to address).
+    journal_keys: Vec<Option<CellKey>>,
+    /// Per-cell journal-hit mask; empty without a journal. Hit cells
+    /// were streamed by the connection thread at accept time and are
+    /// never claimed by workers.
+    cached: Vec<bool>,
     /// Back-reference for admission bookkeeping at terminal time (weak:
     /// `Shared` owns the queue that owns jobs).
     shared: Weak<Shared>,
@@ -213,6 +230,15 @@ struct Job {
 impl Job {
     fn cell_count(&self) -> usize {
         self.plan.cell_count()
+    }
+
+    /// The first claimable (non-cached) cell index at or after `from`;
+    /// `cell_count()` when none remain.
+    fn next_unclaimed(&self, mut from: usize) -> usize {
+        while self.cached.get(from).copied().unwrap_or(false) {
+            from += 1;
+        }
+        from
     }
 
     /// Whether the job's deadline (if any) has passed. Checked at the
@@ -288,6 +314,9 @@ struct Shared {
     conns: Mutex<HashMap<u64, Sender<ConnEvent>>>,
     /// Unblocks the accept loop once `stop` is up (self-connect).
     poke: Arc<dyn Fn() + Send + Sync>,
+    /// The daemon's result journal (`ServeOptions::journal`): submit
+    /// lookups and worker write-through both serialize on this lock.
+    journal: Option<Mutex<Journal>>,
     options: ServeOptions,
 }
 
@@ -612,6 +641,12 @@ pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
         w => w,
     };
     let poke = listener.poke_fn();
+    let journal = match &options.journal {
+        None => None,
+        Some(dir) => Some(Mutex::new(
+            Journal::open(dir).map_err(|e| io::Error::other(e.to_string()))?,
+        )),
+    };
     let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -623,6 +658,7 @@ pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
         next_conn: AtomicU64::new(1),
         conns: Mutex::new(HashMap::new()),
         poke,
+        journal,
         options,
     });
 
@@ -684,6 +720,9 @@ fn worker_loop(shared: &Shared) {
         // can claim its other cells (and other jobs stay interleaved).
         let claimed = {
             let mut core = job.core.lock().expect("job core");
+            // Journal hits were streamed at accept time; claims hop
+            // over them so workers only ever see the delta.
+            core.next_cell = job.next_unclaimed(core.next_cell);
             if core.cancelled || core.next_cell >= job.cell_count() {
                 None
             } else if job.expired() {
@@ -698,7 +737,7 @@ fn worker_loop(shared: &Shared) {
                 None
             } else {
                 let index = core.next_cell;
-                core.next_cell += 1;
+                core.next_cell = job.next_unclaimed(index + 1);
                 core.outstanding += 1;
                 Some((index, core.next_cell < job.cell_count()))
             }
@@ -727,6 +766,17 @@ fn worker_loop(shared: &Shared) {
 
         match outcome {
             Ok(CellRun::Done(cell)) => {
+                // Write-through before the bookkeeping lock: the cell is
+                // final either way, and a failed append only costs the
+                // next submit a recompute ("absent, never wrong").
+                if let Some(journal) = &shared.journal {
+                    if let Some(&Some(key)) = job.journal_keys.get(index) {
+                        let mut journal = journal.lock().expect("journal");
+                        if let Err(e) = journal.append(key, engine_epoch(), &cell.to_json()) {
+                            eprintln!("sg-serve: journal append failed: {e}");
+                        }
+                    }
+                }
                 let mut core = job.core.lock().expect("job core");
                 core.outstanding -= 1;
                 core.done += 1;
@@ -800,12 +850,47 @@ struct StreamState {
     job: Arc<Job>,
     started: Instant,
     /// Completed cells not yet emittable (a lower index is missing).
+    /// Journal hits are parked here at accept time, so cached and
+    /// computed cells leave through one reorder buffer, in grid order.
     pending: BTreeMap<usize, Box<CellReport>>,
     /// Next grid index to emit.
     next_emit: usize,
     /// Cell frames written so far.
     emitted: usize,
+    /// Cells answered from the journal (for the summary frame).
+    cached: usize,
     fingerprint: Fingerprint,
+}
+
+impl StreamState {
+    /// Emits every consecutively-ready pending cell, in grid order,
+    /// folding each into the running fingerprint.
+    fn emit_ready(&mut self, id: u64, sink: &FrameSink) -> Result<(), ConnExit> {
+        while let Some(cell) = self.pending.remove(&self.next_emit) {
+            self.fingerprint.mix_cell(&cell);
+            let index = self.next_emit;
+            self.next_emit += 1;
+            self.emitted += 1;
+            sink.send(&Frame::Cell {
+                job: id,
+                index,
+                cell,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The job's terminal summary frame.
+    fn summary(&self, id: u64) -> Frame {
+        Frame::Summary {
+            job: id,
+            cells: self.emitted,
+            total_runs: self.job.plan.total_runs(),
+            report_fingerprint: self.fingerprint.hex(),
+            wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            cached_cells: self.cached,
+        }
+    }
 }
 
 /// Validates a submitted plan before it reaches the worker pool, so
@@ -1075,6 +1160,26 @@ fn connection_events(
                 }
                 let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
                 let cells = plan.cell_count();
+                // Resolve the plan against the journal before any worker
+                // sees it: hits stream below, only the delta is queued.
+                let mut journal_keys = Vec::new();
+                let mut hits: Vec<Option<Box<CellReport>>> = Vec::new();
+                if let Some(journal) = &shared.journal {
+                    let journal = journal.lock().expect("journal");
+                    let epoch = engine_epoch();
+                    for cell in 0..cells {
+                        journal_keys.push(plan.cell_key(cell));
+                        hits.push(match plan.cached_cell(&journal, epoch, cell) {
+                            Ok(hit) => hit.map(Box::new),
+                            Err(warning) => {
+                                eprintln!("sg-serve: {warning}");
+                                None
+                            }
+                        });
+                    }
+                }
+                let cached: Vec<bool> = hits.iter().map(Option::is_some).collect();
+                let cached_count = hits.iter().flatten().count();
                 let job = Arc::new(Job {
                     id,
                     plan,
@@ -1084,12 +1189,14 @@ fn connection_events(
                     core: Mutex::new(JobCore {
                         next_cell: 0,
                         outstanding: 0,
-                        done: 0,
+                        done: cached_count,
                         cancelled: false,
                         deadline_hit: false,
                         terminal_sent: false,
                     }),
                     events: tx.clone(),
+                    journal_keys,
+                    cached,
                     shared: Arc::downgrade(shared),
                 });
                 sink.send(&Frame::Accepted {
@@ -1097,18 +1204,36 @@ fn connection_events(
                     cells,
                     total_runs,
                 })?;
-                streams.insert(
-                    id,
-                    StreamState {
-                        job: Arc::clone(&job),
-                        started: Instant::now(),
-                        pending: BTreeMap::new(),
-                        next_emit: 0,
-                        emitted: 0,
-                        fingerprint: Fingerprint::new(),
-                    },
-                );
-                shared.enqueue(job);
+                let mut state = StreamState {
+                    job: Arc::clone(&job),
+                    started: Instant::now(),
+                    pending: BTreeMap::new(),
+                    next_emit: 0,
+                    emitted: 0,
+                    cached: cached_count,
+                    fingerprint: Fingerprint::new(),
+                };
+                for (index, hit) in hits.into_iter().enumerate() {
+                    if let Some(cell) = hit {
+                        state.pending.insert(index, cell);
+                    }
+                }
+                state.emit_ready(id, sink)?;
+                if cached_count == cells {
+                    // Fully warm: no worker will ever touch this job, so
+                    // the connection thread owns its terminal frame.
+                    // Release before the summary send: both orders put
+                    // the summary ahead of any drain-completion `bye`
+                    // (frames leave through this thread's sink in call
+                    // order), but this one cannot leak the admission
+                    // budget if the send fails.
+                    job.core.lock().expect("job core").terminal_sent = true;
+                    shared.release(total_runs);
+                    sink.send(&state.summary(id))?;
+                } else {
+                    streams.insert(id, state);
+                    shared.enqueue(job);
+                }
             }
             ConnEvent::Request(Ok(Request::Cancel { job })) => match streams.get(&job) {
                 Some(state) => state.job.cancel(),
@@ -1135,26 +1260,10 @@ fn connection_events(
                 match event {
                     JobEvent::Cell { index, cell, last } => {
                         state.pending.insert(index, cell);
-                        while let Some(cell) = state.pending.remove(&state.next_emit) {
-                            state.fingerprint.mix_cell(&cell);
-                            let index = state.next_emit;
-                            state.next_emit += 1;
-                            state.emitted += 1;
-                            sink.send(&Frame::Cell {
-                                job: id,
-                                index,
-                                cell,
-                            })?;
-                        }
+                        state.emit_ready(id, sink)?;
                         if last {
                             debug_assert!(state.pending.is_empty());
-                            let summary = Frame::Summary {
-                                job: id,
-                                cells: state.emitted,
-                                total_runs: state.job.plan.total_runs(),
-                                report_fingerprint: state.fingerprint.hex(),
-                                wall_ms: state.started.elapsed().as_secs_f64() * 1e3,
-                            };
+                            let summary = state.summary(id);
                             sink.send(&summary)?;
                             streams.remove(&id);
                         }

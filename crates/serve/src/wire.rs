@@ -2,8 +2,8 @@
 //!
 //! See `docs/WIRE.md` at the repository root for the consolidated
 //! catalogue of every schema the repo speaks (`sg-serve/1`,
-//! `sg-trace/1`, `sg-scenario/1`, `sg-bench-sweep/5`,
-//! `sg-serve-load/1`) and their compatibility notes.
+//! `sg-trace/1`, `sg-scenario/1`, `sg-bench-sweep/6`,
+//! `sg-serve-load/1`, `sg-journal/1`) and their compatibility notes.
 //!
 //! One connection carries a sequence of client→server [`Request`] lines
 //! and server→client [`Frame`] lines, each a single compact JSON object
@@ -29,7 +29,7 @@
 //! {"frame":"accepted","job":7,"cells":4,"total_runs":400}
 //! {"frame":"cell","job":7,"index":0,"cell":{…}}          one per cell, in grid order
 //! {"frame":"summary","job":7,"cells":4,"total_runs":400,
-//!  "report_fingerprint":"40c18433ac711905","wall_ms":95.2}
+//!  "report_fingerprint":"40c18433ac711905","wall_ms":95.2,"cached_cells":0}
 //! {"frame":"cancelled","job":7,"cells_streamed":1}
 //! {"frame":"rejected","code":"saturated","detail":"…","retry_after_ms":40}
 //! {"frame":"rejected","code":"draining","detail":"…"}
@@ -45,7 +45,11 @@
 //! their job id. The summary's `report_fingerprint` is
 //! [`sg_analysis::Fingerprint`] over every sample in grid order —
 //! bit-identical to what `SweepPlan::run` would report for the same
-//! grid.
+//! grid. `cached_cells` counts the cells a `--journal` daemon answered
+//! from its result journal instead of recomputing; cell frames do not
+//! distinguish cached from computed cells (they are bit-identical by
+//! contract), and decoders treat an absent field as 0 for pre-journal
+//! daemons.
 //!
 //! # Backpressure and degradation
 //!
@@ -279,6 +283,10 @@ pub enum Frame {
         report_fingerprint: String,
         /// Wall time from accept to last cell, in milliseconds.
         wall_ms: f64,
+        /// Cells answered from the daemon's result journal instead of
+        /// being recomputed (0 when the daemon runs without `--journal`;
+        /// absent on the wire from pre-journal daemons, decoded as 0).
+        cached_cells: usize,
     },
     /// Terminal frame of a cancelled job.
     Cancelled {
@@ -345,6 +353,7 @@ impl ToJson for Frame {
                 total_runs,
                 report_fingerprint,
                 wall_ms,
+                cached_cells,
             } => {
                 fields.push(("frame".to_string(), Json::from("summary")));
                 fields.push(("job".to_string(), Json::from(*job)));
@@ -355,6 +364,7 @@ impl ToJson for Frame {
                     Json::from(report_fingerprint.as_str()),
                 ));
                 fields.push(("wall_ms".to_string(), Json::Num(*wall_ms)));
+                fields.push(("cached_cells".to_string(), Json::from(*cached_cells)));
             }
             Frame::Cancelled {
                 job,
@@ -433,6 +443,12 @@ impl FromJson for Frame {
                     .need("wall_ms")?
                     .as_f64()
                     .ok_or_else(|| JsonError::msg("'wall_ms' must be a number"))?,
+                cached_cells: match v.get("cached_cells") {
+                    None => 0,
+                    Some(c) => c.as_usize().ok_or_else(|| {
+                        JsonError::msg("'cached_cells' must be a non-negative integer")
+                    })?,
+                },
             },
             "cancelled" => Frame::Cancelled {
                 job: job("job")?,
@@ -551,6 +567,7 @@ mod tests {
                 total_runs: 400,
                 report_fingerprint: "40c18433ac711905".to_string(),
                 wall_ms: 95.25,
+                cached_cells: 3,
             },
             Frame::Cancelled {
                 job: 1,
@@ -589,6 +606,18 @@ mod tests {
             let back = Frame::from_json(&Json::parse(&line).unwrap()).unwrap();
             assert_eq!(back, frame, "through {line}");
         }
+    }
+
+    #[test]
+    fn pre_journal_summaries_decode_with_zero_cached_cells() {
+        let line = "{\"frame\":\"summary\",\"job\":7,\"cells\":4,\"total_runs\":400,\
+                    \"report_fingerprint\":\"40c18433ac711905\",\"wall_ms\":95.2}";
+        let Frame::Summary { cached_cells, .. } =
+            Frame::from_json(&Json::parse(line).unwrap()).unwrap()
+        else {
+            panic!("not a summary");
+        };
+        assert_eq!(cached_cells, 0);
     }
 
     #[test]

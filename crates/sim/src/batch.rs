@@ -121,6 +121,15 @@ impl LaneCounts {
         gt
     }
 
+    /// Adopts `new`'s counts in lanes set in `active`, freezing the rest
+    /// — the [`BatchKernel`] state-commit rule lifted to counters, for
+    /// kernels that carry a tally across rounds.
+    pub fn commit(&mut self, new: &LaneCounts, active: u64) {
+        for (old, new) in self.planes.iter_mut().zip(new.planes.iter()) {
+            *old = (new & active) | (*old & !active);
+        }
+    }
+
     /// The count in one lane (test/debug helper).
     pub fn lane(&self, lane: usize) -> usize {
         let mut c = 0usize;

@@ -8,15 +8,16 @@
 //! sg gauntlet --alg optimal-king --n 10 [--t 3] [--b 3]
 //! sg stability --alg hybrid --n 16 [--b 3] [--seed 7]
 //! sg sweep --alg phase-king --n 16 [--t 5] [--seeds 100] [--adversary random-liar]
-//!          [--expect-fingerprint <hex>]
+//!          [--expect-fingerprint <hex>] [--journal <dir>]
 //! sg record --alg optimal-king --n 7 --adversary equivocate [--seed 3] [--out scenario.json]
 //! sg replay tests/corpus/*.json [--quiet]
 //! sg serve [--port 7411 | --addr 127.0.0.1:7411 | --socket /path] [--workers N]
 //!          [--max-jobs N] [--max-queued-runs N] [--conn-jobs N] [--write-queue N]
-//!          [--send-buffer <bytes>]
+//!          [--send-buffer <bytes>] [--journal <dir>]
 //! sg submit [--addr …] --alg optimal-king --n 16 [--t 5] [--seeds 100]
 //!           [--deadline-ms <ms>] [--retry-attempts <k>]
-//!           [--expect-fingerprint <hex>] [--shutdown]
+//!           [--expect-fingerprint <hex>] [--journal <dir>] [--shutdown]
+//! sg journal stat|compact <dir>
 //! sg ping [--addr …] [--timeout-ms <ms>] [--attempts <k>]
 //! sg hammer [--connections N] [--jobs-per-conn K] [--seeds S] [--chaos gentle|hostile]
 //! sg bounds --n 31
@@ -47,6 +48,16 @@
 //! JSON artifact; `replay` re-executes such artifacts and fails on any
 //! verdict drift — CI's scenario-corpus job runs it over
 //! `tests/corpus/`.
+//!
+//! `--journal <dir>` plugs the content-addressed result journal
+//! (`sg-journal/1`, see `sg_journal`) into all three execution paths:
+//! `sweep` runs incrementally (cells already stored under the current
+//! engine epoch are read back, only the delta is computed and
+//! appended), `serve` streams cached cells instantly and schedules only
+//! the delta, and `submit` writes streamed cells through to a local
+//! journal. Warm or cold, the report is bit-identical — a journal can
+//! only save work, never change answers — and `sg journal
+//! stat|compact` inspects or rewrites the store.
 //!
 //! The daemon runs under admission control (`--max-jobs`,
 //! `--max-queued-runs`, per-connection `--conn-jobs`, slow-reader
@@ -88,18 +99,19 @@ fn usage() -> ! {
          [--f <k>] [--source-faulty] [--base-seed <s>]\n           \
          [--split <k>] [--from <r>] [--to <r>] [--period <k>] [--phase <k>]\n           \
          [--start <r>] [--schedule <r,r,..>] [--trace-file <path>]\n           \
-         [--expect-fingerprint <hex>]\n  \
+         [--expect-fingerprint <hex>] [--journal <dir>]\n  \
          sg record --alg <name> --n <n> [--t <t>] [--b <b>] [--adversary <name>]\n           \
          [--value <v>] [--seed <s>] [--source-faulty] [--out <path>]\n  \
          sg replay <scenario.json>.. [--quiet]\n  \
          sg serve [--port <p> | --addr <host:port> | --socket <path>]\n           \
          [--workers <N>] [--quantum <runs>] [--max-jobs <N>]\n           \
          [--max-queued-runs <N>] [--conn-jobs <N>] [--write-queue <N>]\n           \
-         [--send-buffer <bytes>]\n  \
+         [--send-buffer <bytes>] [--journal <dir>]\n  \
          sg submit [--addr <host:port> | --socket <path>] [--timeout <secs>]\n           \
          <sweep grid flags> [--deadline-ms <ms>] [--retry-attempts <k>]\n           \
-         [--expect-fingerprint <hex>] [--shutdown]\n           \
+         [--expect-fingerprint <hex>] [--journal <dir>] [--shutdown]\n           \
          (exit 3 = saturated, 4 = draining, 5 = deadline-exceeded)\n  \
+         sg journal stat|compact <dir>\n  \
          sg ping [--addr <host:port> | --socket <path>]\n           \
          [--timeout-ms <ms>] [--attempts <k>]\n  \
          sg hammer [--connections <N>] [--jobs-per-conn <K>] [--seeds <S>]\n           \
@@ -709,10 +721,37 @@ fn check_expected_fingerprint(flags: &HashMap<String, String>, actual: u64) {
     }
 }
 
+/// Opens the result journal at `path`, exiting with the structured
+/// error (locked by a live writer, unreadable directory, …) on failure.
+fn open_journal(path: &str) -> shifting_gears::journal::Journal {
+    match shifting_gears::journal::Journal::open(path) {
+        Ok(journal) => {
+            for warning in journal.warnings() {
+                eprintln!("{warning}");
+            }
+            journal
+        }
+        Err(e) => {
+            eprintln!("cannot open journal '{path}': {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
     let plan = sweep_plan_from_flags(flags, toggles);
     let started = std::time::Instant::now();
-    let report = plan.run();
+    let (report, cached) = match flags.get("journal") {
+        None => (plan.run(), None),
+        Some(path) => {
+            let mut journal = open_journal(path);
+            let warm = plan.run_with_journal(&mut journal, shifting_gears::analysis::sweep::jobs());
+            for warning in &warm.warnings {
+                eprintln!("{warning}");
+            }
+            (warm.report, Some((warm.hits, warm.computed)))
+        }
+    };
     let wall = started.elapsed();
     print!("{}", report.render());
     println!(
@@ -722,6 +761,12 @@ fn cmd_sweep(flags: &HashMap<String, String>, toggles: &[String]) {
         shifting_gears::analysis::sweep::jobs(),
         report.total_runs as f64 / wall.as_secs_f64().max(1e-9),
     );
+    if let Some((hits, computed)) = cached {
+        println!(
+            "journal: {hits} cell(s) cached, {computed} computed (epoch {})",
+            shifting_gears::analysis::engine_epoch()
+        );
+    }
     println!("report fingerprint: {}", report.fingerprint_hex());
     check_expected_fingerprint(flags, report.fingerprint());
 }
@@ -922,6 +967,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         max_jobs_per_conn: parse_usize(flags, "conn-jobs").unwrap_or(defaults.max_jobs_per_conn),
         write_queue: parse_usize(flags, "write-queue").unwrap_or(defaults.write_queue),
         send_buffer: parse_usize(flags, "send-buffer").unwrap_or(defaults.send_buffer),
+        journal: flags.get("journal").map(std::path::PathBuf::from),
     };
     let handle = match serve(&bind, options) {
         Ok(handle) => handle,
@@ -1008,7 +1054,24 @@ fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
         "job {} accepted: {} cell(s), {} runs",
         handle.job, handle.cells, handle.total_runs
     );
-    let streamed = match client.collect(handle, |_, cell| print!("{}", cell.render_line())) {
+    // `--journal` makes the client write-through: every streamed cell is
+    // appended to a local journal under this process's engine epoch, so
+    // a later `sg sweep --journal` (or a journal-backed daemon fed the
+    // same directory) starts warm. Sound because the only toggle that
+    // changes sweep bytes (`--no-early-stop`) is rejected above — the
+    // other engine toggles are identity-preserving by contract.
+    let mut journal = flags.get("journal").map(|path| open_journal(path));
+    let epoch = shifting_gears::analysis::engine_epoch();
+    let streamed = match client.collect(handle, |index, cell| {
+        print!("{}", cell.render_line());
+        if let Some(journal) = journal.as_mut() {
+            if let Some(key) = plan.cell_key(index) {
+                if let Err(e) = journal.append(key, epoch, &cell.to_json()) {
+                    eprintln!("journal append failed: {e}");
+                }
+            }
+        }
+    }) {
         Ok(streamed) => streamed,
         Err(ServeError::Cancelled {
             job,
@@ -1036,7 +1099,59 @@ fn cmd_submit(flags: &HashMap<String, String>, toggles: &[String]) {
         "job {} complete: {} runs in {:.1} ms (server wall) — report fingerprint: {:016x}",
         streamed.job, streamed.report.total_runs, streamed.wall_ms, streamed.fingerprint
     );
+    if streamed.cached_cells > 0 {
+        println!(
+            "daemon journal: {} of {} cell(s) served from cache",
+            streamed.cached_cells,
+            streamed.report.cells.len()
+        );
+    }
     check_expected_fingerprint(flags, streamed.fingerprint);
+}
+
+/// `sg journal stat|compact <dir>`: inspect or compact a result journal.
+fn cmd_journal(args: &[String]) {
+    let (Some(op), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("journal needs an operation and a directory: sg journal stat|compact <dir>");
+        usage();
+    };
+    let mut journal = open_journal(path);
+    match op.as_str() {
+        "stat" => {
+            let stats = match journal.stat() {
+                Ok(stats) => stats,
+                Err(e) => {
+                    eprintln!("cannot stat '{path}': {e}");
+                    exit(1);
+                }
+            };
+            println!("journal {path} ({}):", shifting_gears::journal::SCHEMA);
+            println!("  segments      : {}", stats.segments);
+            println!("  live entries  : {}", stats.entries);
+            println!("  engine epochs : {}", stats.epochs);
+            println!("  superseded    : {}", stats.superseded);
+            println!("  corrupt lines : {}", stats.corrupt_lines);
+            println!("  bytes on disk : {}", stats.bytes);
+            println!(
+                "  this process  : epoch {}",
+                shifting_gears::analysis::engine_epoch()
+            );
+        }
+        "compact" => match journal.compact() {
+            Ok(report) => println!(
+                "compacted {path}: {} segment(s) removed, {} entries kept, {} line(s) dropped",
+                report.segments_removed, report.entries_kept, report.lines_dropped
+            ),
+            Err(e) => {
+                eprintln!("cannot compact '{path}': {e}");
+                exit(1);
+            }
+        },
+        other => {
+            eprintln!("unknown journal operation '{other}' (stat|compact)");
+            usage();
+        }
+    }
 }
 
 fn cmd_ping(flags: &HashMap<String, String>) {
@@ -1122,9 +1237,14 @@ fn cmd_hammer(flags: &HashMap<String, String>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    // `replay` takes positional file operands, which parse_flags rejects.
+    // `replay` and `journal` take positional operands, which
+    // parse_flags rejects.
     if cmd == "replay" {
         cmd_replay(&args[1..]);
+        return;
+    }
+    if cmd == "journal" {
+        cmd_journal(&args[1..]);
         return;
     }
     let (flags, toggles) = parse_flags(&args[1..]);

@@ -16,7 +16,9 @@
 //! * [`analysis`] — the paper's closed-form bounds and the experiment
 //!   harness used to regenerate every table and figure;
 //! * [`serve`] — the long-lived sweep service (`sg serve`/`sg submit`,
-//!   wire protocol `sg-serve/1`).
+//!   wire protocol `sg-serve/1`);
+//! * [`journal`] — the content-addressed result journal (`sg-journal/1`)
+//!   behind `--journal` incremental sweeps.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,5 +27,6 @@ pub use sg_adversary as adversary;
 pub use sg_analysis as analysis;
 pub use sg_core as core;
 pub use sg_eigtree as eigtree;
+pub use sg_journal as journal;
 pub use sg_serve as serve;
 pub use sg_sim as sim;

@@ -41,8 +41,9 @@ fn batched_and_scalar(plan: &SweepPlan, jobs: usize) -> (SweepReport, SweepRepor
     (batched, scalar)
 }
 
-/// The nine protocol families of the sweep surface, at parameters every
-/// resilience bound accepts for `(n, t) = (10, 2)`.
+/// The ten protocol families of the sweep surface. Every resilience
+/// bound accepts `(n, t) = (10, 2)` except the hybrid's, which pins
+/// `t = t_A(10) = 3` (the property test adjusts).
 fn spec(idx: usize) -> AlgorithmSpec {
     match idx {
         0 => AlgorithmSpec::PlainExponential,
@@ -53,6 +54,7 @@ fn spec(idx: usize) -> AlgorithmSpec {
         5 => AlgorithmSpec::Hybrid { b: 3 },
         6 => AlgorithmSpec::PhaseKing,
         7 => AlgorithmSpec::OptimalKing,
+        8 => AlgorithmSpec::PhaseQueen,
         _ => AlgorithmSpec::DynamicKing { b: 3 },
     }
 }
@@ -78,21 +80,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Bit-identity across the grid: family × adversary × fault budget.
-    /// `optimal-king` cells get 65 seeds so one lock-step chunk fills
-    /// completely and a second, partial chunk crosses the 64-lane
-    /// boundary; the scalar-fallback families get fewer (their identity
-    /// is scheduling-only, and the tree machines are costly per run).
+    /// Cells with a lock-step kernel (`optimal-king`, `phase-king`,
+    /// `phase-queen`) get 65 seeds so one chunk fills completely and a
+    /// second, partial chunk crosses the 64-lane boundary; the
+    /// scalar-fallback families get fewer (their identity is
+    /// scheduling-only, and the tree machines are costly per run).
     #[test]
     fn batch_and_scalar_reports_are_bit_identical(
-        spec_idx in 0usize..9,
+        spec_idx in 0usize..10,
         adv_idx in 0usize..9,
         f in 0usize..3,
     ) {
         let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let (n, t) = (10, 2);
+        let n = 10;
+        // The hybrid runs only at its design resilience t_A(10) = 3;
+        // every other family accepts (10, 2).
+        let t = match spec(spec_idx) {
+            AlgorithmSpec::Hybrid { .. } => 3,
+            _ => 2,
+        };
         let budget = [0, 1, t][f];
         let seeds = match spec(spec_idx) {
-            AlgorithmSpec::OptimalKing => 65,
+            AlgorithmSpec::OptimalKing
+            | AlgorithmSpec::PhaseKing
+            | AlgorithmSpec::PhaseQueen => 65,
             AlgorithmSpec::PlainExponential | AlgorithmSpec::Exponential => 4,
             _ => 8,
         };
@@ -157,6 +168,37 @@ fn fixed_length_batches_match_scalar_too() {
             .all(|s| s.rounds == total_rounds && !s.early_stopped),
         "fixed-length runs must fill the whole schedule"
     );
+}
+
+/// The phase-family kernels (`phase-king`, `phase-queen`) share the
+/// two-round phase shape but differ in the keep-your-value rule
+/// (plurality-with-proof vs. pure threshold); both must match their
+/// scalar protocols bit for bit across a 65-seed chunk boundary, under
+/// an adversary allowed to corrupt the source and every phase leader —
+/// the paths where the tally-majority broadcast and the super-majority
+/// override actually diverge.
+#[test]
+fn phase_family_kernels_match_scalar() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for spec in [AlgorithmSpec::PhaseKing, AlgorithmSpec::PhaseQueen] {
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(spec, 10, 2)],
+            vec![AdversaryFamily::random_liar(FaultSelection::with_source())],
+            65,
+        );
+        let (batched, scalar) = batched_and_scalar(&plan, 1);
+        assert_eq!(batched, scalar, "{spec:?} batch != scalar");
+        assert_eq!(batched.fingerprint(), scalar.fingerprint());
+
+        // The cell must exercise early-stop divergence (lanes retiring
+        // at different rounds), not just the uniform case.
+        let distinct: std::collections::BTreeSet<u64> =
+            batched.cells[0].samples.iter().map(|s| s.rounds).collect();
+        assert!(
+            distinct.len() >= 2,
+            "{spec:?} retired uniformly (rounds {distinct:?}); pick a livelier cell"
+        );
+    }
 }
 
 /// `dynamic-king` shifts gears from fault evidence mid-run, so it has no

@@ -1,0 +1,290 @@
+//! The result journal is *unobservable* in sweep output: a warm
+//! journal-backed run must be bit-identical to a cold one, across every
+//! engine mode and both execution paths (local `run_with_journal`, the
+//! `sg-serve/1` daemon), and any damage to the store must degrade to
+//! recomputation — "absent, never wrong" — with a structured warning,
+//! never a panic or a wrong cell.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use shifting_gears::adversary::FaultSelection;
+use shifting_gears::analysis::{
+    engine_epoch, AdversaryFamily, SweepConfig, SweepPlan, SweepReport,
+};
+use shifting_gears::core::AlgorithmSpec;
+use shifting_gears::journal::Journal;
+use shifting_gears::sim::{
+    set_batch_runs, set_early_stopping, set_instance_pooling, set_packed_broadcast,
+};
+
+/// Serializes the tests in this file: several drive the process-global
+/// engine toggles, which the journal's epoch (and the sweep engine)
+/// read mid-run.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sg-journal-it-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small mixed grid: one cell with a lock-step batch kernel, one
+/// scalar-fallback cell, two adversary families — 4 cells.
+fn grid(seeds: u64) -> SweepPlan {
+    SweepPlan::new(
+        vec![
+            SweepConfig::traced(AlgorithmSpec::OptimalKing, 10, 3),
+            SweepConfig::traced(AlgorithmSpec::DynamicKing { b: 3 }, 10, 2),
+        ],
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source().limit(2)),
+            AdversaryFamily::crash(FaultSelection::without_source().limit(2), 2),
+        ],
+        seeds,
+    )
+}
+
+/// Restores the engine defaults (all fast paths on) when dropped, so a
+/// failing assertion cannot leak a disabled toggle into later tests.
+struct ToggleGuard;
+
+impl Drop for ToggleGuard {
+    fn drop(&mut self) {
+        set_early_stopping(true);
+        set_instance_pooling(true);
+        set_batch_runs(true);
+        set_packed_broadcast(true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// (a) Warm vs cold bit-identity across the engine-mode matrix:
+    /// pooled/fresh instances × batch/scalar × 1/8 workers. The first
+    /// journal pass computes everything (and must already match the
+    /// journal-free report); the second pass answers every cell from
+    /// the store and must still match, byte for byte.
+    #[test]
+    fn warm_and_cold_reports_are_bit_identical(
+        pooled in any::<bool>(),
+        batch in any::<bool>(),
+        eight_jobs in any::<bool>(),
+    ) {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _restore = ToggleGuard;
+        set_instance_pooling(pooled);
+        set_batch_runs(batch);
+        let jobs = if eight_jobs { 8 } else { 1 };
+        let plan = grid(10);
+        let cold = plan.run_with_jobs(jobs);
+
+        let dir = tmpdir("warm-cold");
+        let mut journal = Journal::open(&dir).unwrap();
+        let first = plan.run_with_journal(&mut journal, jobs);
+        prop_assert_eq!(first.hits, 0);
+        prop_assert_eq!(first.computed, plan.cell_count());
+        prop_assert_eq!(&first.report, &cold);
+
+        let second = plan.run_with_journal(&mut journal, jobs);
+        prop_assert_eq!(second.hits, plan.cell_count());
+        prop_assert_eq!(second.computed, 0);
+        prop_assert!(second.warnings.is_empty(), "{:?}", second.warnings);
+        prop_assert_eq!(&second.report, &cold);
+        prop_assert_eq!(second.report.fingerprint(), cold.fingerprint());
+        drop(journal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// (c) Damaged storage degrades to a miss, never to a wrong answer:
+    /// whatever line of the segment is truncated, bit-flipped, or
+    /// replaced with garbage, the next journal-backed run still produces
+    /// the cold report — recomputing the damaged cells — and surfaces a
+    /// structured warning instead of panicking.
+    #[test]
+    fn damaged_segments_demote_to_recomputation(
+        line_sel in 0usize..4,
+        damage in 0usize..3,
+    ) {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = grid(6);
+        let cold = plan.run_with_jobs(1);
+        let dir = tmpdir("damage");
+        {
+            let mut journal = Journal::open(&dir).unwrap();
+            plan.run_with_journal(&mut journal, 1);
+        }
+        let segment = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "ndjson"))
+            .unwrap();
+        let text = fs::read_to_string(&segment).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let target = line_sel % lines.len();
+        match damage {
+            // Crash mid-append: the line stops partway through.
+            0 => {
+                let half = lines[target].len() / 2;
+                lines[target].truncate(half);
+            }
+            // One flipped bit inside the payload.
+            1 => {
+                let mut bytes = lines[target].clone().into_bytes();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+                lines[target] = String::from_utf8_lossy(&bytes).into_owned();
+            }
+            // The line is not even JSON.
+            _ => lines[target] = "not json at all".to_string(),
+        }
+        fs::write(&segment, lines.join("\n") + "\n").unwrap();
+
+        let mut journal = Journal::open(&dir).unwrap();
+        let warm = plan.run_with_journal(&mut journal, 1);
+        prop_assert_eq!(&warm.report, &cold, "damage must never change bytes");
+        prop_assert!(
+            warm.computed >= 1,
+            "at least the damaged cell is recomputed"
+        );
+        prop_assert_eq!(warm.hits + warm.computed, plan.cell_count());
+        // The damage surfaced somewhere structured: either the loader
+        // flagged the broken line, or the lookup flagged the payload.
+        prop_assert!(
+            !journal.warnings().is_empty() || !warm.warnings.is_empty(),
+            "damage of kind {damage} to line {target} was silent"
+        );
+        drop(journal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// (b) Every engine toggle moves the live epoch, and a moved epoch
+/// yields *zero* hits: entries written under the fast-path default are
+/// invisible to a differently-configured engine, so a mode flip can
+/// never replay wrong-mode bytes.
+#[test]
+fn flipping_any_engine_toggle_yields_zero_hits() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = ToggleGuard;
+    let base = engine_epoch();
+    type Setter = fn(bool);
+    let setters: [(&str, Setter); 4] = [
+        ("early-stop", set_early_stopping),
+        ("instance-pool", set_instance_pooling),
+        ("batch", set_batch_runs),
+        ("packed-broadcast", set_packed_broadcast),
+    ];
+    for (name, set) in setters {
+        set(false);
+        assert_ne!(engine_epoch(), base, "{name} must move the epoch");
+        set(true);
+    }
+    assert_eq!(engine_epoch(), base, "restored toggles restore the epoch");
+
+    // And end to end: a journal populated in the default mode answers
+    // nothing once a toggle flips — the cells are recomputed (in the
+    // new mode) rather than replayed from the wrong epoch.
+    let plan = grid(6);
+    let dir = tmpdir("epoch-miss");
+    let mut journal = Journal::open(&dir).unwrap();
+    plan.run_with_journal(&mut journal, 1);
+    set_instance_pooling(false);
+    let flipped = plan.run_with_journal(&mut journal, 1);
+    assert_eq!(flipped.hits, 0, "moved epoch must miss every cell");
+    assert_eq!(flipped.computed, plan.cell_count());
+    set_instance_pooling(true);
+    let restored = plan.run_with_journal(&mut journal, 1);
+    assert_eq!(
+        restored.hits,
+        plan.cell_count(),
+        "both epochs now coexist in the store"
+    );
+    drop(journal);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// (a), server path: a journal-backed daemon serves a repeat submit
+/// entirely from cache and an overlapping, widened submit computes
+/// exactly the delta — with every streamed report bit-identical to the
+/// local batch path.
+#[test]
+fn daemon_serves_overlap_from_cache_and_computes_the_delta() {
+    use shifting_gears::serve::{serve, Bind, Client, ServeOptions};
+
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmpdir("daemon");
+    let options = ServeOptions {
+        workers: 2,
+        journal: Some(dir.clone()),
+        ..ServeOptions::default()
+    };
+    let handle = serve(&Bind::Tcp("127.0.0.1:0".to_string()), options).expect("bind");
+    let addr = handle.tcp_addr().unwrap().to_string();
+    let mut client = Client::connect(&addr, std::time::Duration::from_secs(10)).expect("connect");
+
+    let narrow = grid(8);
+    let cold_narrow = narrow.run_with_jobs(2);
+    let job = client.submit(&narrow).expect("submit");
+    let first = client.collect(job, |_, _| {}).expect("stream");
+    assert_eq!(first.cached_cells, 0, "first submit is all cold");
+    assert_eq!(first.report, cold_narrow);
+
+    // Exact repeat: every cell comes from the journal, none recompute.
+    let job = client.submit(&narrow).expect("resubmit");
+    let warm = client.collect(job, |_, _| {}).expect("stream");
+    assert_eq!(warm.cached_cells, narrow.cell_count(), "fully warm");
+    assert_eq!(warm.report, cold_narrow);
+    assert_eq!(warm.fingerprint, first.fingerprint);
+
+    // Widened grid sharing the narrow grid's cells: the overlap is
+    // cached, the recomputed count is exactly the delta.
+    let wide = SweepPlan::new(
+        narrow.configs.clone(),
+        vec![
+            AdversaryFamily::random_liar(FaultSelection::without_source().limit(2)),
+            AdversaryFamily::crash(FaultSelection::without_source().limit(2), 2),
+            AdversaryFamily::silent(FaultSelection::without_source().limit(2)),
+        ],
+        8,
+    );
+    let cold_wide = wide.run_with_jobs(2);
+    let job = client.submit(&wide).expect("submit widened");
+    let widened = client.collect(job, |_, _| {}).expect("stream");
+    assert_eq!(
+        widened.cached_cells,
+        narrow.cell_count(),
+        "the overlap is served from cache"
+    );
+    assert_eq!(widened.report, cold_wide, "merged stream matches cold run");
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The journal file format survives a process boundary: a store written
+/// by one journal handle answers a fresh handle (fresh process state in
+/// miniature) with the same bytes, and `SweepReport` equality extends to
+/// the pinned fingerprint.
+#[test]
+fn journal_round_trips_across_reopen() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = grid(8);
+    let cold: SweepReport = plan.run_with_jobs(1);
+    let dir = tmpdir("reopen");
+    {
+        let mut journal = Journal::open(&dir).unwrap();
+        plan.run_with_journal(&mut journal, 1);
+    }
+    let mut journal = Journal::open(&dir).unwrap();
+    let warm = plan.run_with_journal(&mut journal, 1);
+    assert_eq!(warm.hits, plan.cell_count());
+    assert_eq!(warm.report, cold);
+    assert_eq!(warm.report.fingerprint(), cold.fingerprint());
+    drop(journal);
+    fs::remove_dir_all(&dir).unwrap();
+}
