@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 pub mod scenario;
 mod selection;
 mod strategies;
@@ -66,6 +67,7 @@ mod suite;
 mod tape;
 mod util;
 
+pub use batch::{BatchFamily, VectorFamily};
 pub use scenario::{
     AdversaryTrace, RecordingAdversary, ReplayAdversary, TraceCut, TraceError, TracePayload,
     TraceStep, TRACE_SCHEMA,

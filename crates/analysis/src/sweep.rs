@@ -39,8 +39,9 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 use sg_adversary::{
-    Adaptive, AdversaryTrace, ChainRevealer, Crash, EmptyTapeError, Equivocate, FaultSelection,
-    Move, Omission, Partition, RandomLiar, ReplayAdversary, Silent, TapeAdversary, TraceError,
+    Adaptive, AdversaryTrace, BatchFamily, ChainRevealer, Crash, EmptyTapeError, Equivocate,
+    FaultSelection, Move, Omission, Partition, RandomLiar, ReplayAdversary, Silent, TapeAdversary,
+    TraceError, VectorFamily,
 };
 use sg_core::AlgorithmSpec;
 use sg_sim::{Adversary, NoFaults, Outcome, ProcessId, RunArena, RunConfig, Value};
@@ -512,6 +513,123 @@ thread_local! {
     static BATCH_SCRATCH: RefCell<sg_sim::BatchArena> = RefCell::new(sg_sim::BatchArena::new());
 }
 
+/// One pooled lock-step kernel, keyed by the exact `(spec, config)` pair
+/// it was built for. Kernels are reset per batch by the driver
+/// ([`sg_sim::run_batch_with`] calls [`sg_sim::BatchKernel::reset`]), so
+/// recycling one across chunks changes allocation behaviour only — the
+/// mixed-width gear kernels additionally recycle their per-lane protocol
+/// instances through `Protocol::reset`, which is where the win lives.
+struct PooledBatchKernel {
+    spec: AlgorithmSpec,
+    config: RunConfig,
+    kernel: Box<dyn sg_sim::BatchKernel + Send>,
+}
+
+/// How many `(spec, config)` kernels each worker thread keeps warm.
+const BATCH_KERNEL_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Per-thread MRU cache of lock-step kernels, recycled across chunks
+    /// of the same cell (and across cells of the same shape).
+    static BATCH_KERNEL_POOL: RefCell<Vec<PooledBatchKernel>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `body` with a lock-step kernel for `(spec, config)`, pooled per
+/// thread when instance pooling is on; `None` when the spec/config pair
+/// has no batch kernel (the caller falls back to the scalar executor).
+fn with_batch_kernel<R>(
+    spec: AlgorithmSpec,
+    config: RunConfig,
+    body: impl FnOnce(&mut dyn sg_sim::BatchKernel) -> R,
+) -> Option<R> {
+    if !sg_sim::instance_pooling_enabled() {
+        let mut kernel = sg_core::batch_kernel(&spec, &config)?;
+        return Some(body(kernel.as_mut()));
+    }
+    BATCH_KERNEL_POOL.with(|pool| {
+        let hit = {
+            let mut pool = pool.borrow_mut();
+            pool.iter()
+                .position(|e| e.spec == spec && e.config == config)
+                .map(|idx| pool.remove(idx))
+        };
+        let mut entry = match hit {
+            Some(e) => e,
+            None => PooledBatchKernel {
+                spec,
+                config,
+                kernel: sg_core::batch_kernel(&spec, &config)?,
+            },
+        };
+        let out = body(entry.kernel.as_mut());
+        let mut pool = pool.borrow_mut();
+        pool.insert(0, entry);
+        pool.truncate(BATCH_KERNEL_POOL_CAP);
+        Some(out)
+    })
+}
+
+/// The vector (single-[`sg_sim::BatchAdversary::lies`]-call) form of a
+/// family's wire shape, where the batch adversary layer covers it:
+/// the six named families whose fault selection is lane-uniform and
+/// whose per-edge behaviour is a pure function of `(round, edge, seed)`.
+/// `None` routes the chunk through the per-lane scalar bridge — the
+/// vector path is absent, never wrong. Families with per-edge faults
+/// (`partition`) or call-order contracts (`tape`, traces) stay scalar by
+/// construction.
+fn vector_family(
+    family: &AdversaryFamily,
+    seeds: &[u64],
+) -> Option<(VectorFamily, FaultSelection)> {
+    match family.wire()? {
+        FamilyWire::RandomLiar(selection) => Some((
+            VectorFamily::RandomLiar {
+                seeds: seeds.to_vec(),
+            },
+            selection.clone(),
+        )),
+        FamilyWire::Crash { selection, round } => Some((
+            VectorFamily::Crash {
+                crash_round: *round,
+            },
+            selection.clone(),
+        )),
+        FamilyWire::Silent(selection) => Some((VectorFamily::Silent, selection.clone())),
+        FamilyWire::Omission {
+            selection,
+            period,
+            phase,
+        } => Some((
+            VectorFamily::Omission {
+                period: *period,
+                phase: *phase,
+            },
+            selection.clone(),
+        )),
+        FamilyWire::Equivocate {
+            selection,
+            split,
+            start,
+        } => Some((
+            VectorFamily::Equivocate {
+                split: *split,
+                start: *start,
+            },
+            selection.clone(),
+        )),
+        FamilyWire::Adaptive {
+            selection,
+            schedule,
+        } => Some((
+            VectorFamily::Adaptive {
+                schedule: schedule.clone(),
+            },
+            selection.clone(),
+        )),
+        _ => None,
+    }
+}
+
 /// Runs `body` with one strategy instance per seed in `seeds` — the
 /// batch executor's counterpart of [`with_family_adversary`]. Pooled
 /// instances are reseeded lane by lane (rebuilt where the strategy
@@ -751,44 +869,60 @@ impl SweepPlan {
     /// is not batch-eligible (no kernel for the spec, or the adversary
     /// family corrupts edges), in which case no lane has gone past its
     /// `corrupt` call and the scalar path re-runs the group from scratch.
+    ///
+    /// Fault injection takes the vector path ([`BatchFamily`], one
+    /// `lies` call per round) when the family's wire shape has one and
+    /// the `--no-batch-adversary` escape hatch is off; otherwise every
+    /// lane bridges to its scalar adversary in the scalar engine's exact
+    /// call order. Lanes a mixed-width kernel declines mid-run (a
+    /// `dynamic-king` gear vote that diverges from its scalar poll)
+    /// come back marked `deferred` and re-run on the scalar executor,
+    /// spliced into the chunk's samples at their seed position.
     fn run_chunk_lockstep(&self, ci: usize, ai: usize, si0: u64, len: u64) -> Option<Vec<Sample>> {
         let config = &self.configs[ci];
         let run_config = config.run_config();
-        let mut kernel = sg_core::batch_kernel(&config.spec, &run_config)?;
         let family = &self.adversaries[ai];
         let seeds: Vec<u64> = (0..len).map(|k| self.seed_for(ci, ai, si0 + k)).collect();
-        BATCH_SCRATCH.with(|scratch| {
-            let arena = &mut scratch.borrow_mut();
-            with_batch_adversaries(family, &seeds, |adversaries| {
-                if !sg_sim::run_batch(arena, &run_config, kernel.as_mut(), adversaries) {
+        with_batch_kernel(config.spec, run_config, |kernel| {
+            BATCH_SCRATCH.with(|scratch| {
+                let arena = &mut scratch.borrow_mut();
+                let ok =
+                    with_batch_adversaries(family, &seeds, |adversaries| {
+                        match vector_family(family, &seeds) {
+                            Some((vector, selection)) if sg_sim::batch_adversaries_enabled() => {
+                                let mut batch = BatchFamily::new(vector, selection, adversaries);
+                                sg_sim::run_batch_with(arena, &run_config, kernel, &mut batch)
+                            }
+                            _ => sg_sim::run_batch(arena, &run_config, kernel, adversaries),
+                        }
+                    });
+                if !ok {
                     return None;
                 }
-                let samples = arena
-                    .results()
-                    .iter()
-                    .zip(&seeds)
-                    .map(|(result, seed)| {
-                        assert!(
-                            result.agreement,
-                            "{} violated agreement under {} at seed {seed}",
-                            config.spec.name(),
-                            family.name,
-                        );
-                        Sample {
-                            lock_in: result.lock_in as u64,
-                            // The kernel families discover no faults, so
-                            // a traced scalar run counts zero too.
-                            discoveries: 0,
-                            total_bits: result.total_bits,
-                            max_local_ops: result.max_local_ops,
-                            rounds: result.rounds_used as u64,
-                            early_stopped: result.early_stopped,
-                        }
-                    })
-                    .collect();
+                let mut samples = Vec::with_capacity(len as usize);
+                for (lane, (result, seed)) in arena.results().iter().zip(&seeds).enumerate() {
+                    if result.deferred {
+                        samples.push(self.run_one(ci, ai, si0 + lane as u64));
+                        continue;
+                    }
+                    assert!(
+                        result.agreement,
+                        "{} violated agreement under {} at seed {seed}",
+                        config.spec.name(),
+                        family.name,
+                    );
+                    samples.push(Sample {
+                        lock_in: result.lock_in as u64,
+                        discoveries: result.discoveries,
+                        total_bits: result.total_bits,
+                        max_local_ops: result.max_local_ops,
+                        rounds: result.rounds_used as u64,
+                        early_stopped: result.early_stopped,
+                    });
+                }
                 Some(samples)
             })
-        })
+        })?
     }
 
     /// One execution: cell `(ci, ai)`, run `si`, on this thread's

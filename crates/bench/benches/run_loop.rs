@@ -12,7 +12,11 @@
 //!   expedite win of the early-stopping run loop is measured on its own;
 //! * `batch/*` — 64 seeds of the cell run one by one through the scalar
 //!   loop vs lock-step through `run_batch` (one bit lane per run), so
-//!   the cross-run data-parallel layer is measured on its own.
+//!   the cross-run data-parallel layer is measured on its own;
+//! * `batch-adversary/*` — the same 64-lane batch driven by a
+//!   vectorized `BatchFamily` vs the per-lane `ScalarBridge`, so the
+//!   fault-materialization layer (one mask computation per batch vs 64
+//!   per-edge adversary walks per round) is measured on its own.
 //!
 //! The `instances/*` and `payload/*` variants execute identical work —
 //! `tests/instance_pool.rs` pins down that their outcomes are
@@ -22,11 +26,11 @@
 //! expedite speedup itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sg_adversary::{FaultSelection, RandomLiar};
+use sg_adversary::{BatchFamily, Crash, FaultSelection, RandomLiar, VectorFamily};
 use sg_core::{king_batch_kernel, AlgorithmSpec};
 use sg_sim::{
-    run_batch, run_in, run_pooled_in, set_early_stopping, set_packed_broadcast, Adversary,
-    BatchArena, RunArena, RunConfig, Value, MAX_BATCH_RUNS,
+    run_batch, run_batch_with, run_in, run_pooled_in, set_early_stopping, set_packed_broadcast,
+    Adversary, BatchArena, RunArena, RunConfig, ScalarBridge, Value, MAX_BATCH_RUNS,
 };
 
 const SEED: u64 = 7;
@@ -170,11 +174,81 @@ fn bench_batch_runs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batch-adversary layer in isolation: the identical 64-lane batch
+/// driven through `run_batch_with`, once with the per-lane
+/// `ScalarBridge` (every round walks every lane's faulty edges through
+/// the scalar `Adversary` trait) and once with the vectorized
+/// `BatchFamily` (one selection and one mask computation cover all 64
+/// lanes). Two families bracket the effect: `crash` is deterministic, so
+/// the vector path is pure mask algebra and the ratio is the full
+/// materialization cost; `random-liar` must reproduce the scalar path's
+/// per-edge RNG draws for bit-identity, so its ratio shows the
+/// irreducible RNG floor. `tests/batch_identity.rs` pins both paths
+/// bit-identical.
+fn bench_batch_adversaries(c: &mut Criterion) {
+    let (spec, config) = bench_config();
+    let mut group = c.benchmark_group("run_loop_optimal_king_n16_t5");
+    group.sample_size(20);
+
+    let selection = FaultSelection::without_source();
+    let seeds: Vec<u64> = (0..MAX_BATCH_RUNS as u64).collect();
+    let crash_lanes = |_: &u64| Box::new(Crash::new(selection.clone(), 2)) as Box<dyn Adversary>;
+    let liar_lanes =
+        |seed: &u64| Box::new(RandomLiar::new(selection.clone(), *seed)) as Box<dyn Adversary>;
+
+    type LaneMaker<'a> = &'a dyn Fn(&u64) -> Box<dyn Adversary>;
+    let cases: [(&str, VectorFamily, LaneMaker); 2] = [
+        (
+            "crash",
+            VectorFamily::Crash { crash_round: 2 },
+            &crash_lanes,
+        ),
+        (
+            "random-liar",
+            VectorFamily::RandomLiar {
+                seeds: seeds.clone(),
+            },
+            &liar_lanes,
+        ),
+    ];
+    let mut batch_arena = BatchArena::new();
+    for (name, vector, make_lane) in cases {
+        group.bench_function(format!("batch-adversary/{name}-bridge"), |b| {
+            b.iter(|| {
+                let mut kernel = king_batch_kernel(&spec, &config).expect("eligible cell");
+                let mut lanes: Vec<Box<dyn Adversary>> = seeds.iter().map(make_lane).collect();
+                let mut bridge = ScalarBridge(&mut lanes);
+                assert!(run_batch_with(
+                    &mut batch_arena,
+                    &config,
+                    &mut kernel,
+                    &mut bridge
+                ));
+            });
+        });
+        group.bench_function(format!("batch-adversary/{name}-vector"), |b| {
+            b.iter(|| {
+                let mut kernel = king_batch_kernel(&spec, &config).expect("eligible cell");
+                let mut lanes: Vec<Box<dyn Adversary>> = seeds.iter().map(make_lane).collect();
+                let mut batch = BatchFamily::new(vector.clone(), selection.clone(), &mut lanes);
+                assert!(run_batch_with(
+                    &mut batch_arena,
+                    &config,
+                    &mut kernel,
+                    &mut batch
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_instance_pool,
     bench_packed_payloads,
     bench_early_stopping,
-    bench_batch_runs
+    bench_batch_runs,
+    bench_batch_adversaries
 );
 criterion_main!(benches);

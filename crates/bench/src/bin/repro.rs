@@ -15,6 +15,10 @@
 //! repro --no-batch         # disable the lock-step batch executor (64
 //!                          # runs per instruction) — the scalar path
 //!                          # must reproduce the same fingerprints
+//! repro --no-batch-adversary
+//!                          # keep the batch executor but drive each
+//!                          # fault lane through the scalar adversary
+//!                          # bridge instead of the vectorized families
 //! repro --exp t3           # one experiment: p1|t1|t2|t3|t4|tradeoff|dominance|
 //!                          #   detect|stability|early-stopping|king|compose|
 //!                          #   rounds-vs-f|plans|sweep
@@ -422,6 +426,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--no-batch") {
         sg_sim::set_batch_runs(false);
+    }
+    if args.iter().any(|a| a == "--no-batch-adversary") {
+        sg_sim::set_batch_adversaries(false);
     }
     let transport = if args.iter().any(|a| a == "--via-server") {
         Transport::Server

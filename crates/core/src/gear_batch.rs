@@ -1,0 +1,770 @@
+//! Lock-step batch execution for the gear-shifting families.
+//!
+//! [`GearBatchKernel`] brings `king-shift` and `dynamic-king` — the two
+//! families whose runs *change algorithms mid-flight* — onto the batch
+//! path, closing the last scalar-fallback gap in the sweep executor. The
+//! trick is a **mixed-width schedule**:
+//!
+//! * The Algorithm A *tree prefix* exchanges multi-value tree levels, so
+//!   it cannot be one bit per lane. The kernel runs it **wide**: one real
+//!   per-lane, per-slot protocol instance ([`KingShift`] /
+//!   [`DynamicKing`]), driven round by round through
+//!   [`BatchKernel::wide_round`] with the exact outgoing → adversary →
+//!   deliver choreography of the scalar engine (same
+//!   [`AdversaryView`]s, same call order — the `sg-trace/1` contract
+//!   holds verbatim).
+//! * The king *tail* is single-bit broadcasts and threshold tallies —
+//!   exactly [`KingBatchKernel`](crate::KingBatchKernel)'s shape — so
+//!   once a lane's gear box seeds its tail, the lane moves to the
+//!   **narrow** bitwise path: its slot state becomes lane-mask words and
+//!   every subsequent round costs full-width bitwise ops. The one
+//!   addition over the `optimal-king` kernel is the carried fault masks:
+//!   senders a processor globally detected during its A block read as
+//!   zero/⊥/default in the tail tallies, via a per-(recipient, sender)
+//!   lane mask.
+//!
+//! Lanes seed their tails at different rounds — `king-shift`
+//! statically, `dynamic-king` whenever a lane's checkpoint vote commits
+//! — so tail lanes are grouped into *cohorts* by seed round, each cohort
+//! stepping through its own `exchange → propose → king` schedule. The
+//! dynamic gear-commit rule is per lane: a lane whose correct
+//! processors **unanimously** vote shift at a checkpoint commits in
+//! batch (the scalar engine's `all_shift` dispatch, verbatim); a lane
+//! whose votes *diverge* retires through [`WideRound::deferred`] and is
+//! re-run by the caller on the scalar engine — the batch path stays a
+//! fast path, never a semantic change.
+
+use std::sync::Arc;
+
+use sg_sim::batch::{BatchAdversary, BatchKernel, BatchNet, LaneCounts, WideRound};
+use sg_sim::{
+    AdversaryView, GearAction, Inbox, Payload, ProcCtx, ProcessId, Protocol, RunConfig, Value,
+};
+
+use crate::gearbox::{DynamicKing, GearBox};
+use crate::king_shift::KingShift;
+use crate::params::Params;
+use crate::plan::RoundAction;
+use crate::spec::AlgorithmSpec;
+
+/// One lane-slot's scalar machine for the wide prefix.
+enum GearInstance {
+    Shift(KingShift),
+    Dynamic(DynamicKing),
+}
+
+impl GearInstance {
+    fn gear(&self) -> &GearBox {
+        match self {
+            GearInstance::Shift(p) => p.gear(),
+            GearInstance::Dynamic(p) => p.gear(),
+        }
+    }
+
+    fn proto(&self) -> &dyn Protocol {
+        match self {
+            GearInstance::Shift(p) => p,
+            GearInstance::Dynamic(p) => p,
+        }
+    }
+
+    fn proto_mut(&mut self) -> &mut dyn Protocol {
+        match self {
+            GearInstance::Shift(p) => p,
+            GearInstance::Dynamic(p) => p,
+        }
+    }
+}
+
+/// Mixed-width lane state for one batch of `king-shift` or
+/// `dynamic-king` runs: scalar prefix instances per (lane, slot) while a
+/// lane's A block runs, [`KingBatchKernel`](crate::KingBatchKernel)-style
+/// lane words plus carried fault masks once its king tail is seeded.
+pub struct GearBatchKernel {
+    config: RunConfig,
+    params: Params,
+    b: usize,
+    dynamic: bool,
+    n: usize,
+    t: usize,
+    source: usize,
+    input_one: u64,
+    total: usize,
+    phases: usize,
+    /// Rounds at which the prefix's block conversions land (the scalar
+    /// `Shift` trace events), for snapshot scheduling.
+    conversion_rounds: Vec<usize>,
+    /// The dynamic plan's checkpoint rounds (empty for `king-shift`).
+    checkpoint_rounds: Vec<usize>,
+    lanes: usize,
+    /// Flat `[lane * n + slot]` scalar machines and contexts.
+    instances: Vec<GearInstance>,
+    ctxs: Vec<ProcCtx>,
+    /// Lanes still running their wide prefix.
+    prefix_lanes: u64,
+    /// Tail cohorts: (seed round, lanes seeded at it).
+    cohorts: Vec<(usize, u64)>,
+    /// The prefix lanes handled by the most recent `wide_round`.
+    last_wide: u64,
+    // Tail lane words, one per slot (see `KingBatchKernel`).
+    current: Vec<u64>,
+    prop_some: Vec<u64>,
+    prop_one: Vec<u64>,
+    locked: Vec<u64>,
+    ready_mask: Vec<u64>,
+    /// `masked[i * n + j]`: lanes in which recipient `i` carries sender
+    /// `j` on its fault mask from the A block.
+    masked: Vec<u64>,
+    // Per-lane accounting (prefix bits, prefix max-ops, tail ops,
+    // discoveries).
+    bits_acc: Vec<u64>,
+    ops_prefix: Vec<u64>,
+    ops_tail: Vec<u64>,
+    disc: Vec<u64>,
+    // Per-lane view/delivery scratch for the wide prefix.
+    honest: Vec<Option<Arc<Payload>>>,
+    shadow: Vec<Option<Arc<Payload>>>,
+    rows: Vec<Arc<Payload>>,
+    inbox: Inbox,
+}
+
+impl GearBatchKernel {
+    /// The king of 0-based `phase`: the `phase`-th processor id, skipping
+    /// the source — identical to [`KingCore::king`](crate::KingCore::king).
+    fn king(&self, phase: usize) -> usize {
+        let mut remaining = phase;
+        for idx in 0..self.n {
+            if idx != self.source {
+                if remaining == 0 {
+                    return idx;
+                }
+                remaining -= 1;
+            }
+        }
+        unreachable!("phase bound checked by the schedule")
+    }
+
+    /// Commits `value` into `state[slot]` for lanes in `active` only,
+    /// freezing retired runs.
+    #[inline]
+    fn commit(state: &mut [u64], slot: usize, value: u64, active: u64) {
+        state[slot] = (value & active) | (state[slot] & !active);
+    }
+
+    fn build_instances(&mut self) {
+        self.instances.clear();
+        self.instances.reserve(self.lanes * self.n);
+        for _ in 0..self.lanes {
+            for i in 0..self.n {
+                let me = ProcessId(i);
+                let input = (i == self.source).then_some(self.config.source_value);
+                self.instances.push(if self.dynamic {
+                    GearInstance::Dynamic(DynamicKing::new(self.params, me, input, self.b))
+                } else {
+                    GearInstance::Shift(KingShift::new(self.params, me, input, self.b))
+                });
+            }
+        }
+    }
+
+    /// Moves `lane` from the wide prefix to the narrow tail: the seeded
+    /// king cores' values and fault masks become lane-word bits, and the
+    /// prefix's accounting (max local ops over all slots, honest bits,
+    /// discoveries over correct slots) is banked for finalize.
+    fn seed_lane(&mut self, lane: usize, round: usize, fault_set: &sg_sim::ProcessSet) {
+        let n = self.n;
+        let bit = 1u64 << lane;
+        let base = lane * n;
+        let mut max_ops = 0u64;
+        let mut disc = 0u64;
+        for i in 0..n {
+            let gear = self.instances[base + i].gear();
+            debug_assert!(gear.seeded(), "seed_lane on an unseeded gear box");
+            let core = gear.core().expect("gear tail always has a king core");
+            if core.current() == Value(1) {
+                self.current[i] |= bit;
+            }
+            for p in core.masked().iter() {
+                self.masked[i * n + p.index()] |= bit;
+            }
+            max_ops = max_ops.max(self.ctxs[base + i].ops());
+            if !fault_set.contains(ProcessId(i)) {
+                disc += gear.prefix().fault_list().len() as u64;
+            }
+        }
+        self.ops_prefix[lane] = max_ops;
+        self.disc[lane] = disc;
+        self.prefix_lanes &= !bit;
+        match self.cohorts.iter_mut().find(|c| c.0 == round) {
+            Some(c) => c.1 |= bit,
+            None => self.cohorts.push((round, bit)),
+        }
+    }
+
+    /// Adds `per`-slot tail ops to every lane in `mask` (tail charges
+    /// are uniform across slots, so per-lane totals stay exact).
+    fn add_tail_ops(&mut self, mask: u64, per: u64) {
+        let mut w = mask;
+        while w != 0 {
+            let lane = w.trailing_zeros() as usize;
+            w &= w - 1;
+            self.ops_tail[lane] += per;
+        }
+    }
+}
+
+impl BatchKernel for GearBatchKernel {
+    fn total_rounds(&self) -> usize {
+        self.total
+    }
+
+    fn reset(&mut self, lanes: usize) {
+        let n = self.n;
+        let rebuild = if self.lanes == lanes && self.instances.len() == lanes * n {
+            // The instance-pool path: same (t, b) shape, reset in place.
+            self.instances
+                .iter_mut()
+                .enumerate()
+                .any(|(idx, inst)| !inst.proto_mut().reset(ProcessId(idx % n), &self.config))
+        } else {
+            true
+        };
+        self.lanes = lanes;
+        if rebuild {
+            self.build_instances();
+        }
+        self.ctxs.clear();
+        self.ctxs
+            .extend((0..lanes * n).map(|idx| ProcCtx::new(ProcessId(idx % n))));
+        for buf in [
+            &mut self.current,
+            &mut self.prop_some,
+            &mut self.prop_one,
+            &mut self.locked,
+            &mut self.ready_mask,
+        ] {
+            buf.clear();
+            buf.resize(n, 0);
+        }
+        self.masked.clear();
+        self.masked.resize(n * n, 0);
+        for buf in [
+            &mut self.bits_acc,
+            &mut self.ops_prefix,
+            &mut self.ops_tail,
+            &mut self.disc,
+        ] {
+            buf.clear();
+            buf.resize(lanes, 0);
+        }
+        self.prefix_lanes = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        self.cohorts.clear();
+        self.last_wide = 0;
+        self.honest.clear();
+        self.honest.resize(n, None);
+        self.shadow.clear();
+        self.shadow.resize(n, None);
+        self.rows.clear();
+        self.rows.resize(n * n, Payload::shared_missing());
+        self.inbox = Inbox::empty(n);
+    }
+
+    fn charge(&self, _round: usize) -> u64 {
+        // Tail charges differ per cohort and prefix charges per slot;
+        // everything is accounted internally via `lane_ops`.
+        0
+    }
+
+    fn snapshot_round(&self, round: usize) -> bool {
+        self.snapshot_lanes(round) != 0
+    }
+
+    fn snapshot_lanes(&self, round: usize) -> u64 {
+        // Preference events land: at round 1 and at every block
+        // conversion while a lane runs its prefix (the scalar `Preferred`
+        // / `Shift` emissions — a commit's seed event shares its
+        // conversion's round and value), and at every king step of a
+        // seeded lane's tail.
+        let mut lanes = 0u64;
+        if round == 1 || self.conversion_rounds.contains(&round) {
+            lanes |= self.last_wide;
+        }
+        for &(start, mask) in &self.cohorts {
+            if round > start {
+                let i = round - start - 1;
+                if i < 3 * self.phases && i % 3 == 2 {
+                    lanes |= mask;
+                }
+            }
+        }
+        lanes
+    }
+
+    fn wide_round(
+        &mut self,
+        round: usize,
+        config: &RunConfig,
+        adversary: &mut dyn BatchAdversary,
+        fault_sets: &[sg_sim::ProcessSet],
+        _faulty: &[u64],
+        active: u64,
+    ) -> WideRound {
+        let wide = self.prefix_lanes & active;
+        self.last_wide = wide;
+        if wide == 0 {
+            return WideRound::default();
+        }
+        let n = self.n;
+        let bits_per_value = config.domain.bits_per_value();
+        let missing = Payload::shared_missing();
+        let mut deferred = 0u64;
+        let mut w = wide;
+        while w != 0 {
+            let lane = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let bit = 1u64 << lane;
+            let base = lane * n;
+            let fault_set = &fault_sets[lane];
+
+            // 1. Outgoing, split into honest/shadow tables by this
+            // lane's fault set; honest wire bits accounted as the scalar
+            // RoundStats would.
+            for i in 0..n {
+                self.ctxs[base + i].round = round;
+                let payload = self.instances[base + i]
+                    .proto_mut()
+                    .outgoing(&mut self.ctxs[base + i])
+                    .map(Payload::into_shared);
+                if fault_set.contains(ProcessId(i)) {
+                    self.shadow[i] = payload;
+                    self.honest[i] = None;
+                } else {
+                    if let Some(p) = &payload {
+                        self.bits_acc[lane] += p.bits(bits_per_value) * (n as u64 - 1);
+                    }
+                    self.honest[i] = payload;
+                    self.shadow[i] = None;
+                }
+            }
+
+            // 2. The rushing adversary's rows, in the scalar call order:
+            // faulty senders ascending, recipients ascending, self
+            // skipped.
+            if !fault_set.is_empty() {
+                for slot in self.rows.iter_mut() {
+                    *slot = missing.clone();
+                }
+                let view = AdversaryView {
+                    round,
+                    total_rounds: self.total,
+                    n,
+                    t: config.t,
+                    source: config.source,
+                    source_value: config.source_value,
+                    domain: config.domain,
+                    faulty: fault_set,
+                    honest_broadcast: &self.honest,
+                    shadow_broadcast: &self.shadow,
+                    sigs: None,
+                };
+                let scalar = adversary.lane(lane);
+                for f in fault_set.iter() {
+                    for r in 0..n {
+                        if r == f.index() {
+                            continue;
+                        }
+                        self.rows[f.index() * n + r] =
+                            scalar.payload(f, ProcessId(r), &view).into_shared();
+                    }
+                }
+            }
+
+            // 3. Delivery to every slot, shadows included (the scalar
+            // engine keeps shadow instances live for the adversary's
+            // honest-shadow views).
+            for i in 0..n {
+                for j in 0..n {
+                    let p = if j == i {
+                        missing.clone()
+                    } else if fault_set.contains(ProcessId(j)) {
+                        self.rows[j * n + i].clone()
+                    } else {
+                        self.honest[j].clone().unwrap_or_else(|| missing.clone())
+                    };
+                    self.inbox.set_shared(ProcessId(j), p);
+                }
+                self.instances[base + i]
+                    .proto_mut()
+                    .deliver(&self.inbox, &mut self.ctxs[base + i]);
+            }
+
+            // 4. Gear transitions. A static boundary seeds inside
+            // `deliver` (every slot, deterministically); a dynamic
+            // checkpoint replays the scalar engine's dispatch — commit
+            // on a unanimous correct-processor shift vote, defer the
+            // lane to the scalar engine when votes diverge.
+            if self.instances[base].gear().seeded() {
+                self.seed_lane(lane, round, fault_set);
+            } else if self.dynamic && self.checkpoint_rounds.contains(&round) {
+                let mut all_shift = true;
+                let mut any_shift = false;
+                for i in 0..n {
+                    if fault_set.contains(ProcessId(i)) {
+                        continue;
+                    }
+                    match self.instances[base + i]
+                        .proto()
+                        .next_action(&self.ctxs[base + i])
+                    {
+                        GearAction::ShiftGear => any_shift = true,
+                        _ => all_shift = false,
+                    }
+                }
+                if all_shift {
+                    for i in 0..n {
+                        self.instances[base + i]
+                            .proto_mut()
+                            .shift_gear(&mut self.ctxs[base + i]);
+                    }
+                    self.seed_lane(lane, round, fault_set);
+                } else if any_shift {
+                    deferred |= bit;
+                }
+            }
+        }
+        WideRound {
+            handled: wide,
+            deferred,
+        }
+    }
+
+    fn finished(&self, round: usize) -> u64 {
+        // A cohort's tail ends exactly `3 · phases` rounds after its
+        // seed — the gear box's `end_round`, per lane.
+        let mut fin = 0u64;
+        for &(start, mask) in &self.cohorts {
+            if round >= start + 3 * self.phases {
+                fin |= mask;
+            }
+        }
+        fin
+    }
+
+    fn outgoing(&mut self, round: usize, present: &mut [u64], one: &mut [u64], zero: &mut [u64]) {
+        let n = self.n;
+        for ci in 0..self.cohorts.len() {
+            let (start, mask) = self.cohorts[ci];
+            if round <= start {
+                continue;
+            }
+            let i = round - start - 1;
+            if i >= 3 * self.phases {
+                continue; // fully retired cohort
+            }
+            match i % 3 {
+                // Exchange: every slot broadcasts its current value.
+                0 => {
+                    for j in 0..n {
+                        present[j] |= mask;
+                        one[j] |= self.current[j] & mask;
+                        zero[j] |= !self.current[j] & mask;
+                    }
+                }
+                // Propose: `Some(1)` / `Some(0)` / `⊥`, present in all
+                // three cases (⊥ rides the BOT sentinel on the wire).
+                1 => {
+                    for j in 0..n {
+                        present[j] |= mask;
+                        one[j] |= self.prop_some[j] & self.prop_one[j] & mask;
+                        zero[j] |= self.prop_some[j] & !self.prop_one[j] & mask;
+                    }
+                }
+                // King: only the phase king speaks.
+                _ => {
+                    let k = self.king(i / 3);
+                    present[k] |= mask;
+                    one[k] |= self.current[k] & mask;
+                    zero[k] |= !self.current[k] & mask;
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: usize, net: &BatchNet<'_>, active: u64) {
+        let (n, t) = (self.n, self.t);
+        for ci in 0..self.cohorts.len() {
+            let (start, cmask) = self.cohorts[ci];
+            if round <= start {
+                continue;
+            }
+            let i = round - start - 1;
+            if i >= 3 * self.phases {
+                continue;
+            }
+            let m = cmask & active;
+            if m == 0 {
+                continue;
+            }
+            match i % 3 {
+                0 => {
+                    // Exchange tally with the carried fault masks: a
+                    // masked sender reads as the default 0, i.e. it
+                    // simply never contributes to the ones count — the
+                    // scalar `KingCore`'s masked-ballot clearing.
+                    for s in 0..n {
+                        let mut ones = LaneCounts::default();
+                        for j in 0..n {
+                            ones.add(if j == s {
+                                self.current[s]
+                            } else {
+                                net.one(j, s) & !self.masked[s * n + j]
+                            });
+                        }
+                        let zeros_win = !ones.ge(t + 1); // n − ones ≥ n − t
+                        let ones_win = ones.ge(n - t) & !zeros_win;
+                        Self::commit(&mut self.prop_some, s, zeros_win | ones_win, m);
+                        Self::commit(&mut self.prop_one, s, ones_win, m);
+                    }
+                    self.add_tail_ops(m, n as u64);
+                }
+                1 => {
+                    // Propose plurality: masked senders count as ⊥
+                    // (their one/zero classifications are filtered out
+                    // entirely), ties go to 0, lock at n − t, adopt
+                    // above t.
+                    for s in 0..n {
+                        let own_one = self.prop_some[s] & self.prop_one[s];
+                        let own_zero = self.prop_some[s] & !self.prop_one[s];
+                        let mut c1 = LaneCounts::default();
+                        let mut c0 = LaneCounts::default();
+                        for j in 0..n {
+                            if j == s {
+                                c1.add(own_one);
+                                c0.add(own_zero);
+                            } else {
+                                let unmasked = !self.masked[s * n + j];
+                                c1.add(net.one(j, s) & unmasked);
+                                c0.add(net.zero(j, s) & unmasked);
+                            }
+                        }
+                        let top_one = c1.gt(&c0);
+                        let lock = (top_one & c1.ge(n - t)) | (!top_one & c0.ge(n - t));
+                        let adopt = (top_one & c1.ge(t + 1)) | (!top_one & c0.ge(t + 1));
+                        Self::commit(&mut self.current, s, adopt & top_one, m);
+                        Self::commit(&mut self.locked, s, lock, m);
+                        Self::commit(&mut self.ready_mask, s, lock, m);
+                    }
+                    self.add_tail_ops(m, n as u64);
+                }
+                _ => {
+                    // King: unlocked slots adopt the king's value; a
+                    // masked king reads as the default 0. In-place is
+                    // safe: the king's own current never changes.
+                    let k = self.king(i / 3);
+                    for s in 0..n {
+                        let read = if s == k {
+                            self.current[k]
+                        } else {
+                            net.one(k, s) & !self.masked[s * n + k]
+                        };
+                        let v = (self.locked[s] & self.current[s]) | (!self.locked[s] & read);
+                        Self::commit(&mut self.current, s, v, m);
+                    }
+                    for s in 0..n {
+                        Self::commit(&mut self.prop_some, s, 0, m);
+                        Self::commit(&mut self.locked, s, 0, m);
+                    }
+                    self.add_tail_ops(m, 1);
+                }
+            }
+        }
+    }
+
+    fn ready(&self, slot: usize) -> u64 {
+        // Set only by seeded lanes' propose locks; prefix lanes are
+        // never ready (their conversion needs the whole gathered tree).
+        // The driver exempts the source itself.
+        self.ready_mask[slot]
+    }
+
+    fn current_one(&self, slot: usize) -> u64 {
+        // Tail lanes report their lane words; prefix lanes report the
+        // per-instance tree preference (only consulted on snapshot
+        // rounds, so the scalar walk stays off the hot path).
+        let mut v = self.current[slot];
+        let mut w = self.prefix_lanes;
+        while w != 0 {
+            let lane = w.trailing_zeros() as usize;
+            w &= w - 1;
+            if self.instances[lane * self.n + slot]
+                .gear()
+                .prefix()
+                .preferred()
+                == Value(1)
+            {
+                v |= 1u64 << lane;
+            }
+        }
+        v
+    }
+
+    fn decision_one(&self, slot: usize) -> u64 {
+        if slot == self.source {
+            self.input_one
+        } else {
+            self.current[slot]
+        }
+    }
+
+    fn lane_bits(&self, lane: usize) -> u64 {
+        self.bits_acc[lane]
+    }
+
+    fn lane_ops(&self, lane: usize) -> u64 {
+        // Tail charges are slot-uniform, so the per-processor max
+        // distributes: max over slots of (prefix + tail) = prefix max +
+        // tail total.
+        self.ops_prefix[lane] + self.ops_tail[lane]
+    }
+
+    fn lane_discoveries(&self, lane: usize) -> u64 {
+        self.disc[lane]
+    }
+}
+
+/// The batch kernel for the gear-shifting families, if `spec` is
+/// [`AlgorithmSpec::KingShift`] or [`AlgorithmSpec::DynamicKing`] on a
+/// valid binary-domain, unauthenticated configuration with a binary
+/// source value and at most 64 processors. Everything else signals the
+/// caller to take the scalar path.
+pub fn gear_batch_kernel(spec: &AlgorithmSpec, config: &RunConfig) -> Option<GearBatchKernel> {
+    let (b, dynamic) = match spec {
+        AlgorithmSpec::KingShift { b } => (*b, false),
+        AlgorithmSpec::DynamicKing { b } => (*b, true),
+        _ => return None,
+    };
+    if config.authenticated
+        || config.domain.size() != 2
+        || config.source_value.raw() > 1
+        || config.n > sg_sim::MAX_BATCH_RUNS
+        || spec.validate(config.n, config.t).is_err()
+    {
+        return None;
+    }
+    let params = Params::from_config(config);
+    // A probe instance pins the schedule: total rounds, conversion
+    // rounds (block boundaries) and checkpoint rounds all come from the
+    // same construction the scalar path runs.
+    let probe = if dynamic {
+        GearInstance::Dynamic(DynamicKing::new(
+            params,
+            config.source,
+            Some(config.source_value),
+            b,
+        ))
+    } else {
+        GearInstance::Shift(KingShift::new(
+            params,
+            config.source,
+            Some(config.source_value),
+            b,
+        ))
+    };
+    let gear = probe.gear();
+    let total = probe.proto().total_rounds();
+    let phases = config.t + 1;
+    let conversion_rounds: Vec<usize> = gear
+        .prefix()
+        .plan()
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, action)| {
+            matches!(action, RoundAction::Gather { convert: Some(_) }).then_some(idx + 1)
+        })
+        .collect();
+    let checkpoint_rounds: Vec<usize> = gear.checkpoints().iter().map(|c| c.round).collect();
+    Some(GearBatchKernel {
+        config: *config,
+        params,
+        b,
+        dynamic,
+        n: config.n,
+        t: config.t,
+        source: config.source.index(),
+        input_one: if config.source_value.raw() == 1 {
+            !0
+        } else {
+            0
+        },
+        total,
+        phases,
+        conversion_rounds,
+        checkpoint_rounds,
+        lanes: 0,
+        instances: Vec::new(),
+        ctxs: Vec::new(),
+        prefix_lanes: 0,
+        cohorts: Vec::new(),
+        last_wide: 0,
+        current: Vec::new(),
+        prop_some: Vec::new(),
+        prop_one: Vec::new(),
+        locked: Vec::new(),
+        ready_mask: Vec::new(),
+        masked: Vec::new(),
+        bits_acc: Vec::new(),
+        ops_prefix: Vec::new(),
+        ops_tail: Vec::new(),
+        disc: Vec::new(),
+        honest: Vec::new(),
+        shadow: Vec::new(),
+        rows: Vec::new(),
+        inbox: Inbox::empty(config.n),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gearbox::dynamic_king_rounds;
+    use crate::king_shift::king_shift_rounds;
+
+    fn config(n: usize, t: usize) -> RunConfig {
+        RunConfig::new(n, t)
+    }
+
+    #[test]
+    fn both_gear_families_get_kernels() {
+        assert!(gear_batch_kernel(&AlgorithmSpec::KingShift { b: 3 }, &config(16, 5)).is_some());
+        assert!(gear_batch_kernel(&AlgorithmSpec::DynamicKing { b: 3 }, &config(16, 5)).is_some());
+        assert!(gear_batch_kernel(&AlgorithmSpec::OptimalKing, &config(16, 5)).is_none());
+        assert!(gear_batch_kernel(&AlgorithmSpec::Hybrid { b: 3 }, &config(16, 5)).is_none());
+    }
+
+    #[test]
+    fn invalid_or_oversized_configs_are_refused() {
+        // n ≤ 3t violates the resilience bound.
+        assert!(gear_batch_kernel(&AlgorithmSpec::KingShift { b: 3 }, &config(9, 3)).is_none());
+        // More processors than lanes in a word.
+        assert!(gear_batch_kernel(&AlgorithmSpec::KingShift { b: 3 }, &config(100, 3)).is_none());
+        // Wide-domain source values have no single-bit lane form.
+        let wide = config(16, 5).with_source_value(sg_sim::Value(7));
+        assert!(gear_batch_kernel(&AlgorithmSpec::DynamicKing { b: 3 }, &wide).is_none());
+    }
+
+    #[test]
+    fn schedules_match_the_scalar_formulas() {
+        let ks = gear_batch_kernel(&AlgorithmSpec::KingShift { b: 3 }, &config(16, 5)).unwrap();
+        assert_eq!(ks.total_rounds(), king_shift_rounds(5, 3));
+        // One statically planned conversion, no checkpoints.
+        assert_eq!(ks.conversion_rounds, vec![1 + 3]);
+        assert!(ks.checkpoint_rounds.is_empty());
+
+        let dk = gear_batch_kernel(&AlgorithmSpec::DynamicKing { b: 3 }, &config(16, 5)).unwrap();
+        assert_eq!(dk.total_rounds(), dynamic_king_rounds(5, 3));
+        // A conversion closes every block; a checkpoint follows every
+        // non-final one.
+        assert_eq!(dk.conversion_rounds, vec![4, 7, 10, 13]);
+        assert_eq!(dk.checkpoint_rounds, vec![4, 7, 10]);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod compose;
 pub mod dolev_strong;
+pub mod gear_batch;
 pub mod gearbox;
 mod geared;
 pub mod interactive;
@@ -63,6 +64,7 @@ pub mod schedule;
 mod spec;
 
 pub use compose::{ComposeError, Segment, ShiftComposition, ShiftPlanBuilder};
+pub use gear_batch::{gear_batch_kernel, GearBatchKernel};
 pub use gearbox::{
     dynamic_king_blocks, dynamic_king_rounds, Checkpoint, DynamicKing, GearBox, GearPlan,
 };

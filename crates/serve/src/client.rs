@@ -320,9 +320,25 @@ impl Client {
     ///
     /// Errors if the daemon is unreachable or answers anything but pong.
     pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.ping_stats().map(|_| ())
+    }
+
+    /// Liveness probe that also returns the daemon's cumulative
+    /// result-journal telemetry as `(hits, misses)` — cells served from
+    /// the journal vs computed, summed over every submit since startup.
+    /// Both are 0 when the daemon runs without `--journal` (or predates
+    /// the telemetry fields).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the daemon is unreachable or answers anything but pong.
+    pub fn ping_stats(&mut self) -> Result<(u64, u64), ServeError> {
         self.send(&Request::Ping)?;
         match self.next_frame()? {
-            Frame::Pong => Ok(()),
+            Frame::Pong {
+                journal_hits,
+                journal_misses,
+            } => Ok((journal_hits, journal_misses)),
             other => Err(ServeError::Protocol(format!(
                 "expected pong, got {other:?}"
             ))),

@@ -317,6 +317,12 @@ struct Shared {
     /// The daemon's result journal (`ServeOptions::journal`): submit
     /// lookups and worker write-through both serialize on this lock.
     journal: Option<Mutex<Journal>>,
+    /// Cumulative cells answered from the journal, summed over every
+    /// submit since startup (stays 0 without `--journal`). Surfaced in
+    /// the `pong` frame and logged when a drain begins.
+    journal_hits: AtomicU64,
+    /// Cumulative cells that missed the journal and were computed.
+    journal_misses: AtomicU64,
     options: ServeOptions,
 }
 
@@ -370,9 +376,18 @@ impl Shared {
 
     /// Starts draining: no new submits, and once the active-job count
     /// reaches zero the daemon stops with a `bye` on every connection.
-    /// Returns the number of jobs still active.
+    /// Returns the number of jobs still active. Logs the lifetime
+    /// journal telemetry on the way out — the drain is the last moment
+    /// an operator can read it off a daemon that is about to exit.
     fn begin_drain(&self) -> u64 {
         self.draining.store(true, Ordering::SeqCst);
+        if self.journal.is_some() {
+            eprintln!(
+                "sg-serve: draining; journal served {} cell(s) from cache, computed {}",
+                self.journal_hits.load(Ordering::SeqCst),
+                self.journal_misses.load(Ordering::SeqCst),
+            );
+        }
         let active = self.active_jobs.load(Ordering::SeqCst);
         if active == 0 && !self.stop.load(Ordering::SeqCst) {
             self.begin_drain_stop();
@@ -659,6 +674,8 @@ pub fn serve(bind: &Bind, options: ServeOptions) -> io::Result<ServerHandle> {
         conns: Mutex::new(HashMap::new()),
         poke,
         journal,
+        journal_hits: AtomicU64::new(0),
+        journal_misses: AtomicU64::new(0),
         options,
     });
 
@@ -1117,7 +1134,10 @@ fn connection_events(
     }
     while let Ok(event) = rx.recv() {
         match event {
-            ConnEvent::Request(Ok(Request::Ping)) => sink.send(&Frame::Pong)?,
+            ConnEvent::Request(Ok(Request::Ping)) => sink.send(&Frame::Pong {
+                journal_hits: shared.journal_hits.load(Ordering::SeqCst),
+                journal_misses: shared.journal_misses.load(Ordering::SeqCst),
+            })?,
             ConnEvent::Request(Ok(Request::Shutdown)) => {
                 sink.send(&Frame::Bye)?;
                 // Don't begin_stop here: the caller does, after the
@@ -1180,6 +1200,14 @@ fn connection_events(
                 }
                 let cached: Vec<bool> = hits.iter().map(Option::is_some).collect();
                 let cached_count = hits.iter().flatten().count();
+                if shared.journal.is_some() {
+                    shared
+                        .journal_hits
+                        .fetch_add(cached_count as u64, Ordering::SeqCst);
+                    shared
+                        .journal_misses
+                        .fetch_add((cells - cached_count) as u64, Ordering::SeqCst);
+                }
                 let job = Arc::new(Job {
                     id,
                     plan,

@@ -321,8 +321,17 @@ pub enum Frame {
         /// The affected job, for job-scoped errors.
         job: Option<u64>,
     },
-    /// Answer to `ping`.
-    Pong,
+    /// Answer to `ping`. Besides liveness, the frame carries the
+    /// daemon's cumulative result-journal telemetry — cells served from
+    /// the journal vs computed, summed over every submit since startup
+    /// (both 0 when the daemon runs without `--journal`; absent on the
+    /// wire from pre-telemetry daemons, decoded as 0).
+    Pong {
+        /// Cells answered from the result journal across all jobs.
+        journal_hits: u64,
+        /// Cells that missed the journal and were computed.
+        journal_misses: u64,
+    },
     /// Answer to `shutdown`; the daemon is stopping.
     Bye,
 }
@@ -398,9 +407,14 @@ impl ToJson for Frame {
                     fields.push(("job".to_string(), Json::from(*job)));
                 }
             }
-            Frame::Pong => {
+            Frame::Pong {
+                journal_hits,
+                journal_misses,
+            } => {
                 fields.push(("frame".to_string(), Json::from("pong")));
                 fields.push(("proto".to_string(), Json::from(PROTOCOL)));
+                fields.push(("journal_hits".to_string(), Json::from(*journal_hits)));
+                fields.push(("journal_misses".to_string(), Json::from(*journal_misses)));
             }
             Frame::Bye => fields.push(("frame".to_string(), Json::from("bye"))),
         }
@@ -495,7 +509,18 @@ impl FromJson for Frame {
                     },
                 }
             }
-            "pong" => Frame::Pong,
+            "pong" => {
+                let counter = |key: &str| match v.get(key) {
+                    None => Ok(0),
+                    Some(c) => c.as_u64().ok_or_else(|| {
+                        JsonError::msg(format!("'{key}' must be a non-negative integer"))
+                    }),
+                };
+                Frame::Pong {
+                    journal_hits: counter("journal_hits")?,
+                    journal_misses: counter("journal_misses")?,
+                }
+            }
             "bye" => Frame::Bye,
             other => return Err(JsonError::msg(format!("unknown frame '{other}'"))),
         })
@@ -599,13 +624,29 @@ mod tests {
                 retry_after_ms: None,
             },
             Frame::Draining { active_jobs: 2 },
-            Frame::Pong,
+            Frame::Pong {
+                journal_hits: 12,
+                journal_misses: 5,
+            },
             Frame::Bye,
         ] {
             let line = frame.to_json().to_string();
             let back = Frame::from_json(&Json::parse(&line).unwrap()).unwrap();
             assert_eq!(back, frame, "through {line}");
         }
+    }
+
+    #[test]
+    fn pre_telemetry_pongs_decode_with_zero_counters() {
+        let line = "{\"frame\":\"pong\",\"proto\":\"sg-serve/1\"}";
+        let Frame::Pong {
+            journal_hits,
+            journal_misses,
+        } = Frame::from_json(&Json::parse(line).unwrap()).unwrap()
+        else {
+            panic!("not a pong");
+        };
+        assert_eq!((journal_hits, journal_misses), (0, 0));
     }
 
     #[test]

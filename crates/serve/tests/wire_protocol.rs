@@ -87,9 +87,16 @@ fn malformed_lines_get_structured_errors_and_the_daemon_survives() {
         }
     }
 
-    // ...and the connection (and daemon) keep working afterwards.
+    // ...and the connection (and daemon) keep working afterwards. A
+    // journal-less daemon pongs zero lifetime journal counters.
     raw.send_line("{\"op\":\"ping\"}");
-    assert_eq!(raw.read_frame(), Frame::Pong);
+    assert_eq!(
+        raw.read_frame(),
+        Frame::Pong {
+            journal_hits: 0,
+            journal_misses: 0,
+        }
+    );
 
     let mut fresh = Client::connect(&addr, Duration::from_secs(5)).expect("fresh connection");
     fresh.ping().expect("daemon still serving");

@@ -12,12 +12,38 @@
 //! The division of labour mirrors the scalar engine:
 //!
 //! * this module owns the *substrate* — the [`BatchArena`] scratch space,
-//!   the bit-plane counters ([`LaneCounts`]), and the [`run_batch`]
-//!   driver that materializes per-run [`AdversaryView`]s and calls each
-//!   run's adversary in exactly the order the scalar engine would;
+//!   the bit-plane counters ([`LaneCounts`]), and the [`run_batch_with`]
+//!   driver that feeds each round's faulty-slot payloads from a
+//!   [`BatchAdversary`];
 //! * the *protocol semantics* live behind the [`BatchKernel`] trait,
-//!   implemented in `sg-core` for the king family (everything else takes
-//!   the scalar fallback, per the `set_packed_broadcast` pattern).
+//!   implemented in `sg-core` for the king and phase families (everything
+//!   else takes the scalar fallback, per the `set_packed_broadcast`
+//!   pattern).
+//!
+//! # The adversary side
+//!
+//! Fault injection is batch-aware too. A [`BatchAdversary`] materializes
+//! every lane's fault set in one `corrupt_lanes` call, and — when its
+//! [`BatchAdversary::vectorized`] flag opts in — classifies all faulty
+//! payloads of a round directly into lane masks through
+//! [`BatchAdversary::lies`], skipping per-lane payload interning and
+//! view assembly entirely. Strategies that cannot vectorize (traced,
+//! recording, tape, closure adversaries) ride the [`ScalarBridge`]: the
+//! driver materializes per-lane [`AdversaryView`]s and calls each lane's
+//! scalar [`Adversary`] in exactly the order the scalar engine would, so
+//! the `sg-trace/1` call-order contract is untouched. The vector path is
+//! *absent, never wrong*: both paths are bit-identical by construction.
+//!
+//! # Mixed-width kernels
+//!
+//! Gear-shifting families (`king-shift`, `dynamic-king`) run a tree
+//! prefix whose payloads do not fit one bit per lane. Their kernels
+//! implement [`BatchKernel::wide_round`]: lanes still in the prefix are
+//! executed internally (per-lane scalar instances, reported back through
+//! the `handled` mask), while lanes whose king tail has been seeded stay
+//! on the narrow bitwise path. Lanes whose dynamic gear votes diverge
+//! from the batch retire through the `deferred` mask and are re-run by
+//! the caller on the scalar engine — again absent, never wrong.
 //!
 //! Per-run outputs are bit-identical to the scalar path by construction:
 //! the adversary sees semantically equal views in the same call order,
@@ -30,9 +56,9 @@ use std::sync::Arc;
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::engine::{early_stopping_enabled, RunConfig};
-use crate::id::ProcessSet;
+use crate::id::{ProcessId, ProcessSet};
 use crate::payload::Payload;
-use crate::value::Value;
+use crate::value::{Value, ValueDomain};
 
 /// Whether sweep executors batch seeds of a cell into lock-step groups
 /// (`true` by default). The CLI's `--no-batch` escape hatch clears it;
@@ -50,6 +76,24 @@ pub fn set_batch_runs(enabled: bool) {
 /// Whether lock-step run batching is active.
 pub fn batch_runs_enabled() -> bool {
     BATCH_RUNS.load(Ordering::SeqCst)
+}
+
+/// Whether batch executors may use the vectorized adversary path
+/// ([`BatchAdversary::lies`]) for families that opt in (`true` by
+/// default). The CLI's `--no-batch-adversary` escape hatch clears it,
+/// forcing the per-lane [`ScalarBridge`] even for vector-capable
+/// families; CI cross-checks the report fingerprints both ways.
+static BATCH_ADVERSARIES: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the vectorized adversary path (default on). Like
+/// [`set_batch_runs`], executors read it once per batch.
+pub fn set_batch_adversaries(enabled: bool) {
+    BATCH_ADVERSARIES.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether the vectorized adversary path is active.
+pub fn batch_adversaries_enabled() -> bool {
+    BATCH_ADVERSARIES.load(Ordering::SeqCst)
 }
 
 /// Maximum runs per lock-step batch: one bit lane per run in a `u64`.
@@ -173,14 +217,173 @@ impl BatchNet<'_> {
     }
 }
 
+/// The lane-mask view a vectorized adversary sees in one round — the
+/// batch counterpart of [`AdversaryView`]. Broadcast classification is
+/// per slot: `present[j]` holds the lanes in which slot `j` sent at all
+/// this round, `one[j]`/`zero[j]` the lanes in which the sent value
+/// reads `1`/`0` (present lanes in neither sent `⊥`). Faulty slots are
+/// classified too — their masks describe what the honest *shadow* of
+/// that processor would have sent, exactly the
+/// [`AdversaryView::shadow_of`] table of the scalar path.
+pub struct LaneView<'a> {
+    /// Current 1-based round.
+    pub round: usize,
+    /// The run's full static schedule length.
+    pub total_rounds: usize,
+    /// System size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// The distinguished source processor.
+    pub source: ProcessId,
+    /// The source's input value.
+    pub source_value: Value,
+    /// The agreement domain.
+    pub domain: ValueDomain,
+    /// Per-slot lane masks: lanes in which the slot broadcasts this round.
+    pub present: &'a [u64],
+    /// Per-slot lane masks: lanes in which the broadcast value reads `1`.
+    pub one: &'a [u64],
+    /// Per-slot lane masks: lanes in which the broadcast value reads `0`.
+    pub zero: &'a [u64],
+    /// Per-slot lane masks of fault status (`faulty[j]` = lanes in which
+    /// slot `j` is faulty).
+    pub faulty: &'a [u64],
+    /// Each lane's fault set, in lane order.
+    pub fault_sets: &'a [ProcessSet],
+    /// Lanes the adversary must fill this round; all other lanes are
+    /// retired or handled elsewhere and must be left untouched.
+    pub active: u64,
+}
+
+/// Batch-aware fault injection: the adversary side of [`run_batch_with`].
+///
+/// One value of this trait drives *all* lanes of a batch. Two shapes
+/// exist:
+///
+/// * [`ScalarBridge`] — wraps one scalar [`Adversary`] per lane and
+///   replays the scalar engine's exact call order (`corrupt` once per
+///   lane up front; per round, faulty senders ascending × recipients
+///   ascending). This is the universal fallback and the path traced /
+///   recording / tape adversaries must take.
+/// * vectorized families (`sg-adversary`'s `BatchFamily`) — opt in via
+///   [`BatchAdversary::vectorized`] and classify a whole round of faulty
+///   payloads into lane masks in one [`BatchAdversary::lies`] call.
+///
+/// Either way, [`BatchAdversary::lane`] exposes the underlying scalar
+/// adversary of a lane so mixed-width kernels (see
+/// [`BatchKernel::wide_round`]) can collect real payload objects for
+/// prefix rounds whose messages do not fit one bit.
+pub trait BatchAdversary {
+    /// Number of lanes (runs) this adversary drives, `1..=`[`MAX_BATCH_RUNS`].
+    fn lanes(&self) -> usize;
+
+    /// Materializes every lane's fault set: sets bit `lane` of
+    /// `faulty[p]` for each corrupted processor `p` and pushes one
+    /// [`ProcessSet`] per lane (lane order) onto `fault_sets`.
+    ///
+    /// Returns `false` — **without consuming any lane** — when a lane
+    /// reports per-edge faults, which the word-per-slot layout cannot
+    /// express; callers then re-run every lane on the scalar engine.
+    /// (The scalar adversaries stay reusable: poolable lanes are
+    /// reseeded for their scalar runs instead of being rebuilt.)
+    fn corrupt_lanes(
+        &mut self,
+        n: usize,
+        t: usize,
+        source: ProcessId,
+        faulty: &mut [u64],
+        fault_sets: &mut Vec<ProcessSet>,
+    ) -> bool;
+
+    /// Whether this adversary fills rounds through [`BatchAdversary::lies`]
+    /// (`true`) or per-lane scalar `payload` calls (`false`, the default).
+    fn vectorized(&self) -> bool {
+        false
+    }
+
+    /// Vector fault injection: classify every faulty slot's payload to
+    /// every recipient directly into the delivered-network lane masks
+    /// (`net_one[f * n + r]` / `net_zero[…]`), for lanes in
+    /// `view.active` only. Lanes set in neither mask deliver `⊥` or
+    /// nothing — the same three-way classification as [`BatchNet`].
+    ///
+    /// Only consulted when [`BatchAdversary::vectorized`] is `true`; the
+    /// default is a no-op.
+    fn lies(&mut self, view: &LaneView<'_>, net_one: &mut [u64], net_zero: &mut [u64]) {
+        let _ = (view, net_one, net_zero);
+    }
+
+    /// The scalar adversary driving `lane` — the bridge for per-lane
+    /// payload collection (non-vectorized rounds and kernel-internal
+    /// wide rounds).
+    fn lane(&mut self, lane: usize) -> &mut dyn Adversary;
+}
+
+/// The per-lane scalar bridge: one boxed [`Adversary`] per lane, called
+/// in the scalar engine's exact order. See [`BatchAdversary`].
+pub struct ScalarBridge<'a>(pub &'a mut [Box<dyn Adversary>]);
+
+impl BatchAdversary for ScalarBridge<'_> {
+    fn lanes(&self) -> usize {
+        self.0.len()
+    }
+
+    fn corrupt_lanes(
+        &mut self,
+        n: usize,
+        t: usize,
+        source: ProcessId,
+        faulty: &mut [u64],
+        fault_sets: &mut Vec<ProcessSet>,
+    ) -> bool {
+        // Edge faults are declared up front (every in-tree adversary's
+        // `has_edge_faults` is independent of `corrupt`), so a bailout
+        // leaves all lanes unconsumed and reusable for the scalar re-run.
+        if self.0.iter().any(|a| a.has_edge_faults()) {
+            return false;
+        }
+        for (lane, adversary) in self.0.iter_mut().enumerate() {
+            let set = adversary.corrupt(n, t, source);
+            assert_eq!(set.universe(), n, "adversary corrupted the wrong universe");
+            for p in set.iter() {
+                faulty[p.index()] |= 1u64 << lane;
+            }
+            fault_sets.push(set);
+        }
+        true
+    }
+
+    fn lane(&mut self, lane: usize) -> &mut dyn Adversary {
+        self.0[lane].as_mut()
+    }
+}
+
+/// What a mixed-width kernel reports for one [`BatchKernel::wide_round`]:
+/// which lanes it executed internally and which lanes must leave the
+/// batch for the scalar engine.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct WideRound {
+    /// Lanes the kernel fully executed this round (outgoing, adversary,
+    /// delivery, and accounting); the driver's narrow bitwise path skips
+    /// them.
+    pub handled: u64,
+    /// Lanes that must retire to the scalar engine (for gear kernels:
+    /// lanes whose correct processors' shift votes diverged, so the
+    /// batch cannot keep a common schedule). The driver removes them
+    /// from the active mask and marks their results
+    /// [`BatchRunResult::deferred`].
+    pub deferred: u64,
+}
+
 /// Protocol semantics for lock-step batch execution: the per-round hooks
-/// a family implements so [`run_batch`] can drive up to 64 of its runs
-/// with full-width bitwise ops. All lane-mask state updates must freeze
-/// lanes outside `active` (`new = (active & computed) | (!active & old)`)
-/// so early-stopped runs keep their retirement-time state.
+/// a family implements so [`run_batch_with`] can drive up to 64 of its
+/// runs with full-width bitwise ops. All lane-mask state updates must
+/// freeze lanes outside `active` (`new = (active & computed) | (!active
+/// & old)`) so early-stopped runs keep their retirement-time state.
 pub trait BatchKernel {
-    /// Rounds in the static schedule (batch kernels run static schedules
-    /// only; gear-shifting families take the scalar fallback).
+    /// Rounds in the worst-case schedule (a hard ceiling; mixed-width
+    /// kernels may retire lanes earlier through [`BatchKernel::finished`]).
     fn total_rounds(&self) -> usize;
 
     /// Resets all lane state for a fresh batch of `lanes` runs.
@@ -188,19 +391,65 @@ pub trait BatchKernel {
 
     /// Local-computation charge per processor for `round` — must equal
     /// the scalar protocol's per-slot `ctx.charge` total, which the king
-    /// family keeps uniform across slots.
+    /// family keeps uniform across slots. Kernels with non-uniform or
+    /// internally accounted charges return 0 here and report through
+    /// [`BatchKernel::lane_ops`] instead.
     fn charge(&self, round: usize) -> u64;
 
     /// Whether `round` emits a preferred-value snapshot (the events the
     /// stability analysis replays to compute lock-in rounds).
     fn snapshot_round(&self, round: usize) -> bool;
 
+    /// Per-lane refinement of [`BatchKernel::snapshot_round`]: the lanes
+    /// for which `round` emits a preference event. The default covers
+    /// uniform-schedule kernels (all lanes or none); mixed-width kernels
+    /// override it because prefix and tail lanes snapshot on different
+    /// rounds.
+    fn snapshot_lanes(&self, round: usize) -> u64 {
+        if self.snapshot_round(round) {
+            !0
+        } else {
+            0
+        }
+    }
+
+    /// Executes the non-bitwise part of `round` for kernels with
+    /// mixed-width schedules (see [`WideRound`]); the default handles
+    /// nothing, which keeps uniform kernels entirely on the narrow path.
+    ///
+    /// Implementations receive the batch's fault-lane tables and the
+    /// [`BatchAdversary`] so they can collect per-lane payloads through
+    /// [`BatchAdversary::lane`] in the scalar call order.
+    fn wide_round(
+        &mut self,
+        round: usize,
+        config: &RunConfig,
+        adversary: &mut dyn BatchAdversary,
+        fault_sets: &[ProcessSet],
+        faulty: &[u64],
+        active: u64,
+    ) -> WideRound {
+        let _ = (round, config, adversary, fault_sets, faulty, active);
+        WideRound::default()
+    }
+
+    /// Lanes whose (possibly dynamically shortened) schedule is complete
+    /// after `round` — the batch counterpart of a unanimous
+    /// [`GearAction::Finished`](crate::GearAction) vote. The driver
+    /// retires them with `rounds_used = round`. Default: none (uniform
+    /// kernels end at [`BatchKernel::total_rounds`]).
+    fn finished(&self, round: usize) -> u64 {
+        let _ = round;
+        0
+    }
+
     /// Classifies every slot's broadcast for `round` into lane masks:
     /// `present[j]` — lanes in which slot `j` sends at all; `one`/`zero`
     /// — lanes in which the sent value is `1`/`0` (present lanes in
     /// neither send `⊥`). Slots are classified independently of fault
     /// status: the engine routes a faulty slot's broadcast to the shadow
-    /// table, exactly like the scalar path.
+    /// table, exactly like the scalar path. Lanes handled by
+    /// [`BatchKernel::wide_round`] must be left clear.
     fn outgoing(&mut self, round: usize, present: &mut [u64], one: &mut [u64], zero: &mut [u64]);
 
     /// Applies one delivered round to all lane state, updating only
@@ -215,21 +464,45 @@ pub trait BatchKernel {
 
     /// Lanes in which `slot` would decide `1` if the run ended now.
     fn decision_one(&self, slot: usize) -> u64;
+
+    /// Honest wire bits accounted internally by the kernel for `lane`
+    /// (mixed-width kernels: the prefix's multi-value payloads), added to
+    /// the driver's narrow-path accounting at finalize. Default 0.
+    fn lane_bits(&self, lane: usize) -> u64 {
+        let _ = lane;
+        0
+    }
+
+    /// Local-computation ops accounted internally by the kernel for
+    /// `lane` (the maximum over processor slots, like the scalar
+    /// engine's `max_local_ops`), added at finalize. Default 0.
+    fn lane_ops(&self, lane: usize) -> u64 {
+        let _ = lane;
+        0
+    }
+
+    /// Fault discoveries recorded for `lane` (the count of `Discovered`
+    /// trace events a scalar run would emit across correct processors).
+    /// Default 0: the king and phase families discover nothing.
+    fn lane_discoveries(&self, lane: usize) -> u64 {
+        let _ = lane;
+        0
+    }
 }
 
 /// One recorded preferred-value snapshot: the round, each slot's
 /// preferred-value lane mask at that point, and which lanes actually
-/// executed the round (retired lanes must not see later snapshots).
+/// emitted a preference event this round (retired lanes and lanes on a
+/// different sub-schedule must not see it).
 struct Snapshot {
     round: usize,
     current: Vec<u64>,
-    active: u64,
+    lanes: u64,
 }
 
 /// Per-run results of a lock-step batch, in lane order. Field semantics
 /// match the scalar [`Outcome`](crate::Outcome)-derived sweep sample
-/// exactly; king-family runs emit no discovery events, so there is no
-/// discovery count here.
+/// exactly.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct BatchRunResult {
     /// Whether all correct processors decided the same value.
@@ -245,11 +518,18 @@ pub struct BatchRunResult {
     pub total_bits: u64,
     /// Maximum local computation charged to any one processor.
     pub max_local_ops: u64,
+    /// Fault discoveries across correct processors (0 when tracing is
+    /// off, and always 0 for the discovery-free king/phase families).
+    pub discoveries: u64,
+    /// This lane left the batch mid-run (diverging gear votes — see
+    /// [`WideRound::deferred`]); every other field is meaningless and the
+    /// caller must re-run the lane's seed on the scalar engine.
+    pub deferred: bool,
 }
 
-/// Reusable scratch for [`run_batch`] — the batch-path sibling of the
-/// scalar [`RunArena`](crate::RunArena). Holding one per worker thread
-/// keeps the steady-state round loop allocation-free.
+/// Reusable scratch for [`run_batch_with`] — the batch-path sibling of
+/// the scalar [`RunArena`](crate::RunArena). Holding one per worker
+/// thread keeps the steady-state round loop allocation-free.
 #[derive(Default)]
 pub struct BatchArena {
     // Per-slot broadcast classification for the current round.
@@ -281,8 +561,8 @@ impl BatchArena {
         BatchArena::default()
     }
 
-    /// The per-run results of the most recent [`run_batch`] call, in
-    /// lane (seed) order.
+    /// The per-run results of the most recent [`run_batch_with`] call,
+    /// in lane (seed) order.
     pub fn results(&self) -> &[BatchRunResult] {
         &self.results
     }
@@ -331,15 +611,8 @@ fn wire_payloads() -> (Arc<Payload>, Arc<Payload>, Arc<Payload>) {
     )
 }
 
-/// Executes up to [`MAX_BATCH_RUNS`] runs of one configuration in
-/// lock-step, one adversary instance per lane. Results land in
-/// [`BatchArena::results`], in lane order.
-///
-/// Returns `false` — leaving the adversaries consumed only up to their
-/// `corrupt` calls and the arena results empty — if any lane's adversary
-/// reports edge faults, which the word-per-slot layout cannot express;
-/// callers then take the scalar path. (This mirrors the scalar engine,
-/// which latches `has_edge_faults` immediately after `corrupt`.)
+/// [`run_batch_with`] over one scalar [`Adversary`] per lane — the
+/// universal entry point (and the only one the scalar bridge needs).
 ///
 /// # Panics
 ///
@@ -351,27 +624,50 @@ pub fn run_batch(
     kernel: &mut dyn BatchKernel,
     adversaries: &mut [Box<dyn Adversary>],
 ) -> bool {
+    run_batch_with(arena, config, kernel, &mut ScalarBridge(adversaries))
+}
+
+/// Executes up to [`MAX_BATCH_RUNS`] runs of one configuration in
+/// lock-step. Results land in [`BatchArena::results`], in lane order;
+/// lanes flagged [`BatchRunResult::deferred`] left the batch mid-run and
+/// must be re-run on the scalar engine.
+///
+/// Returns `false` — leaving every lane's scalar adversary unconsumed
+/// and the arena results empty — if any lane's adversary reports edge
+/// faults, which the word-per-slot layout cannot express; callers then
+/// take the scalar path with the same (reseeded) adversaries.
+///
+/// # Panics
+///
+/// Panics if the adversary drives zero or more than [`MAX_BATCH_RUNS`]
+/// lanes, or corrupts the wrong universe.
+pub fn run_batch_with(
+    arena: &mut BatchArena,
+    config: &RunConfig,
+    kernel: &mut dyn BatchKernel,
+    adversary: &mut dyn BatchAdversary,
+) -> bool {
     let n = config.n;
-    let lanes = adversaries.len();
+    let lanes = adversary.lanes();
     assert!(
         (1..=MAX_BATCH_RUNS).contains(&lanes),
         "1..=64 lanes per batch"
     );
     arena.reset(n, lanes);
 
-    // Corrupt every lane up front, exactly once per run, in lane order —
-    // the same once-per-run contract the scalar engine honours.
-    for (lane, adversary) in adversaries.iter_mut().enumerate() {
-        let set = adversary.corrupt(n, config.t, config.source);
-        assert_eq!(set.universe(), n, "adversary corrupted the wrong universe");
-        for p in set.iter() {
-            arena.faulty[p.index()] |= 1u64 << lane;
-        }
-        arena.fault_sets.push(set);
-        if adversary.has_edge_faults() {
-            return false;
-        }
+    // Materialize every lane's fault set up front, exactly once per run
+    // — the same once-per-run contract the scalar engine honours. An
+    // edge-fault bailout happens before any lane is consumed.
+    if !adversary.corrupt_lanes(
+        n,
+        config.t,
+        config.source,
+        &mut arena.faulty,
+        &mut arena.fault_sets,
+    ) {
+        return false;
     }
+    debug_assert_eq!(arena.fault_sets.len(), lanes, "one fault set per lane");
 
     let total_rounds = kernel.total_rounds();
     kernel.reset(lanes);
@@ -384,71 +680,65 @@ pub fn run_batch(
         (1u64 << lanes) - 1
     };
     let mut active = all_lanes;
+    let mut deferred: u64 = 0;
     let src = config.source.index();
 
     let mut round = 0usize;
     while active != 0 && round < total_rounds {
         round += 1;
 
-        for buf in [&mut arena.present, &mut arena.one, &mut arena.zero] {
-            buf.iter_mut().for_each(|w| *w = 0);
+        // Mixed-width kernels run their wide (non-bitwise) lanes first;
+        // uniform kernels handle nothing and defer nothing.
+        let wide = kernel.wide_round(
+            round,
+            config,
+            adversary,
+            &arena.fault_sets,
+            &arena.faulty,
+            active,
+        );
+        let newly_deferred = wide.deferred & active;
+        deferred |= newly_deferred;
+        active &= !newly_deferred;
+        if active == 0 {
+            break;
         }
-        kernel.outgoing(round, &mut arena.present, &mut arena.one, &mut arena.zero);
+        let narrow = active & !wide.handled;
 
-        // Accounting: honest bits on the wire (every king-family payload
-        // is one value of one bit, fanned out to n − 1 recipients) and
-        // the uniform per-slot local-op charge.
-        let charge = kernel.charge(round);
-        for j in 0..n {
-            let mut w = arena.present[j] & !arena.faulty[j] & active;
-            while w != 0 {
-                let lane = w.trailing_zeros() as usize;
-                w &= w - 1;
-                arena.total_bits[lane] += (n as u64) - 1;
+        if narrow != 0 {
+            for buf in [&mut arena.present, &mut arena.one, &mut arena.zero] {
+                buf.iter_mut().for_each(|w| *w = 0);
             }
-        }
-        {
-            let mut w = active;
-            while w != 0 {
-                let lane = w.trailing_zeros() as usize;
-                w &= w - 1;
-                arena.ops[lane] += charge;
-            }
-        }
+            kernel.outgoing(round, &mut arena.present, &mut arena.one, &mut arena.zero);
 
-        // The rushing adversary: per active lane, materialize the view
-        // (interned payloads, honest and shadow tables split by that
-        // lane's fault set) and collect every faulty sender's payloads in
-        // the scalar call order — faulty senders ascending, recipients
-        // ascending, self skipped.
-        for buf in [&mut arena.net_one, &mut arena.net_zero] {
-            buf.iter_mut().for_each(|w| *w = 0);
-        }
-        {
-            let mut w = active;
-            while w != 0 {
-                let lane = w.trailing_zeros() as usize;
-                w &= w - 1;
-                let bit = lane_mask(lane);
-                for j in 0..n {
-                    let payload = if arena.present[j] & bit == 0 {
-                        None
-                    } else if arena.one[j] & bit != 0 {
-                        Some(p_one.clone())
-                    } else if arena.zero[j] & bit != 0 {
-                        Some(p_zero.clone())
-                    } else {
-                        Some(p_bot.clone())
-                    };
-                    if arena.faulty[j] & bit != 0 {
-                        arena.view_honest[j] = None;
-                        arena.view_shadow[j] = payload;
-                    } else {
-                        arena.view_honest[j] = payload;
-                        arena.view_shadow[j] = None;
-                    }
+            // Accounting: honest bits on the wire (every narrow-path
+            // payload is one value of one bit, fanned out to n − 1
+            // recipients) and the uniform per-slot local-op charge.
+            let charge = kernel.charge(round);
+            for j in 0..n {
+                let mut w = arena.present[j] & !arena.faulty[j] & narrow;
+                while w != 0 {
+                    let lane = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    arena.total_bits[lane] += (n as u64) - 1;
                 }
-                let view = AdversaryView {
+            }
+            if charge != 0 {
+                let mut w = narrow;
+                while w != 0 {
+                    let lane = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    arena.ops[lane] += charge;
+                }
+            }
+
+            for buf in [&mut arena.net_one, &mut arena.net_zero] {
+                buf.iter_mut().for_each(|w| *w = 0);
+            }
+            if adversary.vectorized() {
+                // The vector path: one call classifies every faulty
+                // slot's payloads for all narrow lanes at once.
+                let view = LaneView {
                     round,
                     total_rounds,
                     n,
@@ -456,59 +746,113 @@ pub fn run_batch(
                     source: config.source,
                     source_value: config.source_value,
                     domain: config.domain,
-                    faulty: &arena.fault_sets[lane],
-                    honest_broadcast: &arena.view_honest,
-                    shadow_broadcast: &arena.view_shadow,
-                    sigs: None,
+                    present: &arena.present,
+                    one: &arena.one,
+                    zero: &arena.zero,
+                    faulty: &arena.faulty,
+                    fault_sets: &arena.fault_sets,
+                    active: narrow,
                 };
-                for f in arena.fault_sets[lane].iter() {
-                    for r in 0..n {
-                        if r == f.index() {
-                            continue;
+                adversary.lies(&view, &mut arena.net_one, &mut arena.net_zero);
+            } else {
+                // The rushing adversary bridge: per active lane,
+                // materialize the view (interned payloads, honest and
+                // shadow tables split by that lane's fault set) and
+                // collect every faulty sender's payloads in the scalar
+                // call order — faulty senders ascending, recipients
+                // ascending, self skipped.
+                let mut w = narrow;
+                while w != 0 {
+                    let lane = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    if arena.fault_sets[lane].is_empty() {
+                        continue;
+                    }
+                    let bit = lane_mask(lane);
+                    for j in 0..n {
+                        let payload = if arena.present[j] & bit == 0 {
+                            None
+                        } else if arena.one[j] & bit != 0 {
+                            Some(p_one.clone())
+                        } else if arena.zero[j] & bit != 0 {
+                            Some(p_zero.clone())
+                        } else {
+                            Some(p_bot.clone())
+                        };
+                        if arena.faulty[j] & bit != 0 {
+                            arena.view_honest[j] = None;
+                            arena.view_shadow[j] = payload;
+                        } else {
+                            arena.view_honest[j] = payload;
+                            arena.view_shadow[j] = None;
                         }
-                        let payload = adversaries[lane].payload(f, crate::ProcessId(r), &view);
-                        match payload.value_at(0) {
-                            Some(Value(1)) => arena.net_one[f.index() * n + r] |= bit,
-                            Some(Value(0)) => arena.net_zero[f.index() * n + r] |= bit,
-                            _ => {}
+                    }
+                    let view = AdversaryView {
+                        round,
+                        total_rounds,
+                        n,
+                        t: config.t,
+                        source: config.source,
+                        source_value: config.source_value,
+                        domain: config.domain,
+                        faulty: &arena.fault_sets[lane],
+                        honest_broadcast: &arena.view_honest,
+                        shadow_broadcast: &arena.view_shadow,
+                        sigs: None,
+                    };
+                    let scalar = adversary.lane(lane);
+                    for f in arena.fault_sets[lane].iter() {
+                        for r in 0..n {
+                            if r == f.index() {
+                                continue;
+                            }
+                            let payload = scalar.payload(f, ProcessId(r), &view);
+                            match payload.value_at(0) {
+                                Some(Value(1)) => arena.net_one[f.index() * n + r] |= bit,
+                                Some(Value(0)) => arena.net_zero[f.index() * n + r] |= bit,
+                                _ => {}
+                            }
                         }
                     }
                 }
             }
-        }
 
-        // Merge honest broadcasts into the delivered network: in lanes
-        // where a slot is correct its classified outgoing reaches every
-        // recipient unchanged; faulty lanes already carry the adversary's
-        // per-recipient rows.
-        for j in 0..n {
-            let honest_one = arena.one[j] & arena.present[j] & !arena.faulty[j];
-            let honest_zero = arena.zero[j] & arena.present[j] & !arena.faulty[j];
-            for i in 0..n {
-                if i == j {
-                    arena.net_one[j * n + i] = 0;
-                    arena.net_zero[j * n + i] = 0;
-                } else {
-                    arena.net_one[j * n + i] |= honest_one;
-                    arena.net_zero[j * n + i] |= honest_zero;
+            // Merge honest broadcasts into the delivered network: in
+            // lanes where a slot is correct its classified outgoing
+            // reaches every recipient unchanged; faulty lanes already
+            // carry the adversary's per-recipient rows.
+            for j in 0..n {
+                let honest_one = arena.one[j] & arena.present[j] & !arena.faulty[j];
+                let honest_zero = arena.zero[j] & arena.present[j] & !arena.faulty[j];
+                for i in 0..n {
+                    if i == j {
+                        arena.net_one[j * n + i] = 0;
+                        arena.net_zero[j * n + i] = 0;
+                    } else {
+                        arena.net_one[j * n + i] |= honest_one;
+                        arena.net_zero[j * n + i] |= honest_zero;
+                    }
                 }
             }
+
+            let net = BatchNet {
+                n,
+                one: &arena.net_one,
+                zero: &arena.net_zero,
+            };
+            kernel.deliver(round, &net, narrow);
         }
 
-        let net = BatchNet {
-            n,
-            one: &arena.net_one,
-            zero: &arena.net_zero,
-        };
-        kernel.deliver(round, &net, active);
-
-        if kernel.snapshot_round(round) && config.trace {
-            let current: Vec<u64> = (0..n).map(|i| kernel.current_one(i)).collect();
-            arena.snapshots.push(Snapshot {
-                round,
-                current,
-                active,
-            });
+        if config.trace {
+            let snap_lanes = kernel.snapshot_lanes(round) & active;
+            if snap_lanes != 0 {
+                let current: Vec<u64> = (0..n).map(|i| kernel.current_one(i)).collect();
+                arena.snapshots.push(Snapshot {
+                    round,
+                    current,
+                    lanes: snap_lanes,
+                });
+            }
         }
 
         // Early stop: retire lanes in which every correct processor is
@@ -531,6 +875,21 @@ pub fn run_batch(
             }
             active &= !stop;
         }
+
+        // Dynamic-schedule retirement: lanes whose (shortened) gear
+        // schedule completed this round — the scalar engine's unanimous
+        // `Finished` break, per lane.
+        let fin = kernel.finished(round) & active;
+        if fin != 0 {
+            let mut w = fin;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                arena.rounds_used[lane] = round;
+                arena.early_stopped[lane] = round < total_rounds;
+            }
+            active &= !fin;
+        }
     }
     {
         let mut w = active;
@@ -543,16 +902,24 @@ pub fn run_batch(
 
     // Finalize per lane: decisions, agreement, and the lock-in walk over
     // the recorded snapshots — the same per-processor candidate scan the
-    // stability analysis performs on a scalar trace.
+    // stability analysis performs on a scalar trace. Deferred lanes are
+    // only marked; their seeds re-run on the scalar engine.
     let decisions: Vec<u64> = (0..n).map(|i| kernel.decision_one(i)).collect();
     for lane in 0..lanes {
         let bit = lane_mask(lane);
+        if deferred & bit != 0 {
+            arena.results[lane] = BatchRunResult {
+                deferred: true,
+                ..BatchRunResult::default()
+            };
+            continue;
+        }
         let faulty = &arena.fault_sets[lane];
         let mut agreement = true;
         let mut seen: Option<bool> = None;
         let mut lock_in = 0usize;
         for i in 0..n {
-            if faulty.contains(crate::ProcessId(i)) {
+            if faulty.contains(ProcessId(i)) {
                 continue;
             }
             let d = decisions[i] & bit != 0;
@@ -564,7 +931,7 @@ pub fn run_batch(
                 let mut candidate: Option<usize> = None;
                 let mut any = false;
                 for snap in &arena.snapshots {
-                    if snap.active & bit == 0 {
+                    if snap.lanes & bit == 0 {
                         continue;
                     }
                     any = true;
@@ -584,8 +951,14 @@ pub fn run_batch(
             rounds_used: arena.rounds_used[lane],
             early_stopped: arena.early_stopped[lane],
             lock_in,
-            total_bits: arena.total_bits[lane],
-            max_local_ops: arena.ops[lane],
+            total_bits: arena.total_bits[lane] + kernel.lane_bits(lane),
+            max_local_ops: arena.ops[lane] + kernel.lane_ops(lane),
+            discoveries: if config.trace {
+                kernel.lane_discoveries(lane)
+            } else {
+                0
+            },
+            deferred: false,
         };
     }
     true
@@ -634,5 +1007,55 @@ mod tests {
         assert!(!batch_runs_enabled());
         set_batch_runs(true);
         assert!(batch_runs_enabled());
+    }
+
+    #[test]
+    fn batch_adversary_toggle_round_trips() {
+        assert!(batch_adversaries_enabled());
+        set_batch_adversaries(false);
+        assert!(!batch_adversaries_enabled());
+        set_batch_adversaries(true);
+        assert!(batch_adversaries_enabled());
+    }
+
+    #[test]
+    fn scalar_bridge_bails_out_before_consuming_any_lane() {
+        use crate::adversary::NoFaults;
+
+        /// A corrupt-counting adversary that reports edge faults.
+        struct Edgy {
+            corrupted: usize,
+        }
+        impl Adversary for Edgy {
+            fn name(&self) -> String {
+                "edgy".into()
+            }
+            fn corrupt(&mut self, n: usize, _t: usize, _source: ProcessId) -> ProcessSet {
+                self.corrupted += 1;
+                ProcessSet::new(n)
+            }
+            fn payload(
+                &mut self,
+                _sender: ProcessId,
+                _recipient: ProcessId,
+                _view: &AdversaryView<'_>,
+            ) -> Payload {
+                Payload::Missing
+            }
+            fn has_edge_faults(&self) -> bool {
+                true
+            }
+        }
+
+        let mut lanes: Vec<Box<dyn Adversary>> =
+            vec![Box::new(NoFaults), Box::new(Edgy { corrupted: 0 })];
+        let mut bridge = ScalarBridge(&mut lanes);
+        let mut faulty = vec![0u64; 4];
+        let mut sets = Vec::new();
+        assert!(!bridge.corrupt_lanes(4, 1, ProcessId(0), &mut faulty, &mut sets));
+        // The bailout consumed nothing: no fault sets pushed, no corrupt
+        // calls issued — every lane is reusable for the scalar re-run.
+        assert!(sets.is_empty());
+        assert!(faulty.iter().all(|&w| w == 0));
     }
 }

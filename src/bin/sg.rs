@@ -122,7 +122,9 @@ fn usage() -> ! {
          global: --jobs <N> sizes the sweep worker pool; --no-early-stop runs\n        \
          full fixed-length schedules; --no-instance-pool rebuilds protocol and\n        \
          adversary instances every run; --no-batch disables the lock-step\n        \
-         batch executor (64 runs per instruction) in favour of the scalar path"
+         batch executor (64 runs per instruction) in favour of the scalar path;\n        \
+         --no-batch-adversary keeps the batch executor but drives each fault\n        \
+         lane through the scalar adversary bridge"
     );
     exit(2);
 }
@@ -1185,8 +1187,10 @@ fn cmd_ping(flags: &HashMap<String, String>) {
     } else {
         connect_client(flags)
     };
-    match client.ping() {
-        Ok(()) => println!("pong from {addr}"),
+    match client.ping_stats() {
+        Ok((hits, misses)) => {
+            println!("pong from {addr} (journal: {hits} hit(s), {misses} miss(es))")
+        }
         Err(e) => {
             eprintln!("ping failed: {e}");
             exit(1);
@@ -1259,6 +1263,9 @@ fn main() {
     }
     if toggles.iter().any(|t| t == "no-batch") {
         shifting_gears::sim::set_batch_runs(false);
+    }
+    if toggles.iter().any(|t| t == "no-batch-adversary") {
+        shifting_gears::sim::set_batch_adversaries(false);
     }
     match cmd.as_str() {
         "run" => cmd_run(&flags, &toggles),

@@ -6,14 +6,22 @@
 //! lock-step, one bit lane per run. Its contract is the same as every
 //! other engine fast path (`set_packed_broadcast`, instance pooling):
 //! toggling it changes wall time only, never a byte of the report. The
-//! property test below drives the nine protocol families through the
-//! named adversary suite at `f ∈ {0, 1, t}` and asserts the full
+//! property tests below drive the eleven protocol families through the
+//! named adversary suite at `f ∈ {0, 1, t}` and assert the full
 //! [`SweepReport`] — every sample of every cell, and the pinned
 //! fingerprint derived from it — matches between `set_batch_runs(true)`
 //! and `set_batch_runs(false)`. Families without a batch kernel exercise
 //! the chunk-scheduling layer (grouped units must flatten back to seed
 //! order); `optimal-king` cells exercise the kernel itself, including
-//! early-stop retirement splitting the active mask mid-batch.
+//! early-stop retirement splitting the active mask mid-batch; the
+//! `king-shift` / `dynamic-king` cells exercise the mixed-width gear
+//! kernels (scalar tree prefix, bit-lane king tail), including the
+//! per-lane gear-commit vote and its scalar-deferral escape hatch.
+//!
+//! The same contract covers the batch *adversary* layer
+//! (`sg_sim::set_batch_adversaries`): the vectorized fault-injection
+//! path for the six named families must be unobservable next to the
+//! per-lane scalar bridge.
 
 use std::sync::Mutex;
 
@@ -21,7 +29,7 @@ use proptest::prelude::*;
 use shifting_gears::adversary::FaultSelection;
 use shifting_gears::analysis::{AdversaryFamily, SweepConfig, SweepPlan, SweepReport};
 use shifting_gears::core::AlgorithmSpec;
-use shifting_gears::sim::{set_batch_runs, set_early_stopping};
+use shifting_gears::sim::{set_batch_adversaries, set_batch_runs, set_early_stopping};
 
 /// Serializes the tests in this file: all of them drive the
 /// process-global `set_batch_runs` toggle, so running them concurrently
@@ -41,7 +49,7 @@ fn batched_and_scalar(plan: &SweepPlan, jobs: usize) -> (SweepReport, SweepRepor
     (batched, scalar)
 }
 
-/// The ten protocol families of the sweep surface. Every resilience
+/// The eleven protocol families of the sweep surface. Every resilience
 /// bound accepts `(n, t) = (10, 2)` except the hybrid's, which pins
 /// `t = t_A(10) = 3` (the property test adjusts).
 fn spec(idx: usize) -> AlgorithmSpec {
@@ -55,6 +63,7 @@ fn spec(idx: usize) -> AlgorithmSpec {
         6 => AlgorithmSpec::PhaseKing,
         7 => AlgorithmSpec::OptimalKing,
         8 => AlgorithmSpec::PhaseQueen,
+        9 => AlgorithmSpec::KingShift { b: 3 },
         _ => AlgorithmSpec::DynamicKing { b: 3 },
     }
 }
@@ -87,7 +96,7 @@ proptest! {
     /// scheduling-only, and the tree machines are costly per run).
     #[test]
     fn batch_and_scalar_reports_are_bit_identical(
-        spec_idx in 0usize..10,
+        spec_idx in 0usize..11,
         adv_idx in 0usize..9,
         f in 0usize..3,
     ) {
@@ -115,6 +124,58 @@ proptest! {
         let (batched, scalar) = batched_and_scalar(&plan, 1);
         prop_assert_eq!(&batched, &scalar);
         prop_assert_eq!(batched.fingerprint(), scalar.fingerprint());
+    }
+
+    /// The batch *adversary* layer is as unobservable as the batch
+    /// executor: for the kernel-backed specs (the king-tail gear hybrids
+    /// and the phase family) under every vector-eligible named family at
+    /// `f ∈ {0, 1, t}`, the vectorized fault-injection path
+    /// (`set_batch_adversaries(true)`, one `lies` call per round), the
+    /// per-lane scalar bridge (`false`), and the fully scalar engine
+    /// (`set_batch_runs(false)`) all produce one report.
+    #[test]
+    fn batch_adversaries_are_bit_identical_too(
+        spec_idx in 0usize..4,
+        adv_idx in 0usize..6,
+        f in 0usize..3,
+    ) {
+        let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let spec = [
+            AlgorithmSpec::KingShift { b: 3 },
+            AlgorithmSpec::DynamicKing { b: 3 },
+            AlgorithmSpec::PhaseKing,
+            AlgorithmSpec::OptimalKing,
+        ][spec_idx];
+        let sel = FaultSelection::without_source().limit([0, 1, 2][f]);
+        let family = [
+            AdversaryFamily::random_liar(sel.clone()),
+            AdversaryFamily::crash(sel.clone(), 2),
+            AdversaryFamily::silent(sel.clone()),
+            AdversaryFamily::omission(sel.clone(), 2, 0),
+            AdversaryFamily::equivocate(sel.clone(), 3, 1),
+            AdversaryFamily::adaptive(sel.clone(), vec![2, 4]),
+        ][adv_idx].clone();
+        let seeds = match spec {
+            AlgorithmSpec::OptimalKing | AlgorithmSpec::PhaseKing => 65,
+            _ => 8,
+        };
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(spec, 10, 2)],
+            vec![family],
+            seeds,
+        );
+        set_batch_runs(true);
+        set_batch_adversaries(true);
+        let vectorized = plan.run_with_jobs(1);
+        set_batch_adversaries(false);
+        let bridged = plan.run_with_jobs(1);
+        set_batch_adversaries(true);
+        set_batch_runs(false);
+        let scalar = plan.run_with_jobs(1);
+        set_batch_runs(true);
+        prop_assert_eq!(&vectorized, &bridged);
+        prop_assert_eq!(&vectorized, &scalar);
+        prop_assert_eq!(vectorized.fingerprint(), scalar.fingerprint());
     }
 }
 
@@ -201,30 +262,67 @@ fn phase_family_kernels_match_scalar() {
     }
 }
 
-/// `dynamic-king` shifts gears from fault evidence mid-run, so it has no
-/// lock-step kernel: every chunk must take the scalar fallback and still
-/// produce seed-ordered samples identical to the unbatched executor —
-/// across a 65-seed chunk boundary and at both worker counts.
+/// The gear hybrids (`king-shift` statically planned, `dynamic-king`
+/// vote-driven) execute on the mixed-width kernel: the tree prefix runs
+/// scalar instances inside the wide round, the king tail runs in bit
+/// lanes, and the whole composite must match the scalar executor bit
+/// for bit — across a 65-seed chunk boundary and at both worker counts.
 #[test]
-fn dynamic_king_gear_shifts_fall_back_identically() {
+fn gear_kernels_match_scalar_across_chunks_and_jobs() {
+    let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for spec in [
+        AlgorithmSpec::KingShift { b: 3 },
+        AlgorithmSpec::DynamicKing { b: 3 },
+    ] {
+        let plan = SweepPlan::new(
+            vec![SweepConfig::traced(spec, 10, 2)],
+            vec![AdversaryFamily::random_liar(
+                FaultSelection::without_source().limit(2),
+            )],
+            65,
+        );
+        let (batched, scalar) = batched_and_scalar(&plan, 1);
+        assert_eq!(batched, scalar, "{spec:?} batch != scalar");
+
+        set_batch_runs(true);
+        let parallel = plan.run_with_jobs(8);
+        assert_eq!(parallel, scalar, "{spec:?} parallel batch != scalar");
+    }
+}
+
+/// Lane divergence inside one `dynamic-king` batch: at `(10, 3)` under
+/// seed-dependent random liars, different lanes accumulate different
+/// fault evidence, so at a checkpoint some lanes' correct processors
+/// vote to shift unanimously (the kernel commits the gear shift in
+/// lock-step) while others split or decline — deferred lanes retire to
+/// the scalar executor mid-batch and their scalar samples are spliced
+/// back at their seed positions. Whatever mix occurs, the result must
+/// be bit-identical to the all-scalar run; the round histogram must
+/// actually spread, or the cell silently degrades to the uniform case
+/// the property test already covers.
+#[test]
+fn dynamic_king_lane_divergence_splits_the_batch() {
     let _serial = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let plan = SweepPlan::new(
         vec![SweepConfig::traced(
             AlgorithmSpec::DynamicKing { b: 3 },
             10,
-            2,
+            3,
         )],
         vec![AdversaryFamily::random_liar(
             FaultSelection::without_source().limit(2),
         )],
-        65,
+        64,
     );
     let (batched, scalar) = batched_and_scalar(&plan, 1);
     assert_eq!(batched, scalar);
 
-    set_batch_runs(true);
-    let parallel = plan.run_with_jobs(8);
-    assert_eq!(parallel, scalar);
+    let distinct: std::collections::BTreeSet<u64> =
+        batched.cells[0].samples.iter().map(|s| s.rounds).collect();
+    assert!(
+        distinct.len() >= 2,
+        "cell retired uniformly (rounds {distinct:?}); pick a livelier cell"
+    );
 }
 
 /// Worker count and batching compose: a mixed grid (kernel cell +
